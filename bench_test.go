@@ -1,0 +1,350 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+)
+
+// benchOptions shrinks the measurement windows so a full -bench=. pass
+// stays in the minutes range; cmd/figures uses the full-size windows.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.TargetEvents = 4_000
+	return o
+}
+
+// reportAgreement attaches the mean |simulation/analysis − 1| across the
+// figure's analysis/simulation series pairs as a benchmark metric, so
+// `go test -bench` output doubles as a reproduction scoreboard.
+func reportAgreement(b *testing.B, fig *metrics.Figure) {
+	b.Helper()
+	var gap float64
+	var n int
+	for _, ana := range fig.Series {
+		const suffix = " analysis"
+		if len(ana.Name) <= len(suffix) || ana.Name[len(ana.Name)-len(suffix):] != suffix {
+			continue
+		}
+		sim := fig.Lookup(ana.Name[:len(ana.Name)-len(suffix)] + " simulation")
+		if sim == nil {
+			continue
+		}
+		for i := range ana.Points {
+			if ana.Points[i].Y > 0 {
+				gap += math.Abs(sim.Points[i].Y/ana.Points[i].Y - 1)
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(gap/float64(n), "mean-rel-gap")
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (frequencies vs transmission range).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAgreement(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (frequencies vs node speed).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAgreement(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3 (frequencies vs network density).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Figure3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportAgreement(b, fig)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4 (the Eqn 16 → Eqn 17 approximation).
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tail, ratio, err := experiments.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Report how tight the closed-form approximation is at the
+			// dense end of the panel.
+			exact := ratio.Lookup("P from Eqn (16)").Points
+			approx := ratio.Lookup("P = 1/sqrt(d+1) (Eqn 17)").Points
+			last := len(exact) - 1
+			b.ReportMetric(math.Abs(approx[last].Y/exact[last].Y-1), "approx-rel-err")
+			b.ReportMetric(tail.Series[0].Points[last].Y, "tail-term")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (LID cluster counts vs N and r).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fa, err := experiments.Figure5a(5, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fb, err := experiments.Figure5b(5, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Sparse-end agreement of both panels.
+			for _, fig := range []*metrics.Figure{fa, fb} {
+				ana := fig.Series[0].Points[0].Y
+				sim := fig.Series[1].Points[0].Y
+				b.ReportMetric(sim/ana, "sparse-sim/ana")
+			}
+		}
+	}
+}
+
+// BenchmarkKnuthOrders regenerates the §6 Θ-notation order table.
+func BenchmarkKnuthOrders(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.KnuthOrderTable(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var gap float64
+			for _, r := range rows {
+				gap += math.Abs(r.AnalysisFit - r.Claimed)
+			}
+			b.ReportMetric(gap/float64(len(rows)), "mean-exponent-gap")
+		}
+	}
+}
+
+// BenchmarkAblationBorderEvents quantifies the teleport artifact.
+func BenchmarkAblationBorderEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationBorderEvents(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Inflation factor at the largest range.
+			ex := fig.Lookup("simulation, border excluded").Points
+			in := fig.Lookup("simulation, border included").Points
+			last := len(ex) - 1
+			b.ReportMetric(in[last].Y/ex[last].Y, "border-inflation")
+		}
+	}
+}
+
+// BenchmarkAblationTorusMetric compares square and torus regimes.
+func BenchmarkAblationTorusMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.AblationTorusMetric(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Border deficit (square d below torus d) at largest range.
+			sq := fig.Lookup("simulation d, square").Points
+			to := fig.Lookup("simulation d, torus").Points
+			last := len(sq) - 1
+			b.ReportMetric(sq[last].Y/to[last].Y, "border-deficit")
+		}
+	}
+}
+
+// BenchmarkAblationClusterers compares LID, HCC and DMAC head ratios.
+func BenchmarkAblationClusterers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationClusterers(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.HeadRatio, r.Policy+"-P")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMobility compares mobility models against Claim 2.
+func BenchmarkAblationMobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationMobility(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.LinkChangeRate/r.AnalysisRate, r.Model+"-lam-ratio")
+			}
+		}
+	}
+}
+
+// BenchmarkFlatVsHybrid reproduces the §1 motivation comparison.
+func BenchmarkFlatVsHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOptions()
+		opts.TargetEvents = 2_000 // flat DSDV floods are expensive
+		rows, err := experiments.AblationFlatVsHybrid(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.Ratio, "flat/hybrid-at-N400")
+		}
+	}
+}
+
+// BenchmarkAblationGroupMobility compares RPGM against independent
+// mobility.
+func BenchmarkAblationGroupMobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationGroupMobility(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && rows[1].FCluster > 0 {
+			b.ReportMetric(rows[0].FCluster/rows[1].FCluster, "indep/group-fcluster")
+		}
+	}
+}
+
+// BenchmarkAblationLinkLifetime validates E[lifetime] = π²r/(8v).
+func BenchmarkAblationLinkLifetime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationLinkLifetime(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var gap float64
+			for _, r := range rows {
+				gap += math.Abs(r.Measured/r.Analysis - 1)
+			}
+			b.ReportMetric(gap/float64(len(rows)), "mean-rel-gap")
+		}
+	}
+}
+
+// BenchmarkAblationHelloSchedule compares periodic beacon schedules with
+// the Eqn (4) lower bound.
+func BenchmarkAblationHelloSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationHelloSchedule(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.StaleFraction, "stale-frac")
+		}
+	}
+}
+
+// BenchmarkOptimalRatio compares LID against the overhead-optimal P*.
+func BenchmarkOptimalRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationOptimalRatio()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[len(rows)-1].SavingsPct, "savings-pct")
+		}
+	}
+}
+
+// BenchmarkFormationConvergence measures LID formation rounds vs N.
+func BenchmarkFormationConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FormationConvergence(cluster.LID{}, 5, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[len(rows)-1].MeanRounds, "rounds-at-N800")
+		}
+	}
+}
+
+// BenchmarkDHopStudy compares Max-Min formations with the d-hop model.
+func BenchmarkDHopStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DHopStudy(5, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := rows[len(rows)-1]
+			b.ReportMetric(last.MeasuredHeads/last.ModelHeads, "d3-sim/model")
+		}
+	}
+}
+
+// BenchmarkSimulatorStep measures raw engine throughput: one tick of a
+// 400-node mobile network with the full protocol stack attached.
+func BenchmarkSimulatorStep(b *testing.B) {
+	sim, err := netsim.New(netsim.Config{
+		N: 400, Side: 10, Range: 1.5, Dt: 0.05, Seed: 1,
+		Metric: geom.MetricSquare,
+		Model:  mobility.EpochRWP{Speed: 0.05, Epoch: 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticalModel measures one full closed-form evaluation
+// (Claim 1, Claim 2, LID fixed point, all three overheads).
+func BenchmarkAnalyticalModel(b *testing.B) {
+	net := core.Network{N: 400, R: 1.5, V: 0.05, Density: 4}
+	for i := 0; i < b.N; i++ {
+		p, err := net.LIDHeadRatioExact()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.ControlOverheads(p, core.DefaultMessageSizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation section (and the repository's ablations), printing ASCII
+// tables to stdout and optionally writing CSV files.
+//
+// Usage:
+//
+//	figures               # everything
+//	figures -fig 1        # just Figure 1
+//	figures -out results  # also write results/fig1.csv, ...
+//
+// Figure ids: 1, 2, 3 (frequency validations), 4 (LID approximation),
+// 5 (cluster counts), 6 (Knuth Θ-order table), 7 (ablations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure to regenerate (0 = all; 1-5 paper figures, 6 Knuth table, 7 ablations)")
+	outDir := fs.String("out", "", "directory for CSV output (empty = none)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	events := fs.Float64("events", 40_000, "target link events per measured point")
+	repeats := fs.Int("repeats", 10, "placements averaged per Figure 5 point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.DefaultOptions()
+	opts.Seed = *seed
+	opts.TargetEvents = *events
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	want := func(id int) bool { return *fig == 0 || *fig == id }
+	emit := func(name string, f *metrics.Figure) error {
+		fmt.Fprintln(out, f.Table())
+		if *outDir == "" {
+			return nil
+		}
+		path := filepath.Join(*outDir, name+".csv")
+		return os.WriteFile(path, []byte(f.CSV()), 0o644)
+	}
+
+	if want(1) {
+		f, err := experiments.Figure1(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig1", f); err != nil {
+			return err
+		}
+	}
+	if want(2) {
+		f, err := experiments.Figure2(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig2", f); err != nil {
+			return err
+		}
+	}
+	if want(3) {
+		f, err := experiments.Figure3(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig3", f); err != nil {
+			return err
+		}
+	}
+	if want(4) {
+		tail, ratio, err := experiments.Figure4()
+		if err != nil {
+			return err
+		}
+		if err := emit("fig4a", tail); err != nil {
+			return err
+		}
+		if err := emit("fig4b", ratio); err != nil {
+			return err
+		}
+	}
+	if want(5) {
+		fa, err := experiments.Figure5a(*repeats, *seed)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5a", fa); err != nil {
+			return err
+		}
+		fb, err := experiments.Figure5b(*repeats, *seed)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig5b", fb); err != nil {
+			return err
+		}
+	}
+	if want(6) {
+		rows, err := experiments.KnuthOrderTable(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "Section 6: Knuth Θ-notation growth orders")
+		fmt.Fprintln(out, experiments.KnuthTable(rows))
+	}
+	if want(7) {
+		if err := ablations(out, opts, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ablations runs the four design-choice studies of DESIGN.md §5.
+func ablations(out io.Writer, opts experiments.Options, emit func(string, *metrics.Figure) error) error {
+	border, err := experiments.AblationBorderEvents(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("ablation_border", border); err != nil {
+		return err
+	}
+	torus, err := experiments.AblationTorusMetric(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("ablation_torus", torus); err != nil {
+		return err
+	}
+	clusterers, err := experiments.AblationClusterers(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Ablation: clustering policies under identical mobility")
+	fmt.Fprintln(out, experiments.ClustererTable(clusterers))
+	mob, err := experiments.AblationMobility(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Ablation: mobility models vs Claim 2")
+	fmt.Fprintln(out, experiments.MobilityTable(mob))
+	flat, err := experiments.AblationFlatVsHybrid(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Motivation: flat DSDV vs clustered hybrid control overhead")
+	fmt.Fprintln(out, experiments.FlatVsHybridTable(flat))
+	group, err := experiments.AblationGroupMobility(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Ablation: group-correlated (RPGM) vs independent mobility")
+	fmt.Fprintln(out, experiments.GroupMobilityTable(group))
+	life, err := experiments.AblationLinkLifetime(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Ablation: link lifetimes vs π²r/(8v)")
+	fmt.Fprintln(out, experiments.LifetimeTable(life))
+	sched, err := experiments.AblationHelloSchedule(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Ablation: periodic HELLO schedules vs the Eqn (4) lower bound")
+	fmt.Fprintln(out, experiments.HelloScheduleTable(sched))
+	opt, err := experiments.AblationOptimalRatio()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Extension: LID vs the overhead-optimal head ratio")
+	fmt.Fprintln(out, experiments.OptimalRatioTable(opt))
+	conv, err := experiments.FormationConvergence(opts.Policy, 10, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Extension: formation convergence time vs network size")
+	fmt.Fprintln(out, experiments.ConvergenceTable(conv))
+	dhop, err := experiments.DHopStudy(10, opts.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Extension: Max-Min d-hop clustering vs the d-hop head-ratio model")
+	fmt.Fprintln(out, experiments.DHopTable(dhop))
+	bias, err := experiments.SizeBiasStudy(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "Diagnosis: the f_route overshoot is cluster-size bias")
+	fmt.Fprintln(out, bias.String())
+	fmt.Fprintln(out)
+	timeline, err := experiments.HeadRatioTimeline(opts)
+	if err != nil {
+		return err
+	}
+	if err := emit("head_ratio_timeline", timeline); err != nil {
+		return err
+	}
+	return nil
+}

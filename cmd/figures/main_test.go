@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure4Only(t *testing.T) {
+	// Figure 4 is pure closed-form math: instant and deterministic.
+	var out strings.Builder
+	if err := run([]string{"-fig", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 4(a)") || !strings.Contains(out.String(), "Figure 4(b)") {
+		t.Errorf("figure 4 panels missing")
+	}
+	if strings.Contains(out.String(), "Figure 1") {
+		t.Error("unrequested figures produced")
+	}
+}
+
+func TestRunFigure5WritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-fig", "5", "-repeats", "2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig5a.csv", "fig5b.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "analysis") {
+			t.Errorf("%s missing analysis column", name)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

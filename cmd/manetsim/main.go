@@ -1,0 +1,177 @@
+// Command manetsim runs one clustered-MANET simulation scenario and
+// reports measured topology statistics and per-node control message
+// frequencies next to the paper's analytical predictions.
+//
+// Usage:
+//
+//	manetsim -n 400 -r 1.5 -v 0.05 -density 4 -policy lid -mobility epoch-rwp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/simrand"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "manetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("manetsim", flag.ContinueOnError)
+	n := fs.Int("n", 400, "number of nodes")
+	r := fs.Float64("r", 1.5, "transmission range")
+	v := fs.Float64("v", 0.05, "node speed")
+	density := fs.Float64("density", 4, "node density ρ")
+	policy := fs.String("policy", "lid", "clustering policy: lid, hcc, dmac")
+	mob := fs.String("mobility", "epoch-rwp", "mobility model: epoch-rwp, bcv, rwp, random-walk")
+	metric := fs.String("metric", "square", "distance metric: square, torus")
+	seed := fs.Uint64("seed", 42, "random seed")
+	events := fs.Float64("events", 40_000, "target link events for the measurement window")
+	border := fs.Bool("border", false, "include border (teleport) events in measurements")
+	traceFile := fs.String("trace", "", "write a JSONL event trace of a 20-time-unit run to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net := core.Network{N: *n, R: *r, V: *v, Density: *density}
+	if err := net.Validate(); err != nil {
+		return err
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Seed = *seed
+	opts.TargetEvents = *events
+	opts.IncludeBorder = *border
+	switch *metric {
+	case "square":
+		opts.Metric = geom.MetricSquare
+	case "torus":
+		opts.Metric = geom.MetricTorus
+	default:
+		return fmt.Errorf("unknown metric %q", *metric)
+	}
+	switch *mob {
+	case "epoch-rwp":
+		opts.Mobility = experiments.MobilityEpochRWP
+	case "bcv":
+		opts.Mobility = experiments.MobilityBCV
+	case "rwp":
+		opts.Mobility = experiments.MobilityRandomWaypoint
+	case "random-walk":
+		opts.Mobility = experiments.MobilityRandomWalk
+	default:
+		return fmt.Errorf("unknown mobility model %q", *mob)
+	}
+	switch *policy {
+	case "lid":
+		opts.Policy = cluster.LID{}
+	case "hcc":
+		opts.Policy = cluster.HCC{}
+	case "dmac":
+		rng := simrand.New(*seed).Split("dmac-weights").Rand()
+		weights := make([]float64, *n)
+		for i := range weights {
+			weights[i] = rng.Float64()
+		}
+		dmac, err := cluster.NewDMAC(weights)
+		if err != nil {
+			return err
+		}
+		opts.Policy = dmac
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, net, opts); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written to %s\n", *traceFile)
+	}
+
+	m, err := experiments.MeasureRates(net, opts)
+	if err != nil {
+		return err
+	}
+	rates, err := net.ControlRates(m.HeadRatio)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "scenario: N=%d r=%g v=%g ρ=%g policy=%s mobility=%s metric=%s\n",
+		*n, *r, *v, *density, *policy, *mob, *metric)
+	fmt.Fprintf(out, "measured over %.4g time units (seed %d)\n\n", m.Duration, *seed)
+	table := metrics.RenderTable(
+		[]string{"quantity", "simulation", "analysis"},
+		[][]string{
+			{"mean degree d", fmt.Sprintf("%.4g", m.MeanDegree), fmt.Sprintf("%.4g", net.ExpectedNeighbors())},
+			{"link change rate λ", fmt.Sprintf("%.4g", m.LinkChangeRate), fmt.Sprintf("%.4g", net.LinkChangeRate())},
+			{"head ratio P", fmt.Sprintf("%.4g", m.HeadRatio), "(measured P drives analysis)"},
+			{"f_hello", fmt.Sprintf("%.5g", m.FHello), fmt.Sprintf("%.5g", rates.Hello)},
+			{"f_cluster", fmt.Sprintf("%.5g", m.FCluster), fmt.Sprintf("%.5g", rates.Cluster)},
+			{"f_route", fmt.Sprintf("%.5g", m.FRoute), fmt.Sprintf("%.5g", rates.Route)},
+		})
+	fmt.Fprint(out, table)
+	return nil
+}
+
+// writeTrace runs a short traced simulation of the scenario and writes
+// the JSONL event log.
+func writeTrace(path string, net core.Network, opts experiments.Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tracer, err := trace.New(f, 1)
+	if err != nil {
+		return err
+	}
+	sim, err := netsim.New(netsim.Config{
+		N: net.N, Side: net.Side(), Range: net.R, Metric: opts.Metric,
+		Model: mobility.EpochRWP{Speed: net.V, Epoch: net.Side() / 4 / maxf(net.V, 1e-9)},
+		Dt:    net.R / 30 / maxf(net.V, 1e-9), Seed: opts.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	maint, err := cluster.NewMaintainer(opts.Policy, core.DefaultMessageSizes.Cluster)
+	if err != nil {
+		return err
+	}
+	hello, err := routing.NewHello(core.DefaultMessageSizes.Hello)
+	if err != nil {
+		return err
+	}
+	if err := sim.Register(tracer, hello, maint); err != nil {
+		return err
+	}
+	if err := sim.Run(20); err != nil {
+		return err
+	}
+	return tracer.Flush()
+}
+
+// maxf returns the larger of two floats.
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallScenario(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-n", "100", "-events", "1500"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mean degree d", "f_hello", "f_cluster", "f_route", "head ratio P"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunPolicyAndMobilityVariants(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "80", "-events", "800", "-policy", "hcc"},
+		{"-n", "80", "-events", "800", "-policy", "dmac"},
+		{"-n", "80", "-events", "800", "-mobility", "bcv"},
+		{"-n", "80", "-events", "800", "-metric", "torus"},
+		{"-n", "80", "-events", "800", "-border"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-policy", "nope"},
+		{"-mobility", "nope"},
+		{"-metric", "nope"},
+		{"-n", "0"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	var out strings.Builder
+	if err := run([]string{"-n", "60", "-events", "500", "-trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || !strings.HasPrefix(string(data), `{"t":`) {
+		t.Errorf("trace file malformed: %q...", string(data[:min(40, len(data))]))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+// Command overhead evaluates the paper's analytical model for one
+// scenario: it prints the derived topology statistics (expected
+// neighbors, link change rates), the LID cluster-head ratio, the three
+// per-node control message frequencies and their bit-rate overheads.
+//
+// Usage:
+//
+//	overhead -n 400 -r 1.5 -v 0.05 -density 4 [-p 0.2]
+//
+// When -p is omitted the LID head ratio from Eqn (16) is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "overhead:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("overhead", flag.ContinueOnError)
+	n := fs.Int("n", 400, "number of nodes")
+	r := fs.Float64("r", 1.5, "transmission range")
+	v := fs.Float64("v", 0.05, "node speed (distance per unit time)")
+	density := fs.Float64("density", 4, "node density ρ (nodes per unit area)")
+	p := fs.Float64("p", 0, "cluster-head ratio P (0 = derive from LID, Eqn 16)")
+	helloBits := fs.Float64("hello-bits", core.DefaultMessageSizes.Hello, "HELLO message size (bits)")
+	clusterBits := fs.Float64("cluster-bits", core.DefaultMessageSizes.Cluster, "CLUSTER message size (bits)")
+	routeBits := fs.Float64("route-bits", core.DefaultMessageSizes.RouteEntry, "routing table entry size (bits)")
+	optimize := fs.Bool("optimize", false, "also report the overhead-optimal head ratio and parameter elasticities")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net := core.Network{N: *n, R: *r, V: *v, Density: *density}
+	if err := net.Validate(); err != nil {
+		return err
+	}
+	headRatio := *p
+	derived := false
+	if headRatio == 0 {
+		var err error
+		headRatio, err = net.LIDHeadRatioExact()
+		if err != nil {
+			return err
+		}
+		derived = true
+	}
+	sizes := core.MessageSizes{Hello: *helloBits, Cluster: *clusterBits, RouteEntry: *routeBits}
+	rates, err := net.ControlRates(headRatio)
+	if err != nil {
+		return err
+	}
+	ovh, err := net.ControlOverheads(headRatio, sizes)
+	if err != nil {
+		return err
+	}
+	m, err := core.ExpectedClusterSize(headRatio)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "scenario: N=%d  r=%g  v=%g  ρ=%g  (a=%.4g)\n\n", *n, *r, *v, *density, net.Side())
+	fmt.Fprintf(out, "expected neighbors d (Claim 1, Eqn 1):   %.4g\n", net.ExpectedNeighbors())
+	fmt.Fprintf(out, "link change rate λ (Claim 2, Eqn 3):     %.4g\n", net.LinkChangeRate())
+	fmt.Fprintf(out, "link generation rate λ_gen:              %.4g\n", net.LinkGenRate())
+	if derived {
+		approx, err := net.LIDHeadRatio()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "LID head ratio P (Eqn 16 fixed point):   %.4g\n", headRatio)
+		fmt.Fprintf(out, "LID head ratio P ≈ 1/√(d+1) (Eqn 17):    %.4g\n", approx)
+	} else {
+		fmt.Fprintf(out, "cluster-head ratio P (given):            %.4g\n", headRatio)
+	}
+	fmt.Fprintf(out, "expected clusters N·P:                   %.4g\n", float64(*n)*headRatio)
+	fmt.Fprintf(out, "expected cluster size m = 1/P:           %.4g\n\n", m)
+
+	table := metrics.RenderTable(
+		[]string{"message class", "per-node rate (msg/s)", "per-node overhead (bit/s)"},
+		[][]string{
+			{"HELLO (Eqns 4-5)", fmt.Sprintf("%.5g", rates.Hello), fmt.Sprintf("%.5g", ovh.Hello)},
+			{"CLUSTER (Eqns 6-12)", fmt.Sprintf("%.5g", rates.Cluster), fmt.Sprintf("%.5g", ovh.Cluster)},
+			{"ROUTE (Eqns 13-14)", fmt.Sprintf("%.5g", rates.Route), fmt.Sprintf("%.5g", ovh.Route)},
+			{"total", fmt.Sprintf("%.5g", rates.Total()), fmt.Sprintf("%.5g", ovh.Total())},
+		})
+	fmt.Fprint(out, table)
+
+	if *optimize {
+		pOpt, total, err := net.OverheadAtOptimum(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\noverhead-optimal head ratio P*:          %.4g (total %.5g bit/s, %.0f%% below P=%.3g)\n",
+			pOpt, total, 100*(1-total/ovh.Total()), headRatio)
+		el, err := net.OverheadElasticities(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "overhead elasticities: +1%% r → %+.2f%%   +1%% v → %+.2f%%   +1%% ρ → %+.2f%%\n",
+			el.Range, el.Speed, el.Density)
+	}
+	return nil
+}

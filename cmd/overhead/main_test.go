@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"expected neighbors d", "link change rate", "LID head ratio",
+		"HELLO (Eqns 4-5)", "CLUSTER (Eqns 6-12)", "ROUTE (Eqns 13-14)", "total",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunExplicitRatioAndOptimize(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-p", "0.25", "-optimize"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cluster-head ratio P (given)") {
+		t.Error("explicit ratio not reported")
+	}
+	if !strings.Contains(out.String(), "overhead-optimal head ratio") {
+		t.Error("optimize output missing")
+	}
+	if !strings.Contains(out.String(), "elasticities") {
+		t.Error("elasticities missing")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "1"}, &out); err == nil {
+		t.Error("one-node network accepted")
+	}
+	if err := run([]string{"-hello-bits", "0"}, &out); err == nil {
+		t.Error("zero hello bits accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-p", "2"}, &out); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+}

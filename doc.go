@@ -1,0 +1,23 @@
+// Package repro is a reproduction of "Analysis of Clustering and Routing
+// Overhead for Clustered Mobile Ad Hoc Networks" (Xue, Er, Seah — ICDCS
+// 2006): an analytical lower-bound model of the HELLO, CLUSTER and ROUTE
+// control overheads of one-hop clustered MANETs, together with the full
+// simulation substrate needed to validate it.
+//
+// The library lives under internal/:
+//
+//   - internal/core — the paper's contribution: Claims 1-2 and Eqns
+//     (1)–(18), the LID cluster-head ratio, and the §6 Θ-notation orders.
+//   - internal/netsim, internal/mobility, internal/geom, internal/space —
+//     a deterministic discrete-time MANET simulator.
+//   - internal/cluster — LID/HCC/DMAC clustering with reactive
+//     maintenance of the P1/P2 invariants.
+//   - internal/routing — HELLO discovery, hybrid intra/inter-cluster
+//     routing, and flat DSDV/AODV baselines.
+//   - internal/experiments — drivers that regenerate every figure and
+//     table of the paper (see bench_test.go and cmd/figures).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// equation reconstruction, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,72 @@
+// Dhopclustering: choose a hop bound for multi-hop clustering. One-hop
+// clusters (the paper's setting) keep routing trivial but multiply as
+// the network grows; Max-Min d-hop clusters trade cluster-head count
+// against member-to-head distance. The example forms Max-Min clusters
+// for d = 1..4 on a static deployment, validates the invariants, and
+// compares against the d-hop extension of the paper's head-ratio
+// heuristic.
+//
+//	go run ./examples/dhopclustering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	net := core.Network{N: 500, R: 0.9, V: 0, Density: 2}
+	sim, err := netsim.New(netsim.Config{
+		N: net.N, Side: net.Side(), Range: net.R, Dt: 1, Seed: 17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d nodes, range %.2g, region %.3gx%.3g — mean degree %.1f\n\n",
+		net.N, net.R, net.Side(), net.Side(), sim.MeanDegree())
+
+	header := []string{"d (hops)", "clusters", "head ratio", "mean hops to head", "max hops", "model N·P_d"}
+	var rows [][]string
+	for d := 1; d <= 4; d++ {
+		a, err := cluster.FormMaxMin(sim, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.Check(sim); err != nil {
+			log.Fatalf("d=%d: invariants violated: %v", d, err)
+		}
+		var dist float64
+		maxDist := 0
+		for _, h := range a.Dist {
+			dist += float64(h)
+			if h > maxDist {
+				maxDist = h
+			}
+		}
+		model, err := net.DHopExpectedClusters(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", d),
+			fmt.Sprintf("%d", a.NumHeads()),
+			fmt.Sprintf("%.3f", a.HeadRatio()),
+			fmt.Sprintf("%.2f", dist/float64(len(a.Dist))),
+			fmt.Sprintf("%d", maxDist),
+			fmt.Sprintf("%.1f", model),
+		})
+	}
+	fmt.Print(metrics.RenderTable(header, rows))
+	fmt.Println("\nReading: each extra hop roughly divides the cluster count while")
+	fmt.Println("pushing members farther from their heads — pick d where the backbone")
+	fmt.Println("is small enough for inter-cluster routing but intra-cluster paths")
+	fmt.Println("still fit the latency budget. The analytical column extends the")
+	fmt.Println("paper's P ≈ 1/√(d+1) heuristic to d-hop balls; like Figure 5 it is")
+	fmt.Println("sparse-regime-accurate and over-predicts as the ball densifies.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: evaluate the paper's analytical overhead model for one
+// scenario, then validate it against a short simulation — the 30-second
+// tour of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 400-node network at density 4 nodes per unit area (10×10
+	// region), transmission range 1.5, everyone moving at speed 0.05.
+	net := core.Network{N: 400, R: 1.5, V: 0.05, Density: 4}
+	if err := net.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Closed-form predictions (Claims 1-2, Eqns 1-18).
+	p, err := net.LIDHeadRatioExact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := net.ControlRates(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	overheads, err := net.ControlOverheads(p, core.DefaultMessageSizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysis: d=%.1f neighbors, λ=%.3f link changes/node/s, LID P=%.3f\n",
+		net.ExpectedNeighbors(), net.LinkChangeRate(), p)
+	fmt.Printf("analysis: f_hello=%.3f  f_cluster=%.3f  f_route=%.3f msg/node/s\n",
+		rates.Hello, rates.Cluster, rates.Route)
+	fmt.Printf("analysis: total control overhead %.0f bits/node/s (ROUTE share %.0f%%)\n\n",
+		overheads.Total(), 100*overheads.Route/overheads.Total())
+
+	// Validate by simulation: epoch-RWP mobility, LID clustering with
+	// reactive maintenance, hybrid routing — the paper's §4 setup.
+	opts := experiments.DefaultOptions()
+	opts.TargetEvents = 10_000 // short demo run
+	m, err := experiments.MeasureRates(net, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simRates, err := net.ControlRates(m.HeadRatio) // analysis at measured P
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation (%.0f time units): d=%.1f, λ=%.3f, maintained P=%.3f\n",
+		m.Duration, m.MeanDegree, m.LinkChangeRate, m.HeadRatio)
+	fmt.Printf("simulation: f_hello=%.3f (analysis %.3f)\n", m.FHello, simRates.Hello)
+	fmt.Printf("simulation: f_cluster=%.3f (analysis %.3f)\n", m.FCluster, simRates.Cluster)
+	fmt.Printf("simulation: f_route=%.3f (analysis %.3f)\n", m.FRoute, simRates.Route)
+}

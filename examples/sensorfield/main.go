@@ -1,0 +1,99 @@
+// Sensorfield: dimension the clustering layer of a dense, quasi-static
+// sensor deployment. Given a field size and a candidate radio range, the
+// example sweeps deployment density, predicts the cluster structure with
+// the paper's LID analysis, validates it against simulated formations,
+// and reports the steady-state control overhead budget for the residual
+// drift mobility of the field.
+//
+//	go run ./examples/sensorfield
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+const (
+	fieldSide = 20.0  // field is 20×20 length units
+	radio     = 2.0   // radio range of one sensor
+	drift     = 0.002 // residual mobility (wind/water drift), units/s
+	placings  = 8     // placements averaged per density
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Printf("sensor field %gx%g, radio range %g, drift %g\n\n", fieldSide, fieldSide, radio, drift)
+
+	header := []string{"density", "nodes", "clusters (analysis)", "clusters (simulated)", "cluster size", "ctrl overhead bit/node/s"}
+	var rows [][]string
+	for _, density := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
+		n := int(density * fieldSide * fieldSide)
+		net := core.Network{N: n, R: radio, V: drift, Density: density}
+		if err := net.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		p, err := net.LIDHeadRatioExact()
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysisClusters := float64(n) * p
+
+		// Validate the cluster structure on simulated placements.
+		simClusters, err := simulatedClusters(n, placings)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The overhead budget uses the analysis directly: a static-ish
+		// field still pays for drift-induced link churn.
+		ovh, err := net.ControlOverheads(p, core.DefaultMessageSizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := core.ExpectedClusterSize(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", density),
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", analysisClusters),
+			fmt.Sprintf("%.1f", simClusters),
+			fmt.Sprintf("%.1f", m),
+			fmt.Sprintf("%.2f", ovh.Total()),
+		})
+	}
+	fmt.Print(metrics.RenderTable(header, rows))
+	fmt.Println("\nReading: denser fields form proportionally fewer, larger clusters")
+	fmt.Println("(P ≈ 1/√(d+1)); control overhead stays modest because drift is slow,")
+	fmt.Println("and ROUTE traffic dominates the budget as clusters grow. At high")
+	fmt.Println("density the Eqn (16) analysis over-predicts the cluster count — the")
+	fmt.Println("independence approximation ignores that heads must be pairwise out of")
+	fmt.Println("range (see EXPERIMENTS.md); the simulated column is the ground truth.")
+}
+
+// simulatedClusters forms LID clusters over independent placements and
+// returns the average head count.
+func simulatedClusters(n, repeats int) (float64, error) {
+	total := 0.0
+	for rep := 0; rep < repeats; rep++ {
+		sim, err := netsim.New(netsim.Config{
+			N: n, Side: fieldSide, Range: radio, Dt: 1,
+			Seed: 1000 + uint64(rep)*31,
+		})
+		if err != nil {
+			return 0, err
+		}
+		a, err := cluster.Form(sim, cluster.LID{})
+		if err != nil {
+			return 0, err
+		}
+		total += float64(a.NumHeads())
+	}
+	return total / float64(repeats), nil
+}

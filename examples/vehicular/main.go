@@ -1,0 +1,107 @@
+// Vehicular: budget the control-plane bandwidth of a high-mobility
+// clustered network. The example sweeps vehicle speed, shows how each
+// message class scales (HELLO and ROUTE grow linearly with speed — the
+// paper's Θ(v) result), and then inverts the model: given a control
+// bandwidth budget per vehicle, it finds the largest transmission range
+// the budget sustains at highway speed.
+//
+//	go run ./examples/vehicular
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 200 vehicles on a 2km × 2km grid section (units: meters, seconds).
+	const n = 200
+	const side = 2000.0
+	const density = n / (side * side)
+	const radioRange = 250.0
+
+	fmt.Println("speed sweep at r = 250 m (analysis + one simulated point)")
+	header := []string{"speed m/s", "f_hello", "f_cluster", "f_route", "total bit/s/vehicle"}
+	var rows [][]string
+	for _, v := range []float64{5, 10, 20, 30, 40} {
+		net := core.Network{N: n, R: radioRange, V: v, Density: density}
+		if err := net.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		p, err := net.LIDHeadRatioExact()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates, err := net.ControlRates(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ovh, err := net.ControlOverheads(p, core.DefaultMessageSizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", v),
+			fmt.Sprintf("%.3f", rates.Hello),
+			fmt.Sprintf("%.3f", rates.Cluster),
+			fmt.Sprintf("%.3f", rates.Route),
+			fmt.Sprintf("%.0f", ovh.Total()),
+		})
+	}
+	fmt.Print(metrics.RenderTable(header, rows))
+
+	// Cross-check one point by simulation.
+	net := core.Network{N: n, R: radioRange, V: 20, Density: density}
+	opts := experiments.DefaultOptions()
+	opts.TargetEvents = 10_000
+	m, err := experiments.MeasureRates(net, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates, err := net.ControlRates(m.HeadRatio)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated at 20 m/s: f_hello %.3f (ana %.3f), f_cluster %.3f (ana %.3f), f_route %.3f (ana %.3f)\n",
+		m.FHello, rates.Hello, m.FCluster, rates.Cluster, m.FRoute, rates.Route)
+
+	// Invert the model: biggest range within a control budget at 30 m/s.
+	const budgetBits = 250.0 // control bits per vehicle per second
+	fmt.Printf("\nlargest radio range within %.0f bit/s control budget at 30 m/s: ", budgetBits)
+	r, err := maxRangeWithinBudget(n, density, 30, budgetBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f m\n", r)
+	fmt.Println("(HELLO and ROUTE overheads grow Θ(r), so the budget caps the range.)")
+}
+
+// maxRangeWithinBudget bisects the transmission range whose total
+// analytical control overhead meets the per-vehicle budget.
+func maxRangeWithinBudget(n int, density, v, budget float64) (float64, error) {
+	lo, hi := 10.0, 1900.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		net := core.Network{N: n, R: mid, V: v, Density: density}
+		p, err := net.LIDHeadRatioExact()
+		if err != nil {
+			return 0, err
+		}
+		ovh, err := net.ControlOverheads(p, core.DefaultMessageSizes)
+		if err != nil {
+			return 0, err
+		}
+		if ovh.Total() > budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,171 @@
+// Package cluster implements one-hop clustering for mobile ad hoc
+// networks: the Lowest-ID (LID), Highest-Connectivity (HCC) and DMAC
+// election policies, a deterministic greedy cluster formation, and an
+// LCC-style reactive maintenance protocol that restores the paper's two
+// invariants whenever mobility violates them:
+//
+//	P1: no two cluster-heads are directly connected, and
+//	P2: every ordinary node is affiliated with exactly one cluster-head,
+//	    at most one hop away.
+//
+// Maintenance emits CLUSTER messages exactly as §2 of the paper
+// enumerates: one message when a member loses the link to its head (it
+// either joins a neighboring head or promotes itself), and, when two
+// heads become linked, one message from the resigning head plus one from
+// each of its former members as they re-affiliate.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Role is a node's clustering role.
+type Role int
+
+const (
+	// RoleMember is an ordinary node affiliated with a cluster-head.
+	RoleMember Role = iota + 1
+	// RoleHead is a cluster-head.
+	RoleHead
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleMember:
+		return "member"
+	case RoleHead:
+		return "head"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Topology is the read-only view of the network a clustering component
+// needs. *netsim.Sim satisfies it.
+type Topology interface {
+	// NumNodes returns the node count N.
+	NumNodes() int
+	// Neighbors returns the sorted neighbor list of id, valid until the
+	// topology next changes.
+	Neighbors(id netsim.NodeID) []netsim.NodeID
+}
+
+// Assignment is a complete clustering of the network: a role for every
+// node and, for members, the head they affiliate with (heads reference
+// themselves).
+type Assignment struct {
+	Role []Role
+	Head []netsim.NodeID
+}
+
+// NewAssignment allocates an unassigned clustering for n nodes.
+func NewAssignment(n int) Assignment {
+	a := Assignment{Role: make([]Role, n), Head: make([]netsim.NodeID, n)}
+	for i := range a.Head {
+		a.Head[i] = -1
+	}
+	return a
+}
+
+// NumHeads counts the cluster-heads.
+func (a Assignment) NumHeads() int {
+	count := 0
+	for _, r := range a.Role {
+		if r == RoleHead {
+			count++
+		}
+	}
+	return count
+}
+
+// HeadRatio returns the fraction of nodes that are cluster-heads — the
+// empirical counterpart of the paper's P.
+func (a Assignment) HeadRatio() float64 {
+	if len(a.Role) == 0 {
+		return 0
+	}
+	return float64(a.NumHeads()) / float64(len(a.Role))
+}
+
+// Members returns the nodes affiliated with the given head, including
+// the head itself.
+func (a Assignment) Members(head netsim.NodeID) []netsim.NodeID {
+	var out []netsim.NodeID
+	for i, h := range a.Head {
+		if h == head {
+			out = append(out, netsim.NodeID(i))
+		}
+	}
+	return out
+}
+
+// ClusterSizes returns the size of each cluster (head included), keyed
+// by head.
+func (a Assignment) ClusterSizes() map[netsim.NodeID]int {
+	sizes := make(map[netsim.NodeID]int)
+	for _, h := range a.Head {
+		if h >= 0 {
+			sizes[h]++
+		}
+	}
+	return sizes
+}
+
+// Check verifies the two one-hop clustering invariants P1 and P2 against
+// the given topology, plus structural consistency (heads affiliate with
+// themselves; members with an existing head). It returns the first
+// violation found, or nil.
+func (a Assignment) Check(topo Topology) error {
+	n := topo.NumNodes()
+	if len(a.Role) != n || len(a.Head) != n {
+		return fmt.Errorf("cluster: assignment covers %d/%d nodes, topology has %d",
+			len(a.Role), len(a.Head), n)
+	}
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(i)
+		switch a.Role[i] {
+		case RoleHead:
+			if a.Head[i] != id {
+				return fmt.Errorf("cluster: head %d affiliated with %d", i, a.Head[i])
+			}
+			// P1: no neighboring head.
+			for _, nb := range topo.Neighbors(id) {
+				if a.Role[nb] == RoleHead {
+					return fmt.Errorf("cluster: P1 violated: heads %d and %d are linked", i, nb)
+				}
+			}
+		case RoleMember:
+			h := a.Head[i]
+			if h < 0 || int(h) >= n {
+				return fmt.Errorf("cluster: member %d has no head", i)
+			}
+			if a.Role[h] != RoleHead {
+				return fmt.Errorf("cluster: member %d affiliated with non-head %d", i, h)
+			}
+			// P2: the head must be one hop away.
+			if !contains(topo.Neighbors(id), h) {
+				return fmt.Errorf("cluster: P2 violated: member %d not linked to head %d", i, h)
+			}
+		default:
+			return fmt.Errorf("cluster: node %d unassigned", i)
+		}
+	}
+	return nil
+}
+
+// contains reports whether sorted slice list includes x.
+func contains(list []netsim.NodeID, x netsim.NodeID) bool {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo] == x
+}

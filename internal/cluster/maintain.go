@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Cause classifies why a CLUSTER maintenance message was sent; the
+// experiment harness uses the split to compare against the two terms of
+// the paper's Eqn (11).
+type Cause int
+
+const (
+	// CauseMemberBreak: a member lost the link to its head and
+	// re-affiliated (or promoted itself) — the Eqn (6) event class.
+	CauseMemberBreak Cause = iota + 1
+	// CauseHeadResign: two heads became linked and the losing head
+	// resigned — the first message of the Eqn (10) event class.
+	CauseHeadResign
+	// CauseReaffiliate: a former member of a resigned head announced its
+	// new affiliation — the remaining m−1 messages of Eqn (10).
+	CauseReaffiliate
+	// CauseSwitch: a DMAC member switched to a better head that moved
+	// into range (not modeled by the paper's lower bound).
+	CauseSwitch
+
+	numCauses = int(CauseSwitch)
+)
+
+// String implements fmt.Stringer.
+func (c Cause) String() string {
+	switch c {
+	case CauseMemberBreak:
+		return "member-break"
+	case CauseHeadResign:
+		return "head-resign"
+	case CauseReaffiliate:
+		return "reaffiliate"
+	case CauseSwitch:
+		return "switch"
+	default:
+		return fmt.Sprintf("Cause(%d)", int(c))
+	}
+}
+
+// Stats counts maintenance messages by cause, split into range-crossing
+// and border-triggered.
+type Stats struct {
+	msgs       [numCauses]float64
+	borderMsgs [numCauses]float64
+}
+
+// Of returns the total message count for a cause.
+func (s Stats) Of(c Cause) float64 { return s.msgs[int(c)-1] }
+
+// NonBorderOf returns the count excluding border-triggered messages.
+func (s Stats) NonBorderOf(c Cause) float64 {
+	return s.msgs[int(c)-1] - s.borderMsgs[int(c)-1]
+}
+
+// Total returns all maintenance messages.
+func (s Stats) Total() float64 {
+	t := 0.0
+	for _, m := range s.msgs {
+		t += m
+	}
+	return t
+}
+
+// Sub returns the window s − o.
+func (s Stats) Sub(o Stats) Stats {
+	out := s
+	for i := range out.msgs {
+		out.msgs[i] -= o.msgs[i]
+		out.borderMsgs[i] -= o.borderMsgs[i]
+	}
+	return out
+}
+
+// Maintainer is the reactive cluster maintenance protocol: it forms
+// clusters once at Start (a zero-cost oracle, matching the paper's
+// exclusion of formation overhead) and afterwards restores P1/P2 on
+// every link event, broadcasting one CLUSTER message per §2's rules.
+type Maintainer struct {
+	policy Policy
+	bits   float64
+
+	env   netsim.Env
+	a     Assignment
+	stats Stats
+}
+
+var _ netsim.Protocol = (*Maintainer)(nil)
+
+// NewMaintainer builds a maintenance protocol with the given election
+// policy and CLUSTER message size in bits.
+func NewMaintainer(policy Policy, clusterBits float64) (*Maintainer, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("cluster: nil policy")
+	}
+	if clusterBits <= 0 {
+		return nil, fmt.Errorf("cluster: message size must be positive, got %g", clusterBits)
+	}
+	return &Maintainer{policy: policy, bits: clusterBits}, nil
+}
+
+// Name implements netsim.Protocol.
+func (m *Maintainer) Name() string { return "cluster/" + m.policy.Name() }
+
+// Start implements netsim.Protocol: initial cluster formation.
+func (m *Maintainer) Start(env netsim.Env) error {
+	m.env = env
+	a, err := Form(env, m.policy)
+	if err != nil {
+		return err
+	}
+	m.a = a
+	return nil
+}
+
+// OnLinkEvent implements netsim.Protocol.
+func (m *Maintainer) OnLinkEvent(ev netsim.LinkEvent) {
+	if ev.Up {
+		m.handleUp(ev)
+	} else {
+		m.handleDown(ev)
+	}
+}
+
+// OnMessage implements netsim.Protocol. Maintenance messages carry no
+// behaviour here: the maintainer manages all nodes' state directly and
+// broadcasts CLUSTER messages for overhead accounting.
+func (m *Maintainer) OnMessage(netsim.NodeID, netsim.Message) {}
+
+// OnTick implements netsim.Protocol.
+func (m *Maintainer) OnTick(float64) {}
+
+// handleDown restores P2 when a member loses the link to its head.
+func (m *Maintainer) handleDown(ev netsim.LinkEvent) {
+	if m.a.Role[ev.A] == RoleMember && m.a.Head[ev.A] == ev.B {
+		m.reaffiliate(ev.A, ev.Border, CauseMemberBreak)
+	} else if m.a.Role[ev.B] == RoleMember && m.a.Head[ev.B] == ev.A {
+		m.reaffiliate(ev.B, ev.Border, CauseMemberBreak)
+	}
+}
+
+// handleUp restores P1 when two heads become linked, and applies the
+// DMAC switch rule when a member meets a better head.
+func (m *Maintainer) handleUp(ev netsim.LinkEvent) {
+	aHead := m.a.Role[ev.A] == RoleHead
+	bHead := m.a.Role[ev.B] == RoleHead
+	switch {
+	case aHead && bHead:
+		loser, winner := ev.A, ev.B
+		if m.policy.Better(m.env, ev.A, ev.B) {
+			loser, winner = ev.B, ev.A
+		}
+		m.resign(loser, winner, ev.Border)
+	case aHead != bHead && m.policy.SwitchOnBetterHead():
+		head, member := ev.A, ev.B
+		if bHead {
+			head, member = ev.B, ev.A
+		}
+		if cur := m.a.Head[member]; cur != head && m.policy.Better(m.env, head, cur) {
+			m.a.Head[member] = head
+			m.send(member, ev.Border, CauseSwitch)
+			m.send(head, ev.Border, CauseSwitch) // accepting head acknowledges
+		}
+	}
+}
+
+// resign demotes loser to a member of winner and re-affiliates every
+// former member of loser, emitting the Eqn (10) message sequence.
+func (m *Maintainer) resign(loser, winner netsim.NodeID, border bool) {
+	m.a.Role[loser] = RoleMember
+	m.a.Head[loser] = winner
+	m.send(loser, border, CauseHeadResign)
+	m.send(winner, border, CauseHeadResign) // winner acknowledges the join
+	for i := range m.a.Head {
+		id := netsim.NodeID(i)
+		if id != loser && m.a.Head[i] == loser {
+			m.reaffiliate(id, border, CauseReaffiliate)
+		}
+	}
+}
+
+// reaffiliate joins the best adjacent head, or promotes the node to a
+// head of its own when none is in range. Every join is a two-message
+// handshake — the node announces its new affiliation and the accepting
+// head acknowledges the membership change (the JOIN/CH message pairing
+// of DMAC-style protocols, and the convention under which the paper's
+// Eqns (6)–(10) count messages; see DESIGN.md §3). A self-promotion is
+// a single head announcement.
+func (m *Maintainer) reaffiliate(member netsim.NodeID, border bool, cause Cause) {
+	best := netsim.NodeID(-1)
+	for _, nb := range m.env.Neighbors(member) {
+		if m.a.Role[nb] == RoleHead {
+			if best < 0 || m.policy.Better(m.env, nb, best) {
+				best = nb
+			}
+		}
+	}
+	if best >= 0 {
+		m.a.Role[member] = RoleMember
+		m.a.Head[member] = best
+	} else {
+		m.a.Role[member] = RoleHead
+		m.a.Head[member] = member
+	}
+	m.send(member, border, cause)
+	if best >= 0 {
+		m.send(best, border, cause) // accepting head acknowledges
+	}
+}
+
+// send broadcasts one CLUSTER accounting message and updates the cause
+// statistics.
+func (m *Maintainer) send(from netsim.NodeID, border bool, cause Cause) {
+	m.stats.msgs[int(cause)-1]++
+	if border {
+		m.stats.borderMsgs[int(cause)-1]++
+	}
+	m.env.Broadcast(netsim.Message{
+		Kind:   netsim.MsgCluster,
+		From:   from,
+		Bits:   m.bits,
+		Border: border,
+		Payload: clusterAnnouncement{
+			Node: from,
+			Head: m.a.Head[from],
+		},
+	})
+}
+
+// clusterAnnouncement is the payload of a CLUSTER message: the sender's
+// new affiliation.
+type clusterAnnouncement struct {
+	Node, Head netsim.NodeID
+}
+
+// Assignment returns a copy of the current clustering.
+func (m *Maintainer) Assignment() Assignment {
+	out := NewAssignment(len(m.a.Role))
+	copy(out.Role, m.a.Role)
+	copy(out.Head, m.a.Head)
+	return out
+}
+
+// HeadOf returns the current head of a node (itself when it is a head).
+func (m *Maintainer) HeadOf(id netsim.NodeID) netsim.NodeID { return m.a.Head[id] }
+
+// RoleOf returns the current role of a node.
+func (m *Maintainer) RoleOf(id netsim.NodeID) Role { return m.a.Role[id] }
+
+// NumHeads returns the current number of cluster-heads.
+func (m *Maintainer) NumHeads() int { return m.a.NumHeads() }
+
+// HeadRatio returns the current empirical cluster-head ratio P.
+func (m *Maintainer) HeadRatio() float64 { return m.a.HeadRatio() }
+
+// Stats returns a snapshot of the per-cause message statistics.
+func (m *Maintainer) Stats() Stats { return m.stats }
+
+// CheckInvariants verifies P1/P2 against the current topology.
+func (m *Maintainer) CheckInvariants() error { return m.a.Check(m.env) }

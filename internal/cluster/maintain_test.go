@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/simrand"
+)
+
+func newSim(t *testing.T, cfg netsim.Config) *netsim.Sim {
+	t.Helper()
+	s, err := netsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mobileConfig(seed uint64) netsim.Config {
+	return netsim.Config{
+		N: 150, Side: 10, Range: 1.6, Dt: 0.05, Seed: seed,
+		Model: mobility.EpochRWP{Speed: 0.4, Epoch: 2},
+	}
+}
+
+func TestNewMaintainerValidation(t *testing.T) {
+	if _, err := NewMaintainer(nil, 128); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewMaintainer(LID{}, 0); err == nil {
+		t.Error("zero bits accepted")
+	}
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "cluster/lid" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestMaintainerFormsAtStart(t *testing.T) {
+	s := newSim(t, mobileConfig(1))
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated after formation: %v", err)
+	}
+	if m.NumHeads() == 0 || m.NumHeads() == s.NumNodes() {
+		t.Errorf("degenerate head count %d of %d", m.NumHeads(), s.NumNodes())
+	}
+	// Formation must be free: the paper's analysis excludes it.
+	if got := s.Tallies().Of(netsim.MsgCluster); got.Msgs != 0 {
+		t.Errorf("formation sent %v CLUSTER messages, want 0", got.Msgs)
+	}
+}
+
+// TestInvariantsPreservedUnderMobility is the core correctness test:
+// whatever mobility does, after every tick the maintenance protocol must
+// have restored P1 and P2.
+func TestInvariantsPreservedUnderMobility(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy Policy
+	}{
+		{"lid", LID{}},
+		{"hcc", HCC{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newSim(t, mobileConfig(7))
+			m, err := NewMaintainer(tc.policy, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Register(m); err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 800; step++ {
+				if err := s.Step(); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+			if m.Stats().Total() == 0 {
+				t.Error("no maintenance traffic under mobility")
+			}
+		})
+	}
+}
+
+func TestInvariantsPreservedDMAC(t *testing.T) {
+	cfg := mobileConfig(9)
+	rng := simrand.New(99).Split("weights").Rand()
+	weights := make([]float64, cfg.N)
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	dmac, err := NewDMAC(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSim(t, cfg)
+	m, err := NewMaintainer(dmac, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	sawSwitch := false
+	for step := 0; step < 800; step++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if m.Stats().Of(CauseSwitch) > 0 {
+			sawSwitch = true
+		}
+	}
+	if !sawSwitch {
+		t.Error("DMAC never exercised its switch rule")
+	}
+}
+
+func TestInvariantsPreservedOnTorus(t *testing.T) {
+	cfg := mobileConfig(11)
+	cfg.Metric = geom.MetricTorus
+	s := newSim(t, cfg)
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 400; step++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestClusterMessageAccounting(t *testing.T) {
+	s := newSim(t, mobileConfig(13))
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	stats := m.Stats()
+	tally := s.Tallies().Of(netsim.MsgCluster)
+	if stats.Total() != tally.Msgs {
+		t.Errorf("cause stats total %v != engine tally %v", stats.Total(), tally.Msgs)
+	}
+	if tally.Bits != tally.Msgs*128 {
+		t.Errorf("bits %v != msgs×128", tally.Bits)
+	}
+	// All three paper causes must appear in a long mobile run.
+	for _, c := range []Cause{CauseMemberBreak, CauseHeadResign, CauseReaffiliate} {
+		if stats.Of(c) == 0 {
+			t.Errorf("cause %v never occurred", c)
+		}
+	}
+	if stats.Of(CauseSwitch) != 0 {
+		t.Error("LID must never switch")
+	}
+	// Border split must be a subset.
+	for _, c := range []Cause{CauseMemberBreak, CauseHeadResign, CauseReaffiliate} {
+		if stats.NonBorderOf(c) > stats.Of(c) || stats.NonBorderOf(c) < 0 {
+			t.Errorf("cause %v: non-border %v of total %v", c, stats.NonBorderOf(c), stats.Of(c))
+		}
+	}
+	// Stats window arithmetic.
+	w := stats.Sub(stats)
+	if w.Total() != 0 {
+		t.Error("Stats.Sub of itself not zero")
+	}
+}
+
+func TestHeadRatioTracksLIDAnalysis(t *testing.T) {
+	// The maintained head ratio should stay in a plausible band around
+	// 1/√(d+1) throughout a mobile run (the Figure 5 relationship).
+	s := newSim(t, mobileConfig(17))
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var ratios []float64
+	for step := 0; step < 600; step++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if step%50 == 0 {
+			ratios = append(ratios, m.HeadRatio())
+		}
+	}
+	d := s.MeanDegree()
+	want := 1 / math.Sqrt(d+1)
+	for _, r := range ratios {
+		if r < want*0.5 || r > want*2.0 {
+			t.Errorf("head ratio %v implausible vs analysis %v (d=%v)", r, want, d)
+		}
+	}
+}
+
+func TestAccessorsAndAssignmentCopy(t *testing.T) {
+	s := newSim(t, mobileConfig(19))
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	a := m.Assignment()
+	for i := range a.Role {
+		id := netsim.NodeID(i)
+		if a.Role[i] != m.RoleOf(id) || a.Head[i] != m.HeadOf(id) {
+			t.Fatalf("assignment copy mismatch at %d", i)
+		}
+	}
+	// Mutating the copy must not affect the maintainer.
+	a.Role[0] = RoleMember
+	a.Head[0] = 5
+	if m.RoleOf(0) == RoleMember && m.HeadOf(0) == 5 {
+		t.Error("Assignment returned internal state")
+	}
+	if got := m.HeadRatio(); got != a.HeadRatio() && math.Abs(got-a.HeadRatio()) > 0.02 {
+		t.Errorf("ratio accessor mismatch: %v", got)
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	for c, want := range map[Cause]string{
+		CauseMemberBreak: "member-break",
+		CauseHeadResign:  "head-resign",
+		CauseReaffiliate: "reaffiliate",
+		CauseSwitch:      "switch",
+		Cause(9):         "Cause(9)",
+	} {
+		if c.String() != want {
+			t.Errorf("Cause(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}

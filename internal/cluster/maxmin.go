@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// DHopAssignment is a clustering in which members may be up to d hops
+// from their head — the generalization of Assignment produced by
+// multi-hop algorithms such as Max-Min (Amis, Prakash, Vuong, Huynh —
+// INFOCOM 2000, reference [19] of the paper).
+type DHopAssignment struct {
+	// D is the hop bound of the clustering.
+	D int
+	// Head[i] is node i's cluster-head (heads reference themselves).
+	Head []netsim.NodeID
+	// Dist[i] is node i's hop distance to its head (0 for heads).
+	Dist []int
+}
+
+// NumHeads counts the cluster-heads.
+func (a DHopAssignment) NumHeads() int {
+	count := 0
+	for i, h := range a.Head {
+		if h == netsim.NodeID(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// HeadRatio returns the fraction of nodes that are heads.
+func (a DHopAssignment) HeadRatio() float64 {
+	if len(a.Head) == 0 {
+		return 0
+	}
+	return float64(a.NumHeads()) / float64(len(a.Head))
+}
+
+// Check verifies the d-hop clustering invariants against a topology:
+// every node has a head, every head heads itself, and every member's
+// head is within D hops.
+func (a DHopAssignment) Check(topo Topology) error {
+	n := topo.NumNodes()
+	if len(a.Head) != n || len(a.Dist) != n {
+		return fmt.Errorf("cluster: d-hop assignment covers %d/%d nodes, topology has %d",
+			len(a.Head), len(a.Dist), n)
+	}
+	for i := 0; i < n; i++ {
+		h := a.Head[i]
+		if h < 0 || int(h) >= n {
+			return fmt.Errorf("cluster: node %d has no head", i)
+		}
+		if a.Head[h] != h {
+			return fmt.Errorf("cluster: node %d affiliated with non-head %d", i, h)
+		}
+		if a.Dist[i] < 0 || a.Dist[i] > a.D {
+			return fmt.Errorf("cluster: node %d at distance %d from head, bound is %d", i, a.Dist[i], a.D)
+		}
+		if hops := hopDistance(topo, netsim.NodeID(i), h, a.D); hops < 0 {
+			return fmt.Errorf("cluster: node %d cannot reach head %d within %d hops", i, h, a.D)
+		} else if hops != a.Dist[i] {
+			return fmt.Errorf("cluster: node %d records distance %d to head %d, actual %d",
+				i, a.Dist[i], h, hops)
+		}
+	}
+	return nil
+}
+
+// hopDistance BFS-counts hops from src to dst, giving up beyond bound;
+// returns -1 when unreachable within the bound.
+func hopDistance(topo Topology, src, dst netsim.NodeID, bound int) int {
+	if src == dst {
+		return 0
+	}
+	visited := map[netsim.NodeID]bool{src: true}
+	frontier := []netsim.NodeID{src}
+	for hops := 1; hops <= bound; hops++ {
+		var next []netsim.NodeID
+		for _, u := range frontier {
+			for _, v := range topo.Neighbors(u) {
+				if v == dst {
+					return hops
+				}
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// FormMaxMin runs the Max-Min d-cluster formation heuristic: 2d rounds
+// of flooding — d rounds propagating the largest node id seen (floodmax)
+// followed by d rounds propagating the smallest surviving id (floodmin)
+// — after which each node elects its head by the three Max-Min rules:
+//
+//  1. a node that sees its own id among the floodmin values is a head;
+//  2. otherwise it adopts any "node pair" — an id that appears in both
+//     its floodmax and floodmin logs (the minimum such id, for
+//     determinism);
+//  3. otherwise it adopts its final floodmax value.
+//
+// Each member then joins the elected head's tree via the neighbor that
+// first advertised that head, giving clusters of radius at most d hops.
+// Nodes whose elected head turns out unreachable within d hops (possible
+// in sparse graphs because the heuristic's information is d-bounded)
+// fall back to the nearest head within d hops, or promote themselves —
+// the "recovery" step of the original protocol.
+func FormMaxMin(topo Topology, d int) (DHopAssignment, error) {
+	if d < 1 {
+		return DHopAssignment{}, fmt.Errorf("cluster: hop bound must be ≥ 1, got %d", d)
+	}
+	n := topo.NumNodes()
+	a := DHopAssignment{D: d, Head: make([]netsim.NodeID, n), Dist: make([]int, n)}
+
+	// Floodmax: winner[i] after d rounds of taking the max over the
+	// closed neighborhood.
+	winner := make([]netsim.NodeID, n)
+	for i := range winner {
+		winner[i] = netsim.NodeID(i)
+	}
+	maxLog := make([][]netsim.NodeID, n) // per-node floodmax history
+	cur := append([]netsim.NodeID(nil), winner...)
+	for round := 0; round < d; round++ {
+		next := make([]netsim.NodeID, n)
+		for i := 0; i < n; i++ {
+			best := cur[i]
+			for _, nb := range topo.Neighbors(netsim.NodeID(i)) {
+				if cur[nb] > best {
+					best = cur[nb]
+				}
+			}
+			next[i] = best
+			maxLog[i] = append(maxLog[i], best)
+		}
+		cur = next
+	}
+	floodmaxFinal := append([]netsim.NodeID(nil), cur...)
+
+	// Floodmin: start from the floodmax result, take minima.
+	minLog := make([][]netsim.NodeID, n)
+	for round := 0; round < d; round++ {
+		next := make([]netsim.NodeID, n)
+		for i := 0; i < n; i++ {
+			best := cur[i]
+			for _, nb := range topo.Neighbors(netsim.NodeID(i)) {
+				if cur[nb] < best {
+					best = cur[nb]
+				}
+			}
+			next[i] = best
+			minLog[i] = append(minLog[i], best)
+		}
+		cur = next
+	}
+
+	// Election rules.
+	elected := make([]netsim.NodeID, n)
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(i)
+		switch {
+		case sawValue(minLog[i], id):
+			elected[i] = id // rule 1: own id survived floodmin
+		case hasPair(maxLog[i], minLog[i]):
+			elected[i] = minPair(maxLog[i], minLog[i]) // rule 2
+		default:
+			elected[i] = floodmaxFinal[i] // rule 3
+		}
+	}
+
+	// Affiliation with recovery: join the elected head when reachable
+	// within d hops; otherwise the nearest head; otherwise self.
+	heads := map[netsim.NodeID]bool{}
+	for i := 0; i < n; i++ {
+		if elected[i] == netsim.NodeID(i) {
+			heads[netsim.NodeID(i)] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(i)
+		if heads[id] {
+			a.Head[i] = id
+			a.Dist[i] = 0
+			continue
+		}
+		if hops := hopDistance(topo, id, elected[i], d); heads[elected[i]] && hops >= 0 {
+			a.Head[i] = elected[i]
+			a.Dist[i] = hops
+			continue
+		}
+		if h, hops := nearestHead(topo, id, heads, d); h >= 0 {
+			a.Head[i] = h
+			a.Dist[i] = hops
+			continue
+		}
+		heads[id] = true // recovery: no head in range, promote
+		a.Head[i] = id
+		a.Dist[i] = 0
+	}
+	return a, nil
+}
+
+// sawValue reports whether v appears in the log.
+func sawValue(log []netsim.NodeID, v netsim.NodeID) bool {
+	for _, x := range log {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPair reports whether any id appears in both logs.
+func hasPair(maxLog, minLog []netsim.NodeID) bool {
+	for _, x := range maxLog {
+		if sawValue(minLog, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// minPair returns the smallest id appearing in both logs.
+func minPair(maxLog, minLog []netsim.NodeID) netsim.NodeID {
+	best := netsim.NodeID(-1)
+	for _, x := range maxLog {
+		if sawValue(minLog, x) && (best < 0 || x < best) {
+			best = x
+		}
+	}
+	return best
+}
+
+// nearestHead BFS-finds the closest head within bound hops; returns
+// (-1, -1) when none exists.
+func nearestHead(topo Topology, src netsim.NodeID, heads map[netsim.NodeID]bool, bound int) (netsim.NodeID, int) {
+	visited := map[netsim.NodeID]bool{src: true}
+	frontier := []netsim.NodeID{src}
+	for hops := 1; hops <= bound; hops++ {
+		var next []netsim.NodeID
+		best := netsim.NodeID(-1)
+		for _, u := range frontier {
+			for _, v := range topo.Neighbors(u) {
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				if heads[v] && (best < 0 || v < best) {
+					best = v
+				}
+				next = append(next, v)
+			}
+		}
+		if best >= 0 {
+			return best, hops
+		}
+		frontier = next
+	}
+	return -1, -1
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestFormMaxMinValidation(t *testing.T) {
+	if _, err := FormMaxMin(line(5), 0); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := FormMaxMin(line(5), -2); err == nil {
+		t.Error("negative d accepted")
+	}
+}
+
+func TestFormMaxMinLine(t *testing.T) {
+	// Line 0-1-2-3-4-5-6 with d=2: every node must end within 2 hops of
+	// a head, and Max-Min must elect far fewer heads than nodes.
+	topo := line(7)
+	a, err := FormMaxMin(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Check(topo); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumHeads() >= 7 {
+		t.Errorf("no aggregation: %d heads of 7", a.NumHeads())
+	}
+	if a.NumHeads() < 1 {
+		t.Error("no heads at all")
+	}
+}
+
+func TestFormMaxMinIsolated(t *testing.T) {
+	topo := fakeTopo{adj: make([][]netsim.NodeID, 4)}
+	a, err := FormMaxMin(topo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Head {
+		if a.Head[i] != netsim.NodeID(i) || a.Dist[i] != 0 {
+			t.Errorf("isolated node %d not self-headed", i)
+		}
+	}
+	if err := a.Check(topo); err != nil {
+		t.Error(err)
+	}
+	if a.HeadRatio() != 1 {
+		t.Errorf("HeadRatio = %v, want 1", a.HeadRatio())
+	}
+	if (DHopAssignment{}).HeadRatio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+}
+
+func TestFormMaxMinStarElectsHub(t *testing.T) {
+	// Star: hub 4 has the largest id, so floodmax saturates to 4 and
+	// floodmin returns it — a single cluster headed by the hub.
+	adj := make([][]netsim.NodeID, 5)
+	for i := 0; i < 4; i++ {
+		adj[i] = []netsim.NodeID{4}
+		adj[4] = append(adj[4], netsim.NodeID(i))
+	}
+	topo := fakeTopo{adj: adj}
+	a, err := FormMaxMin(topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Head[4] != 4 {
+		t.Errorf("hub not a head: %v", a.Head)
+	}
+	if a.NumHeads() != 1 {
+		t.Errorf("want 1 head, got %d (%v)", a.NumHeads(), a.Head)
+	}
+}
+
+func TestFormMaxMinRandomGraphInvariants(t *testing.T) {
+	// Across random geometric graphs and hop bounds, the invariants
+	// must always hold and cluster counts must shrink as d grows.
+	for _, seed := range []uint64{1, 2, 3} {
+		s, err := netsim.New(netsim.Config{N: 150, Side: 10, Range: 1.5, Dt: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevHeads := 151
+		for _, d := range []int{1, 2, 3} {
+			a, err := FormMaxMin(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Check(s); err != nil {
+				t.Fatalf("seed %d d=%d: %v", seed, d, err)
+			}
+			if a.NumHeads() > prevHeads {
+				t.Errorf("seed %d: heads grew from %d to %d as d rose to %d",
+					seed, prevHeads, a.NumHeads(), d)
+			}
+			prevHeads = a.NumHeads()
+		}
+	}
+}
+
+func TestMaxMinVersusOneHopLID(t *testing.T) {
+	// With the same topology, Max-Min at d=2 must form no more clusters
+	// than one-hop LID (larger radius ⇒ coarser partition), typically
+	// far fewer.
+	s, err := netsim.New(netsim.Config{N: 200, Side: 10, Range: 1.2, Dt: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneHop, err := Form(s, LID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := FormMaxMin(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.NumHeads() > oneHop.NumHeads() {
+		t.Errorf("d=2 Max-Min formed %d clusters, one-hop LID %d",
+			two.NumHeads(), oneHop.NumHeads())
+	}
+}
+
+func TestDHopCheckDetectsViolations(t *testing.T) {
+	topo := line(5)
+	good, err := FormMaxMin(topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Check(topo); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := DHopAssignment{D: 2,
+		Head: []netsim.NodeID{0, 0, 0, 0, 0}, // node 4 is 4 hops from 0
+		Dist: []int{0, 1, 2, 2, 2},
+	}
+	if err := bad.Check(topo); err == nil {
+		t.Error("distance violation not detected")
+	}
+	short := DHopAssignment{D: 2, Head: []netsim.NodeID{0}, Dist: []int{0}}
+	if err := short.Check(topo); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	nonHead := DHopAssignment{D: 2,
+		Head: []netsim.NodeID{0, 2, 2, 2, 2}, // 2 is not self-headed? it is here
+		Dist: []int{0, 1, 0, 1, 2},
+	}
+	// Make node 2 affiliated elsewhere so 1's head is a non-head.
+	nonHead.Head[2] = 0
+	nonHead.Dist[2] = 2
+	if err := nonHead.Check(topo); err == nil {
+		t.Error("non-head affiliation not detected")
+	}
+	negative := DHopAssignment{D: 2,
+		Head: []netsim.NodeID{0, -1, 2, 2, 2},
+		Dist: []int{0, 0, 0, 1, 2},
+	}
+	if err := negative.Check(topo); err == nil {
+		t.Error("missing head not detected")
+	}
+	wrongDist := DHopAssignment{D: 2,
+		Head: []netsim.NodeID{0, 0, 2, 2, 2},
+		Dist: []int{0, 2, 0, 1, 2}, // node 1 is actually 1 hop away
+	}
+	if err := wrongDist.Check(topo); err == nil {
+		t.Error("wrong recorded distance not detected")
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	topo := line(6)
+	if got := hopDistance(topo, 0, 0, 3); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+	if got := hopDistance(topo, 0, 3, 5); got != 3 {
+		t.Errorf("0→3 = %d, want 3", got)
+	}
+	if got := hopDistance(topo, 0, 5, 3); got != -1 {
+		t.Errorf("bounded search should fail: %d", got)
+	}
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// Policy is a cluster-head election order: it decides which of two nodes
+// has the higher claim to the head role, and whether members should
+// opportunistically switch to a better head that moves into range.
+//
+// The paper abstracts a clustering algorithm by its head ratio P; here
+// the same abstraction appears as the total order that generates P.
+type Policy interface {
+	// Name identifies the policy ("lid", "hcc", "dmac").
+	Name() string
+	// Better reports whether a outranks b for the head role. It must be
+	// a strict total order (irreflexive, antisymmetric, transitive) for
+	// any fixed topology.
+	Better(topo Topology, a, b netsim.NodeID) bool
+	// SwitchOnBetterHead reports whether a member that gains a link to a
+	// head outranking its current head should re-affiliate (DMAC's
+	// mobility-adaptive behaviour; LID/HCC under LCC keep changes
+	// minimal and stay).
+	SwitchOnBetterHead() bool
+}
+
+// LID is the Lowest-ID policy (Gerla & Tsai; refs [12][13] of the
+// paper): the node with the smallest identifier in its closed undecided
+// neighborhood becomes head.
+type LID struct{}
+
+var _ Policy = LID{}
+
+// Name implements Policy.
+func (LID) Name() string { return "lid" }
+
+// Better implements Policy: smaller IDs win.
+func (LID) Better(_ Topology, a, b netsim.NodeID) bool { return a < b }
+
+// SwitchOnBetterHead implements Policy.
+func (LID) SwitchOnBetterHead() bool { return false }
+
+// HCC is the Highest-Connectivity policy (ref [11] of the paper): the
+// node with the largest degree wins, with lowest ID as the tie-break.
+type HCC struct{}
+
+var _ Policy = HCC{}
+
+// Name implements Policy.
+func (HCC) Name() string { return "hcc" }
+
+// Better implements Policy.
+func (HCC) Better(topo Topology, a, b netsim.NodeID) bool {
+	da, db := len(topo.Neighbors(a)), len(topo.Neighbors(b))
+	if da != db {
+		return da > db
+	}
+	return a < b
+}
+
+// SwitchOnBetterHead implements Policy.
+func (HCC) SwitchOnBetterHead() bool { return false }
+
+// DMAC is Basagni's Distributed Mobility-Adaptive Clustering (ref [17]
+// of the paper): a generic-weight election in which members always
+// affiliate with the heaviest head in range, re-affiliating as weights
+// move through their neighborhood.
+type DMAC struct {
+	// Weights assigns each node its (unique-ranked) weight; larger wins.
+	// Ties break toward the lower ID.
+	Weights []float64
+}
+
+var _ Policy = DMAC{}
+
+// NewDMAC validates and builds a DMAC policy over the given weights.
+func NewDMAC(weights []float64) (DMAC, error) {
+	if len(weights) == 0 {
+		return DMAC{}, fmt.Errorf("cluster: DMAC needs a non-empty weight vector")
+	}
+	return DMAC{Weights: weights}, nil
+}
+
+// Name implements Policy.
+func (DMAC) Name() string { return "dmac" }
+
+// Better implements Policy.
+func (p DMAC) Better(_ Topology, a, b netsim.NodeID) bool {
+	wa, wb := p.Weights[a], p.Weights[b]
+	if wa != wb {
+		return wa > wb
+	}
+	return a < b
+}
+
+// SwitchOnBetterHead implements Policy.
+func (DMAC) SwitchOnBetterHead() bool { return true }

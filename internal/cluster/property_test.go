@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+)
+
+// dynEnv is a mutable synthetic netsim.Env: tests toggle arbitrary links
+// and feed the resulting events to the maintainer, divorced from any
+// geometry — the adversarial counterpart of the mobility-driven tests.
+type dynEnv struct {
+	adj []map[netsim.NodeID]bool
+	now float64
+}
+
+var _ netsim.Env = (*dynEnv)(nil)
+
+func newDynEnv(n int) *dynEnv {
+	e := &dynEnv{adj: make([]map[netsim.NodeID]bool, n)}
+	for i := range e.adj {
+		e.adj[i] = make(map[netsim.NodeID]bool)
+	}
+	return e
+}
+
+func (e *dynEnv) Now() float64  { return e.now }
+func (e *dynEnv) NumNodes() int { return len(e.adj) }
+func (e *dynEnv) Neighbors(id netsim.NodeID) []netsim.NodeID {
+	out := make([]netsim.NodeID, 0, len(e.adj[id]))
+	for nb := range e.adj[id] {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+func (e *dynEnv) IsNeighbor(a, b netsim.NodeID) bool { return e.adj[a][b] }
+func (e *dynEnv) Degree(id netsim.NodeID) int        { return len(e.adj[id]) }
+func (e *dynEnv) Broadcast(netsim.Message)           {}
+
+// toggle flips the link (a, b) and returns the resulting event.
+func (e *dynEnv) toggle(a, b netsim.NodeID) netsim.LinkEvent {
+	if a > b {
+		a, b = b, a
+	}
+	up := !e.adj[a][b]
+	if up {
+		e.adj[a][b] = true
+		e.adj[b][a] = true
+	} else {
+		delete(e.adj[a], b)
+		delete(e.adj[b], a)
+	}
+	e.now++
+	return netsim.LinkEvent{A: a, B: b, Up: up, Time: e.now}
+}
+
+// TestPropertyMaintenanceSurvivesArbitraryToggles drives the maintainer
+// with random link toggle sequences on a synthetic graph: after every
+// single event, P1/P2 must hold. This covers orderings geometry never
+// produces (e.g. a node losing its entire neighborhood link by link).
+func TestPropertyMaintenanceSurvivesArbitraryToggles(t *testing.T) {
+	run := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 24
+		env := newDynEnv(n)
+		// Random initial graph, density ~25%.
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.25 {
+					env.adj[a][netsim.NodeID(b)] = true
+					env.adj[b][netsim.NodeID(a)] = true
+				}
+			}
+		}
+		m, err := NewMaintainer(LID{}, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Start(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: formation: %v", seed, err)
+		}
+		for step := 0; step < 400; step++ {
+			a := netsim.NodeID(rng.Intn(n))
+			b := netsim.NodeID(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			ev := env.toggle(a, b)
+			m.OnLinkEvent(ev)
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d after %+v: %v", seed, step, ev, err)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMaintenanceHCCSurvives runs the same adversarial sequence
+// under the degree-based policy, whose order changes as the graph
+// mutates — the hardest case for the Better() total-order requirement.
+func TestPropertyMaintenanceHCCSurvives(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 30
+	env := newDynEnv(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < 0.2 {
+				env.adj[a][netsim.NodeID(b)] = true
+				env.adj[b][netsim.NodeID(a)] = true
+			}
+		}
+	}
+	m, err := NewMaintainer(HCC{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 1500; step++ {
+		a := netsim.NodeID(rng.Intn(n))
+		b := netsim.NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		ev := env.toggle(a, b)
+		m.OnLinkEvent(ev)
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("step %d after %+v: %v", step, ev, err)
+		}
+	}
+}
+
+// TestMaintenanceTotalDisconnection strips one node of every link; it
+// must end as a lone head with the rest still consistent.
+func TestMaintenanceTotalDisconnection(t *testing.T) {
+	env := newDynEnv(8)
+	// Star around node 0 plus a ring among 1..7.
+	for i := 1; i < 8; i++ {
+		env.adj[0][netsim.NodeID(i)] = true
+		env.adj[i][0] = true
+	}
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	if m.RoleOf(0) != RoleHead {
+		t.Fatalf("star center should head the cluster")
+	}
+	// Remove all star links one by one.
+	for i := 1; i < 8; i++ {
+		ev := env.toggle(0, netsim.NodeID(i))
+		m.OnLinkEvent(ev)
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("after removing link to %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if m.RoleOf(netsim.NodeID(i)) != RoleHead {
+			t.Errorf("isolated node %d should be a lone head", i)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// DHopExpectedNeighbors extends Claim 1 to d-hop neighborhoods: the
+// expected number of nodes within `hops` hops is approximated by the
+// nodes within geometric distance hops·r (the dense-regime equivalence
+// of hop distance and Euclidean distance),
+//
+//	D_d = (N−1) · F(min(hops·r, a√2))
+//
+// with F Miller's link-distance CDF over the deployment square. For
+// hops = 1 this is exactly Eqn (1).
+func (n Network) DHopExpectedNeighbors(hops int) (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	if hops < 1 {
+		return 0, fmt.Errorf("core: hop count must be ≥ 1, got %d", hops)
+	}
+	return n.expectedNeighborsAtRange(float64(hops) * n.R), nil
+}
+
+// expectedNeighborsAtRange evaluates (N−1)·F(x) for an arbitrary radius.
+func (n Network) expectedNeighborsAtRange(x float64) float64 {
+	return float64(n.N-1) * geom.LinkDistCDF(x, n.Side())
+}
+
+// DHopHeadRatio extends the paper's Eqn (17) heuristic to d-hop
+// clustering (Max-Min, MobDHop — references [8][9][19]): treating the
+// d-hop ball as the closed neighborhood of the election,
+//
+//	P_d ≈ 1 / √(D_d + 1)
+//
+// This inherits Eqn (16)'s independence approximation and therefore its
+// dense-regime overestimate (see EXPERIMENTS.md); it is the paper-style
+// first-order answer to the future-work question of §7, exposed so it
+// can be compared against measured Max-Min formations.
+func (n Network) DHopHeadRatio(hops int) (float64, error) {
+	d, err := n.DHopExpectedNeighbors(hops)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / math.Sqrt(d+1), nil
+}
+
+// DHopExpectedClusters returns N·P_d.
+func (n Network) DHopExpectedClusters(hops int) (float64, error) {
+	p, err := n.DHopHeadRatio(hops)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n.N) * p, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Order identifies one of the Knuth Θ-notation growth claims of §6 of the
+// paper: the asymptotic order of a per-node overhead in one network
+// parameter as the region grows unboundedly (a → ∞, N → ∞, ρ fixed).
+type Order struct {
+	// Overhead is the message class ("hello", "cluster", "route").
+	Overhead string
+	// Parameter is the swept network parameter ("r", "rho", "v").
+	Parameter string
+	// Exponent is the claimed power: Θ(x^Exponent).
+	Exponent float64
+}
+
+// KnuthOrders returns the paper's §6 table of claimed asymptotic orders
+// for the per-node bit-rate overheads, assuming LID's P ≈ 1/√(πρr²):
+//
+//	HELLO:   Θ(r),  Θ(ρ),    Θ(v)
+//	CLUSTER: Θ(1),  Θ(ρ^½),  Θ(v)
+//	ROUTE:   Θ(r),  Θ(ρ),    Θ(v)
+//
+// ROUTE constitutes the main overhead because of its high broadcast rate
+// and large message size (one full table of m entries per broadcast).
+func KnuthOrders() []Order {
+	return []Order{
+		{Overhead: "hello", Parameter: "r", Exponent: 1},
+		{Overhead: "hello", Parameter: "rho", Exponent: 1},
+		{Overhead: "hello", Parameter: "v", Exponent: 1},
+		{Overhead: "cluster", Parameter: "r", Exponent: 0},
+		{Overhead: "cluster", Parameter: "rho", Exponent: 0.5},
+		{Overhead: "cluster", Parameter: "v", Exponent: 1},
+		{Overhead: "route", Parameter: "r", Exponent: 1},
+		{Overhead: "route", Parameter: "rho", Exponent: 1},
+		{Overhead: "route", Parameter: "v", Exponent: 1},
+	}
+}
+
+// GrowthExponent estimates the power-law growth order of f over [lo, hi]
+// by least-squares fitting the slope of log f(x) against log x at the
+// given number of geometrically spaced samples. It is the empirical
+// counterpart of the Θ-notation claims: a function growing as Θ(x^k)
+// yields an estimate approaching k as lo grows.
+func GrowthExponent(f func(float64) float64, lo, hi float64, samples int) (float64, error) {
+	if lo <= 0 || hi <= lo {
+		return 0, fmt.Errorf("core: need 0 < lo < hi, got [%g, %g]", lo, hi)
+	}
+	if samples < 2 {
+		return 0, fmt.Errorf("core: need at least 2 samples, got %d", samples)
+	}
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := 0; i < samples; i++ {
+		frac := float64(i) / float64(samples-1)
+		x := lo * math.Pow(hi/lo, frac)
+		y := f(x)
+		if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+			return 0, fmt.Errorf("core: f(%g) = %g is not a positive finite value", x, y)
+		}
+		lx, ly := math.Log(x), math.Log(y)
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("core: degenerate sample spacing")
+	}
+	return (float64(n)*sxy - sx*sy) / den, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrowthExponentKnownPowers(t *testing.T) {
+	tests := []struct {
+		name string
+		f    func(float64) float64
+		want float64
+	}{
+		{"linear", func(x float64) float64 { return 3 * x }, 1},
+		{"quadratic", func(x float64) float64 { return 0.5 * x * x }, 2},
+		{"sqrt", math.Sqrt, 0.5},
+		{"constant", func(float64) float64 { return 7 }, 0},
+		{"inverse", func(x float64) float64 { return 1 / x }, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := GrowthExponent(tt.f, 1, 100, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEq(got, tt.want, 1e-9) {
+				t.Errorf("GrowthExponent = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGrowthExponentValidation(t *testing.T) {
+	id := func(x float64) float64 { return x }
+	if _, err := GrowthExponent(id, 0, 10, 5); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := GrowthExponent(id, 10, 5, 5); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := GrowthExponent(id, 1, 10, 1); err == nil {
+		t.Error("1 sample accepted")
+	}
+	neg := func(x float64) float64 { return -x }
+	if _, err := GrowthExponent(neg, 1, 10, 5); err == nil {
+		t.Error("negative values accepted")
+	}
+}
+
+func TestKnuthOrdersTable(t *testing.T) {
+	orders := KnuthOrders()
+	if len(orders) != 9 {
+		t.Fatalf("want 9 claims, got %d", len(orders))
+	}
+	seen := make(map[string]float64)
+	for _, o := range orders {
+		seen[o.Overhead+"/"+o.Parameter] = o.Exponent
+	}
+	want := map[string]float64{
+		"hello/r": 1, "hello/rho": 1, "hello/v": 1,
+		"cluster/r": 0, "cluster/rho": 0.5, "cluster/v": 1,
+		"route/r": 1, "route/rho": 1, "route/v": 1,
+	}
+	for k, w := range want {
+		if seen[k] != w {
+			t.Errorf("%s exponent = %v, want %v", k, seen[k], w)
+		}
+	}
+}
+
+// lidOverheads evaluates the analytical per-node overheads for a large
+// network with LID's head ratio — the regime where §6's asymptotic claims
+// apply (a → ∞, N → ∞, ρ fixed, border effects negligible).
+func lidOverheads(t *testing.T, r, rho, v float64) Overheads {
+	t.Helper()
+	n := Network{N: 4_000_000, R: r, V: v, Density: rho}
+	p, err := n.LIDHeadRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovh, err := n.ControlOverheads(p, DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ovh
+}
+
+// TestKnuthOrdersEmpirical verifies that the model actually exhibits the
+// asymptotic orders the paper claims in §6 — this is the internal
+// consistency check that pins down the Eqn (13)/(14) reconstruction.
+func TestKnuthOrdersEmpirical(t *testing.T) {
+	type axis struct {
+		name string
+		eval func(x float64) Overheads
+		lo   float64
+		hi   float64
+	}
+	axes := []axis{
+		{"r", func(x float64) Overheads { return lidOverheads(t, x, 4, 0.1) }, 2, 12},
+		{"rho", func(x float64) Overheads { return lidOverheads(t, 3, x, 0.1) }, 2, 40},
+		{"v", func(x float64) Overheads { return lidOverheads(t, 3, 4, x) }, 0.01, 1},
+	}
+	want := map[string]map[string]float64{
+		"hello":   {"r": 1, "rho": 1, "v": 1},
+		"cluster": {"r": 0, "rho": 0.5, "v": 1},
+		"route":   {"r": 1, "rho": 1, "v": 1},
+	}
+	pick := func(o Overheads, class string) float64 {
+		switch class {
+		case "hello":
+			return o.Hello
+		case "cluster":
+			return o.Cluster
+		default:
+			return o.Route
+		}
+	}
+	for _, ax := range axes {
+		for class, exps := range want {
+			f := func(x float64) float64 { return pick(ax.eval(x), class) }
+			got, err := GrowthExponent(f, ax.lo, ax.hi, 12)
+			if err != nil {
+				t.Fatalf("%s vs %s: %v", class, ax.name, err)
+			}
+			// Finite-size ranges only approximate the limit; 0.2 absolute
+			// tolerance cleanly separates exponents 0, ½ and 1.
+			if math.Abs(got-exps[ax.name]) > 0.2 {
+				t.Errorf("%s overhead vs %s: fitted exponent %.3f, claimed Θ(x^%g)",
+					class, ax.name, got, exps[ax.name])
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// LIDHeadProbabilityEquation evaluates the right-hand side of the paper's
+// Eqn (16) for the Lowest-ID clustering algorithm: given that a node is
+// i-th smallest among the d+1 nodes of its closed neighborhood (each rank
+// equally likely), it becomes a cluster-head with probability
+// P_MEMBER^(i−1) = (1−P)^(i−1), so
+//
+//	RHS(P) = (1/(d+1)) · Σ_{i=1}^{d+1} (1−P)^{i−1}
+//	       = (1 − (1−P)^{d+1}) / ((d+1)·P)
+//
+// A consistent P satisfies P = RHS(P). d may be any non-negative real
+// (the model plugs in the expectation from Claim 1).
+func LIDHeadProbabilityEquation(p, d float64) float64 {
+	k := d + 1
+	if p <= 0 {
+		return 1 // geometric sum limit: Σ 1 / (d+1) · (d+1) = 1
+	}
+	if p >= 1 {
+		return 1 / k
+	}
+	return (1 - math.Pow(1-p, k)) / (k * p)
+}
+
+// LIDTailTerm returns (1−P)^{d+1}, the term Figure 4(a) shows vanishing
+// as the closed-neighborhood size d+1 grows, which justifies the
+// approximation of Eqn (17).
+func LIDTailTerm(p, d float64) float64 {
+	return math.Pow(1-p, d+1)
+}
+
+// LIDHeadRatioFixedPoint solves Eqn (16) for P by bisection: the unique
+// root in (0, 1] of
+//
+//	g(P) = P²·(d+1) − 1 + (1−P)^{d+1} = 0
+//
+// g is continuous with g(0⁺) < 0 and g(1) = d ≥ 0, and the paper's Figure
+// 4(b) plots exactly this root against d+1.
+func LIDHeadRatioFixedPoint(d float64) (float64, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("core: expected neighbor count must be non-negative, got %g", d)
+	}
+	if d == 0 {
+		return 1, nil // alone in the neighborhood: always a head
+	}
+	g := func(p float64) float64 {
+		return p*p*(d+1) - 1 + math.Pow(1-p, d+1)
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// LIDHeadRatioApprox returns the paper's closed-form approximation,
+// Eqn (17): dropping the vanishing tail (1−P)^{d+1} from Eqn (16) yields
+// P²·(d+1) ≈ 1, i.e.
+//
+//	P ≈ 1 / √(d+1)
+func LIDHeadRatioApprox(d float64) float64 {
+	return 1 / math.Sqrt(d+1)
+}
+
+// LIDHeadRatio returns the cluster-head probability of Lowest-ID
+// clustering on this network — Eqn (18): the approximation of Eqn (17)
+// with d substituted from Claim 1.
+func (n Network) LIDHeadRatio() (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	return LIDHeadRatioApprox(n.ExpectedNeighbors()), nil
+}
+
+// LIDHeadRatioExact returns the fixed-point solution of Eqn (16) with d
+// from Claim 1 — the curve the paper plots in Figure 5 before the
+// large-d approximation is applied.
+func (n Network) LIDHeadRatioExact() (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	return LIDHeadRatioFixedPoint(n.ExpectedNeighbors())
+}
+
+// ExpectedClusters returns the expected number of clusters n = N·P for a
+// given cluster-head ratio.
+func (n Network) ExpectedClusters(p float64) (float64, error) {
+	if err := checkHeadRatio(p); err != nil {
+		return 0, err
+	}
+	return float64(n.N) * p, nil
+}
+
+// LIDExpectedClusters returns the analytical number of LID clusters for
+// this network, N·P with P from the Eqn (16) fixed point — the analysis
+// curve of Figures 5(a) and 5(b).
+func (n Network) LIDExpectedClusters() (float64, error) {
+	p, err := n.LIDHeadRatioExact()
+	if err != nil {
+		return 0, err
+	}
+	return float64(n.N) * p, nil
+}

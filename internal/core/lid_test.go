@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLIDHeadProbabilityEquationClosedForm(t *testing.T) {
+	// RHS must equal the explicit geometric sum.
+	for _, d := range []float64{1, 3, 10, 25} {
+		for _, p := range []float64{0.1, 0.3, 0.7, 1} {
+			sum := 0.0
+			k := int(d) + 1
+			for i := 1; i <= k; i++ {
+				sum += math.Pow(1-p, float64(i-1))
+			}
+			want := sum / float64(k)
+			if got := LIDHeadProbabilityEquation(p, d); !relEq(got, want, 1e-12) {
+				t.Errorf("RHS(p=%v,d=%v) = %v, want %v", p, d, got, want)
+			}
+		}
+	}
+}
+
+func TestLIDHeadProbabilityEquationLimits(t *testing.T) {
+	if got := LIDHeadProbabilityEquation(0, 9); got != 1 {
+		t.Errorf("RHS(0) = %v, want 1", got)
+	}
+	if got := LIDHeadProbabilityEquation(1, 9); !relEq(got, 0.1, 1e-12) {
+		t.Errorf("RHS(1) = %v, want 1/(d+1)", got)
+	}
+}
+
+func TestLIDFixedPointSatisfiesEquation(t *testing.T) {
+	for _, d := range []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 500} {
+		p, err := LIDHeadRatioFixedPoint(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= 0 || p > 1 {
+			t.Fatalf("fixed point out of range for d=%v: %v", d, p)
+		}
+		if rhs := LIDHeadProbabilityEquation(p, d); !relEq(p, rhs, 1e-6) {
+			t.Errorf("d=%v: P = %v but RHS(P) = %v", d, p, rhs)
+		}
+	}
+}
+
+func TestLIDFixedPointEdgeCases(t *testing.T) {
+	p, err := LIDHeadRatioFixedPoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("isolated node head ratio = %v, want 1", p)
+	}
+	if _, err := LIDHeadRatioFixedPoint(-1); err == nil {
+		t.Error("negative d accepted")
+	}
+}
+
+func TestLIDFixedPointMonotoneDecreasing(t *testing.T) {
+	prev := 2.0
+	for d := 0.0; d <= 200; d += 2.5 {
+		p, err := LIDHeadRatioFixedPoint(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Fatalf("P not strictly decreasing at d=%v: %v >= %v", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestLIDApproxConvergesToFixedPoint(t *testing.T) {
+	// Figure 4(b): the 1/√(d+1) approximation tracks the exact fixed
+	// point, tightly for large d.
+	for _, tt := range []struct {
+		d      float64
+		relTol float64
+	}{
+		{5, 0.15},
+		{20, 0.06},
+		{100, 0.02},
+		{1000, 0.005},
+	} {
+		exact, err := LIDHeadRatioFixedPoint(tt.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := LIDHeadRatioApprox(tt.d)
+		if !relEq(exact, approx, tt.relTol) {
+			t.Errorf("d=%v: exact %v vs approx %v beyond tol %v", tt.d, exact, approx, tt.relTol)
+		}
+	}
+}
+
+func TestLIDTailTermVanishes(t *testing.T) {
+	// Figure 4(a): (1−P)^{d+1} → 0 as d+1 grows, with P the fixed point.
+	prev := 2.0
+	for _, d := range []float64{1, 2, 5, 10, 20, 50, 100} {
+		p, err := LIDHeadRatioFixedPoint(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail := LIDTailTerm(p, d)
+		if tail >= prev {
+			t.Fatalf("tail not decreasing at d=%v: %v >= %v", d, tail, prev)
+		}
+		prev = tail
+	}
+	if prev > 0.001 {
+		t.Errorf("tail at d=100 is %v, want ≈0", prev)
+	}
+}
+
+func TestNetworkLIDRatios(t *testing.T) {
+	n := validNet()
+	approx, err := n.LIDHeadRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := n.LIDHeadRatioExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantApprox := LIDHeadRatioApprox(n.ExpectedNeighbors())
+	if !relEq(approx, wantApprox, 1e-12) {
+		t.Errorf("LIDHeadRatio = %v, want %v", approx, wantApprox)
+	}
+	if exact <= 0 || exact > 1 || approx <= 0 || approx > 1 {
+		t.Fatalf("ratios out of range: %v %v", exact, approx)
+	}
+	if !relEq(exact, approx, 0.2) {
+		t.Errorf("exact %v and approx %v implausibly far apart", exact, approx)
+	}
+
+	clusters, err := n.LIDExpectedClusters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(clusters, float64(n.N)*exact, 1e-12) {
+		t.Errorf("LIDExpectedClusters = %v, want N·P = %v", clusters, float64(n.N)*exact)
+	}
+
+	nc, err := n.ExpectedClusters(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc != 100 {
+		t.Errorf("ExpectedClusters(0.25) = %v, want 100", nc)
+	}
+	if _, err := n.ExpectedClusters(2); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+	bad := Network{N: 0, R: 1, V: 1, Density: 1}
+	if _, err := bad.LIDHeadRatio(); err == nil {
+		t.Error("invalid network accepted by LIDHeadRatio")
+	}
+	if _, err := bad.LIDHeadRatioExact(); err == nil {
+		t.Error("invalid network accepted by LIDHeadRatioExact")
+	}
+	if _, err := bad.LIDExpectedClusters(); err == nil {
+		t.Error("invalid network accepted by LIDExpectedClusters")
+	}
+}
+
+func TestLIDClusterCountMonotoneInRange(t *testing.T) {
+	// Figure 5(b): with N fixed, growing r merges clusters — the
+	// analytical cluster count must fall monotonically.
+	prev := math.Inf(1)
+	for _, r := range []float64{0.5, 0.8, 1.2, 1.8, 2.5, 3.5, 5} {
+		n := Network{N: 400, R: r, V: 0.1, Density: 4}
+		c, err := n.LIDExpectedClusters()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c >= prev {
+			t.Fatalf("cluster count not decreasing at r=%v: %v >= %v", r, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestPropertyFixedPointInRange(t *testing.T) {
+	f := func(dRaw uint16) bool {
+		d := float64(dRaw) / 64.0 // up to ~1024
+		p, err := LIDHeadRatioFixedPoint(d)
+		if err != nil {
+			return false
+		}
+		return p > 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDHopExtensions(t *testing.T) {
+	n := Network{N: 400, R: 0.5, V: 0, Density: 4}
+	one, err := n.DHopExpectedNeighbors(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(one, n.ExpectedNeighbors(), 1e-12) {
+		t.Errorf("1-hop D = %v, want Eqn (1) d = %v", one, n.ExpectedNeighbors())
+	}
+	prevD, prevC := 0.0, math.Inf(1)
+	for hops := 1; hops <= 4; hops++ {
+		d, err := n.DHopExpectedNeighbors(hops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= prevD {
+			t.Errorf("D_%d = %v not above D_%d = %v", hops, d, hops-1, prevD)
+		}
+		prevD = d
+		c, err := n.DHopExpectedClusters(hops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c >= prevC {
+			t.Errorf("clusters_%d = %v not below %v", hops, c, prevC)
+		}
+		prevC = c
+		p, err := n.DHopHeadRatio(hops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relEq(p, 1/math.Sqrt(d+1), 1e-12) {
+			t.Errorf("P_%d = %v, want 1/√(D+1)", hops, p)
+		}
+	}
+	// Saturation: beyond the diagonal, D stops growing at N−1.
+	big, err := n.DHopExpectedNeighbors(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(big, float64(n.N-1), 1e-12) {
+		t.Errorf("saturated D = %v, want N−1", big)
+	}
+	if _, err := n.DHopExpectedNeighbors(0); err == nil {
+		t.Error("zero hops accepted")
+	}
+	bad := Network{N: 1, R: 1, V: 0, Density: 1}
+	if _, err := bad.DHopHeadRatio(2); err == nil {
+		t.Error("invalid network accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpectedLinkLifetime returns the mean lifetime of an established link
+// under the BCV model. Claim 2 gives every existing link a break hazard
+// of λ_brk/d = 8v/(π²r) (the network's break events per unit time,
+// N·λ_brk/2, spread over its N·d/2 links), so in steady state
+//
+//	E[lifetime] = π²·r / (8·v)
+//
+// This is the connection-stability quantity of Cho & Hayes (reference
+// [8] of the paper), from which Claim 2's rates descend: doubling the
+// range doubles how long links last; doubling the speed halves it.
+func (n Network) ExpectedLinkLifetime() (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	if n.V == 0 {
+		return math.Inf(1), nil
+	}
+	return math.Pi * math.Pi * n.R / (8 * n.V), nil
+}
+
+// PeriodicHelloRate returns the per-node HELLO frequency of a
+// conventional periodic beacon implementation: 1/interval. Comparing it
+// with HelloRate (the event-driven lower bound of Eqn 4) shows how much
+// headroom an adaptive beacon schedule has: periodic beaconing wastes
+// transmissions whenever 1/interval exceeds the link generation rate,
+// and misses neighbors whenever it falls below it.
+func PeriodicHelloRate(interval float64) (float64, error) {
+	if interval <= 0 {
+		return 0, errBadInterval(interval)
+	}
+	return 1 / interval, nil
+}
+
+// HelloDiscoveryLag returns the expected delay between a link forming
+// and the first periodic beacon crossing it: interval/2 (link births are
+// uniform within a beacon period).
+func HelloDiscoveryLag(interval float64) (float64, error) {
+	if interval <= 0 {
+		return 0, errBadInterval(interval)
+	}
+	return interval / 2, nil
+}
+
+// UndiscoveredLinkFraction estimates the steady-state fraction of live
+// links absent from periodic-HELLO neighbor tables: the expected
+// discovery lag over the expected link lifetime, clamped to [0, 1]:
+//
+//	(interval/2) / (π²r/(8v)) = 4·v·interval / (π²·r)
+//
+// The event-driven lower bound (Eqn 4) makes this identically zero; the
+// estimate quantifies what the idealization hides for real beacon
+// schedules. Accurate for small fractions (links shorter than one beacon
+// period make it an underestimate near 1).
+func (n Network) UndiscoveredLinkFraction(interval float64) (float64, error) {
+	if interval <= 0 {
+		return 0, errBadInterval(interval)
+	}
+	life, err := n.ExpectedLinkLifetime()
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(life, 1) {
+		return 0, nil
+	}
+	return math.Min(1, (interval/2)/life), nil
+}
+
+// errBadInterval builds the shared validation error.
+func errBadInterval(interval float64) error {
+	return fmt.Errorf("core: beacon interval must be positive, got %g", interval)
+}

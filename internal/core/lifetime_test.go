@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedLinkLifetime(t *testing.T) {
+	n := validNet()
+	got, err := n.ExpectedLinkLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pi * math.Pi * n.R / (8 * n.V)
+	if !relEq(got, want, 1e-12) {
+		t.Errorf("lifetime = %v, want %v", got, want)
+	}
+	// Consistency with Claim 2: lifetime is the inverse per-link break
+	// hazard λ_brk/d... i.e. lifetime · (per-link rate / 2) = 1.
+	hazard := n.PerLinkChangeRate() / 2
+	if !relEq(got*hazard, 1, 1e-12) {
+		t.Errorf("lifetime × hazard = %v, want 1", got*hazard)
+	}
+
+	static := Network{N: 100, R: 1, V: 0, Density: 1}
+	life, err := static.ExpectedLinkLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(life, 1) {
+		t.Errorf("static lifetime = %v, want +Inf", life)
+	}
+	bad := Network{N: 1, R: 1, V: 1, Density: 1}
+	if _, err := bad.ExpectedLinkLifetime(); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestLifetimeScaling(t *testing.T) {
+	// Θ claims: lifetime ∝ r, ∝ 1/v.
+	base := validNet()
+	double := base
+	double.R *= 2
+	lBase, err := base.ExpectedLinkLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lDouble, err := double.ExpectedLinkLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(lDouble, 2*lBase, 1e-12) {
+		t.Errorf("doubling r: %v vs %v", lDouble, 2*lBase)
+	}
+	fast := base
+	fast.V *= 4
+	lFast, err := fast.ExpectedLinkLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(lFast, lBase/4, 1e-12) {
+		t.Errorf("quadrupling v: %v vs %v", lFast, lBase/4)
+	}
+}
+
+func TestPeriodicHelloRate(t *testing.T) {
+	got, err := PeriodicHelloRate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("rate = %v, want 2", got)
+	}
+	if _, err := PeriodicHelloRate(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	lag, err := HelloDiscoveryLag(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 1.5 {
+		t.Errorf("lag = %v, want 1.5", lag)
+	}
+	if _, err := HelloDiscoveryLag(-1); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestUndiscoveredLinkFraction(t *testing.T) {
+	n := validNet() // lifetime = π²·1.5/(8·0.05) = 37.01
+	frac, err := n.UndiscoveredLinkFraction(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	life, err := n.ExpectedLinkLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(frac, 1/life, 1e-12) {
+		t.Errorf("fraction = %v, want %v", frac, 1/life)
+	}
+	// Monotone in interval and clamped at 1.
+	f2, err := n.UndiscoveredLinkFraction(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 <= frac {
+		t.Error("fraction must grow with interval")
+	}
+	huge, err := n.UndiscoveredLinkFraction(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge != 1 {
+		t.Errorf("fraction = %v, want clamp at 1", huge)
+	}
+	static := Network{N: 100, R: 1, V: 0, Density: 1}
+	zero, err := static.UndiscoveredLinkFraction(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Errorf("static fraction = %v, want 0", zero)
+	}
+	if _, err := n.UndiscoveredLinkFraction(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad := Network{N: 1, R: 1, V: 1, Density: 1}
+	if _, err := bad.UndiscoveredLinkFraction(1); err == nil {
+		t.Error("invalid network accepted")
+	}
+}

@@ -1,0 +1,120 @@
+// Package core implements the paper's primary contribution: the analytical
+// lower-bound model of clustering and routing control overhead for one-hop
+// clustered mobile ad hoc networks (Xue, Er, Seah — ICDCS 2006).
+//
+// The model expresses the per-node frequencies and bit-rate overheads of
+// the three control message classes — HELLO (neighbor discovery), CLUSTER
+// (reactive maintenance of the one-hop clustering invariants P1/P2) and
+// ROUTE (proactive intra-cluster table dissemination of a hybrid routing
+// protocol) — as closed forms in five parameters: network size N,
+// transmission range r, node speed v, node density ρ, and the cluster-head
+// ratio P. The cluster-head ratio of the Lowest-ID algorithm is derived in
+// lid.go. Equation numbers in the documentation refer to the paper; see
+// DESIGN.md §3 for how each formula was reconstructed from the source text.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Network describes the deployment whose control overhead is being
+// modeled. Nodes move under the Bounded Constant Velocity model inside a
+// square region of side √(N/Density).
+type Network struct {
+	// N is the number of nodes in the region.
+	N int
+	// R is the node transmission range; two nodes within R of each other
+	// share a bidirectional link.
+	R float64
+	// V is the common node speed (distance per unit time) of the BCV
+	// mobility model.
+	V float64
+	// Density is ρ, the number of nodes per unit area. The region side is
+	// a = √(N/ρ).
+	Density float64
+}
+
+// Validate checks the parameters against the model's assumptions
+// (N ≥ 2, 0 < r < a, v ≥ 0, ρ > 0).
+func (n Network) Validate() error {
+	if n.N < 2 {
+		return fmt.Errorf("core: need at least 2 nodes, got %d", n.N)
+	}
+	if n.Density <= 0 {
+		return fmt.Errorf("core: density must be positive, got %g", n.Density)
+	}
+	if n.R <= 0 {
+		return fmt.Errorf("core: transmission range must be positive, got %g", n.R)
+	}
+	if a := n.Side(); n.R >= a {
+		return fmt.Errorf("core: the model requires r < a, got r=%g a=%g", n.R, a)
+	}
+	if n.V < 0 {
+		return fmt.Errorf("core: speed must be non-negative, got %g", n.V)
+	}
+	return nil
+}
+
+// Side returns the border length a = √(N/ρ) of the square region S.
+func (n Network) Side() float64 {
+	return math.Sqrt(float64(n.N) / n.Density)
+}
+
+// ExpectedNeighbors returns d, the expected number of in-region neighbors
+// of a randomly selected node — Claim 1, Eqn (1):
+//
+//	d = (N−1) · F(r)
+//
+// where F is Miller's link-distance CDF over a square of side a.
+func (n Network) ExpectedNeighbors() float64 {
+	return n.expectedNeighborsAmong(float64(n.N))
+}
+
+// expectedNeighborsAmong evaluates (k−1)·F(r) for a sub-population of k
+// nodes spread over the same region — used with k = NP for the
+// cluster-head sub-network of Eqn (9).
+func (n Network) expectedNeighborsAmong(k float64) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return (k - 1) * geom.LinkDistCDF(n.R, n.Side())
+}
+
+// LinkChangeRate returns λ, the total link change (generation + break)
+// rate experienced by a node with other nodes inside S — Claim 2, Eqn (3):
+//
+//	λ = 16·d·v / (π²·r)
+func (n Network) LinkChangeRate() float64 {
+	return 16 * n.ExpectedNeighbors() * n.V / (math.Pi * math.Pi * n.R)
+}
+
+// LinkGenRate returns the per-node link generation rate, λ/2.
+func (n Network) LinkGenRate() float64 { return n.LinkChangeRate() / 2 }
+
+// LinkBreakRate returns the per-node link break rate, λ/2.
+func (n Network) LinkBreakRate() float64 { return n.LinkChangeRate() / 2 }
+
+// PerLinkChangeRate returns the change rate of a single established link,
+// λ/d = 16·v/(π²·r). Each link connects two nodes, so network-wide events
+// per unit time are N·λ/2 over N·d/2 links.
+func (n Network) PerLinkChangeRate() float64 {
+	return 16 * n.V / (math.Pi * math.Pi * n.R)
+}
+
+// CVLinkChangeRate returns the per-node total link change rate of the
+// unbounded-plane Constant Velocity model that Claim 2 scales down:
+// 16·ρ·r·v/π (generation and break each contribute 8·ρ·r·v/π, the kinetic
+// flux ρ·E|v_rel|·2r with E|v_rel| = 4v/π).
+func CVLinkChangeRate(rho, r, v float64) float64 {
+	return 16 * rho * r * v / math.Pi
+}
+
+// PlaneNeighbors returns πρr², the expected neighbor count of a node on
+// the unbounded plane; the ratio d/πρr² is the in-region fraction used by
+// Claim 2's scaling argument.
+func (n Network) PlaneNeighbors() float64 {
+	return math.Pi * n.Density * n.R * n.R
+}

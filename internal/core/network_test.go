@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func validNet() Network {
+	return Network{N: 400, R: 1.5, V: 0.1, Density: 4}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// relEq reports whether a and b agree within a relative tolerance.
+func relEq(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*scale
+}
+
+func TestNetworkValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		net     Network
+		wantErr bool
+	}{
+		{"valid", validNet(), false},
+		{"one node", Network{N: 1, R: 1, V: 1, Density: 1}, true},
+		{"zero density", Network{N: 10, R: 1, V: 1, Density: 0}, true},
+		{"zero range", Network{N: 10, R: 0, V: 1, Density: 1}, true},
+		{"range exceeds side", Network{N: 4, R: 5, V: 1, Density: 1}, true},
+		{"negative speed", Network{N: 10, R: 1, V: -1, Density: 1}, true},
+		{"zero speed ok", Network{N: 10, R: 1, V: 0, Density: 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.net.Validate()
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSide(t *testing.T) {
+	n := Network{N: 400, Density: 4}
+	if got := n.Side(); !almostEq(got, 10, 1e-12) {
+		t.Errorf("Side = %v, want 10", got)
+	}
+}
+
+func TestExpectedNeighborsMatchesMiller(t *testing.T) {
+	n := validNet()
+	want := float64(n.N-1) * geom.LinkDistCDF(n.R, n.Side())
+	if got := n.ExpectedNeighbors(); !almostEq(got, want, 1e-12) {
+		t.Errorf("ExpectedNeighbors = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedNeighborsApproachesDisc(t *testing.T) {
+	// For r ≪ a the border effect vanishes and d → (N−1)·πr²/a² ≈ πρr².
+	n := Network{N: 100000, R: 1, V: 1, Density: 2}
+	disc := math.Pi * n.Density * n.R * n.R
+	if got := n.ExpectedNeighbors(); !relEq(got, disc, 0.01) {
+		t.Errorf("ExpectedNeighbors = %v, want ≈ %v", got, disc)
+	}
+	if got := n.PlaneNeighbors(); !almostEq(got, disc, 1e-9) {
+		t.Errorf("PlaneNeighbors = %v, want %v", got, disc)
+	}
+}
+
+func TestExpectedNeighborsBorderDeficit(t *testing.T) {
+	// With a square region the border always removes some neighbors:
+	// d < πρr², strictly, and the deficit grows with r/a.
+	n := validNet()
+	if n.ExpectedNeighbors() >= n.PlaneNeighbors() {
+		t.Errorf("d = %v should be below plane value %v", n.ExpectedNeighbors(), n.PlaneNeighbors())
+	}
+	small := Network{N: 400, R: 0.5, V: 0.1, Density: 4}
+	large := Network{N: 400, R: 4, V: 0.1, Density: 4}
+	defSmall := 1 - small.ExpectedNeighbors()/small.PlaneNeighbors()
+	defLarge := 1 - large.ExpectedNeighbors()/large.PlaneNeighbors()
+	if defLarge <= defSmall {
+		t.Errorf("border deficit should grow with r: %v vs %v", defSmall, defLarge)
+	}
+}
+
+func TestHeadNeighborsZeroWhenAlone(t *testing.T) {
+	n := validNet()
+	if got := n.HeadNeighbors(1.0 / float64(n.N)); got != 0 {
+		t.Errorf("HeadNeighbors with one head = %v, want 0", got)
+	}
+	// More heads, more head-neighbors; never exceeding d.
+	if n.HeadNeighbors(0.2) >= n.ExpectedNeighbors() {
+		t.Errorf("d' = %v must be below d = %v", n.HeadNeighbors(0.2), n.ExpectedNeighbors())
+	}
+	if n.HeadNeighbors(0.1) >= n.HeadNeighbors(0.5) {
+		t.Error("d' must grow with P")
+	}
+}
+
+func TestLinkChangeRateClaim2(t *testing.T) {
+	n := validNet()
+	d := n.ExpectedNeighbors()
+	want := 16 * d * n.V / (math.Pi * math.Pi * n.R)
+	if got := n.LinkChangeRate(); !almostEq(got, want, 1e-12) {
+		t.Errorf("LinkChangeRate = %v, want %v", got, want)
+	}
+	if got := n.LinkGenRate() + n.LinkBreakRate(); !almostEq(got, want, 1e-12) {
+		t.Errorf("gen+brk = %v, want λ = %v", got, want)
+	}
+}
+
+func TestLinkChangeRateScalingIdentity(t *testing.T) {
+	// Claim 2's derivation: λ_BCV = λ_CV · d/(πρr²).
+	n := validNet()
+	cv := CVLinkChangeRate(n.Density, n.R, n.V)
+	want := cv * n.ExpectedNeighbors() / n.PlaneNeighbors()
+	if got := n.LinkChangeRate(); !relEq(got, want, 1e-12) {
+		t.Errorf("scaling identity broken: %v vs %v", got, want)
+	}
+}
+
+func TestPerLinkChangeRate(t *testing.T) {
+	n := validNet()
+	// λ/d must equal the per-link rate.
+	want := n.LinkChangeRate() / n.ExpectedNeighbors()
+	if got := n.PerLinkChangeRate(); !relEq(got, want, 1e-12) {
+		t.Errorf("PerLinkChangeRate = %v, want %v", got, want)
+	}
+}
+
+func TestZeroSpeedMeansZeroRates(t *testing.T) {
+	n := Network{N: 400, R: 1.5, V: 0, Density: 4}
+	rates, err := n.ControlRates(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.Hello != 0 || rates.Cluster != 0 || rates.Route != 0 {
+		t.Errorf("static network has nonzero rates: %+v", rates)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptimalHeadRatio returns the cluster-head ratio P* that minimizes the
+// total per-node control overhead O_hello + O_cluster + O_routing for
+// this network and message sizes — the design target the paper's
+// introduction motivates ("facilitates the design of efficient
+// clustering algorithms in order to minimize the control overhead").
+//
+// The objective trades the two P-dependent classes off: CLUSTER overhead
+// grows with P (more heads → more head–head contacts), while ROUTE
+// overhead grows as 1/P² (bigger clusters → more star links and bigger
+// tables). The total is strictly convex in P on (0, 1] for all valid
+// parameters, so golden-section search finds the unique minimum.
+//
+// Static networks (v = 0) incur no overhead at any P; ErrNoOptimum is
+// returned since every ratio is equally good.
+func (n Network) OptimalHeadRatio(sizes MessageSizes) (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	if err := sizes.Validate(); err != nil {
+		return 0, err
+	}
+	if n.V == 0 {
+		return 0, ErrNoOptimum
+	}
+	objective := func(p float64) float64 {
+		ovh, err := n.ControlOverheads(p, sizes)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return ovh.Total()
+	}
+	const (
+		lo  = 1e-4
+		hi  = 1.0
+		phi = 0.6180339887498949 // 1/golden ratio
+	)
+	a, b := lo, hi
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := objective(x1), objective(x2)
+	for i := 0; i < 200; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = objective(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = objective(x2)
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// ErrNoOptimum reports that the overhead objective is flat (a static
+// network), so no head ratio is better than any other.
+var ErrNoOptimum = fmt.Errorf("core: static network has zero overhead at every head ratio")
+
+// OverheadAtOptimum evaluates the total per-node overhead at the optimal
+// head ratio, for comparing a clustering algorithm's operating point
+// (e.g. LID's P) against the achievable minimum.
+func (n Network) OverheadAtOptimum(sizes MessageSizes) (p float64, total float64, err error) {
+	p, err = n.OptimalHeadRatio(sizes)
+	if err != nil {
+		return 0, 0, err
+	}
+	ovh, err := n.ControlOverheads(p, sizes)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p, ovh.Total(), nil
+}

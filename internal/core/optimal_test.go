@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOptimalHeadRatioIsInteriorMinimum(t *testing.T) {
+	n := validNet()
+	p, err := n.OptimalHeadRatio(DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Fatalf("P* = %v out of range", p)
+	}
+	opt, err := n.ControlOverheads(p, DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strictly worse a little to either side.
+	for _, q := range []float64{p * 0.8, p * 1.25} {
+		if q > 1 {
+			continue
+		}
+		side, err := n.ControlOverheads(q, DefaultMessageSizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if side.Total() < opt.Total() {
+			t.Errorf("P=%v beats claimed optimum %v: %v < %v", q, p, side.Total(), opt.Total())
+		}
+	}
+	// And worse across a coarse grid.
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		g, err := n.ControlOverheads(q, DefaultMessageSizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Total() < opt.Total()-1e-9 {
+			t.Fatalf("grid point P=%v better than optimum: %v < %v", q, g.Total(), opt.Total())
+		}
+	}
+}
+
+func TestOptimalBeatsLID(t *testing.T) {
+	// LID's P is not overhead-optimal in general; the optimum must be at
+	// least as good.
+	n := validNet()
+	lid, err := n.LIDHeadRatioExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lidOvh, err := n.ControlOverheads(lid, DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, optTotal, err := n.OverheadAtOptimum(DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optTotal > lidOvh.Total()+1e-9 {
+		t.Errorf("optimum %v worse than LID %v", optTotal, lidOvh.Total())
+	}
+}
+
+func TestOptimalHeadRatioErrors(t *testing.T) {
+	bad := Network{N: 1, R: 1, V: 1, Density: 1}
+	if _, err := bad.OptimalHeadRatio(DefaultMessageSizes); err == nil {
+		t.Error("invalid network accepted")
+	}
+	n := validNet()
+	if _, err := n.OptimalHeadRatio(MessageSizes{}); err == nil {
+		t.Error("invalid sizes accepted")
+	}
+	static := Network{N: 100, R: 1, V: 0, Density: 1}
+	if _, err := static.OptimalHeadRatio(DefaultMessageSizes); !errors.Is(err, ErrNoOptimum) {
+		t.Errorf("static network: err = %v, want ErrNoOptimum", err)
+	}
+	if _, _, err := static.OverheadAtOptimum(DefaultMessageSizes); !errors.Is(err, ErrNoOptimum) {
+		t.Errorf("OverheadAtOptimum static: %v", err)
+	}
+}
+
+func TestOptimalShiftsWithRouteCost(t *testing.T) {
+	// Pricier routing entries push the optimum toward more, smaller
+	// clusters (larger P); pricier cluster messages push it down.
+	n := validNet()
+	base, err := n.OptimalHeadRatio(DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expensive := DefaultMessageSizes
+	expensive.RouteEntry *= 10
+	up, err := n.OptimalHeadRatio(expensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up <= base {
+		t.Errorf("10× route cost should raise P*: %v vs %v", up, base)
+	}
+	clustery := DefaultMessageSizes
+	clustery.Cluster *= 10
+	down, err := n.OptimalHeadRatio(clustery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down >= base {
+		t.Errorf("10× cluster cost should lower P*: %v vs %v", down, base)
+	}
+}

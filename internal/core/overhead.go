@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MessageSizes carries the control message sizes in bits used to convert
+// message frequencies into bit-rate overheads: p_hello, p_cluster and
+// p_route (the size of one routing table entry).
+type MessageSizes struct {
+	Hello      float64
+	Cluster    float64
+	RouteEntry float64
+}
+
+// DefaultMessageSizes are representative sizes in bits: an 8-byte HELLO
+// beacon (node id + sequence number), a 16-byte CLUSTER update (node id,
+// head id, role, sequence number) and a 16-byte DSDV-style routing table
+// entry (destination, next hop, sequence number, metric).
+var DefaultMessageSizes = MessageSizes{Hello: 64, Cluster: 128, RouteEntry: 128}
+
+// Validate checks that all sizes are positive.
+func (s MessageSizes) Validate() error {
+	if s.Hello <= 0 || s.Cluster <= 0 || s.RouteEntry <= 0 {
+		return fmt.Errorf("core: message sizes must be positive, got %+v", s)
+	}
+	return nil
+}
+
+// Rates holds the per-node frequencies (messages per unit time) of the
+// three control message classes.
+type Rates struct {
+	Hello   float64
+	Cluster float64
+	Route   float64
+}
+
+// Total returns the summed per-node control message frequency.
+func (r Rates) Total() float64 { return r.Hello + r.Cluster + r.Route }
+
+// Overheads holds the per-node bit-rate overheads (bits per unit time) of
+// the three control message classes.
+type Overheads struct {
+	Hello   float64
+	Cluster float64
+	Route   float64
+}
+
+// Total returns the summed per-node control overhead in bits per unit
+// time — O_hello + O_cluster + O_routing of §3.5.
+func (o Overheads) Total() float64 { return o.Hello + o.Cluster + o.Route }
+
+// checkHeadRatio validates a cluster-head probability.
+func checkHeadRatio(p float64) error {
+	if p <= 0 || p > 1 {
+		return fmt.Errorf("core: cluster-head ratio must be in (0, 1], got %g", p)
+	}
+	return nil
+}
+
+// HelloRate returns f_hello, the per-node HELLO frequency lower bound —
+// Eqn (4): the link generation rate, since breaks are detected by soft
+// timers and cost no transmissions.
+//
+//	f_hello = λ_gen = 8·d·v / (π²·r)
+func (n Network) HelloRate() float64 {
+	return n.LinkGenRate()
+}
+
+// MemberHeadBreakClusterRate returns the CLUSTER message rate at each
+// cluster-member caused by link breaks with its cluster-head — Eqn (6):
+//
+//	λ_brk · N(1−P) / (N·d/2) = 16·v·(1−P) / (π²·r)
+//
+// The member must either join a neighboring cluster or declare itself a
+// head; one CLUSTER message either way.
+func (n Network) MemberHeadBreakClusterRate(p float64) float64 {
+	return 16 * n.V * (1 - p) / (math.Pi * math.Pi * n.R)
+}
+
+// HeadNeighbors returns d′, the expected number of cluster-head neighbors
+// of a cluster-head — Eqn (9). Heads form a thinned sub-network of NP
+// nodes over the same region, so d′ = (NP−1)·F(r).
+func (n Network) HeadNeighbors(p float64) float64 {
+	return n.expectedNeighborsAmong(float64(n.N) * p)
+}
+
+// HeadHeadGenRate returns λ′, the rate at which a cluster-head forms new
+// links with other cluster-heads — Eqn (8): 8·d′·v / (π²·r).
+func (n Network) HeadHeadGenRate(p float64) float64 {
+	return 8 * n.HeadNeighbors(p) * n.V / (math.Pi * math.Pi * n.R)
+}
+
+// ClusterRate returns f_cluster, the per-node CLUSTER message frequency —
+// Eqn (11). Two event classes violate the clustering invariants:
+// member–head link breaks (each triggering one member CLUSTER message,
+// Eqns 6–7) and head–head link generations (each triggering m = 1/P
+// messages while one head's cluster dissolves, Eqns 8–10):
+//
+//	f_cluster = 16·v·(1−P)² / (π²·r) + 8·d′·v / (π²·r)
+func (n Network) ClusterRate(p float64) (float64, error) {
+	if err := checkHeadRatio(p); err != nil {
+		return 0, err
+	}
+	memberTerm := 16 * n.V * (1 - p) * (1 - p) / (math.Pi * math.Pi * n.R)
+	headTerm := n.HeadHeadGenRate(p)
+	return memberTerm + headTerm, nil
+}
+
+// RouteRate returns f_routing, the per-node ROUTE broadcast frequency of
+// the proactive intra-cluster protocol — Eqn (13) as reconstructed in
+// DESIGN.md §3. A one-hop cluster routes through the star around its
+// head, so routes change exactly when a member–head link breaks; each
+// such event triggers one table broadcast round through the cluster and
+// the per-node frequency equals the per-cluster star-break rate:
+//
+//	f_routing = 8·v·((1−P)² + (1−P)·P) / (π²·r·P)
+//	          = 8·v·(1−P) / (π²·r·P)
+func (n Network) RouteRate(p float64) (float64, error) {
+	if err := checkHeadRatio(p); err != nil {
+		return 0, err
+	}
+	num := (1-p)*(1-p) + (1-p)*p
+	return 8 * n.V * num / (math.Pi * math.Pi * n.R * p), nil
+}
+
+// ControlRates evaluates all three per-node frequencies for a clustered
+// network with cluster-head ratio p.
+func (n Network) ControlRates(p float64) (Rates, error) {
+	if err := n.Validate(); err != nil {
+		return Rates{}, err
+	}
+	cluster, err := n.ClusterRate(p)
+	if err != nil {
+		return Rates{}, err
+	}
+	route, err := n.RouteRate(p)
+	if err != nil {
+		return Rates{}, err
+	}
+	return Rates{Hello: n.HelloRate(), Cluster: cluster, Route: route}, nil
+}
+
+// ControlOverheads converts the per-node frequencies into bit-rate
+// overheads — Eqns (5), (12) and (14):
+//
+//	O_hello   = p_hello   · f_hello
+//	O_cluster = p_cluster · f_cluster
+//	O_routing = p_route · (1/P) · f_routing
+//
+// The extra 1/P factor on ROUTE is the expected cluster size m: each
+// broadcast carries the full intra-cluster table of m entries. This makes
+// ROUTE the dominant overhead, growing Θ(r)·Θ(ρ)·Θ(v) per node exactly as
+// §6 of the paper states.
+func (n Network) ControlOverheads(p float64, sizes MessageSizes) (Overheads, error) {
+	if err := sizes.Validate(); err != nil {
+		return Overheads{}, err
+	}
+	rates, err := n.ControlRates(p)
+	if err != nil {
+		return Overheads{}, err
+	}
+	return Overheads{
+		Hello:   sizes.Hello * rates.Hello,
+		Cluster: sizes.Cluster * rates.Cluster,
+		Route:   sizes.RouteEntry / p * rates.Route,
+	}, nil
+}
+
+// ExpectedClusterSize returns m = N/n = 1/P, the expected number of nodes
+// per cluster including its head.
+func ExpectedClusterSize(p float64) (float64, error) {
+	if err := checkHeadRatio(p); err != nil {
+		return 0, err
+	}
+	return 1 / p, nil
+}

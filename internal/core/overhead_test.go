@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageSizesValidate(t *testing.T) {
+	if err := DefaultMessageSizes.Validate(); err != nil {
+		t.Errorf("default sizes invalid: %v", err)
+	}
+	bad := []MessageSizes{
+		{Hello: 0, Cluster: 1, RouteEntry: 1},
+		{Hello: 1, Cluster: -1, RouteEntry: 1},
+		{Hello: 1, Cluster: 1, RouteEntry: 0},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("sizes %+v: want error", s)
+		}
+	}
+}
+
+func TestHelloRateIsGenRate(t *testing.T) {
+	n := validNet()
+	if got, want := n.HelloRate(), n.LinkGenRate(); !relEq(got, want, 1e-12) {
+		t.Errorf("HelloRate = %v, want λ_gen = %v", got, want)
+	}
+}
+
+func TestClusterRateComposition(t *testing.T) {
+	n := validNet()
+	const p = 0.25
+	got, err := n.ClusterRate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := 16 * n.V * (1 - p) * (1 - p) / (math.Pi * math.Pi * n.R)
+	head := n.HeadHeadGenRate(p)
+	if !relEq(got, member+head, 1e-12) {
+		t.Errorf("ClusterRate = %v, want %v", got, member+head)
+	}
+	if member <= 0 || head <= 0 {
+		t.Errorf("both terms must be positive: %v %v", member, head)
+	}
+}
+
+func TestClusterRateDegenerateRatios(t *testing.T) {
+	n := validNet()
+	// P = 1: every node its own head; no member–head links to break, but
+	// head–head generations dominate.
+	all, err := n.ClusterRate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(all, n.HeadHeadGenRate(1), 1e-12) {
+		t.Errorf("P=1 ClusterRate = %v, want pure head term %v", all, n.HeadHeadGenRate(1))
+	}
+	for _, p := range []float64{0, -0.1, 1.1} {
+		if _, err := n.ClusterRate(p); err == nil {
+			t.Errorf("ClusterRate(%v): want error", p)
+		}
+		if _, err := n.RouteRate(p); err == nil {
+			t.Errorf("RouteRate(%v): want error", p)
+		}
+	}
+}
+
+func TestRouteRateFormula(t *testing.T) {
+	n := validNet()
+	const p = 0.3
+	got, err := n.RouteRate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8 * n.V * ((1-p)*(1-p) + (1-p)*p) / (math.Pi * math.Pi * n.R * p)
+	if !relEq(got, want, 1e-12) {
+		t.Errorf("RouteRate = %v, want %v", got, want)
+	}
+	// Numerator identity: (1−P)² + (1−P)P = (1−P).
+	want2 := 8 * n.V * (1 - p) / (math.Pi * math.Pi * n.R * p)
+	if !relEq(got, want2, 1e-12) {
+		t.Errorf("numerator identity broken: %v vs %v", got, want2)
+	}
+}
+
+func TestRouteRateGrowsAsClustersShrink(t *testing.T) {
+	// Smaller P → bigger clusters → more intra-cluster links → more
+	// frequent table rounds.
+	n := validNet()
+	lo, err := n.RouteRate(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := n.RouteRate(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Errorf("RouteRate should grow as P shrinks: P=.05 → %v vs P=.5 → %v", hi, lo)
+	}
+}
+
+func TestControlRatesAndTotals(t *testing.T) {
+	n := validNet()
+	const p = 0.2
+	rates, err := n.ControlRates(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.Hello <= 0 || rates.Cluster <= 0 || rates.Route <= 0 {
+		t.Fatalf("rates must be positive: %+v", rates)
+	}
+	if !relEq(rates.Total(), rates.Hello+rates.Cluster+rates.Route, 1e-12) {
+		t.Error("Rates.Total mismatch")
+	}
+
+	ovh, err := n.ControlOverheads(p, DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEq(ovh.Hello, DefaultMessageSizes.Hello*rates.Hello, 1e-12) {
+		t.Errorf("O_hello = %v, want p_hello·f_hello", ovh.Hello)
+	}
+	if !relEq(ovh.Cluster, DefaultMessageSizes.Cluster*rates.Cluster, 1e-12) {
+		t.Errorf("O_cluster = %v, want p_cluster·f_cluster", ovh.Cluster)
+	}
+	wantRoute := DefaultMessageSizes.RouteEntry / p * rates.Route
+	if !relEq(ovh.Route, wantRoute, 1e-12) {
+		t.Errorf("O_route = %v, want table-size scaled %v", ovh.Route, wantRoute)
+	}
+	if !relEq(ovh.Total(), ovh.Hello+ovh.Cluster+ovh.Route, 1e-12) {
+		t.Error("Overheads.Total mismatch")
+	}
+}
+
+func TestControlRatesPropagatesValidation(t *testing.T) {
+	bad := Network{N: 1, R: 1, V: 1, Density: 1}
+	if _, err := bad.ControlRates(0.2); err == nil {
+		t.Error("invalid network accepted")
+	}
+	n := validNet()
+	if _, err := n.ControlOverheads(0.2, MessageSizes{}); err == nil {
+		t.Error("invalid sizes accepted")
+	}
+	if _, err := n.ControlOverheads(0, DefaultMessageSizes); err == nil {
+		t.Error("invalid ratio accepted")
+	}
+}
+
+func TestRouteDominatesTotalOverhead(t *testing.T) {
+	// §6: "ROUTE message overhead constitutes the main control overhead".
+	// With LID's P this must hold across a broad parameter range.
+	n := validNet()
+	p, err := n.LIDHeadRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovh, err := n.ControlOverheads(p, DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovh.Route <= ovh.Hello || ovh.Route <= ovh.Cluster {
+		t.Errorf("ROUTE should dominate: %+v", ovh)
+	}
+}
+
+func TestExpectedClusterSize(t *testing.T) {
+	m, err := ExpectedClusterSize(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 4 {
+		t.Errorf("ExpectedClusterSize(0.25) = %v, want 4", m)
+	}
+	if _, err := ExpectedClusterSize(0); err == nil || !strings.Contains(err.Error(), "ratio") {
+		t.Errorf("want ratio error, got %v", err)
+	}
+}
+
+func TestPropertyRatesScaleLinearlyWithSpeed(t *testing.T) {
+	// All three frequencies are Θ(v): doubling v doubles every rate.
+	f := func(seed uint8) bool {
+		v := 0.01 + float64(seed)/256.0
+		n1 := Network{N: 400, R: 1.5, V: v, Density: 4}
+		n2 := Network{N: 400, R: 1.5, V: 2 * v, Density: 4}
+		r1, err1 := n1.ControlRates(0.2)
+		r2, err2 := n2.ControlRates(0.2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return relEq(2*r1.Hello, r2.Hello, 1e-9) &&
+			relEq(2*r1.Cluster, r2.Cluster, 1e-9) &&
+			relEq(2*r1.Route, r2.Route, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOverheadsNonNegative(t *testing.T) {
+	f := func(pRaw, rRaw uint8) bool {
+		p := 0.02 + 0.96*float64(pRaw)/255.0
+		r := 0.5 + 3*float64(rRaw)/255.0
+		n := Network{N: 400, R: r, V: 0.25, Density: 4}
+		ovh, err := n.ControlOverheads(p, DefaultMessageSizes)
+		if err != nil {
+			return false
+		}
+		return ovh.Hello >= 0 && ovh.Cluster >= 0 && ovh.Route >= 0 &&
+			!math.IsNaN(ovh.Total()) && !math.IsInf(ovh.Total(), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Elasticities are the local logarithmic sensitivities of the total
+// per-node control overhead to each network parameter:
+// ∂ log O_total / ∂ log x — "a 1% increase in x raises the overhead by
+// E_x %". They are the finite-size counterpart of the §6 Θ-orders
+// (whose exponents the elasticities approach as the network grows) and
+// the quantity a deployment engineer consults to find which knob
+// dominates the control budget.
+type Elasticities struct {
+	Range   float64 // with respect to r
+	Speed   float64 // with respect to v
+	Density float64 // with respect to ρ
+}
+
+// OverheadElasticities evaluates the elasticities at this network's
+// operating point, holding the clustering at LID's analytical head
+// ratio for each perturbed scenario (the head ratio re-equilibrates
+// with the parameters, as it does in a real network).
+func (n Network) OverheadElasticities(sizes MessageSizes) (Elasticities, error) {
+	if err := n.Validate(); err != nil {
+		return Elasticities{}, err
+	}
+	if err := sizes.Validate(); err != nil {
+		return Elasticities{}, err
+	}
+	if n.V == 0 {
+		return Elasticities{}, fmt.Errorf("core: zero-speed network has no overhead to differentiate")
+	}
+	total := func(net Network) (float64, error) {
+		p, err := net.LIDHeadRatioExact()
+		if err != nil {
+			return 0, err
+		}
+		ovh, err := net.ControlOverheads(p, sizes)
+		if err != nil {
+			return 0, err
+		}
+		return ovh.Total(), nil
+	}
+	elasticity := func(bump func(Network, float64) Network) (float64, error) {
+		const h = 1e-4 // relative step
+		up, err := total(bump(n, 1+h))
+		if err != nil {
+			return 0, err
+		}
+		down, err := total(bump(n, 1-h))
+		if err != nil {
+			return 0, err
+		}
+		// Central difference on the log-log curve.
+		return (math.Log(up) - math.Log(down)) / math.Log((1+h)/(1-h)), nil
+	}
+	r, err := elasticity(func(net Network, f float64) Network { net.R *= f; return net })
+	if err != nil {
+		return Elasticities{}, err
+	}
+	v, err := elasticity(func(net Network, f float64) Network { net.V *= f; return net })
+	if err != nil {
+		return Elasticities{}, err
+	}
+	rho, err := elasticity(func(net Network, f float64) Network { net.Density *= f; return net })
+	if err != nil {
+		return Elasticities{}, err
+	}
+	return Elasticities{Range: r, Speed: v, Density: rho}, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOverheadElasticities(t *testing.T) {
+	n := validNet()
+	e, err := n.OverheadElasticities(DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speed elasticity is exactly 1: every overhead term is Θ(v).
+	if math.Abs(e.Speed-1) > 1e-6 {
+		t.Errorf("speed elasticity = %v, want 1", e.Speed)
+	}
+	// Range and density elasticities sit between the CLUSTER floor and
+	// the HELLO/ROUTE ceiling of the §6 orders at finite size.
+	if e.Range < -0.5 || e.Range > 1.5 {
+		t.Errorf("range elasticity = %v out of plausible band", e.Range)
+	}
+	if e.Density < 0.3 || e.Density > 1.5 {
+		t.Errorf("density elasticity = %v out of plausible band", e.Density)
+	}
+	// Cross-check against a direct 10% perturbation.
+	p1, err := n.LIDHeadRatioExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := n.ControlOverheads(p1, DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := n
+	bumped.Density *= 1.1
+	p2, err := bumped.LIDHeadRatioExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := bumped.ControlOverheads(p2, DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := (math.Log(o2.Total()) - math.Log(o1.Total())) / math.Log(1.1)
+	if math.Abs(direct-e.Density) > 0.05 {
+		t.Errorf("density elasticity %v vs direct secant %v", e.Density, direct)
+	}
+}
+
+func TestOverheadElasticitiesErrors(t *testing.T) {
+	bad := Network{N: 1, R: 1, V: 1, Density: 1}
+	if _, err := bad.OverheadElasticities(DefaultMessageSizes); err == nil {
+		t.Error("invalid network accepted")
+	}
+	n := validNet()
+	if _, err := n.OverheadElasticities(MessageSizes{}); err == nil {
+		t.Error("invalid sizes accepted")
+	}
+	static := Network{N: 100, R: 1, V: 0, Density: 1}
+	if _, err := static.OverheadElasticities(DefaultMessageSizes); err == nil {
+		t.Error("static network accepted")
+	}
+}
+
+func TestElasticitiesApproachKnuthOrders(t *testing.T) {
+	// In a huge sparse-R regime the elasticities converge to the §6
+	// asymptotic orders of the dominant terms.
+	n := Network{N: 4_000_000, R: 3, V: 0.1, Density: 4}
+	e, err := n.OverheadElasticities(DefaultMessageSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HELLO and ROUTE (both Θ(r), Θ(ρ)) dominate the total, so the
+	// elasticities approach 1 in both r and ρ.
+	if math.Abs(e.Range-1) > 0.15 {
+		t.Errorf("asymptotic range elasticity = %v, want ≈1", e.Range)
+	}
+	if math.Abs(e.Density-1) > 0.15 {
+		t.Errorf("asymptotic density elasticity = %v, want ≈1", e.Density)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// ConvergenceRow reports the formation convergence time (synchronous
+// elect-and-join rounds) of a clustering policy at one network size.
+type ConvergenceRow struct {
+	N          int
+	MeanRounds float64
+	MaxRounds  int
+	LogN       float64
+}
+
+// FormationConvergence measures how many synchronous rounds LID
+// formation needs to assign every node, versus network size at constant
+// density — the convergence-time dimension of clustering overhead that
+// the authors analyze for MobDHop in their companion paper (reference
+// [16]). The empirical growth is logarithmic-like: each round decides
+// every node whose ID is a local minimum among survivors, so undecided
+// chains shrink geometrically.
+func FormationConvergence(policy cluster.Policy, repeats int, seed uint64) ([]ConvergenceRow, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("experiments: nil policy")
+	}
+	if repeats < 1 {
+		return nil, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
+	}
+	var rows []ConvergenceRow
+	for _, n := range []int{50, 100, 200, 400, 800} {
+		net := core.Network{N: n, R: 1.0, V: 0, Density: 4}
+		total := 0
+		maxRounds := 0
+		for rep := 0; rep < repeats; rep++ {
+			sim, err := netsim.New(netsim.Config{
+				N: n, Side: net.Side(), Range: net.R, Dt: 1,
+				Seed: seed + uint64(rep)*6151,
+			})
+			if err != nil {
+				return nil, err
+			}
+			_, stats, err := cluster.FormWithStats(sim, policy)
+			if err != nil {
+				return nil, err
+			}
+			total += stats.Rounds
+			if stats.Rounds > maxRounds {
+				maxRounds = stats.Rounds
+			}
+		}
+		rows = append(rows, ConvergenceRow{
+			N:          n,
+			MeanRounds: float64(total) / float64(repeats),
+			MaxRounds:  maxRounds,
+			LogN:       math.Log(float64(n)),
+		})
+	}
+	return rows, nil
+}
+
+// ConvergenceTable renders the rows.
+func ConvergenceTable(rows []ConvergenceRow) string {
+	header := []string{"N", "mean rounds", "max rounds", "ln N"}
+	body := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		body = append(body, []string{
+			fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%.2f", r.MeanRounds),
+			fmt.Sprintf("%d", r.MaxRounds),
+			fmt.Sprintf("%.2f", r.LogN),
+		})
+	}
+	return metrics.RenderTable(header, body)
+}

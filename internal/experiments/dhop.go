@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// DHopRow compares Max-Min d-hop formations against the d-hop extension
+// of the paper's head-ratio heuristic at one hop bound.
+type DHopRow struct {
+	Hops          int
+	MeasuredHeads float64
+	ModelHeads    float64
+	MeanDist      float64 // average member→head hop distance
+}
+
+// DHopStudy forms Max-Min clusters for growing hop bounds on static
+// sparse placements and compares the measured head counts with
+// core.DHopExpectedClusters — the §7 future-work question ("further
+// analysis ... in aspects such as scalability") answered paper-style.
+// Expect the same qualitative behaviour as Figure 5: useful in the
+// sparse regime, over-prediction as the effective (d-hop) neighborhood
+// densifies.
+func DHopStudy(repeats int, seed uint64) ([]DHopRow, error) {
+	if repeats < 1 {
+		return nil, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
+	}
+	net := core.Network{N: 300, R: 0.8, V: 0, Density: 3}
+	var rows []DHopRow
+	for _, hops := range []int{1, 2, 3} {
+		model, err := net.DHopExpectedClusters(hops)
+		if err != nil {
+			return nil, err
+		}
+		var heads, dist, members float64
+		for rep := 0; rep < repeats; rep++ {
+			sim, err := netsim.New(netsim.Config{
+				N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
+				Seed: seed + uint64(rep)*2671,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a, err := cluster.FormMaxMin(sim, hops)
+			if err != nil {
+				return nil, err
+			}
+			heads += float64(a.NumHeads())
+			for _, d := range a.Dist {
+				dist += float64(d)
+				members++
+			}
+		}
+		rows = append(rows, DHopRow{
+			Hops:          hops,
+			MeasuredHeads: heads / float64(repeats),
+			ModelHeads:    model,
+			MeanDist:      dist / members,
+		})
+	}
+	return rows, nil
+}
+
+// DHopTable renders the comparison.
+func DHopTable(rows []DHopRow) string {
+	header := []string{"d (hops)", "Max-Min heads (sim)", "model N/√(D_d+1)", "mean hops to head"}
+	body := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		body = append(body, []string{
+			fmt.Sprintf("%d", r.Hops),
+			fmt.Sprintf("%.1f", r.MeasuredHeads),
+			fmt.Sprintf("%.1f", r.ModelHeads),
+			fmt.Sprintf("%.2f", r.MeanDist),
+		})
+	}
+	return metrics.RenderTable(header, body)
+}

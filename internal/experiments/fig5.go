@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// countClusters forms LID clusters over `repeats` independent static
+// uniform placements and returns the average cluster count.
+func countClusters(net core.Network, policy cluster.Policy, repeats int, seed uint64) (float64, error) {
+	if repeats < 1 {
+		return 0, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
+	}
+	total := 0.0
+	for rep := 0; rep < repeats; rep++ {
+		sim, err := netsim.New(netsim.Config{
+			N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
+			Seed: seed + uint64(rep)*7919,
+		})
+		if err != nil {
+			return 0, err
+		}
+		a, err := cluster.Form(sim, policy)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(a.NumHeads())
+	}
+	return total / float64(repeats), nil
+}
+
+// Figure5a reproduces Figure 5(a): the number of LID clusters versus
+// network size N with the region and transmission range fixed
+// (a = 10, r = a/10), comparing the Eqn (16)/(18) analysis against
+// simulated formations. The sweep stays in the sparse regime where the
+// independence approximation behind Eqn (16) is informative; see
+// EXPERIMENTS.md for the dense-regime divergence.
+func Figure5a(repeats int, seed uint64) (*metrics.Figure, error) {
+	fig := &metrics.Figure{
+		Title:  "Figure 5(a): number of clusters vs network size",
+		XLabel: "network size N",
+		YLabel: "clusters",
+	}
+	ana := fig.AddSeries("analysis (N·P from Eqn 16)")
+	sim := fig.AddSeries("simulation (LID formation)")
+	const side = 10.0
+	for _, n := range []int{50, 100, 150, 200, 250, 300, 350, 400} {
+		net := core.Network{N: n, R: 1.0, V: 0, Density: float64(n) / (side * side)}
+		want, err := net.LIDExpectedClusters()
+		if err != nil {
+			return nil, err
+		}
+		got, err := countClusters(net, cluster.LID{}, repeats, seed)
+		if err != nil {
+			return nil, err
+		}
+		ana.Add(float64(n), want)
+		sim.Add(float64(n), got)
+	}
+	return fig, nil
+}
+
+// Figure5b reproduces Figure 5(b): the number of LID clusters versus
+// transmission range with N = 400 nodes in a 10×10 region.
+func Figure5b(repeats int, seed uint64) (*metrics.Figure, error) {
+	fig := &metrics.Figure{
+		Title:  "Figure 5(b): number of clusters vs transmission range",
+		XLabel: "r/a",
+		YLabel: "clusters",
+	}
+	ana := fig.AddSeries("analysis (N·P from Eqn 16)")
+	sim := fig.AddSeries("simulation (LID formation)")
+	for _, frac := range []float64{0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.12} {
+		net := core.Network{N: 400, R: frac * 10, V: 0, Density: 4}
+		want, err := net.LIDExpectedClusters()
+		if err != nil {
+			return nil, err
+		}
+		got, err := countClusters(net, cluster.LID{}, repeats, seed)
+		if err != nil {
+			return nil, err
+		}
+		ana.Add(frac, want)
+		sim.Add(frac, got)
+	}
+	return fig, nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// RateFigureSpec describes one frequency-validation sweep (Figures 1–3):
+// a base scenario, the swept parameter, and its grid.
+type RateFigureSpec struct {
+	Title  string
+	XLabel string
+	Base   core.Network
+	Xs     []float64
+	// Apply maps one sweep value onto the base scenario.
+	Apply func(net core.Network, x float64) core.Network
+}
+
+// RateFigure runs the sweep: at every grid point it simulates the
+// scenario, measures the three per-node control message frequencies, and
+// evaluates the analysis (Eqns 4, 11, 13) using the *measured* head
+// ratio P — exactly the paper's methodology ("P for LID is measured in
+// real time during the simulation").
+func RateFigure(spec RateFigureSpec, opts Options) (*metrics.Figure, error) {
+	fig := &metrics.Figure{Title: spec.Title, XLabel: spec.XLabel, YLabel: "messages per node per unit time"}
+	helloA := fig.AddSeries("f_hello analysis")
+	helloS := fig.AddSeries("f_hello simulation")
+	clusterA := fig.AddSeries("f_cluster analysis")
+	clusterS := fig.AddSeries("f_cluster simulation")
+	routeA := fig.AddSeries("f_route analysis")
+	routeS := fig.AddSeries("f_route simulation")
+
+	for _, x := range spec.Xs {
+		net := spec.Apply(spec.Base, x)
+		meas, err := MeasureRates(net, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s at %s=%g: %w", spec.Title, spec.XLabel, x, err)
+		}
+		rates, err := net.ControlRates(meas.HeadRatio)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: analysis at %s=%g: %w", spec.XLabel, x, err)
+		}
+		helloA.Add(x, rates.Hello)
+		helloS.Add(x, meas.FHello)
+		clusterA.Add(x, rates.Cluster)
+		clusterS.Add(x, meas.FCluster)
+		routeA.Add(x, rates.Route)
+		routeS.Add(x, meas.FRoute)
+	}
+	return fig, nil
+}
+
+// Figure1 reproduces Figure 1: control message frequencies versus
+// transmission range r (expressed as a fraction of the border length a),
+// with N = 400 nodes and v = 0.005·a per unit time.
+func Figure1(opts Options) (*metrics.Figure, error) {
+	base := core.Network{N: 400, Density: 4} // a = 10
+	a := base.Side()
+	spec := RateFigureSpec{
+		Title:  "Figure 1: control message frequencies vs transmission range",
+		XLabel: "r/a",
+		Base:   base,
+		Xs:     []float64{0.06, 0.09, 0.12, 0.15, 0.18, 0.22, 0.26, 0.30},
+		Apply: func(net core.Network, x float64) core.Network {
+			net.R = x * a
+			net.V = 0.005 * a
+			return net
+		},
+	}
+	return RateFigure(spec, opts)
+}
+
+// Figure2 reproduces Figure 2: control message frequencies versus node
+// speed v (as a fraction of a per unit time), with N = 400 and
+// r = 0.075·a.
+func Figure2(opts Options) (*metrics.Figure, error) {
+	base := core.Network{N: 400, Density: 4}
+	a := base.Side()
+	spec := RateFigureSpec{
+		Title:  "Figure 2: control message frequencies vs node speed",
+		XLabel: "v/a",
+		Base:   base,
+		Xs:     []float64{0.002, 0.004, 0.006, 0.008, 0.011, 0.014, 0.017, 0.020},
+		Apply: func(net core.Network, x float64) core.Network {
+			net.R = 0.075 * a
+			net.V = x * a
+			return net
+		},
+	}
+	return RateFigure(spec, opts)
+}
+
+// Figure3 reproduces Figure 3: control message frequencies versus node
+// density ρ, with N = 400, r = 3 and v = 0.1 in absolute units (the
+// region side shrinks as density grows: a = √(N/ρ)).
+func Figure3(opts Options) (*metrics.Figure, error) {
+	spec := RateFigureSpec{
+		Title:  "Figure 3: control message frequencies vs network density",
+		XLabel: "density (nodes per unit area)",
+		Base:   core.Network{N: 400},
+		Xs:     []float64{0.5, 0.75, 1.0, 1.5, 2.0, 2.75, 3.5, 4.0},
+		Apply: func(net core.Network, x float64) core.Network {
+			net.Density = x
+			net.R = 3
+			net.V = 0.1
+			return net
+		},
+	}
+	return RateFigure(spec, opts)
+}
+
+// Figure4 reproduces Figure 4's two panels validating the Eqn (16) →
+// Eqn (17) approximation: (a) the tail term (1−P)^{d+1} vanishing as the
+// closed neighborhood grows, and (b) the exact fixed-point P against the
+// closed form 1/√(d+1).
+func Figure4() (*metrics.Figure, *metrics.Figure, error) {
+	tail := &metrics.Figure{
+		Title:  "Figure 4(a): (1-P)^(d+1) vanishes as d+1 grows",
+		XLabel: "d+1",
+		YLabel: "(1-P)^(d+1)",
+	}
+	tailS := tail.AddSeries("(1-P)^(d+1) at fixed point")
+
+	ratio := &metrics.Figure{
+		Title:  "Figure 4(b): P as a function of d+1",
+		XLabel: "d+1",
+		YLabel: "P",
+	}
+	exactS := ratio.AddSeries("P from Eqn (16)")
+	approxS := ratio.AddSeries("P = 1/sqrt(d+1) (Eqn 17)")
+
+	for dPlus1 := 2; dPlus1 <= 61; dPlus1++ {
+		d := float64(dPlus1 - 1)
+		p, err := core.LIDHeadRatioFixedPoint(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		tailS.Add(float64(dPlus1), core.LIDTailTerm(p, d))
+		exactS.Add(float64(dPlus1), p)
+		approxS.Add(float64(dPlus1), core.LIDHeadRatioApprox(d))
+	}
+	return tail, ratio, nil
+}

@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkDistPDF evaluates the probability density of the distance x between
+// two points placed independently and uniformly in a square of side d
+// (L. E. Miller, "Distribution of Link Distances in a Wireless Network",
+// J. Res. NIST 106(2), 2001 — reference [10] of the paper). With t = x/d:
+//
+//	0 ≤ t ≤ 1:  f(t) = 2t·(π − 4t + t²)
+//	1 < t ≤ √2: f(t) = 2t·(4√(t²−1) − (t²+2−π) − 4·atan(√(t²−1)))
+//
+// scaled by 1/d so that the density integrates to one over [0, d√2].
+func LinkDistPDF(x, d float64) float64 {
+	if d <= 0 || x < 0 || x > d*math.Sqrt2 {
+		return 0
+	}
+	t := x / d
+	if t <= 1 {
+		return 2 * t * (math.Pi - 4*t + t*t) / d
+	}
+	s := math.Sqrt(t*t - 1)
+	return 2 * t * (4*s - (t*t + 2 - math.Pi) - 4*math.Atan(s)) / d
+}
+
+// LinkDistCDF evaluates Miller's cumulative distribution function for the
+// link distance in a square of side d. On the main branch 0 ≤ x ≤ d,
+//
+//	F(x) = (x/d)² · [ π − (8/3)(x/d) + (1/2)(x/d)² ]
+//
+// which is the expression used by Claim 1 of the paper (it assumes r < a).
+// For d < x ≤ d√2 the density's upper branch is integrated numerically so
+// the CDF stays exact over the full support; F is 0 below 0 and 1 above
+// d√2.
+func LinkDistCDF(x, d float64) float64 {
+	switch {
+	case d <= 0:
+		return 1 // zero-size square: the two points coincide
+	case x <= 0:
+		return 0
+	case x >= d*math.Sqrt2:
+		return 1
+	}
+	t := x / d
+	if t <= 1 {
+		return t * t * (math.Pi - 8.0/3.0*t + 0.5*t*t)
+	}
+	// F(1) + ∫₁ᵗ f(u) du by composite Simpson on the unit square.
+	const f1 = math.Pi - 8.0/3.0 + 0.5
+	return math.Min(1, f1+simpson(func(u float64) float64 { return LinkDistPDF(u, 1) }, 1, t, 64))
+}
+
+// simpson integrates f over [a, b] with n (even) panels.
+func simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+// DiscOverlapProb returns the probability that two points placed
+// independently and uniformly inside a disc of radius r are within
+// distance r of each other: 1 − 3√3/(4π) ≈ 0.5865. It is used by
+// diagnostics that estimate intra-cluster member–member connectivity.
+func DiscOverlapProb() float64 {
+	return 1 - 3*math.Sqrt(3)/(4*math.Pi)
+}
+
+// ExpectedNeighborsTorus returns the exact expected number of neighbors of
+// a node among n−1 others placed uniformly on a torus of side a with
+// transmission range r ≤ a/2: (n−1)·πr²/a².
+func ExpectedNeighborsTorus(n int, r, a float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("geom: need at least one node, got %d", n)
+	}
+	if a <= 0 {
+		return 0, fmt.Errorf("geom: side must be positive, got %g", a)
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("geom: range must be non-negative, got %g", r)
+	}
+	if r > a/2 {
+		// Beyond a/2 the wrapped discs overlap themselves and πr²/a²
+		// over-counts; the experiments never operate there.
+		return 0, fmt.Errorf("geom: torus neighbor formula requires r ≤ a/2, got r=%g a=%g", r, a)
+	}
+	return float64(n-1) * math.Pi * r * r / (a * a), nil
+}

@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLinkDistCDFBoundaries(t *testing.T) {
+	const d = 5.0
+	if got := LinkDistCDF(-1, d); got != 0 {
+		t.Errorf("F(-1) = %v, want 0", got)
+	}
+	if got := LinkDistCDF(0, d); got != 0 {
+		t.Errorf("F(0) = %v, want 0", got)
+	}
+	if got := LinkDistCDF(d*math.Sqrt2, d); got != 1 {
+		t.Errorf("F(d√2) = %v, want 1", got)
+	}
+	if got := LinkDistCDF(100*d, d); got != 1 {
+		t.Errorf("F(100d) = %v, want 1", got)
+	}
+	if got := LinkDistCDF(1, 0); got != 1 {
+		t.Errorf("degenerate square F = %v, want 1", got)
+	}
+}
+
+func TestLinkDistCDFKnownValues(t *testing.T) {
+	// F(d) on the main branch: π − 8/3 + 1/2 ≈ 0.97533.
+	want := math.Pi - 8.0/3.0 + 0.5
+	if got := LinkDistCDF(1, 1); !almostEq(got, want, 1e-12) {
+		t.Errorf("F(1;1) = %v, want %v", got, want)
+	}
+	// Scale invariance: F(x; d) depends only on x/d.
+	if a, b := LinkDistCDF(0.3, 1), LinkDistCDF(3, 10); !almostEq(a, b, 1e-12) {
+		t.Errorf("scale invariance broken: %v vs %v", a, b)
+	}
+}
+
+func TestLinkDistCDFMonotoneAndContinuous(t *testing.T) {
+	const d = 1.0
+	prev := 0.0
+	for i := 0; i <= 2000; i++ {
+		x := float64(i) / 2000 * d * math.Sqrt2
+		f := LinkDistCDF(x, d)
+		if f < prev-1e-12 {
+			t.Fatalf("CDF decreased at x=%v: %v < %v", x, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("CDF out of [0,1] at x=%v: %v", x, f)
+		}
+		// Continuity: adjacent samples close (grid is fine).
+		if f-prev > 0.01 {
+			t.Fatalf("CDF jump at x=%v: %v -> %v", x, prev, f)
+		}
+		prev = f
+	}
+	if prev < 0.9999 {
+		t.Errorf("CDF at upper support = %v, want ≈1", prev)
+	}
+}
+
+func TestLinkDistPDFIntegratesToOne(t *testing.T) {
+	total := simpson(func(x float64) float64 { return LinkDistPDF(x, 1) }, 0, math.Sqrt2, 4000)
+	if !almostEq(total, 1, 1e-6) {
+		t.Errorf("∫pdf = %v, want 1", total)
+	}
+}
+
+func TestLinkDistPDFMatchesCDFDerivative(t *testing.T) {
+	const d = 2.0
+	const h = 1e-6
+	for _, x := range []float64{0.2, 0.7, 1.3, 1.9, 2.3, 2.7} {
+		num := (LinkDistCDF(x+h, d) - LinkDistCDF(x-h, d)) / (2 * h)
+		pdf := LinkDistPDF(x, d)
+		if !almostEq(num, pdf, 1e-4) {
+			t.Errorf("pdf(%v) = %v, numeric derivative = %v", x, pdf, num)
+		}
+	}
+}
+
+func TestLinkDistCDFMonteCarlo(t *testing.T) {
+	// Empirical CDF from 200k random point pairs in the unit square.
+	rng := rand.New(rand.NewSource(7))
+	const samples = 200000
+	dists := make([]float64, samples)
+	for i := range dists {
+		p := Vec2{rng.Float64(), rng.Float64()}
+		q := Vec2{rng.Float64(), rng.Float64()}
+		dists[i] = p.Dist(q)
+	}
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 1.0, 1.2, 1.35} {
+		count := 0
+		for _, dd := range dists {
+			if dd <= x {
+				count++
+			}
+		}
+		emp := float64(count) / samples
+		ana := LinkDistCDF(x, 1)
+		if !almostEq(emp, ana, 0.005) {
+			t.Errorf("x=%v: empirical %v vs analytical %v", x, emp, ana)
+		}
+	}
+}
+
+func TestDiscOverlapProb(t *testing.T) {
+	want := 1 - 3*math.Sqrt(3)/(4*math.Pi)
+	if got := DiscOverlapProb(); !almostEq(got, want, 1e-15) {
+		t.Errorf("DiscOverlapProb = %v, want %v", got, want)
+	}
+	// Monte Carlo confirmation: two uniform points in the unit disc.
+	rng := rand.New(rand.NewSource(11))
+	const samples = 200000
+	hits := 0
+	sample := func() Vec2 {
+		for {
+			p := Vec2{2*rng.Float64() - 1, 2*rng.Float64() - 1}
+			if p.Norm2() <= 1 {
+				return p
+			}
+		}
+	}
+	for i := 0; i < samples; i++ {
+		if sample().Dist(sample()) <= 1 {
+			hits++
+		}
+	}
+	emp := float64(hits) / samples
+	if !almostEq(emp, want, 0.005) {
+		t.Errorf("Monte Carlo overlap = %v, want %v", emp, want)
+	}
+}
+
+func TestExpectedNeighborsTorus(t *testing.T) {
+	got, err := ExpectedNeighborsTorus(401, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 400 * math.Pi / 100
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("ExpectedNeighborsTorus = %v, want %v", got, want)
+	}
+
+	for _, tt := range []struct {
+		n    int
+		r, a float64
+	}{
+		{0, 1, 10}, {10, 1, 0}, {10, -1, 10}, {10, 6, 10},
+	} {
+		if _, err := ExpectedNeighborsTorus(tt.n, tt.r, tt.a); err == nil {
+			t.Errorf("ExpectedNeighborsTorus(%d,%v,%v): want error", tt.n, tt.r, tt.a)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package geom provides the 2-D geometric primitives used throughout the
+// simulator and the analytical model: vectors, the square and torus metrics,
+// and the link-distance statistics (Miller's CDF) that underpin Claim 1 of
+// the paper.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a 2-D point or displacement in the plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns the squared Euclidean length of v. It avoids the square
+// root when only comparisons are needed.
+func (v Vec2) Norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec2) Dist2(w Vec2) float64 { return v.Sub(w).Norm2() }
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec2{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Heading builds the unit vector with the given angle in radians,
+// measured counter-clockwise from the positive X axis.
+func Heading(theta float64) Vec2 {
+	return Vec2{math.Cos(theta), math.Sin(theta)}
+}
+
+// Angle returns the angle of v in radians in (-π, π].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.4g, %.4g)", v.X, v.Y) }

@@ -1,0 +1,101 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestVecBasicOps(t *testing.T) {
+	v := Vec2{3, 4}
+	w := Vec2{-1, 2}
+
+	if got := v.Add(w); got != (Vec2{2, 6}) {
+		t.Errorf("Add = %v, want (2, 6)", got)
+	}
+	if got := v.Sub(w); got != (Vec2{4, 2}) {
+		t.Errorf("Sub = %v, want (4, 2)", got)
+	}
+	if got := v.Scale(2); got != (Vec2{6, 8}) {
+		t.Errorf("Scale = %v, want (6, 8)", got)
+	}
+	if got := v.Dot(w); got != 5 {
+		t.Errorf("Dot = %v, want 5", got)
+	}
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v, want 25", got)
+	}
+	if got := v.Dist(w); !almostEq(got, math.Hypot(4, 2), 1e-12) {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := v.Dist2(w); got != 20 {
+		t.Errorf("Dist2 = %v, want 20", got)
+	}
+}
+
+func TestVecUnit(t *testing.T) {
+	u := Vec2{3, 4}.Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v, want 1", u.Norm())
+	}
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("Unit of zero = %v, want zero", got)
+	}
+}
+
+func TestHeadingRoundTrip(t *testing.T) {
+	for _, theta := range []float64{0, 0.3, math.Pi / 2, -math.Pi / 2, 3, -3} {
+		h := Heading(theta)
+		if !almostEq(h.Norm(), 1, 1e-12) {
+			t.Errorf("Heading(%v) norm = %v", theta, h.Norm())
+		}
+		if !almostEq(h.Angle(), theta, 1e-12) {
+			t.Errorf("Heading(%v).Angle() = %v", theta, h.Angle())
+		}
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := (Vec2{1.5, -2}).String(); got != "(1.5, -2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestVecPropertyNormTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Vec2{clampFinite(ax), clampFinite(ay)}
+		b := Vec2{clampFinite(bx), clampFinite(by)}
+		// Triangle inequality with small slack for float rounding.
+		return a.Add(b).Norm() <= a.Norm()+b.Norm()+1e-9*(1+a.Norm()+b.Norm())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecPropertyDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Vec2{clampFinite(ax), clampFinite(ay)}
+		b := Vec2{clampFinite(bx), clampFinite(by)}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampFinite maps arbitrary float64 quick-check inputs into a finite,
+// moderate range so products cannot overflow.
+func clampFinite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin-width histogram over [Min, Min+Width·Bins),
+// with overflow captured in the last bin. The zero value is not usable;
+// construct with NewHistogram.
+type Histogram struct {
+	min    float64
+	width  float64
+	counts []int64
+	total  int64
+	sum    float64
+}
+
+// NewHistogram builds a histogram of `bins` bins of the given width
+// starting at min.
+func NewHistogram(min, width float64, bins int) (*Histogram, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("metrics: bin width must be positive, got %g", width)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("metrics: need at least one bin, got %d", bins)
+	}
+	return &Histogram{min: min, width: width, counts: make([]int64, bins)}, nil
+}
+
+// Add folds one observation in. Values below the range clamp into the
+// first bin, values above into the last.
+func (h *Histogram) Add(x float64) {
+	idx := int(math.Floor((x - h.min) / h.width))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+	h.sum += x
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.total }
+
+// Mean returns the observation mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Count returns the count of one bin.
+func (h *Histogram) Count(bin int) int64 { return h.counts[bin] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Quantile returns the q-quantile (q in [0,1]) estimated from bin
+// midpoints; 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			return h.min + (float64(i)+0.5)*h.width
+		}
+	}
+	return h.min + (float64(len(h.counts))-0.5)*h.width
+}
+
+// String renders an ASCII bar chart, one line per non-empty bin.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := int64(1)
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo := h.min + float64(i)*h.width
+		bar := strings.Repeat("#", int(40*c/maxCount))
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %6d %s\n", lo, lo+h.width, c, bar)
+	}
+	return b.String()
+}
+
+// QuantilesOf computes exact sample quantiles of xs (sorted copies; xs
+// is not mutated). Returns 0s when xs is empty.
+func QuantilesOf(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

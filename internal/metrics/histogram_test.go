@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 0, 5); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewHistogram(0, -1, 5); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestHistogramBinningAndClamping(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4) // bins [0,1) [1,2) [2,3) [3,4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1.5, 1.9, 3.2, -5, 100} {
+		h.Add(x)
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Bins() != 4 {
+		t.Errorf("Bins = %d", h.Bins())
+	}
+	wantCounts := []int64{2, 2, 0, 2} // -5 clamps low, 100 clamps high
+	for i, w := range wantCounts {
+		if h.Count(i) != w {
+			t.Errorf("bin %d count = %d, want %d", i, h.Count(i), w)
+		}
+	}
+	wantMean := (0.5 + 1.5 + 1.9 + 3.2 - 5 + 100) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h, err := NewHistogram(0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Mean() != 0 || h.N() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram not zeroed")
+	}
+	if h.String() != "" {
+		t.Errorf("empty String = %q", h.String())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 values uniform over bins 0..9.
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) / 10)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-4.5) > 1.0 {
+		t.Errorf("median = %v, want ≈4.5±1", q)
+	}
+	if q := h.Quantile(0); q > 1 {
+		t.Errorf("0-quantile = %v", q)
+	}
+	if q := h.Quantile(1); q < 9 {
+		t.Errorf("1-quantile = %v", q)
+	}
+	// Out-of-range q clamps.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, err := NewHistogram(0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(1)
+	h.Add(1.5)
+	h.Add(5)
+	s := h.String()
+	if !strings.Contains(s, "#") || strings.Count(s, "\n") != 2 {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestQuantilesOf(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got := QuantilesOf(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("QuantilesOf = %v", got)
+	}
+	// Input not mutated.
+	if xs[0] != 5 {
+		t.Error("input mutated")
+	}
+	if got := QuantilesOf(nil, 0.5); got[0] != 0 {
+		t.Error("empty input should yield zeros")
+	}
+	if got := QuantilesOf(xs, -1, 2); got[0] != 1 || got[1] != 5 {
+		t.Errorf("clamped quantiles = %v", got)
+	}
+}
+
+func TestPropertyHistogramConservation(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, err := NewHistogram(-10, 0.5, 40)
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			h.Add(math.Mod(x, 100))
+			n++
+		}
+		var total int64
+		for i := 0; i < h.Bins(); i++ {
+			total += h.Count(i)
+		}
+		return total == int64(n) && h.N() == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyQuantileMonotone(t *testing.T) {
+	h, err := NewHistogram(0, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		h.Add(float64(i % 37))
+	}
+	f := func(a, b uint8) bool {
+		qa, qb := float64(a)/255, float64(b)/255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

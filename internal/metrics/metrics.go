@@ -1,0 +1,82 @@
+// Package metrics provides the small statistics toolkit used by the
+// simulator and the experiment harness: streaming mean/variance
+// accumulators, named (x, y) series, confidence intervals, and renderers
+// for ASCII tables and CSV files.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator computes running mean and variance with Welford's method.
+// The zero value is an empty accumulator ready for use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var reports the unbiased sample variance (0 with fewer than 2 samples).
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Var()) }
+
+// CI95 reports the half-width of the normal-approximation 95% confidence
+// interval of the mean (0 with fewer than 2 samples).
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.Std() / math.Sqrt(float64(a.n))
+}
+
+// Summary condenses an accumulator into a value object.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI95 float64
+}
+
+// Summarize captures the accumulator's current state.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{N: a.n, Mean: a.Mean(), Std: a.Std(), CI95: a.CI95()}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.2g (n=%d)", s.Mean, s.CI95, s.N)
+}
+
+// MeanOf returns the mean of xs (0 when empty).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Var() != 0 || a.CI95() != 0 {
+		t.Error("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(a.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", a.Var(), 32.0/7.0)
+	}
+	if math.Abs(a.Std()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("Std = %v", a.Std())
+	}
+	wantCI := 1.96 * a.Std() / math.Sqrt(8)
+	if math.Abs(a.CI95()-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", a.CI95(), wantCI)
+	}
+	s := a.Summarize()
+	if s.N != 8 || s.Mean != a.Mean() || s.Std != a.Std() || s.CI95 != a.CI95() {
+		t.Errorf("Summary mismatch: %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("Summary.String = %q", s.String())
+	}
+}
+
+func TestAccumulatorSingleSample(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Var() != 0 || a.CI95() != 0 {
+		t.Errorf("single sample: mean=%v var=%v ci=%v", a.Mean(), a.Var(), a.CI95())
+	}
+}
+
+func TestPropertyAccumulatorMatchesDirect(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var a Accumulator
+		for _, x := range xs {
+			a.Add(x)
+		}
+		mean := MeanOf(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Max(math.Abs(mean), v))
+		return math.Abs(a.Mean()-mean) < 1e-9*scale && math.Abs(a.Var()-v) < 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Error("MeanOf(nil) != 0")
+	}
+	if MeanOf([]float64{1, 2, 3}) != 2 {
+		t.Error("MeanOf([1 2 3]) != 2")
+	}
+}
+
+func TestSeriesAndFigure(t *testing.T) {
+	var fig Figure
+	fig.Title = "t"
+	fig.XLabel = "x"
+	a := fig.AddSeries("analysis")
+	b := fig.AddSeries("simulation")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 11)
+
+	if got := fig.Lookup("analysis"); got == nil || len(got.Points) != 2 {
+		t.Fatal("Lookup failed")
+	}
+	if fig.Lookup("nope") != nil {
+		t.Error("Lookup of missing series should be nil")
+	}
+	ys := fig.Lookup("analysis").Ys()
+	if len(ys) != 2 || ys[0] != 10 || ys[1] != 20 {
+		t.Errorf("Ys = %v", ys)
+	}
+
+	csv := fig.CSV()
+	wantLines := []string{
+		"x,analysis,simulation",
+		"1,10,11",
+		"2,20,",
+	}
+	gotLines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("CSV = %q", csv)
+	}
+	for i := range wantLines {
+		if gotLines[i] != wantLines[i] {
+			t.Errorf("CSV line %d = %q, want %q", i, gotLines[i], wantLines[i])
+		}
+	}
+
+	table := fig.Table()
+	for _, want := range []string{"analysis", "simulation", "10", "11", "-", "t\n"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	var fig Figure
+	fig.XLabel = `x,with "comma"`
+	fig.AddSeries("s").Add(1, 2)
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, `"x,with ""comma""",s`) {
+		t.Errorf("CSV header not escaped: %q", csv)
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	out := RenderTable([]string{"a", "long-header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table = %q", out)
+	}
+	width := len(lines[0])
+	for i, l := range lines[1:] {
+		if len(strings.TrimRight(l, " ")) > width {
+			t.Errorf("row %d wider than header: %q", i, l)
+		}
+	}
+}

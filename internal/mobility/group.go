@@ -1,0 +1,220 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// RPGM is the Reference Point Group Mobility model (Hong et al.; covered
+// by the mobility survey the paper cites as [9]): nodes are partitioned
+// into groups, each group's logical center performs an epoch random walk
+// with wrap-around, and every node wanders inside a disc around its
+// group center. Group-correlated motion keeps co-members together, which
+// radically reduces cluster membership churn — the ablation this model
+// exists for.
+//
+// RPGM is stateful (it owns its group-center states), so a fresh value
+// must be built with NewRPGM per simulation run.
+type RPGM struct {
+	groups      int
+	speed       float64
+	epoch       float64
+	radius      float64
+	jitterSpeed float64
+
+	centers []State
+	offsets []geom.Vec2 // node offsets from their group center
+	targets []geom.Vec2 // per-node wander target offsets
+}
+
+var _ Model = (*RPGM)(nil)
+
+// NewRPGM builds a group mobility model: `groups` group centers moving
+// at `speed` with direction re-draws every `epoch`, nodes wandering at
+// `jitterSpeed` within `radius` of their center.
+func NewRPGM(groups int, speed, epoch, radius, jitterSpeed float64) (*RPGM, error) {
+	switch {
+	case groups < 1:
+		return nil, fmt.Errorf("mobility: RPGM needs at least one group, got %d", groups)
+	case speed < 0 || jitterSpeed < 0:
+		return nil, fmt.Errorf("mobility: RPGM speeds must be non-negative")
+	case epoch <= 0:
+		return nil, fmt.Errorf("mobility: RPGM epoch must be positive, got %g", epoch)
+	case radius <= 0:
+		return nil, fmt.Errorf("mobility: RPGM radius must be positive, got %g", radius)
+	}
+	return &RPGM{groups: groups, speed: speed, epoch: epoch, radius: radius, jitterSpeed: jitterSpeed}, nil
+}
+
+// Name implements Model.
+func (*RPGM) Name() string { return "rpgm" }
+
+// Group returns the group index of a node.
+func (m *RPGM) Group(node int) int { return node % m.groups }
+
+// Init implements Model. Nodes are assigned to groups round-robin.
+func (m *RPGM) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+	if m.groups > n {
+		return nil, fmt.Errorf("mobility: RPGM has more groups (%d) than nodes (%d)", m.groups, n)
+	}
+	m.centers = make([]State, m.groups)
+	for g := range m.centers {
+		x, y := simrand.UniformIn(rng, metric.Side())
+		m.centers[g] = State{
+			Pos:       geom.Vec2{X: x, Y: y},
+			Dir:       simrand.Direction(rng),
+			Speed:     m.speed,
+			remaining: m.epoch,
+		}
+	}
+	states := make([]State, n)
+	m.offsets = make([]geom.Vec2, n)
+	m.targets = make([]geom.Vec2, n)
+	for i := range states {
+		m.offsets[i] = m.sampleOffset(rng)
+		m.targets[i] = m.sampleOffset(rng)
+		pos, _ := metric.Wrap(m.centers[m.Group(i)].Pos.Add(m.offsets[i]))
+		states[i] = State{Pos: pos, Speed: m.jitterSpeed}
+	}
+	return states, nil
+}
+
+// Step implements Model: advance the group centers, then each node's
+// wander offset, and recompose positions. When a group center wraps the
+// whole group teleports together, so every member reports Wrapped.
+func (m *RPGM) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for g := range m.centers {
+		c := &m.centers[g]
+		c.remaining -= dt
+		if c.remaining <= 0 {
+			c.Dir = simrand.Direction(rng)
+			c.remaining += m.epoch
+		}
+		advanceWrap(c, metric, dt)
+	}
+	for i := range states {
+		// Wander: move the offset toward the target offset, resampling
+		// on (near) arrival.
+		to := m.targets[i].Sub(m.offsets[i])
+		step := m.jitterSpeed * dt
+		if to.Norm() <= step {
+			m.offsets[i] = m.targets[i]
+			m.targets[i] = m.sampleOffset(rng)
+		} else {
+			m.offsets[i] = m.offsets[i].Add(to.Unit().Scale(step))
+		}
+		center := m.centers[m.Group(i)]
+		pos, wrapped := metric.Wrap(center.Pos.Add(m.offsets[i]))
+		states[i].Pos = pos
+		states[i].Wrapped = center.Wrapped || wrapped
+	}
+}
+
+// sampleOffset draws a point uniform in the disc of the wander radius.
+func (m *RPGM) sampleOffset(rng *rand.Rand) geom.Vec2 {
+	for {
+		dx := (2*rng.Float64() - 1) * m.radius
+		dy := (2*rng.Float64() - 1) * m.radius
+		if dx*dx+dy*dy <= m.radius*m.radius {
+			return geom.Vec2{X: dx, Y: dy}
+		}
+	}
+}
+
+// GaussMarkov is the Gauss-Markov mobility model: speed and direction
+// evolve as AR(1) processes with memory α ∈ [0,1] (α=1 is straight-line
+// motion, α=0 is a memoryless random walk), reflecting at borders by
+// steering the mean direction inward.
+type GaussMarkov struct {
+	// MeanSpeed is the asymptotic mean speed.
+	MeanSpeed float64
+	// Alpha is the memory parameter in [0, 1].
+	Alpha float64
+	// SpeedSigma and DirSigma scale the Gaussian innovations.
+	SpeedSigma float64
+	DirSigma   float64
+	// Tick is the model's update period (state re-draw interval).
+	Tick float64
+}
+
+var _ Model = GaussMarkov{}
+
+// Name implements Model.
+func (GaussMarkov) Name() string { return "gauss-markov" }
+
+// Init implements Model.
+func (m GaussMarkov) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+	switch {
+	case m.MeanSpeed < 0:
+		return nil, fmt.Errorf("mobility: Gauss-Markov mean speed must be non-negative")
+	case m.Alpha < 0 || m.Alpha > 1:
+		return nil, fmt.Errorf("mobility: Gauss-Markov alpha must be in [0,1], got %g", m.Alpha)
+	case m.SpeedSigma < 0 || m.DirSigma < 0:
+		return nil, fmt.Errorf("mobility: Gauss-Markov sigmas must be non-negative")
+	case m.Tick <= 0:
+		return nil, fmt.Errorf("mobility: Gauss-Markov tick must be positive, got %g", m.Tick)
+	}
+	states, err := uniformInit(n, metric, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range states {
+		states[i].Dir = simrand.Direction(rng)
+		states[i].Speed = m.MeanSpeed
+		states[i].remaining = m.Tick
+	}
+	return states, nil
+}
+
+// Step implements Model.
+func (m GaussMarkov) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for i := range states {
+		s := &states[i]
+		s.remaining -= dt
+		if s.remaining <= 0 {
+			s.remaining += m.Tick
+			meanDir := m.meanDirection(s.Pos, s.Dir, metric.Side())
+			root := math.Sqrt(1 - m.Alpha*m.Alpha)
+			s.Speed = m.Alpha*s.Speed + (1-m.Alpha)*m.MeanSpeed + root*m.SpeedSigma*rng.NormFloat64()
+			if s.Speed < 0 {
+				s.Speed = 0
+			}
+			s.Dir = m.Alpha*s.Dir + (1-m.Alpha)*meanDir + root*m.DirSigma*rng.NormFloat64()
+		}
+		advanceReflect(s, metric, dt)
+	}
+}
+
+// meanDirection steers nodes near a border back toward the interior,
+// the standard Gauss-Markov edge treatment.
+func (m GaussMarkov) meanDirection(p geom.Vec2, cur float64, side float64) float64 {
+	margin := side * 0.1
+	nearLeft := p.X < margin
+	nearRight := p.X > side-margin
+	nearBottom := p.Y < margin
+	nearTop := p.Y > side-margin
+	switch {
+	case nearLeft && nearBottom:
+		return math.Pi / 4
+	case nearLeft && nearTop:
+		return -math.Pi / 4
+	case nearRight && nearBottom:
+		return 3 * math.Pi / 4
+	case nearRight && nearTop:
+		return -3 * math.Pi / 4
+	case nearLeft:
+		return 0
+	case nearRight:
+		return math.Pi
+	case nearBottom:
+		return math.Pi / 2
+	case nearTop:
+		return -math.Pi / 2
+	default:
+		return cur
+	}
+}

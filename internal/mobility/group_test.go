@@ -1,0 +1,205 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+func TestNewRPGMValidation(t *testing.T) {
+	cases := []struct {
+		groups                            int
+		speed, epoch, radius, jitterSpeed float64
+	}{
+		{0, 1, 1, 1, 1},
+		{2, -1, 1, 1, 1},
+		{2, 1, 0, 1, 1},
+		{2, 1, 1, 0, 1},
+		{2, 1, 1, 1, -1},
+	}
+	for _, c := range cases {
+		if _, err := NewRPGM(c.groups, c.speed, c.epoch, c.radius, c.jitterSpeed); err == nil {
+			t.Errorf("accepted %+v", c)
+		}
+	}
+	m, err := NewRPGM(4, 0.5, 5, 1.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "rpgm" {
+		t.Error("name wrong")
+	}
+	// More groups than nodes fails at Init.
+	metric := testMetric(t, 10)
+	if _, err := m.Init(2, metric, simrand.New(1).Rand()); err == nil {
+		t.Error("groups > nodes accepted")
+	}
+}
+
+func TestRPGMGroupCohesion(t *testing.T) {
+	metric := testMetric(t, 20)
+	rng := simrand.New(2).Rand()
+	m, err := NewRPGM(5, 0.3, 4, 1.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := m.Init(100, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 1000; step++ {
+		m.Step(states, metric, 0.05, rng)
+	}
+	// After a long run, same-group nodes must remain within 2·radius of
+	// each other (modulo the wrap seam: compare via torus distance).
+	torus, err := geom.NewMetric(geom.MetricTorus, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range states {
+		for j := i + 1; j < len(states); j++ {
+			if m.Group(i) != m.Group(j) {
+				continue
+			}
+			if d := torus.Dist(states[i].Pos, states[j].Pos); d > 3.0+1e-9 {
+				t.Fatalf("group %d members %d,%d drifted %v apart", m.Group(i), i, j, d)
+			}
+		}
+	}
+	// All positions stay in the region.
+	for i, s := range states {
+		if !metric.Contains(s.Pos) {
+			t.Fatalf("node %d left region: %v", i, s.Pos)
+		}
+	}
+}
+
+func TestRPGMGroupsActuallyMove(t *testing.T) {
+	metric := testMetric(t, 50)
+	rng := simrand.New(3).Rand()
+	m, err := NewRPGM(3, 0.5, 10, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := m.Init(30, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make([]geom.Vec2, len(states))
+	for i, s := range states {
+		start[i] = s.Pos
+	}
+	for step := 0; step < 200; step++ {
+		m.Step(states, metric, 0.1, rng)
+	}
+	moved := 0
+	for i, s := range states {
+		if s.Pos.Dist(start[i]) > 1 {
+			moved++
+		}
+	}
+	if moved < len(states)/2 {
+		t.Errorf("only %d/%d nodes moved appreciably", moved, len(states))
+	}
+}
+
+func TestGaussMarkovValidation(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(4).Rand()
+	bad := []GaussMarkov{
+		{MeanSpeed: -1, Alpha: 0.5, Tick: 1},
+		{MeanSpeed: 1, Alpha: -0.1, Tick: 1},
+		{MeanSpeed: 1, Alpha: 1.1, Tick: 1},
+		{MeanSpeed: 1, Alpha: 0.5, SpeedSigma: -1, Tick: 1},
+		{MeanSpeed: 1, Alpha: 0.5, DirSigma: -1, Tick: 1},
+		{MeanSpeed: 1, Alpha: 0.5, Tick: 0},
+	}
+	for i, m := range bad {
+		if _, err := m.Init(10, metric, rng); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestGaussMarkovStaysInRegionAndVariesSpeed(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(5).Rand()
+	m := GaussMarkov{MeanSpeed: 0.5, Alpha: 0.8, SpeedSigma: 0.2, DirSigma: 0.5, Tick: 0.5}
+	states, err := m.Init(80, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSpeedChange := false
+	for step := 0; step < 2000; step++ {
+		m.Step(states, metric, 0.05, rng)
+		for i, s := range states {
+			if !metric.Contains(s.Pos) {
+				t.Fatalf("node %d escaped: %v", i, s.Pos)
+			}
+			if s.Speed < 0 {
+				t.Fatalf("negative speed on node %d", i)
+			}
+			if s.Speed != 0.5 {
+				sawSpeedChange = true
+			}
+		}
+	}
+	if !sawSpeedChange {
+		t.Error("speeds never varied; AR(1) update broken")
+	}
+}
+
+func TestGaussMarkovMeanSpeedConverges(t *testing.T) {
+	metric := testMetric(t, 20)
+	rng := simrand.New(6).Rand()
+	m := GaussMarkov{MeanSpeed: 1.0, Alpha: 0.7, SpeedSigma: 0.2, DirSigma: 0.3, Tick: 0.2}
+	states, err := m.Init(200, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	samples := 0
+	for step := 0; step < 3000; step++ {
+		m.Step(states, metric, 0.05, rng)
+		if step > 500 && step%50 == 0 {
+			for _, s := range states {
+				sum += s.Speed
+				samples++
+			}
+		}
+	}
+	mean := sum / float64(samples)
+	if math.Abs(mean-1.0) > 0.1 {
+		t.Errorf("stationary mean speed %v, want ≈1.0", mean)
+	}
+}
+
+func TestGaussMarkovAlphaOneIsStraightLine(t *testing.T) {
+	metric := testMetric(t, 1000)
+	rng := simrand.New(7).Rand()
+	m := GaussMarkov{MeanSpeed: 1, Alpha: 1, SpeedSigma: 0.5, DirSigma: 0.5, Tick: 0.1}
+	states, err := m.Init(20, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]float64, len(states))
+	for i, s := range states {
+		dirs[i] = s.Dir
+	}
+	for step := 0; step < 100; step++ {
+		m.Step(states, metric, 0.05, rng)
+	}
+	for i, s := range states {
+		// α=1 keeps direction and speed unless a border reflection
+		// occurred; in a 1000-unit region over 5 units of travel nobody
+		// reflects with overwhelming probability.
+		if s.Dir != dirs[i] {
+			t.Errorf("node %d direction drifted with α=1", i)
+		}
+		if s.Speed != 1 {
+			t.Errorf("node %d speed drifted with α=1: %v", i, s.Speed)
+		}
+	}
+}

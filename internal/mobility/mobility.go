@@ -1,0 +1,362 @@
+// Package mobility implements the node mobility models used by the paper
+// and its simulation study:
+//
+//   - BCV, the Bounded Constant Velocity model of §3.2: nodes start
+//     uniformly distributed, each picks one direction forever and moves at
+//     a single constant speed, wrapping at the region borders.
+//   - EpochRWP, the Random-Waypoint variant of §4: nodes re-draw a uniform
+//     direction every epoch, move at a common constant speed, and wrap at
+//     the borders without changing direction. This is the model the paper
+//     validates the analysis against; it matches BCV's uniform spatial
+//     distribution and link-change statistics.
+//   - RandomWaypoint and RandomWalk, the two classic models the paper
+//     cites as analytically intractable — provided for ablation studies.
+//   - Static, for formation-phase experiments (Figure 5).
+//
+// All models draw exclusively from the *rand.Rand handed to them, keeping
+// simulations reproducible from a single seed.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+// State is the per-node mobility state advanced by a Model. Fields beyond
+// Pos are model-owned scratch space; the simulator reads Pos and Wrapped
+// only.
+type State struct {
+	Pos     geom.Vec2
+	Dir     float64 // heading, radians
+	Speed   float64 // current speed, distance per unit time
+	Wrapped bool    // whether the node wrapped a border during the last Step
+
+	// scratch for waypoint/epoch models
+	target    geom.Vec2
+	remaining float64 // time left in the current epoch or pause
+	paused    bool
+}
+
+// Model advances a population of node states through time.
+type Model interface {
+	// Name identifies the model in metrics and logs.
+	Name() string
+	// Init places n nodes uniformly in the region and initializes
+	// model-specific state.
+	Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error)
+	// Step advances every state by dt time units. Implementations must
+	// set each State's Wrapped flag to whether that node wrapped a border
+	// during this step.
+	Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand)
+}
+
+// uniformInit places n nodes uniformly at random in the region.
+func uniformInit(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need a positive node count, got %d", n)
+	}
+	states := make([]State, n)
+	for i := range states {
+		x, y := simrand.UniformIn(rng, metric.Side())
+		states[i].Pos = geom.Vec2{X: x, Y: y}
+	}
+	return states, nil
+}
+
+// advanceWrap moves a state along its heading for dt, wrapping at borders.
+func advanceWrap(s *State, metric geom.Metric, dt float64) {
+	p := s.Pos.Add(geom.Heading(s.Dir).Scale(s.Speed * dt))
+	s.Pos, s.Wrapped = metric.Wrap(p)
+}
+
+// advanceReflect moves a state along its heading for dt, reflecting at
+// borders (classic random-walk boundary handling). Reflection never wraps.
+func advanceReflect(s *State, metric geom.Metric, dt float64) {
+	side := metric.Side()
+	p := s.Pos.Add(geom.Heading(s.Dir).Scale(s.Speed * dt))
+	dir := geom.Heading(s.Dir)
+	var rx, ry bool
+	p.X, dir.X, rx = reflectCoord(p.X, dir.X, side)
+	p.Y, dir.Y, ry = reflectCoord(p.Y, dir.Y, side)
+	s.Pos = p
+	if rx || ry {
+		// Only recompute the heading when a reflection happened: the
+		// Heading→Angle round trip is not bit-exact and would otherwise
+		// drift straight-line trajectories.
+		s.Dir = dir.Angle()
+	}
+	s.Wrapped = false
+}
+
+// reflectCoord folds x back into [0, side] and flips the velocity
+// component when a border was crossed, reporting whether it did.
+func reflectCoord(x, v, side float64) (float64, float64, bool) {
+	reflected := false
+	for x < 0 || x > side {
+		reflected = true
+		if x < 0 {
+			x = -x
+			v = -v
+		}
+		if x > side {
+			x = 2*side - x
+			v = -v
+		}
+	}
+	// Keep strictly inside [0, side) so grid indexing stays in range.
+	if x >= side {
+		x = math.Nextafter(side, 0)
+	}
+	return x, v, reflected
+}
+
+// --- BCV -----------------------------------------------------------------
+
+// BCV is the Bounded Constant Velocity model: every node moves forever in
+// one uniformly chosen direction at the same constant speed, wrapping at
+// the region borders (the bounded window of the paper's §3.2).
+type BCV struct {
+	// Speed is the common node speed, distance per unit time.
+	Speed float64
+}
+
+var _ Model = BCV{}
+
+// Name implements Model.
+func (BCV) Name() string { return "bcv" }
+
+// Init implements Model.
+func (m BCV) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+	if m.Speed < 0 {
+		return nil, fmt.Errorf("mobility: BCV speed must be non-negative, got %g", m.Speed)
+	}
+	states, err := uniformInit(n, metric, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range states {
+		states[i].Dir = simrand.Direction(rng)
+		states[i].Speed = m.Speed
+	}
+	return states, nil
+}
+
+// Step implements Model.
+func (m BCV) Step(states []State, metric geom.Metric, dt float64, _ *rand.Rand) {
+	for i := range states {
+		advanceWrap(&states[i], metric, dt)
+	}
+}
+
+// --- EpochRWP ------------------------------------------------------------
+
+// EpochRWP is the paper's simulation mobility model (§4): at every epoch
+// boundary each node independently draws a fresh uniform direction, then
+// moves at the common constant speed for the epoch duration, wrapping at
+// the borders without changing direction.
+type EpochRWP struct {
+	// Speed is the common node speed, distance per unit time.
+	Speed float64
+	// Epoch is the duration τ between direction re-draws.
+	Epoch float64
+}
+
+var _ Model = EpochRWP{}
+
+// Name implements Model.
+func (EpochRWP) Name() string { return "epoch-rwp" }
+
+// Init implements Model.
+func (m EpochRWP) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+	if m.Speed < 0 {
+		return nil, fmt.Errorf("mobility: EpochRWP speed must be non-negative, got %g", m.Speed)
+	}
+	if m.Epoch <= 0 {
+		return nil, fmt.Errorf("mobility: EpochRWP epoch must be positive, got %g", m.Epoch)
+	}
+	states, err := uniformInit(n, metric, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range states {
+		states[i].Dir = simrand.Direction(rng)
+		states[i].Speed = m.Speed
+		states[i].remaining = m.Epoch
+	}
+	return states, nil
+}
+
+// Step implements Model.
+func (m EpochRWP) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for i := range states {
+		s := &states[i]
+		s.remaining -= dt
+		if s.remaining <= 0 {
+			s.Dir = simrand.Direction(rng)
+			s.remaining += m.Epoch
+		}
+		advanceWrap(s, metric, dt)
+	}
+}
+
+// --- RandomWaypoint --------------------------------------------------------
+
+// RandomWaypoint is the classic RWP model: each node repeatedly picks a
+// uniform waypoint, travels to it at a speed drawn uniformly from
+// [MinSpeed, MaxSpeed], pauses for Pause time units, and repeats. Noted by
+// the paper (§3.2) as analytically unfavorable — its stationary spatial
+// distribution is not uniform — so it serves as an ablation here.
+type RandomWaypoint struct {
+	MinSpeed float64
+	MaxSpeed float64
+	Pause    float64
+}
+
+var _ Model = RandomWaypoint{}
+
+// Name implements Model.
+func (RandomWaypoint) Name() string { return "rwp" }
+
+// Init implements Model.
+func (m RandomWaypoint) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+	if m.MinSpeed <= 0 || m.MaxSpeed < m.MinSpeed {
+		return nil, fmt.Errorf("mobility: RWP needs 0 < MinSpeed ≤ MaxSpeed, got [%g, %g]",
+			m.MinSpeed, m.MaxSpeed)
+	}
+	if m.Pause < 0 {
+		return nil, fmt.Errorf("mobility: RWP pause must be non-negative, got %g", m.Pause)
+	}
+	states, err := uniformInit(n, metric, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range states {
+		m.pickLeg(&states[i], metric, rng)
+	}
+	return states, nil
+}
+
+func (m RandomWaypoint) pickLeg(s *State, metric geom.Metric, rng *rand.Rand) {
+	x, y := simrand.UniformIn(rng, metric.Side())
+	s.target = geom.Vec2{X: x, Y: y}
+	s.Speed = m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+	s.Dir = s.target.Sub(s.Pos).Angle()
+	s.paused = false
+}
+
+// Step implements Model.
+func (m RandomWaypoint) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for i := range states {
+		s := &states[i]
+		s.Wrapped = false
+		left := dt
+		for left > 0 {
+			if s.paused {
+				if s.remaining > left {
+					s.remaining -= left
+					break
+				}
+				left -= s.remaining
+				m.pickLeg(s, metric, rng)
+				continue
+			}
+			dist := s.target.Sub(s.Pos).Norm()
+			travel := s.Speed * left
+			if travel < dist {
+				s.Pos = s.Pos.Add(s.target.Sub(s.Pos).Unit().Scale(travel))
+				break
+			}
+			// Arrive at the waypoint and start pausing.
+			if s.Speed > 0 {
+				left -= dist / s.Speed
+			}
+			s.Pos = s.target
+			s.paused = true
+			s.remaining = m.Pause
+			if m.Pause == 0 {
+				m.pickLeg(s, metric, rng)
+			}
+		}
+	}
+}
+
+// --- RandomWalk ------------------------------------------------------------
+
+// RandomWalk is the classic random-walk (Brownian-like) model: each epoch
+// the node draws a fresh uniform direction and a speed uniform in
+// [MinSpeed, MaxSpeed], then travels for the epoch duration, reflecting
+// off the region borders.
+type RandomWalk struct {
+	MinSpeed float64
+	MaxSpeed float64
+	Epoch    float64
+}
+
+var _ Model = RandomWalk{}
+
+// Name implements Model.
+func (RandomWalk) Name() string { return "random-walk" }
+
+// Init implements Model.
+func (m RandomWalk) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+	if m.MinSpeed < 0 || m.MaxSpeed < m.MinSpeed {
+		return nil, fmt.Errorf("mobility: RandomWalk needs 0 ≤ MinSpeed ≤ MaxSpeed, got [%g, %g]",
+			m.MinSpeed, m.MaxSpeed)
+	}
+	if m.Epoch <= 0 {
+		return nil, fmt.Errorf("mobility: RandomWalk epoch must be positive, got %g", m.Epoch)
+	}
+	states, err := uniformInit(n, metric, rng)
+	if err != nil {
+		return nil, err
+	}
+	for i := range states {
+		m.pickEpoch(&states[i], rng)
+	}
+	return states, nil
+}
+
+func (m RandomWalk) pickEpoch(s *State, rng *rand.Rand) {
+	s.Dir = simrand.Direction(rng)
+	s.Speed = m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+	s.remaining = m.Epoch
+}
+
+// Step implements Model.
+func (m RandomWalk) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for i := range states {
+		s := &states[i]
+		s.remaining -= dt
+		if s.remaining <= 0 {
+			m.pickEpoch(s, rng)
+		}
+		advanceReflect(s, metric, dt)
+	}
+}
+
+// --- Static ------------------------------------------------------------------
+
+// Static places nodes uniformly and never moves them. Used for
+// formation-phase experiments such as Figure 5.
+type Static struct{}
+
+var _ Model = Static{}
+
+// Name implements Model.
+func (Static) Name() string { return "static" }
+
+// Init implements Model.
+func (Static) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+	return uniformInit(n, metric, rng)
+}
+
+// Step implements Model.
+func (Static) Step(states []State, _ geom.Metric, _ float64, _ *rand.Rand) {
+	for i := range states {
+		states[i].Wrapped = false
+	}
+}

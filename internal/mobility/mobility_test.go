@@ -1,0 +1,339 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/simrand"
+)
+
+func testMetric(t *testing.T, side float64) geom.Metric {
+	t.Helper()
+	m, err := geom.NewMetric(geom.MetricSquare, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelNames(t *testing.T) {
+	models := []Model{BCV{}, EpochRWP{}, RandomWaypoint{}, RandomWalk{}, Static{}}
+	want := []string{"bcv", "epoch-rwp", "rwp", "random-walk", "static"}
+	for i, m := range models {
+		if m.Name() != want[i] {
+			t.Errorf("Name = %q, want %q", m.Name(), want[i])
+		}
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(1).Rand()
+	tests := []struct {
+		name  string
+		model Model
+		n     int
+	}{
+		{"zero nodes", BCV{Speed: 1}, 0},
+		{"negative nodes", Static{}, -5},
+		{"negative BCV speed", BCV{Speed: -1}, 10},
+		{"negative epoch-rwp speed", EpochRWP{Speed: -1, Epoch: 1}, 10},
+		{"zero epoch", EpochRWP{Speed: 1, Epoch: 0}, 10},
+		{"rwp zero min speed", RandomWaypoint{MinSpeed: 0, MaxSpeed: 1}, 10},
+		{"rwp max below min", RandomWaypoint{MinSpeed: 2, MaxSpeed: 1}, 10},
+		{"rwp negative pause", RandomWaypoint{MinSpeed: 1, MaxSpeed: 2, Pause: -1}, 10},
+		{"walk negative speed", RandomWalk{MinSpeed: -1, MaxSpeed: 1, Epoch: 1}, 10},
+		{"walk zero epoch", RandomWalk{MinSpeed: 0, MaxSpeed: 1, Epoch: 0}, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.model.Init(tt.n, metric, rng); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestInitUniformPlacement(t *testing.T) {
+	metric := testMetric(t, 20)
+	rng := simrand.New(5).Rand()
+	states, err := BCV{Speed: 1}.Init(4000, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumX, sumY float64
+	for _, s := range states {
+		if !metric.Contains(s.Pos) {
+			t.Fatalf("initial position outside region: %v", s.Pos)
+		}
+		sumX += s.Pos.X
+		sumY += s.Pos.Y
+	}
+	n := float64(len(states))
+	if math.Abs(sumX/n-10) > 0.4 || math.Abs(sumY/n-10) > 0.4 {
+		t.Errorf("placement means %v %v, want ≈10", sumX/n, sumY/n)
+	}
+}
+
+func TestBCVConstantSpeedAndDirection(t *testing.T) {
+	metric := testMetric(t, 100)
+	rng := simrand.New(2).Rand()
+	m := BCV{Speed: 2}
+	states, err := m.Init(50, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]float64, len(states))
+	for i, s := range states {
+		dirs[i] = s.Dir
+	}
+	for step := 0; step < 100; step++ {
+		m.Step(states, metric, 0.1, rng)
+	}
+	for i, s := range states {
+		if s.Dir != dirs[i] {
+			t.Fatalf("BCV direction changed for node %d", i)
+		}
+		if s.Speed != 2 {
+			t.Fatalf("BCV speed changed for node %d: %v", i, s.Speed)
+		}
+		if !metric.Contains(s.Pos) {
+			t.Fatalf("node %d left region: %v", i, s.Pos)
+		}
+	}
+}
+
+func TestBCVDisplacementMatchesSpeed(t *testing.T) {
+	metric := testMetric(t, 1000) // huge region so nobody wraps
+	rng := simrand.New(3).Rand()
+	m := BCV{Speed: 1.5}
+	states, err := m.Init(20, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recentre nodes so a 10-unit trip cannot hit a border.
+	for i := range states {
+		states[i].Pos = geom.Vec2{X: 500, Y: 500}
+	}
+	start := make([]geom.Vec2, len(states))
+	for i, s := range states {
+		start[i] = s.Pos
+	}
+	for step := 0; step < 100; step++ {
+		m.Step(states, metric, 0.05, rng)
+	}
+	for i, s := range states {
+		moved := s.Pos.Dist(start[i])
+		if math.Abs(moved-1.5*5) > 1e-9 {
+			t.Fatalf("node %d moved %v, want 7.5", i, moved)
+		}
+		if s.Wrapped {
+			t.Fatalf("node %d reported wrap in open space", i)
+		}
+	}
+}
+
+func TestBCVWrapFlags(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(4).Rand()
+	m := BCV{Speed: 1}
+	states, err := m.Init(1, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states[0].Pos = geom.Vec2{X: 9.95, Y: 5}
+	states[0].Dir = 0 // heading +X, will cross the border
+	m.Step(states, metric, 0.1, rng)
+	if !states[0].Wrapped {
+		t.Error("border crossing not flagged as wrap")
+	}
+	if !almostEq(states[0].Pos.X, 0.05, 1e-9) {
+		t.Errorf("wrapped X = %v, want 0.05", states[0].Pos.X)
+	}
+	m.Step(states, metric, 0.1, rng)
+	if states[0].Wrapped {
+		t.Error("wrap flag not cleared on a non-wrapping step")
+	}
+}
+
+func TestEpochRWPRedrawsDirection(t *testing.T) {
+	metric := testMetric(t, 100)
+	rng := simrand.New(6).Rand()
+	m := EpochRWP{Speed: 1, Epoch: 1}
+	states, err := m.Init(200, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]float64, len(states))
+	for i, s := range states {
+		before[i] = s.Dir
+	}
+	// One epoch passes: directions must be redrawn.
+	for step := 0; step < 11; step++ {
+		m.Step(states, metric, 0.1, rng)
+	}
+	changed := 0
+	for i, s := range states {
+		if s.Dir != before[i] {
+			changed++
+		}
+	}
+	if changed < len(states)*9/10 {
+		t.Errorf("only %d/%d directions changed after an epoch", changed, len(states))
+	}
+}
+
+func TestEpochRWPPreservesUniformity(t *testing.T) {
+	// The paper chose this model because it keeps the spatial
+	// distribution uniform; verify the quadrant occupancy stays flat
+	// after a long run.
+	metric := testMetric(t, 10)
+	rng := simrand.New(7).Rand()
+	m := EpochRWP{Speed: 0.5, Epoch: 2}
+	states, err := m.Init(2000, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 500; step++ {
+		m.Step(states, metric, 0.1, rng)
+	}
+	var q [4]int
+	for _, s := range states {
+		idx := 0
+		if s.Pos.X >= 5 {
+			idx++
+		}
+		if s.Pos.Y >= 5 {
+			idx += 2
+		}
+		q[idx]++
+	}
+	for i, c := range q {
+		frac := float64(c) / float64(len(states))
+		if math.Abs(frac-0.25) > 0.04 {
+			t.Errorf("quadrant %d occupancy %v, want ≈0.25", i, frac)
+		}
+	}
+}
+
+func TestRandomWaypointStaysInRegionAndPauses(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(8).Rand()
+	m := RandomWaypoint{MinSpeed: 0.5, MaxSpeed: 2, Pause: 0.5}
+	states, err := m.Init(100, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPause := false
+	for step := 0; step < 2000; step++ {
+		m.Step(states, metric, 0.05, rng)
+		for i, s := range states {
+			if !metric.Contains(s.Pos) {
+				t.Fatalf("step %d: node %d left region: %v", step, i, s.Pos)
+			}
+			if s.Wrapped {
+				t.Fatalf("RWP must never wrap, node %d", i)
+			}
+			if s.paused {
+				sawPause = true
+			}
+		}
+	}
+	if !sawPause {
+		t.Error("no node ever paused; waypoint logic broken")
+	}
+}
+
+func TestRandomWaypointZeroPause(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(9).Rand()
+	m := RandomWaypoint{MinSpeed: 1, MaxSpeed: 1, Pause: 0}
+	states, err := m.Init(20, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 1000; step++ {
+		m.Step(states, metric, 0.1, rng)
+	}
+	// With zero pause nodes must still be moving (not stuck at targets).
+	moving := 0
+	before := make([]geom.Vec2, len(states))
+	for i, s := range states {
+		before[i] = s.Pos
+	}
+	m.Step(states, metric, 0.1, rng)
+	for i, s := range states {
+		if s.Pos != before[i] {
+			moving++
+		}
+	}
+	if moving < len(states)/2 {
+		t.Errorf("only %d/%d nodes moving with zero pause", moving, len(states))
+	}
+}
+
+func TestRandomWalkReflectsAtBorders(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(10).Rand()
+	m := RandomWalk{MinSpeed: 1, MaxSpeed: 3, Epoch: 5}
+	states, err := m.Init(100, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 1000; step++ {
+		m.Step(states, metric, 0.05, rng)
+		for i, s := range states {
+			if !metric.Contains(s.Pos) {
+				t.Fatalf("node %d escaped: %v", i, s.Pos)
+			}
+			if s.Wrapped {
+				t.Fatalf("random walk must reflect, not wrap (node %d)", i)
+			}
+		}
+	}
+}
+
+func TestStaticNeverMoves(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(11).Rand()
+	states, err := Static{}.Init(50, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]geom.Vec2, len(states))
+	for i, s := range states {
+		before[i] = s.Pos
+	}
+	Static{}.Step(states, metric, 10, rng)
+	for i, s := range states {
+		if s.Pos != before[i] {
+			t.Fatalf("static node %d moved", i)
+		}
+	}
+}
+
+func TestReflectCoord(t *testing.T) {
+	tests := []struct {
+		x, v, side   float64
+		wantX, wantV float64
+	}{
+		{5, 1, 10, 5, 1},
+		{-1, -1, 10, 1, 1},
+		{11, 1, 10, 9, -1},
+		{-12, -1, 10, 8, -1}, // double reflection: -12 → 12 → 8
+	}
+	for _, tt := range tests {
+		gotX, gotV, reflected := reflectCoord(tt.x, tt.v, tt.side)
+		if !almostEq(gotX, tt.wantX, 1e-9) || !almostEq(gotV, tt.wantV, 1e-9) {
+			t.Errorf("reflectCoord(%v,%v,%v) = (%v,%v), want (%v,%v)",
+				tt.x, tt.v, tt.side, gotX, gotV, tt.wantX, tt.wantV)
+		}
+		if wantRefl := tt.x != tt.wantX || tt.v != tt.wantV; reflected != wantRefl {
+			t.Errorf("reflectCoord(%v,%v,%v) reflected = %v, want %v",
+				tt.x, tt.v, tt.side, reflected, wantRefl)
+		}
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

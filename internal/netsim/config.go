@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+)
+
+// Config describes one simulation scenario.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Side is the border length a of the square region.
+	Side float64
+	// Range is the node transmission range r.
+	Range float64
+	// Metric selects square (border effects, the paper's choice) or
+	// torus (no border effects, CV-exact) distance semantics.
+	// Defaults to MetricSquare.
+	Metric geom.MetricKind
+	// Model is the mobility model. Defaults to Static.
+	Model mobility.Model
+	// Dt is the tick length. It should be small enough that nodes move a
+	// small fraction of Range per tick. Defaults to Range/(20·speed
+	// scale) heuristics are the caller's job; a positive value is
+	// required here.
+	Dt float64
+	// Seed roots all randomness of the run.
+	Seed uint64
+}
+
+// withDefaults returns the config with defaults applied.
+func (c Config) withDefaults() Config {
+	if c.Metric == 0 {
+		c.Metric = geom.MetricSquare
+	}
+	if c.Model == nil {
+		c.Model = mobility.Static{}
+	}
+	return c
+}
+
+// Validate checks the scenario parameters.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("netsim: need at least one node, got %d", c.N)
+	}
+	if c.Side <= 0 {
+		return fmt.Errorf("netsim: side must be positive, got %g", c.Side)
+	}
+	if c.Range <= 0 {
+		return fmt.Errorf("netsim: range must be positive, got %g", c.Range)
+	}
+	if c.Dt <= 0 {
+		return fmt.Errorf("netsim: dt must be positive, got %g", c.Dt)
+	}
+	return nil
+}
+
+// Tally accumulates message counts and bits for one message class.
+type Tally struct {
+	// Msgs is the number of broadcasts.
+	Msgs float64
+	// Bits is the total size of those broadcasts.
+	Bits float64
+}
+
+// Sub returns t − o, used to measure a window between two snapshots.
+func (t Tally) Sub(o Tally) Tally {
+	return Tally{Msgs: t.Msgs - o.Msgs, Bits: t.Bits - o.Bits}
+}
+
+// Add returns t + o.
+func (t Tally) Add(o Tally) Tally {
+	return Tally{Msgs: t.Msgs + o.Msgs, Bits: t.Bits + o.Bits}
+}
+
+// Tallies is a snapshot of all engine counters.
+type Tallies struct {
+	// ByKind holds one tally per message kind including border-flagged
+	// traffic.
+	byKind [numMsgKinds]Tally
+	// byKindBorder holds the border-flagged portion only.
+	byKindBorder [numMsgKinds]Tally
+
+	// LinkGen and LinkBrk count non-border link events.
+	LinkGen, LinkBrk float64
+	// BorderGen and BorderBrk count border (teleport) link events.
+	BorderGen, BorderBrk float64
+	// Invalid counts dropped broadcasts (bad sender or kind) — always
+	// zero unless a protocol has a bug.
+	Invalid float64
+}
+
+// Of returns the tally of a message kind, including border-flagged
+// messages.
+func (t Tallies) Of(kind MsgKind) Tally {
+	return t.byKind[int(kind)-1]
+}
+
+// BorderOf returns the border-flagged portion of a kind's tally.
+func (t Tallies) BorderOf(kind MsgKind) Tally {
+	return t.byKindBorder[int(kind)-1]
+}
+
+// NonBorderOf returns the tally excluding border-flagged messages — the
+// quantity the paper's analysis models.
+func (t Tallies) NonBorderOf(kind MsgKind) Tally {
+	return t.Of(kind).Sub(t.BorderOf(kind))
+}
+
+// Sub returns the window t − o, field by field.
+func (t Tallies) Sub(o Tallies) Tallies {
+	out := t
+	for i := range out.byKind {
+		out.byKind[i] = t.byKind[i].Sub(o.byKind[i])
+		out.byKindBorder[i] = t.byKindBorder[i].Sub(o.byKindBorder[i])
+	}
+	out.LinkGen -= o.LinkGen
+	out.LinkBrk -= o.LinkBrk
+	out.BorderGen -= o.BorderGen
+	out.BorderBrk -= o.BorderBrk
+	out.Invalid -= o.Invalid
+	return out
+}

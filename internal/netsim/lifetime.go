@@ -1,0 +1,66 @@
+package netsim
+
+// LifetimeProbe is a passive protocol that measures link lifetimes: the
+// time between a link's generation and its break. Links born before the
+// probe started (the initial topology) and links still alive at the end
+// are excluded — both would bias the sample toward long lifetimes
+// (length-biased sampling) or truncate it. Border (teleport) events
+// neither open nor close a sample, since a teleport is not the
+// range-crossing dynamics whose lifetime Claim 2 prices.
+type LifetimeProbe struct {
+	births map[[2]NodeID]float64
+	count  int
+	sum    float64
+}
+
+var _ Protocol = (*LifetimeProbe)(nil)
+
+// NewLifetimeProbe builds the probe.
+func NewLifetimeProbe() *LifetimeProbe {
+	return &LifetimeProbe{births: make(map[[2]NodeID]float64)}
+}
+
+// Name implements Protocol.
+func (p *LifetimeProbe) Name() string { return "lifetime-probe" }
+
+// Start implements Protocol.
+func (p *LifetimeProbe) Start(Env) error { return nil }
+
+// OnLinkEvent implements Protocol.
+func (p *LifetimeProbe) OnLinkEvent(ev LinkEvent) {
+	key := [2]NodeID{ev.A, ev.B}
+	if ev.Border {
+		// A teleport invalidates the sample either way: an open birth
+		// cannot be closed cleanly, and a border birth must not start
+		// one.
+		delete(p.births, key)
+		return
+	}
+	if ev.Up {
+		p.births[key] = ev.Time
+		return
+	}
+	if birth, ok := p.births[key]; ok {
+		p.sum += ev.Time - birth
+		p.count++
+		delete(p.births, key)
+	}
+}
+
+// OnMessage implements Protocol.
+func (p *LifetimeProbe) OnMessage(NodeID, Message) {}
+
+// OnTick implements Protocol.
+func (p *LifetimeProbe) OnTick(float64) {}
+
+// Samples returns how many complete link lifetimes were observed.
+func (p *LifetimeProbe) Samples() int { return p.count }
+
+// MeanLifetime returns the average observed link lifetime (0 when no
+// sample completed).
+func (p *LifetimeProbe) MeanLifetime() float64 {
+	if p.count == 0 {
+		return 0
+	}
+	return p.sum / float64(p.count)
+}

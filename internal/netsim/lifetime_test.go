@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mobility"
+)
+
+func TestLifetimeProbeBasics(t *testing.T) {
+	p := NewLifetimeProbe()
+	if p.Name() != "lifetime-probe" {
+		t.Error("name wrong")
+	}
+	if p.MeanLifetime() != 0 || p.Samples() != 0 {
+		t.Error("fresh probe not empty")
+	}
+	// A full birth→death cycle.
+	p.OnLinkEvent(LinkEvent{A: 1, B: 2, Up: true, Time: 10})
+	p.OnLinkEvent(LinkEvent{A: 1, B: 2, Up: false, Time: 14})
+	if p.Samples() != 1 || p.MeanLifetime() != 4 {
+		t.Errorf("samples=%d mean=%v", p.Samples(), p.MeanLifetime())
+	}
+	// A death without an observed birth is ignored.
+	p.OnLinkEvent(LinkEvent{A: 3, B: 4, Up: false, Time: 20})
+	if p.Samples() != 1 {
+		t.Error("orphan death counted")
+	}
+	// Border events invalidate open samples.
+	p.OnLinkEvent(LinkEvent{A: 5, B: 6, Up: true, Time: 0})
+	p.OnLinkEvent(LinkEvent{A: 5, B: 6, Up: false, Border: true, Time: 3})
+	p.OnLinkEvent(LinkEvent{A: 5, B: 6, Up: false, Time: 9})
+	if p.Samples() != 1 {
+		t.Error("border-closed sample counted")
+	}
+	// Border births must not open samples.
+	p.OnLinkEvent(LinkEvent{A: 7, B: 8, Up: true, Border: true, Time: 0})
+	p.OnLinkEvent(LinkEvent{A: 7, B: 8, Up: false, Time: 5})
+	if p.Samples() != 1 {
+		t.Error("border birth opened a sample")
+	}
+}
+
+// TestLinkLifetimeMatchesClaim2 is the integration check: measured mean
+// link lifetime must approximate π²r/(8v).
+func TestLinkLifetimeMatchesClaim2(t *testing.T) {
+	const (
+		r = 1.5
+		v = 0.1
+	)
+	s, err := New(Config{
+		N: 300, Side: 10, Range: r, Dt: 0.05, Seed: 21,
+		Model: mobility.EpochRWP{Speed: v, Epoch: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := NewLifetimeProbe()
+	if err := s.Register(probe); err != nil {
+		t.Fatal(err)
+	}
+	// Run long enough for thousands of full lifetimes (mean ≈ 18.5).
+	if err := s.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Samples() < 2000 {
+		t.Fatalf("only %d lifetime samples", probe.Samples())
+	}
+	want := math.Pi * math.Pi * r / (8 * v)
+	got := probe.MeanLifetime()
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("mean lifetime %v vs Claim 2 %v (%.0f%% off)", got, want, 100*math.Abs(got-want)/want)
+	}
+}

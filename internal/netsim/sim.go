@@ -1,0 +1,314 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/simrand"
+	"repro/internal/space"
+)
+
+// Sim is the simulation engine. Construct with New, register protocols,
+// then Start and Step (or Run). Sim is not safe for concurrent use.
+type Sim struct {
+	cfg    Config
+	metric geom.Metric
+	grid   *space.Grid
+	model  mobility.Model
+	rngMob *rand.Rand
+
+	states []mobility.State
+	pos    []geom.Vec2
+
+	adj     [][]NodeID // current neighbor lists, sorted
+	prevAdj [][]NodeID
+
+	protocols []Protocol
+	started   bool
+
+	now     float64
+	tick    int64
+	tallies Tallies
+
+	queue     []Message
+	events    []LinkEvent
+	delivered int64
+}
+
+var _ Env = (*Sim)(nil)
+
+// New builds a simulator for the given scenario.
+func New(cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	metric, err := geom.NewMetric(cfg.Metric, cfg.Side)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	grid, err := space.NewGrid(metric, cfg.Range)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	src := simrand.New(cfg.Seed)
+	states, err := cfg.Model.Init(cfg.N, metric, src.Split("placement").Rand())
+	if err != nil {
+		return nil, fmt.Errorf("netsim: init mobility: %w", err)
+	}
+	s := &Sim{
+		cfg:     cfg,
+		metric:  metric,
+		grid:    grid,
+		model:   cfg.Model,
+		rngMob:  src.Split("mobility").Rand(),
+		states:  states,
+		pos:     make([]geom.Vec2, cfg.N),
+		adj:     make([][]NodeID, cfg.N),
+		prevAdj: make([][]NodeID, cfg.N),
+	}
+	s.syncPositions()
+	s.recomputeAdjacency()
+	return s, nil
+}
+
+// Register adds protocols in processing order. It must be called before
+// Start.
+func (s *Sim) Register(ps ...Protocol) error {
+	if s.started {
+		return fmt.Errorf("netsim: Register after Start")
+	}
+	s.protocols = append(s.protocols, ps...)
+	return nil
+}
+
+// Start invokes every protocol's Start hook and delivers the messages
+// they emit. It is idempotent; Step calls it implicitly if needed.
+func (s *Sim) Start() error {
+	if s.started {
+		return nil
+	}
+	s.started = true
+	for _, p := range s.protocols {
+		if err := p.Start(s); err != nil {
+			return fmt.Errorf("netsim: start %s: %w", p.Name(), err)
+		}
+	}
+	return s.drainQueue()
+}
+
+// Step advances the simulation by one tick.
+func (s *Sim) Step() error {
+	if !s.started {
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	s.tick++
+	s.now = float64(s.tick) * s.cfg.Dt
+
+	// 1. Mobility.
+	s.model.Step(s.states, s.metric, s.cfg.Dt, s.rngMob)
+	s.syncPositions()
+
+	// 2. Topology recomputation and diffing.
+	s.adj, s.prevAdj = s.prevAdj, s.adj
+	s.recomputeAdjacency()
+	s.diffAdjacency()
+
+	// 3. Protocols observe link events.
+	for _, ev := range s.events {
+		if ev.Border {
+			if ev.Up {
+				s.tallies.BorderGen++
+			} else {
+				s.tallies.BorderBrk++
+			}
+		} else {
+			if ev.Up {
+				s.tallies.LinkGen++
+			} else {
+				s.tallies.LinkBrk++
+			}
+		}
+		for _, p := range s.protocols {
+			p.OnLinkEvent(ev)
+		}
+	}
+	if err := s.drainQueue(); err != nil {
+		return err
+	}
+
+	// 4. Per-tick protocol work (timers, periodic traffic).
+	for _, p := range s.protocols {
+		p.OnTick(s.now)
+	}
+	return s.drainQueue()
+}
+
+// Run advances the simulation by the given duration (rounded down to
+// whole ticks).
+func (s *Sim) Run(duration float64) error {
+	steps := int(duration / s.cfg.Dt)
+	for i := 0; i < steps; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Now implements Env.
+func (s *Sim) Now() float64 { return s.now }
+
+// NumNodes implements Env.
+func (s *Sim) NumNodes() int { return s.cfg.N }
+
+// Config returns the scenario the simulator was built with.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Neighbors implements Env.
+func (s *Sim) Neighbors(id NodeID) []NodeID { return s.adj[id] }
+
+// Degree implements Env.
+func (s *Sim) Degree(id NodeID) int { return len(s.adj[id]) }
+
+// IsNeighbor implements Env.
+func (s *Sim) IsNeighbor(a, b NodeID) bool {
+	list := s.adj[a]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= b })
+	return i < len(list) && list[i] == b
+}
+
+// Position returns the current position of a node.
+func (s *Sim) Position(id NodeID) geom.Vec2 { return s.pos[id] }
+
+// Tallies returns a snapshot of all counters.
+func (s *Sim) Tallies() Tallies { return s.tallies }
+
+// Delivered returns the total number of point deliveries (message ×
+// receiving neighbor) so far; useful for medium diagnostics.
+func (s *Sim) Delivered() int64 { return s.delivered }
+
+// MeanDegree returns the current average node degree.
+func (s *Sim) MeanDegree() float64 {
+	total := 0
+	for _, l := range s.adj {
+		total += len(l)
+	}
+	return float64(total) / float64(len(s.adj))
+}
+
+// Broadcast implements Env. Messages with an out-of-range sender or an
+// unknown kind indicate a protocol bug; they are dropped and counted in
+// Tallies().Invalid so tests can assert none occurred.
+func (s *Sim) Broadcast(msg Message) {
+	if msg.From < 0 || int(msg.From) >= s.cfg.N {
+		s.tallies.Invalid++
+		return
+	}
+	idx := int(msg.Kind) - 1
+	if idx < 0 || idx >= numMsgKinds {
+		s.tallies.Invalid++
+		return
+	}
+	s.tallies.byKind[idx].Msgs++
+	s.tallies.byKind[idx].Bits += msg.Bits
+	if msg.Border {
+		s.tallies.byKindBorder[idx].Msgs++
+		s.tallies.byKindBorder[idx].Bits += msg.Bits
+	}
+	s.queue = append(s.queue, msg)
+}
+
+// drainQueue delivers queued broadcasts in FIFO order until quiescence.
+// Messages emitted by receive handlers are delivered within the same
+// tick (ideal zero-delay medium). A runaway protocol that floods without
+// termination is cut off with an error.
+func (s *Sim) drainQueue() error {
+	// Legitimate protocols broadcast O(N) messages per tick (a full
+	// cluster re-formation plus a table round is a few multiples of N);
+	// anything far beyond that is a non-terminating flood.
+	maxRounds := 200*s.cfg.N + 10_000
+	processed := 0
+	for len(s.queue) > 0 {
+		msg := s.queue[0]
+		s.queue = s.queue[1:]
+		for _, nb := range s.adj[msg.From] {
+			s.delivered++
+			for _, p := range s.protocols {
+				p.OnMessage(nb, msg)
+			}
+		}
+		processed++
+		if processed > maxRounds {
+			return fmt.Errorf("netsim: message storm: > %d broadcasts in one tick", maxRounds)
+		}
+	}
+	s.queue = nil
+	return nil
+}
+
+// syncPositions copies mobility positions into the flat slice the grid
+// indexes.
+func (s *Sim) syncPositions() {
+	for i := range s.states {
+		s.pos[i] = s.states[i].Pos
+	}
+}
+
+// recomputeAdjacency rebuilds sorted neighbor lists from the grid.
+func (s *Sim) recomputeAdjacency() {
+	s.grid.Rebuild(s.pos)
+	for i := range s.adj {
+		s.adj[i] = s.adj[i][:0]
+	}
+	s.grid.ForEachPair(func(i, j int) {
+		s.adj[i] = append(s.adj[i], NodeID(j))
+		s.adj[j] = append(s.adj[j], NodeID(i))
+	})
+	for i := range s.adj {
+		sort.Slice(s.adj[i], func(a, b int) bool { return s.adj[i][a] < s.adj[i][b] })
+	}
+}
+
+// diffAdjacency emits LinkEvents comparing prevAdj to adj. Each unordered
+// pair yields at most one event; ordering is by (A, B) within ups after
+// downs per node scan order, which is deterministic.
+func (s *Sim) diffAdjacency() {
+	s.events = s.events[:0]
+	for i := range s.adj {
+		oldL, newL := s.prevAdj[i], s.adj[i]
+		oi, ni := 0, 0
+		for oi < len(oldL) || ni < len(newL) {
+			switch {
+			case oi >= len(oldL) || (ni < len(newL) && newL[ni] < oldL[oi]):
+				if j := newL[ni]; j > NodeID(i) {
+					s.events = append(s.events, s.makeEvent(NodeID(i), j, true))
+				}
+				ni++
+			case ni >= len(newL) || oldL[oi] < newL[ni]:
+				if j := oldL[oi]; j > NodeID(i) {
+					s.events = append(s.events, s.makeEvent(NodeID(i), j, false))
+				}
+				oi++
+			default:
+				oi++
+				ni++
+			}
+		}
+	}
+}
+
+func (s *Sim) makeEvent(a, b NodeID, up bool) LinkEvent {
+	return LinkEvent{
+		A:      a,
+		B:      b,
+		Up:     up,
+		Border: s.states[a].Wrapped || s.states[b].Wrapped,
+		Time:   s.now,
+	}
+}

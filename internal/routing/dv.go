@@ -1,0 +1,256 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+)
+
+// InfMetric is the unreachable distance (clusters are one-hop, so any
+// real intra-cluster route has metric ≤ 2; 16 leaves generous margin for
+// transient states).
+const InfMetric = 16
+
+// Entry is one distance-vector table row: the DSDV triple of destination
+// sequence number, metric and next hop.
+type Entry struct {
+	Dest    netsim.NodeID
+	NextHop netsim.NodeID
+	Metric  int
+	// Seq is the destination-owned sequence number: even numbers are
+	// issued by the destination itself, odd numbers mark broken-route
+	// advertisements issued by a detecting neighbor.
+	Seq uint32
+}
+
+// vectorAd is the payload of a MsgRoute broadcast: the sender's current
+// vector for its cluster.
+type vectorAd struct {
+	Cluster netsim.NodeID
+	Rows    []Entry
+}
+
+// IntraDV is a working DSDV-style distance-vector protocol scoped to
+// each cluster: every node owns a monotone sequence number for its own
+// entry, advertises its vector to same-cluster neighbors, adopts routes
+// with newer sequence numbers (or equal sequence and better metric), and
+// poisons routes through broken links with odd-sequence infinite-metric
+// advertisements. Updates are triggered and cascade within a tick until
+// the cluster quiesces, so tables are always converged between ticks —
+// the property the paper's "steady state" analysis assumes and that
+// TestIntraDVConvergedTables verifies against BFS ground truth.
+//
+// IntraDV complements the accounting-oriented Hybrid protocol: Hybrid
+// prices table rounds exactly as Eqns (13)–(14) do, while IntraDV runs
+// the actual distributed machinery those rounds idealize. Register it
+// after the cluster.Maintainer it follows.
+type IntraDV struct {
+	cl        *cluster.Maintainer
+	entryBits float64
+
+	env      netsim.Env
+	tables   []map[netsim.NodeID]Entry
+	ownSeq   []uint32
+	dirty    []bool
+	prevHead []netsim.NodeID
+}
+
+var _ netsim.Protocol = (*IntraDV)(nil)
+
+// NewIntraDV builds the protocol on top of a cluster maintainer.
+func NewIntraDV(cl *cluster.Maintainer, entryBits float64) (*IntraDV, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("routing: nil cluster maintainer")
+	}
+	if entryBits <= 0 {
+		return nil, fmt.Errorf("routing: entry size must be positive, got %g", entryBits)
+	}
+	return &IntraDV{cl: cl, entryBits: entryBits}, nil
+}
+
+// Name implements netsim.Protocol.
+func (dv *IntraDV) Name() string { return "routing/intra-dv" }
+
+// Start implements netsim.Protocol: seed every node's table with itself
+// and advertise, letting the cascade converge each cluster.
+func (dv *IntraDV) Start(env netsim.Env) error {
+	dv.env = env
+	n := env.NumNodes()
+	dv.tables = make([]map[netsim.NodeID]Entry, n)
+	dv.ownSeq = make([]uint32, n)
+	dv.dirty = make([]bool, n)
+	dv.prevHead = make([]netsim.NodeID, n)
+	for i := 0; i < n; i++ {
+		dv.prevHead[i] = dv.cl.HeadOf(netsim.NodeID(i))
+		id := netsim.NodeID(i)
+		dv.tables[i] = map[netsim.NodeID]Entry{
+			id: {Dest: id, NextHop: id, Metric: 0, Seq: 0},
+		}
+		dv.advertise(id)
+	}
+	return nil
+}
+
+// OnLinkEvent implements netsim.Protocol. A break poisons routes whose
+// next hop just vanished; any event involving a node makes it re-
+// advertise, which re-converges the affected cluster within the tick.
+func (dv *IntraDV) OnLinkEvent(ev netsim.LinkEvent) {
+	if !ev.Up {
+		dv.poison(ev.A, ev.B)
+		dv.poison(ev.B, ev.A)
+	}
+	dv.markDirty(ev.A)
+	dv.markDirty(ev.B)
+}
+
+// poison marks every route of `at` that runs through the lost neighbor
+// as broken: infinite metric with the next odd sequence number, the DSDV
+// break advertisement.
+func (dv *IntraDV) poison(at, lost netsim.NodeID) {
+	tbl := dv.tables[at]
+	for dest, e := range tbl {
+		if dest != at && e.NextHop == lost && e.Metric < InfMetric {
+			e.Metric = InfMetric
+			e.Seq++ // even destination-issued → odd broken
+			tbl[dest] = e
+		}
+	}
+}
+
+// OnMessage implements netsim.Protocol: fold a neighbor's vector into
+// the receiver's table under the DSDV adoption rule, and re-advertise on
+// change (the in-tick cascade).
+func (dv *IntraDV) OnMessage(rcv netsim.NodeID, msg netsim.Message) {
+	if msg.Kind != netsim.MsgRoute {
+		return
+	}
+	ad, ok := msg.Payload.(vectorAd)
+	if !ok {
+		return // a Hybrid accounting round or foreign payload
+	}
+	if dv.cl.HeadOf(rcv) != ad.Cluster || dv.cl.HeadOf(msg.From) != ad.Cluster {
+		return // stale cross-cluster advertisement
+	}
+	changed := false
+	tbl := dv.tables[rcv]
+	for _, row := range ad.Rows {
+		if row.Dest == rcv {
+			// The destination outruns any stale report about itself.
+			if row.Seq > dv.ownSeq[rcv] {
+				dv.ownSeq[rcv] = row.Seq + 2 - row.Seq%2
+				tbl[rcv] = Entry{Dest: rcv, NextHop: rcv, Metric: 0, Seq: dv.ownSeq[rcv]}
+				changed = true
+			}
+			continue
+		}
+		cand := Entry{Dest: row.Dest, NextHop: msg.From, Metric: row.Metric + 1, Seq: row.Seq}
+		if cand.Metric > InfMetric {
+			cand.Metric = InfMetric
+		}
+		cur, exists := tbl[row.Dest]
+		if !exists || cand.Seq > cur.Seq || (cand.Seq == cur.Seq && cand.Metric < cur.Metric) {
+			tbl[row.Dest] = cand
+			if cand != cur {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		dv.advertise(rcv)
+	}
+}
+
+// OnTick implements netsim.Protocol: purge departed members, refresh own
+// sequence numbers of nodes whose cluster changed, and flush dirty
+// advertisements.
+func (dv *IntraDV) OnTick(float64) {
+	n := dv.env.NumNodes()
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(i)
+		own := dv.cl.HeadOf(id)
+		if own != dv.prevHead[i] {
+			// Re-clustered without a link event at this node (e.g. its
+			// head resigned): rebuild from scratch.
+			dv.prevHead[i] = own
+			dv.dirty[i] = true
+		}
+		tbl := dv.tables[i]
+		for dest := range tbl {
+			if dest != id && dv.cl.HeadOf(dest) != own {
+				delete(tbl, dest)
+				dv.dirty[i] = true
+			}
+		}
+		if dv.dirty[i] {
+			dv.dirty[i] = false
+			// Bump the even self-sequence so stale reports lose.
+			dv.ownSeq[i] += 2
+			tbl[id] = Entry{Dest: id, NextHop: id, Metric: 0, Seq: dv.ownSeq[i]}
+			dv.advertise(id)
+		}
+	}
+}
+
+// markDirty schedules a node for re-advertisement at tick end.
+func (dv *IntraDV) markDirty(id netsim.NodeID) {
+	dv.dirty[id] = true
+}
+
+// advertise broadcasts the node's current vector for its cluster.
+func (dv *IntraDV) advertise(from netsim.NodeID) {
+	own := dv.cl.HeadOf(from)
+	tbl := dv.tables[from]
+	rows := make([]Entry, 0, len(tbl))
+	for _, e := range tbl {
+		rows = append(rows, e)
+	}
+	dv.env.Broadcast(netsim.Message{
+		Kind:    netsim.MsgRoute,
+		From:    from,
+		Bits:    dv.entryBits * float64(len(rows)),
+		Payload: vectorAd{Cluster: own, Rows: rows},
+	})
+}
+
+// Lookup returns the node's live table entry for dest, if any
+// (unreachable-poisoned entries do not count as live).
+func (dv *IntraDV) Lookup(at, dest netsim.NodeID) (Entry, bool) {
+	e, ok := dv.tables[at][dest]
+	if !ok || e.Metric >= InfMetric {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// TableSize returns the number of live entries at a node.
+func (dv *IntraDV) TableSize(at netsim.NodeID) int {
+	count := 0
+	for _, e := range dv.tables[at] {
+		if e.Metric < InfMetric {
+			count++
+		}
+	}
+	return count
+}
+
+// Route follows next hops from src toward a same-cluster dst, returning
+// the forwarding path the distributed tables actually produce, or false
+// when no live route exists. Loops abort (they would indicate a protocol
+// bug; the convergence test asserts they never happen).
+func (dv *IntraDV) Route(src, dst netsim.NodeID) ([]netsim.NodeID, bool) {
+	path := []netsim.NodeID{src}
+	at := src
+	for at != dst {
+		e, ok := dv.Lookup(at, dst)
+		if !ok {
+			return nil, false
+		}
+		at = e.NextHop
+		path = append(path, at)
+		if len(path) > InfMetric {
+			return nil, false
+		}
+	}
+	return path, true
+}

@@ -1,0 +1,177 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+)
+
+// dvStack wires clustering + IntraDV onto a simulator.
+func dvStack(t *testing.T, s *netsim.Sim) (*cluster.Maintainer, *IntraDV) {
+	t.Helper()
+	m, err := cluster.NewMaintainer(cluster.LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := NewIntraDV(m, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m, dv); err != nil {
+		t.Fatal(err)
+	}
+	return m, dv
+}
+
+func TestNewIntraDVValidation(t *testing.T) {
+	if _, err := NewIntraDV(nil, 128); err == nil {
+		t.Error("nil maintainer accepted")
+	}
+	m, err := cluster.NewMaintainer(cluster.LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIntraDV(m, 0); err == nil {
+		t.Error("zero entry bits accepted")
+	}
+	dv, err := NewIntraDV(m, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.Name() != "routing/intra-dv" {
+		t.Error("name wrong")
+	}
+}
+
+// checkConverged asserts that every node's DV table matches the
+// cluster-restricted BFS ground truth: correct reachability set, exact
+// metrics, and loop-free next-hop forwarding over existing links.
+func checkConverged(t *testing.T, s *netsim.Sim, m *cluster.Maintainer, dv *IntraDV) {
+	t.Helper()
+	n := s.NumNodes()
+	for i := 0; i < n; i++ {
+		src := netsim.NodeID(i)
+		head := m.HeadOf(src)
+		for j := 0; j < n; j++ {
+			dst := netsim.NodeID(j)
+			if m.HeadOf(dst) != head || src == dst {
+				continue
+			}
+			truth := shortestPath(s, src, dst, func(id netsim.NodeID) bool {
+				return m.HeadOf(id) == head
+			})
+			e, ok := dv.Lookup(src, dst)
+			if truth == nil {
+				if ok {
+					t.Fatalf("node %d has route to unreachable co-member %d: %+v", src, dst, e)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("node %d missing route to reachable co-member %d (dist %d)",
+					src, dst, len(truth)-1)
+			}
+			if e.Metric != len(truth)-1 {
+				t.Fatalf("node %d→%d metric %d, BFS %d", src, dst, e.Metric, len(truth)-1)
+			}
+			path, ok := dv.Route(src, dst)
+			if !ok {
+				t.Fatalf("Route(%d,%d) failed with live entry", src, dst)
+			}
+			if len(path)-1 != e.Metric {
+				t.Fatalf("forwarding path length %d != metric %d", len(path)-1, e.Metric)
+			}
+			for k := 0; k+1 < len(path); k++ {
+				if !s.IsNeighbor(path[k], path[k+1]) {
+					t.Fatalf("path %v uses missing link %d-%d", path, path[k], path[k+1])
+				}
+				if m.HeadOf(path[k]) != head {
+					t.Fatalf("path %v leaves the cluster at %d", path, path[k])
+				}
+			}
+		}
+	}
+}
+
+func TestIntraDVConvergesAtStart(t *testing.T) {
+	s := newSim(t, mobileConfig(31))
+	m, dv := dvStack(t, s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	checkConverged(t, s, m, dv)
+	// Table sizes must equal cluster sizes.
+	a := m.Assignment()
+	sizes := a.ClusterSizes()
+	for i := 0; i < s.NumNodes(); i++ {
+		id := netsim.NodeID(i)
+		if got, want := dv.TableSize(id), sizes[m.HeadOf(id)]; got != want {
+			t.Errorf("node %d table size %d, cluster size %d", i, got, want)
+		}
+	}
+}
+
+// TestIntraDVConvergedTables is the heavyweight check: under sustained
+// mobility and re-clustering, tables must be BFS-exact after every tick.
+func TestIntraDVConvergedTables(t *testing.T) {
+	cfg := mobileConfig(33)
+	cfg.N = 80 // the O(N²·m) oracle check is the expensive part
+	s := newSim(t, cfg)
+	m, dv := dvStack(t, s)
+	for step := 0; step < 300; step++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkConverged(t, s, m, dv)
+	}
+}
+
+func TestIntraDVRouteMisses(t *testing.T) {
+	s := newSim(t, mobileConfig(35))
+	m, dv := dvStack(t, s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A route to a node in another cluster must not exist.
+	var src, dst netsim.NodeID = -1, -1
+	for i := 0; i < s.NumNodes() && src < 0; i++ {
+		for j := 0; j < s.NumNodes(); j++ {
+			if m.HeadOf(netsim.NodeID(i)) != m.HeadOf(netsim.NodeID(j)) {
+				src, dst = netsim.NodeID(i), netsim.NodeID(j)
+				break
+			}
+		}
+	}
+	if src < 0 {
+		t.Skip("single cluster")
+	}
+	if _, ok := dv.Lookup(src, dst); ok {
+		t.Error("cross-cluster entry present")
+	}
+	if _, ok := dv.Route(src, dst); ok {
+		t.Error("cross-cluster route found")
+	}
+	// Self route is trivial.
+	if path, ok := dv.Route(src, src); !ok || len(path) != 1 {
+		t.Errorf("self route = %v, %v", path, ok)
+	}
+}
+
+func TestIntraDVMessageAccounting(t *testing.T) {
+	s := newSim(t, mobileConfig(37))
+	_, dv := dvStack(t, s)
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	tally := s.Tallies().Of(netsim.MsgRoute)
+	if tally.Msgs == 0 {
+		t.Fatal("no DV advertisements under mobility")
+	}
+	// Bits are entry-proportional: every message carries ≥ 1 entry of
+	// 128 bits.
+	if tally.Bits < tally.Msgs*128 {
+		t.Errorf("bits %v below one entry per message", tally.Bits)
+	}
+	_ = dv
+}

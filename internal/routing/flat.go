@@ -1,0 +1,189 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// FlatDSDV is the flat proactive baseline (Perkins & Bhagwat, ref [6] of
+// the paper): every node keeps a route to every other node, and any link
+// change triggers a network-wide table broadcast round in which each
+// node transmits its full N-entry table. Triggered updates are batched
+// per tick, as real DSDV batches them per update period, so simultaneous
+// events share one round. Per-node overhead still grows with the whole
+// network's link change rate — the scalability failure that motivates
+// clustering.
+type FlatDSDV struct {
+	entryBits float64
+
+	env     netsim.Env
+	pending bool
+	border  bool
+	stats   Stats
+}
+
+var _ netsim.Protocol = (*FlatDSDV)(nil)
+
+// NewFlatDSDV builds the baseline with the given table entry size.
+func NewFlatDSDV(entryBits float64) (*FlatDSDV, error) {
+	if entryBits <= 0 {
+		return nil, fmt.Errorf("routing: entry size must be positive, got %g", entryBits)
+	}
+	return &FlatDSDV{entryBits: entryBits}, nil
+}
+
+// Name implements netsim.Protocol.
+func (d *FlatDSDV) Name() string { return "routing/flat-dsdv" }
+
+// Start implements netsim.Protocol.
+func (d *FlatDSDV) Start(env netsim.Env) error {
+	d.env = env
+	return nil
+}
+
+// OnLinkEvent implements netsim.Protocol: mark the tick dirty; the
+// round goes out at tick end.
+func (d *FlatDSDV) OnLinkEvent(ev netsim.LinkEvent) {
+	d.pending = true
+	if ev.Border {
+		d.border = true
+	}
+}
+
+// OnMessage implements netsim.Protocol.
+func (d *FlatDSDV) OnMessage(netsim.NodeID, netsim.Message) {}
+
+// OnTick implements netsim.Protocol: flush one network-wide table round
+// when any link changed this tick. The round is flagged Border only when
+// every trigger was a border event.
+func (d *FlatDSDV) OnTick(float64) {
+	if !d.pending {
+		return
+	}
+	n := d.env.NumNodes()
+	bits := d.entryBits * float64(n)
+	d.stats.Rounds++
+	for i := 0; i < n; i++ {
+		d.stats.RouteMsgs++
+		d.env.Broadcast(netsim.Message{
+			Kind:   netsim.MsgRoute,
+			From:   netsim.NodeID(i),
+			Bits:   bits,
+			Border: d.border && d.pending,
+		})
+	}
+	d.pending = false
+	d.border = false
+}
+
+// Stats returns the activity counters.
+func (d *FlatDSDV) Stats() Stats { return d.stats }
+
+// Send forwards a payload along the proactive shortest path (flat DSDV
+// converges to shortest paths on the full graph).
+func (d *FlatDSDV) Send(src, dst netsim.NodeID) Delivery {
+	path := shortestPath(d.env, src, dst, nil)
+	if path == nil {
+		d.stats.DeliveryFailures++
+		return Delivery{}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		d.stats.DataMsgs++
+		d.env.Broadcast(netsim.Message{Kind: netsim.MsgData, From: path[i], Bits: DefaultSizes.Data})
+	}
+	return Delivery{Delivered: true, Path: path, Hops: len(path) - 1}
+}
+
+// FlatAODV is the flat reactive baseline (Perkins & Royer, ref [7] of the
+// paper): no proactive state at all; each route is discovered on demand
+// by flooding an RREQ through every node, with discovered routes cached
+// until a link on them breaks.
+type FlatAODV struct {
+	sizes Sizes
+
+	env   netsim.Env
+	stats Stats
+	cache map[[2]netsim.NodeID][]netsim.NodeID
+}
+
+var _ netsim.Protocol = (*FlatAODV)(nil)
+
+// NewFlatAODV builds the baseline.
+func NewFlatAODV(sizes Sizes) (*FlatAODV, error) {
+	if err := sizes.Validate(); err != nil {
+		return nil, err
+	}
+	return &FlatAODV{sizes: sizes, cache: make(map[[2]netsim.NodeID][]netsim.NodeID)}, nil
+}
+
+// Name implements netsim.Protocol.
+func (a *FlatAODV) Name() string { return "routing/flat-aodv" }
+
+// Start implements netsim.Protocol.
+func (a *FlatAODV) Start(env netsim.Env) error {
+	a.env = env
+	return nil
+}
+
+// OnLinkEvent implements netsim.Protocol.
+func (a *FlatAODV) OnLinkEvent(netsim.LinkEvent) {}
+
+// OnMessage implements netsim.Protocol.
+func (a *FlatAODV) OnMessage(netsim.NodeID, netsim.Message) {}
+
+// OnTick implements netsim.Protocol.
+func (a *FlatAODV) OnTick(float64) {}
+
+// Stats returns the activity counters.
+func (a *FlatAODV) Stats() Stats { return a.stats }
+
+// Send routes one payload, flooding a discovery when no live cached
+// route exists. Flood cost: every node broadcasts the RREQ once (flat
+// flooding has no backbone to thin it out), then the destination
+// unicasts the RREP back hop by hop.
+func (a *FlatAODV) Send(src, dst netsim.NodeID) Delivery {
+	if src == dst {
+		return Delivery{Delivered: true, Path: []netsim.NodeID{src}}
+	}
+	key := [2]netsim.NodeID{src, dst}
+	if path, ok := a.cache[key]; ok && pathAlive(a.env, path) {
+		a.stats.CacheHits++
+		a.forwardData(path)
+		return Delivery{Delivered: true, Path: path, Hops: len(path) - 1}
+	}
+	delete(a.cache, key)
+
+	a.stats.Discoveries++
+	n := a.env.NumNodes()
+	for i := 0; i < n; i++ {
+		a.env.Broadcast(netsim.Message{
+			Kind: netsim.MsgRouteDiscovery,
+			From: netsim.NodeID(i),
+			Bits: a.sizes.Discovery,
+		})
+	}
+	path := shortestPath(a.env, src, dst, nil)
+	if path == nil {
+		a.stats.DeliveryFailures++
+		return Delivery{UsedDiscovery: true}
+	}
+	for i := len(path) - 1; i > 0; i-- {
+		a.env.Broadcast(netsim.Message{
+			Kind: netsim.MsgRouteDiscovery,
+			From: path[i],
+			Bits: a.sizes.Discovery,
+		})
+	}
+	a.cache[key] = path
+	a.forwardData(path)
+	return Delivery{Delivered: true, Path: path, Hops: len(path) - 1, UsedDiscovery: true}
+}
+
+// forwardData counts one data transmission per hop.
+func (a *FlatAODV) forwardData(path []netsim.NodeID) {
+	for i := 0; i+1 < len(path); i++ {
+		a.stats.DataMsgs++
+		a.env.Broadcast(netsim.Message{Kind: netsim.MsgData, From: path[i], Bits: a.sizes.Data})
+	}
+}

@@ -1,0 +1,71 @@
+package routing
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+)
+
+// shortestPath runs a breadth-first search from src to dst over the
+// topology, visiting only nodes accepted by keep (nil keeps everything;
+// src and dst are always kept). It returns the node sequence including
+// both endpoints, or nil when dst is unreachable.
+func shortestPath(topo cluster.Topology, src, dst netsim.NodeID, keep func(netsim.NodeID) bool) []netsim.NodeID {
+	if src == dst {
+		return []netsim.NodeID{src}
+	}
+	n := topo.NumNodes()
+	prev := make([]netsim.NodeID, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	frontier := []netsim.NodeID{src}
+	for len(frontier) > 0 {
+		var next []netsim.NodeID
+		for _, u := range frontier {
+			for _, v := range topo.Neighbors(u) {
+				if prev[v] >= 0 {
+					continue
+				}
+				if v != dst && keep != nil && !keep(v) {
+					continue
+				}
+				prev[v] = u
+				if v == dst {
+					return buildPath(prev, src, dst)
+				}
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// buildPath reconstructs the src→dst node sequence from the predecessor
+// array.
+func buildPath(prev []netsim.NodeID, src, dst netsim.NodeID) []netsim.NodeID {
+	var rev []netsim.NodeID
+	for at := dst; ; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	path := make([]netsim.NodeID, len(rev))
+	for i, id := range rev {
+		path[len(rev)-1-i] = id
+	}
+	return path
+}
+
+// pathAlive reports whether every consecutive pair of the path is still
+// linked.
+func pathAlive(env netsim.Env, path []netsim.NodeID) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if !env.IsNeighbor(path[i], path[i+1]) {
+			return false
+		}
+	}
+	return len(path) > 0
+}

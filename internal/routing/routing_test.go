@@ -1,0 +1,449 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+)
+
+func newSim(t *testing.T, cfg netsim.Config) *netsim.Sim {
+	t.Helper()
+	s, err := netsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mobileConfig(seed uint64) netsim.Config {
+	return netsim.Config{
+		N: 120, Side: 10, Range: 1.8, Dt: 0.05, Seed: seed,
+		Model: mobility.EpochRWP{Speed: 0.4, Epoch: 2},
+	}
+}
+
+// buildStack wires hello + clustering + hybrid routing onto a simulator.
+func buildStack(t *testing.T, s *netsim.Sim) (*Hello, *cluster.Maintainer, *Hybrid) {
+	t.Helper()
+	hello, err := NewHello(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cluster.NewMaintainer(cluster.LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := NewHybrid(m, DefaultSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(hello, m, hy); err != nil {
+		t.Fatal(err)
+	}
+	return hello, m, hy
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewHello(0); err == nil {
+		t.Error("zero hello bits accepted")
+	}
+	if _, err := NewPeriodicHello(64, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewPeriodicHello(0, 1); err == nil {
+		t.Error("zero periodic bits accepted")
+	}
+	if _, err := NewHybrid(nil, DefaultSizes); err == nil {
+		t.Error("nil maintainer accepted")
+	}
+	m, err := cluster.NewMaintainer(cluster.LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHybrid(m, Sizes{}); err == nil {
+		t.Error("zero sizes accepted")
+	}
+	if _, err := NewFlatDSDV(0); err == nil {
+		t.Error("zero DSDV entry accepted")
+	}
+	if _, err := NewFlatAODV(Sizes{}); err == nil {
+		t.Error("zero AODV sizes accepted")
+	}
+}
+
+func TestHelloLowerBoundRate(t *testing.T) {
+	// Event-driven HELLO: exactly two beacons per link generation
+	// (one per endpoint), none for breaks.
+	s := newSim(t, mobileConfig(1))
+	hello, err := NewHello(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	startTally := s.Tallies()
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	w := s.Tallies().Sub(startTally)
+	gens := w.LinkGen + w.BorderGen
+	hellos := w.Of(netsim.MsgHello).Msgs
+	if hellos != 2*gens {
+		t.Errorf("hellos = %v, want 2×gens = %v", hellos, 2*gens)
+	}
+	// Border-triggered beacons must carry the border flag.
+	if w.BorderGen > 0 && w.BorderOf(netsim.MsgHello).Msgs != 2*w.BorderGen {
+		t.Errorf("border hellos = %v, want %v", w.BorderOf(netsim.MsgHello).Msgs, 2*w.BorderGen)
+	}
+}
+
+func TestHelloTablesTrackTopology(t *testing.T) {
+	s := newSim(t, mobileConfig(2))
+	hello, err := NewHello(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// Event-driven beacons plus soft-timer removal keep tables exactly
+	// synchronized with the true adjacency.
+	for i := 0; i < s.NumNodes(); i++ {
+		id := netsim.NodeID(i)
+		nbs := s.Neighbors(id)
+		if hello.TableSize(id) != len(nbs) {
+			t.Fatalf("node %d: table %d entries, topology %d", i, hello.TableSize(id), len(nbs))
+		}
+		for _, nb := range nbs {
+			if !hello.Knows(id, nb) {
+				t.Fatalf("node %d missing neighbor %d", i, nb)
+			}
+		}
+	}
+}
+
+func TestPeriodicHelloBeacons(t *testing.T) {
+	cfg := mobileConfig(3)
+	s := newSim(t, cfg)
+	hello, err := NewPeriodicHello(64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Tallies().Of(netsim.MsgHello).Msgs // initial burst
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Tallies().Of(netsim.MsgHello).Msgs - base
+	want := float64(cfg.N) * 10 // 5 time units / 0.5 interval
+	if got < want*0.9 || got > want*1.1 {
+		t.Errorf("periodic hellos = %v, want ≈%v", got, want)
+	}
+	if hello.Name() != "hello" {
+		t.Error("name wrong")
+	}
+}
+
+func TestHybridRouteRoundsMatchIntraChanges(t *testing.T) {
+	s := newSim(t, mobileConfig(4))
+	_, m, hy := buildStack(t, s)
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	stats := hy.Stats()
+	if stats.Rounds == 0 {
+		t.Fatal("no table rounds under mobility")
+	}
+	tally := s.Tallies().Of(netsim.MsgRoute)
+	if tally.Msgs != stats.RouteMsgs {
+		t.Errorf("engine tally %v != stats %v", tally.Msgs, stats.RouteMsgs)
+	}
+	// Each round broadcasts once per cluster member, so messages per
+	// round must be at least 1 and on average near the mean cluster
+	// size 1/P.
+	perRound := stats.RouteMsgs / stats.Rounds
+	if perRound < 1 {
+		t.Errorf("messages per round = %v", perRound)
+	}
+	meanSize := 1 / m.HeadRatio()
+	if perRound > 5*meanSize {
+		t.Errorf("messages per round %v implausible vs mean cluster size %v", perRound, meanSize)
+	}
+}
+
+func TestHybridIntraClusterDelivery(t *testing.T) {
+	s := newSim(t, mobileConfig(5))
+	_, m, hy := buildStack(t, s)
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	// Pick a head with at least two members and send member → member.
+	a := m.Assignment()
+	var head netsim.NodeID = -1
+	for h, size := range a.ClusterSizes() {
+		if size >= 3 && a.Role[h] == cluster.RoleHead {
+			head = h
+			break
+		}
+	}
+	if head < 0 {
+		t.Skip("no 3-node cluster in this placement")
+	}
+	members := a.Members(head)
+	var src, dst netsim.NodeID = -1, -1
+	for _, x := range members {
+		if x != head {
+			if src < 0 {
+				src = x
+			} else {
+				dst = x
+				break
+			}
+		}
+	}
+	del := hy.Send(src, dst)
+	if !del.Delivered || !del.IntraCluster || del.UsedDiscovery {
+		t.Fatalf("intra delivery failed: %+v", del)
+	}
+	if del.Hops < 1 || del.Hops > 2 {
+		t.Errorf("intra-cluster path should be ≤ 2 hops, got %d (%v)", del.Hops, del.Path)
+	}
+	// Every node on the path must be in the cluster.
+	for _, x := range del.Path {
+		if a.Head[x] != head {
+			t.Errorf("path node %d outside cluster %d", x, head)
+		}
+	}
+	// Next hop accessor agrees with the path.
+	nh, ok := hy.NextHopIntra(src, dst)
+	if !ok || nh != del.Path[1] {
+		t.Errorf("NextHopIntra = %v,%v want %v", nh, ok, del.Path[1])
+	}
+	if _, ok := hy.NextHopIntra(src, pickForeign(a, head)); ok {
+		t.Error("NextHopIntra crossed clusters")
+	}
+}
+
+// pickForeign returns some node outside the given cluster.
+func pickForeign(a cluster.Assignment, head netsim.NodeID) netsim.NodeID {
+	for i, h := range a.Head {
+		if h != head {
+			return netsim.NodeID(i)
+		}
+	}
+	return 0
+}
+
+func TestHybridInterClusterDeliveryAndCache(t *testing.T) {
+	s := newSim(t, mobileConfig(6))
+	_, m, hy := buildStack(t, s)
+	if err := s.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	a := m.Assignment()
+	// Find a cross-cluster pair that is actually connected.
+	var src, dst netsim.NodeID = -1, -1
+	for i := 0; i < s.NumNodes() && src < 0; i++ {
+		for j := 0; j < s.NumNodes(); j++ {
+			si, sj := netsim.NodeID(i), netsim.NodeID(j)
+			if a.Head[si] != a.Head[sj] && shortestPath(s, si, sj, nil) != nil {
+				src, dst = si, sj
+				break
+			}
+		}
+	}
+	if src < 0 {
+		t.Skip("no connected cross-cluster pair")
+	}
+	before := hy.Stats()
+	del := hy.Send(src, dst)
+	if !del.Delivered || !del.UsedDiscovery || del.IntraCluster {
+		t.Fatalf("inter delivery: %+v", del)
+	}
+	mid := hy.Stats()
+	if mid.Discoveries != before.Discoveries+1 {
+		t.Errorf("discoveries = %v, want +1", mid.Discoveries)
+	}
+	// Second send hits the cache (topology unchanged between sends).
+	del2 := hy.Send(src, dst)
+	if !del2.Delivered || del2.UsedDiscovery {
+		t.Fatalf("cached delivery: %+v", del2)
+	}
+	after := hy.Stats()
+	if after.CacheHits != mid.CacheHits+1 || after.Discoveries != mid.Discoveries {
+		t.Errorf("cache not used: %+v vs %+v", after, mid)
+	}
+	// Discovery traffic was tallied on the engine.
+	if s.Tallies().Of(netsim.MsgRouteDiscovery).Msgs == 0 {
+		t.Error("no discovery traffic tallied")
+	}
+}
+
+func TestHybridSelfSend(t *testing.T) {
+	s := newSim(t, mobileConfig(7))
+	_, _, hy := buildStack(t, s)
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	del := hy.Send(3, 3)
+	if !del.Delivered || del.Hops != 0 || len(del.Path) != 1 {
+		t.Errorf("self send: %+v", del)
+	}
+}
+
+func TestFlatDSDVRounds(t *testing.T) {
+	cfg := mobileConfig(8)
+	cfg.N = 60 // flat DSDV floods hard; keep the test quick
+	s := newSim(t, cfg)
+	d, err := NewFlatDSDV(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	start := s.Tallies()
+	if err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	w := s.Tallies().Sub(start)
+	events := w.LinkGen + w.LinkBrk + w.BorderGen + w.BorderBrk
+	rounds := d.Stats().Rounds
+	if rounds == 0 {
+		t.Fatal("no DSDV rounds under mobility")
+	}
+	// Triggered updates are batched per tick: at most one round per
+	// event, at least one round while events keep arriving.
+	if rounds > events {
+		t.Errorf("rounds = %v exceed events = %v", rounds, events)
+	}
+	wantMsgs := rounds * float64(cfg.N)
+	if got := w.Of(netsim.MsgRoute).Msgs; got != wantMsgs {
+		t.Errorf("flat DSDV msgs = %v, want rounds×N = %v", got, wantMsgs)
+	}
+	// Bits per message = N entries.
+	if got := w.Of(netsim.MsgRoute).Bits; got != wantMsgs*128*float64(cfg.N) {
+		t.Errorf("flat DSDV bits = %v", got)
+	}
+	del := d.Send(0, netsim.NodeID(cfg.N-1))
+	if del.Delivered != (del.Path != nil) {
+		t.Errorf("inconsistent delivery: %+v", del)
+	}
+}
+
+func TestFlatAODVDiscoveryAndCache(t *testing.T) {
+	cfg := mobileConfig(9)
+	s := newSim(t, cfg)
+	a, err := NewFlatAODV(DefaultSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// Find a connected pair.
+	var src, dst netsim.NodeID = -1, -1
+	for j := 1; j < s.NumNodes(); j++ {
+		if shortestPath(s, 0, netsim.NodeID(j), nil) != nil {
+			src, dst = 0, netsim.NodeID(j)
+			break
+		}
+	}
+	if src < 0 {
+		t.Skip("node 0 isolated")
+	}
+	del := a.Send(src, dst)
+	if !del.Delivered || !del.UsedDiscovery {
+		t.Fatalf("AODV delivery: %+v", del)
+	}
+	// Flood cost: every node broadcast one RREQ.
+	rreq := s.Tallies().Of(netsim.MsgRouteDiscovery).Msgs
+	if rreq < float64(cfg.N) {
+		t.Errorf("flood sent %v RREQs, want ≥ N = %d", rreq, cfg.N)
+	}
+	del2 := a.Send(src, dst)
+	if !del2.Delivered || del2.UsedDiscovery {
+		t.Errorf("cache not used: %+v", del2)
+	}
+	if a.Stats().CacheHits != 1 {
+		t.Errorf("cache hits = %v", a.Stats().CacheHits)
+	}
+	if self := a.Send(5, 5); !self.Delivered || self.Hops != 0 {
+		t.Errorf("self send: %+v", self)
+	}
+}
+
+func TestShortestPathHelpers(t *testing.T) {
+	s := newSim(t, mobileConfig(10))
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Path to self.
+	p := shortestPath(s, 4, 4, nil)
+	if len(p) != 1 || p[0] != 4 {
+		t.Errorf("self path = %v", p)
+	}
+	// A found path must be a valid neighbor chain and minimal vs BFS
+	// re-check (spot check symmetry src↔dst lengths).
+	for j := 1; j < 20; j++ {
+		p := shortestPath(s, 0, netsim.NodeID(j), nil)
+		if p == nil {
+			continue
+		}
+		if p[0] != 0 || p[len(p)-1] != netsim.NodeID(j) {
+			t.Fatalf("endpoints wrong: %v", p)
+		}
+		if !pathAlive(s, p) {
+			t.Fatalf("path not alive: %v", p)
+		}
+		q := shortestPath(s, netsim.NodeID(j), 0, nil)
+		if len(q) != len(p) {
+			t.Fatalf("asymmetric shortest path lengths: %d vs %d", len(p), len(q))
+		}
+	}
+	if pathAlive(s, nil) {
+		t.Error("nil path alive")
+	}
+}
+
+func TestHybridRoundsExcludeInterClusterChanges(t *testing.T) {
+	// Statistical check: route rounds must be rarer than total link
+	// changes (only intra-cluster changes trigger rounds).
+	s := newSim(t, mobileConfig(11))
+	_, _, hy := buildStack(t, s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	start := s.Tallies()
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	w := s.Tallies().Sub(start)
+	changes := w.LinkGen + w.LinkBrk + w.BorderGen + w.BorderBrk
+	if hy.Stats().Rounds >= changes {
+		t.Errorf("rounds %v should be < total changes %v", hy.Stats().Rounds, changes)
+	}
+	if hy.Stats().Rounds == 0 {
+		t.Error("no rounds at all")
+	}
+}

@@ -1,0 +1,161 @@
+// Package space provides a uniform-grid spatial index over node positions
+// in a square region. Neighbor queries within a fixed radius touch only
+// the 3×3 block of cells around a point, making whole-network topology
+// recomputation O(N·d) per tick instead of O(N²).
+package space
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Grid is a uniform-cell spatial index. Construct with NewGrid, then call
+// Rebuild each time positions change before issuing queries. Grid is not
+// safe for concurrent mutation.
+type Grid struct {
+	metric   geom.Metric
+	radius   float64 // query radius the cell size is tuned for
+	cells    int     // cells per axis
+	cellSize float64
+	heads    []int32 // head of the linked list per cell, -1 when empty
+	next     []int32 // next node index in the same cell, -1 at the end
+	pos      []geom.Vec2
+}
+
+// NewGrid builds an index over a square region described by metric, tuned
+// for neighbor queries of the given radius.
+func NewGrid(metric geom.Metric, radius float64) (*Grid, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("space: radius must be positive, got %g", radius)
+	}
+	side := metric.Side()
+	cells := int(math.Floor(side / radius))
+	if cells < 1 {
+		cells = 1
+	}
+	// Cap the cell count so pathological tiny radii cannot exhaust memory;
+	// queries stay correct, only the constant factor changes.
+	const maxCellsPerAxis = 1024
+	if cells > maxCellsPerAxis {
+		cells = maxCellsPerAxis
+	}
+	return &Grid{
+		metric:   metric,
+		radius:   radius,
+		cells:    cells,
+		cellSize: side / float64(cells),
+		heads:    make([]int32, cells*cells),
+	}, nil
+}
+
+// Radius reports the query radius the grid was tuned for.
+func (g *Grid) Radius() float64 { return g.radius }
+
+// Len reports the number of indexed positions.
+func (g *Grid) Len() int { return len(g.pos) }
+
+// Rebuild reindexes the given positions. The slice is retained until the
+// next Rebuild; callers must not mutate it while issuing queries.
+func (g *Grid) Rebuild(positions []geom.Vec2) {
+	g.pos = positions
+	for i := range g.heads {
+		g.heads[i] = -1
+	}
+	if cap(g.next) < len(positions) {
+		g.next = make([]int32, len(positions))
+	}
+	g.next = g.next[:len(positions)]
+	for i, p := range positions {
+		c := g.cellOf(p)
+		g.next[i] = g.heads[c]
+		g.heads[c] = int32(i)
+	}
+}
+
+// cellOf maps a position to its cell index. Positions are expected inside
+// the region; out-of-range coordinates are clamped to the border cells so
+// a stray float rounding cannot index out of bounds.
+func (g *Grid) cellOf(p geom.Vec2) int {
+	cx := int(p.X / g.cellSize)
+	cy := int(p.Y / g.cellSize)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.cells {
+		cx = g.cells - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.cells {
+		cy = g.cells - 1
+	}
+	return cy*g.cells + cx
+}
+
+// Neighbors appends to out the indices of all positions within the query
+// radius of positions[i] (excluding i itself) and returns the extended
+// slice. Pass a reused buffer to avoid allocation.
+func (g *Grid) Neighbors(i int, out []int) []int {
+	p := g.pos[i]
+	r2 := g.radius * g.radius
+	g.forEachCandidate(p, func(j int32) {
+		if int(j) != i && g.metric.Dist2(p, g.pos[j]) <= r2 {
+			out = append(out, int(j))
+		}
+	})
+	return out
+}
+
+// ForEachPair invokes fn once per unordered pair (i, j), i < j, whose
+// distance is within the query radius.
+func (g *Grid) ForEachPair(fn func(i, j int)) {
+	r2 := g.radius * g.radius
+	for i := range g.pos {
+		p := g.pos[i]
+		g.forEachCandidate(p, func(j int32) {
+			if int(j) > i && g.metric.Dist2(p, g.pos[j]) <= r2 {
+				fn(i, int(j))
+			}
+		})
+	}
+}
+
+// forEachCandidate visits every index stored in the 3×3 (or wider, when
+// the radius spans multiple cells) block of cells around p. With the
+// torus metric the block wraps around the borders.
+func (g *Grid) forEachCandidate(p geom.Vec2, fn func(j int32)) {
+	span := int(math.Ceil(g.radius / g.cellSize)) // cells to scan each side
+	cx := int(p.X / g.cellSize)
+	cy := int(p.Y / g.cellSize)
+	wrap := g.metric.Kind() == geom.MetricTorus
+	if 2*span+1 >= g.cells {
+		// The scan window covers the whole axis; visit every cell exactly
+		// once to avoid duplicates under wrapping.
+		for c := range g.heads {
+			for j := g.heads[c]; j >= 0; j = g.next[j] {
+				fn(j)
+			}
+		}
+		return
+	}
+	for dy := -span; dy <= span; dy++ {
+		y := cy + dy
+		if wrap {
+			y = ((y % g.cells) + g.cells) % g.cells
+		} else if y < 0 || y >= g.cells {
+			continue
+		}
+		for dx := -span; dx <= span; dx++ {
+			x := cx + dx
+			if wrap {
+				x = ((x % g.cells) + g.cells) % g.cells
+			} else if x < 0 || x >= g.cells {
+				continue
+			}
+			for j := g.heads[y*g.cells+x]; j >= 0; j = g.next[j] {
+				fn(j)
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package space
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func mustGrid(t *testing.T, kind geom.MetricKind, side, radius float64) *Grid {
+	t.Helper()
+	m, err := geom.NewMetric(kind, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(m, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func randomPositions(n int, side float64, seed int64) []geom.Vec2 {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]geom.Vec2, n)
+	for i := range ps {
+		ps[i] = geom.Vec2{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	return ps
+}
+
+// bruteNeighbors is the O(N²) reference implementation.
+func bruteNeighbors(m geom.Metric, ps []geom.Vec2, i int, r float64) []int {
+	var out []int
+	for j := range ps {
+		if j != i && m.Dist2(ps[i], ps[j]) <= r*r {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func TestNewGridValidation(t *testing.T) {
+	m, err := geom.NewMetric(geom.MetricSquare, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGrid(m, 0); err == nil {
+		t.Error("want error for zero radius")
+	}
+	if _, err := NewGrid(m, -1); err == nil {
+		t.Error("want error for negative radius")
+	}
+	g, err := NewGrid(m, 1e-9) // extreme radius must not explode memory
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Radius() != 1e-9 {
+		t.Error("Radius accessor mismatch")
+	}
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	tests := []struct {
+		name   string
+		kind   geom.MetricKind
+		side   float64
+		radius float64
+		n      int
+	}{
+		{"square small radius", geom.MetricSquare, 10, 0.8, 300},
+		{"square large radius", geom.MetricSquare, 10, 4.5, 200},
+		{"square radius exceeds side", geom.MetricSquare, 10, 25, 60},
+		{"torus small radius", geom.MetricTorus, 10, 0.8, 300},
+		{"torus wrap radius", geom.MetricTorus, 10, 3, 150},
+		{"single cell torus", geom.MetricTorus, 2, 1.9, 50},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := mustGrid(t, tt.kind, tt.side, tt.radius)
+			m, _ := geom.NewMetric(tt.kind, tt.side)
+			ps := randomPositions(tt.n, tt.side, 42)
+			g.Rebuild(ps)
+			if g.Len() != tt.n {
+				t.Fatalf("Len = %d, want %d", g.Len(), tt.n)
+			}
+			for i := 0; i < tt.n; i += 7 {
+				got := g.Neighbors(i, nil)
+				want := bruteNeighbors(m, ps, i, tt.radius)
+				sort.Ints(got)
+				sort.Ints(want)
+				if len(got) != len(want) {
+					t.Fatalf("node %d: got %d neighbors, want %d", i, len(got), len(want))
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("node %d neighbor mismatch: %v vs %v", i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGridNoDuplicates(t *testing.T) {
+	// Wrapping window on a tiny grid is where duplicates would appear.
+	g := mustGrid(t, geom.MetricTorus, 3, 1.4)
+	ps := randomPositions(40, 3, 9)
+	g.Rebuild(ps)
+	for i := range ps {
+		got := g.Neighbors(i, nil)
+		seen := make(map[int]bool, len(got))
+		for _, j := range got {
+			if seen[j] {
+				t.Fatalf("duplicate neighbor %d for node %d", j, i)
+			}
+			if j == i {
+				t.Fatalf("node %d returned itself", i)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestForEachPairMatchesNeighbors(t *testing.T) {
+	g := mustGrid(t, geom.MetricTorus, 10, 1.2)
+	ps := randomPositions(200, 10, 3)
+	g.Rebuild(ps)
+
+	pairCount := make(map[[2]int]int)
+	g.ForEachPair(func(i, j int) {
+		if i >= j {
+			t.Fatalf("ForEachPair order violated: (%d,%d)", i, j)
+		}
+		pairCount[[2]int{i, j}]++
+	})
+	for p, c := range pairCount {
+		if c != 1 {
+			t.Fatalf("pair %v visited %d times", p, c)
+		}
+	}
+	// Degree sum must equal 2 × pair count.
+	deg := 0
+	for i := range ps {
+		deg += len(g.Neighbors(i, nil))
+	}
+	if deg != 2*len(pairCount) {
+		t.Errorf("degree sum %d != 2×pairs %d", deg, 2*len(pairCount))
+	}
+}
+
+func TestRebuildReusesBuffers(t *testing.T) {
+	g := mustGrid(t, geom.MetricSquare, 10, 1)
+	ps := randomPositions(100, 10, 1)
+	g.Rebuild(ps)
+	before := g.Neighbors(0, nil)
+	g.Rebuild(ps) // identical rebuild must give identical answers
+	after := g.Neighbors(0, nil)
+	if len(before) != len(after) {
+		t.Fatalf("rebuild changed neighbor count: %d vs %d", len(before), len(after))
+	}
+	// Shrinking rebuild must not retain stale entries.
+	g.Rebuild(ps[:10])
+	if g.Len() != 10 {
+		t.Fatalf("Len after shrink = %d", g.Len())
+	}
+	for i := 0; i < 10; i++ {
+		for _, j := range g.Neighbors(i, nil) {
+			if j >= 10 {
+				t.Fatalf("stale index %d returned after shrink", j)
+			}
+		}
+	}
+}
+
+func TestNeighborsBufferAppend(t *testing.T) {
+	g := mustGrid(t, geom.MetricSquare, 10, 2)
+	ps := randomPositions(50, 10, 5)
+	g.Rebuild(ps)
+	buf := make([]int, 0, 64)
+	a := g.Neighbors(3, buf)
+	b := g.Neighbors(3, a[:0])
+	if len(a) != len(b) {
+		t.Fatalf("buffer reuse changed result: %d vs %d", len(a), len(b))
+	}
+}

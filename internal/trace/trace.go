@@ -1,0 +1,220 @@
+// Package trace records simulation activity as structured JSON-lines
+// events for debugging, replay and post-hoc analysis. A Tracer is a
+// passive netsim.Protocol: register it alongside the protocols under
+// study and every link event, broadcast and periodic topology summary is
+// appended to the writer in timestamped order. Records are one JSON
+// object per line, so standard tooling (jq, grep) applies.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Kind tags a trace record.
+type Kind string
+
+const (
+	// KindLink records a topology change.
+	KindLink Kind = "link"
+	// KindMessage records one broadcast (not its per-neighbor
+	// deliveries).
+	KindMessage Kind = "message"
+	// KindSummary records the periodic topology summary.
+	KindSummary Kind = "summary"
+)
+
+// Record is one trace line.
+type Record struct {
+	Time float64 `json:"t"`
+	Kind Kind    `json:"kind"`
+
+	// Link fields (kind == "link").
+	A      *netsim.NodeID `json:"a,omitempty"`
+	B      *netsim.NodeID `json:"b,omitempty"`
+	Up     *bool          `json:"up,omitempty"`
+	Border *bool          `json:"border,omitempty"`
+
+	// Message fields (kind == "message").
+	From    *netsim.NodeID `json:"from,omitempty"`
+	MsgKind string         `json:"msg,omitempty"`
+	Bits    float64        `json:"bits,omitempty"`
+
+	// Summary fields (kind == "summary").
+	MeanDegree float64 `json:"meanDegree,omitempty"`
+	Delivered  int64   `json:"delivered,omitempty"`
+}
+
+// Tracer streams simulation records to a writer. It deduplicates
+// broadcast records (each broadcast is observed once per receiving
+// neighbor by OnMessage; only the first observation is logged).
+type Tracer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+
+	env           netsim.Env
+	summaryEvery  float64
+	lastSummary   float64
+	lastSeen      netsim.Message
+	lastSeenValid bool
+	lastRemaining int
+
+	links    int64
+	messages int64
+}
+
+var _ netsim.Protocol = (*Tracer)(nil)
+
+// New builds a tracer writing to w. summaryEvery sets the period of
+// topology summary records; 0 disables them.
+func New(w io.Writer, summaryEvery float64) (*Tracer, error) {
+	if w == nil {
+		return nil, fmt.Errorf("trace: nil writer")
+	}
+	if summaryEvery < 0 {
+		return nil, fmt.Errorf("trace: summary period must be non-negative, got %g", summaryEvery)
+	}
+	bw := bufio.NewWriter(w)
+	return &Tracer{w: bw, enc: json.NewEncoder(bw), summaryEvery: summaryEvery}, nil
+}
+
+// Name implements netsim.Protocol.
+func (t *Tracer) Name() string { return "trace" }
+
+// Start implements netsim.Protocol.
+func (t *Tracer) Start(env netsim.Env) error {
+	t.env = env
+	return nil
+}
+
+// OnLinkEvent implements netsim.Protocol.
+func (t *Tracer) OnLinkEvent(ev netsim.LinkEvent) {
+	a, b := ev.A, ev.B
+	up, border := ev.Up, ev.Border
+	t.write(Record{
+		Time: ev.Time, Kind: KindLink,
+		A: &a, B: &b, Up: &up, Border: &border,
+	})
+	t.links++
+}
+
+// OnMessage implements netsim.Protocol: log each distinct broadcast
+// once. A broadcast is delivered to every neighbor of its sender
+// back-to-back and adjacency is fixed within a tick, so counting
+// Degree(From) consecutive matching deliveries identifies the broadcast
+// boundary exactly — even between identical back-to-back broadcasts.
+func (t *Tracer) OnMessage(_ netsim.NodeID, msg netsim.Message) {
+	if t.lastSeenValid && t.lastRemaining > 0 && sameBroadcast(t.lastSeen, msg) {
+		t.lastRemaining--
+		return
+	}
+	t.lastSeen = msg
+	t.lastSeenValid = true
+	t.lastRemaining = t.env.Degree(msg.From) - 1
+	from := msg.From
+	t.write(Record{
+		Time: t.env.Now(), Kind: KindMessage,
+		From: &from, MsgKind: msg.Kind.String(), Bits: msg.Bits,
+	})
+	t.messages++
+}
+
+// sameBroadcast reports whether two delivery observations belong to one
+// broadcast.
+func sameBroadcast(a, b netsim.Message) bool {
+	return a.From == b.From && a.Kind == b.Kind && a.Bits == b.Bits && a.Border == b.Border
+}
+
+// OnTick implements netsim.Protocol.
+func (t *Tracer) OnTick(now float64) {
+	t.lastSeenValid = false
+	if t.summaryEvery == 0 {
+		return
+	}
+	if now-t.lastSummary < t.summaryEvery {
+		return
+	}
+	t.lastSummary = now
+	mean := 0.0
+	n := t.env.NumNodes()
+	for i := 0; i < n; i++ {
+		mean += float64(t.env.Degree(netsim.NodeID(i)))
+	}
+	t.write(Record{
+		Time: now, Kind: KindSummary,
+		MeanDegree: mean / float64(n),
+	})
+}
+
+// write encodes one record, retaining the first error.
+func (t *Tracer) write(rec Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(rec)
+}
+
+// Flush drains buffered records to the underlying writer and returns the
+// first error encountered during tracing.
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Counts reports how many link and message records were written.
+func (t *Tracer) Counts() (links, messages int64) {
+	return t.links, t.messages
+}
+
+// Read parses a JSONL trace back into records — the replay half of the
+// package, used by analysis tooling and tests.
+func Read(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Summary aggregates a parsed trace: counts per record kind and message
+// kind, and total bits by message kind.
+type Summary struct {
+	Links    int
+	Messages int
+	ByMsg    map[string]int
+	BitsBy   map[string]float64
+}
+
+// Summarize folds records into a Summary.
+func Summarize(records []Record) Summary {
+	s := Summary{ByMsg: map[string]int{}, BitsBy: map[string]float64{}}
+	for _, rec := range records {
+		switch rec.Kind {
+		case KindLink:
+			s.Links++
+		case KindMessage:
+			s.Messages++
+			s.ByMsg[rec.MsgKind]++
+			s.BitsBy[rec.MsgKind] += rec.Bits
+		}
+	}
+	return s
+}

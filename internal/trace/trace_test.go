@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 1); err == nil {
+		t.Error("nil writer accepted")
+	}
+	if _, err := New(&bytes.Buffer{}, -1); err == nil {
+		t.Error("negative summary period accepted")
+	}
+	tr, err := New(&bytes.Buffer{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "trace" {
+		t.Error("name wrong")
+	}
+}
+
+// runTraced drives a small mobile stack with a tracer attached and
+// returns the raw trace and the engine tallies.
+func runTraced(t *testing.T) (*bytes.Buffer, *Tracer, netsim.Tallies) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr, err := New(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netsim.New(netsim.Config{
+		N: 80, Side: 10, Range: 1.8, Dt: 0.05, Seed: 5,
+		Model: mobility.EpochRWP{Speed: 0.4, Epoch: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maint, err := cluster.NewMaintainer(cluster.LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := routing.NewHello(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Register(tr, hello, maint); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, tr, sim.Tallies()
+}
+
+func TestTraceRoundTripAndCounts(t *testing.T) {
+	buf, tr, tallies := runTraced(t)
+	records, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("empty trace")
+	}
+	s := Summarize(records)
+
+	// Link records must match engine link-event counts exactly.
+	wantLinks := int(tallies.LinkGen + tallies.LinkBrk + tallies.BorderGen + tallies.BorderBrk)
+	if s.Links != wantLinks {
+		t.Errorf("trace has %d link records, engine saw %d events", s.Links, wantLinks)
+	}
+	links, msgs := tr.Counts()
+	if int(links) != wantLinks {
+		t.Errorf("Counts links = %d, want %d", links, wantLinks)
+	}
+
+	// Message records can only undercount broadcasts whose sender had
+	// no neighbors (nothing is delivered, so nothing is observable);
+	// they must never overcount, and should capture the vast majority.
+	totalBroadcasts := tallies.Of(netsim.MsgHello).Msgs + tallies.Of(netsim.MsgCluster).Msgs
+	if float64(s.Messages) > totalBroadcasts {
+		t.Errorf("trace has %d message records, engine sent %v", s.Messages, totalBroadcasts)
+	}
+	if float64(s.Messages) < totalBroadcasts*0.9 {
+		t.Errorf("trace captured only %d of %v broadcasts", s.Messages, totalBroadcasts)
+	}
+	if msgs != int64(s.Messages) {
+		t.Errorf("Counts messages = %d, summary %d", msgs, s.Messages)
+	}
+	if s.ByMsg["hello"] == 0 || s.ByMsg["cluster"] == 0 {
+		t.Errorf("missing message kinds: %+v", s.ByMsg)
+	}
+	if s.BitsBy["hello"] != float64(s.ByMsg["hello"])*64 {
+		t.Errorf("hello bits %v != count×64", s.BitsBy["hello"])
+	}
+
+	// Timestamps are non-decreasing.
+	prev := -1.0
+	summaries := 0
+	for _, rec := range records {
+		if rec.Time < prev {
+			t.Fatalf("time went backwards: %v after %v", rec.Time, prev)
+		}
+		prev = rec.Time
+		if rec.Kind == KindSummary {
+			summaries++
+			if rec.MeanDegree <= 0 {
+				t.Error("summary without degree")
+			}
+		}
+	}
+	if summaries < 9 || summaries > 11 {
+		t.Errorf("want ~10 summaries over 10 time units, got %d", summaries)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"t":1}{bad`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	buf, _, _ := runTraced(t)
+	line, _, _ := strings.Cut(buf.String(), "\n")
+	if !strings.HasPrefix(line, `{"t":`) {
+		t.Errorf("first line not a JSON record: %q", line)
+	}
+}

@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// TestEndToEndReproduction is the smoke check for the whole repository:
+// one reduced Figure-1-style point must agree between analysis and
+// simulation for every message class, and the pure-math Figure 4 must
+// reproduce exactly. The full-size regeneration lives in cmd/figures and
+// the benchmarks.
+func TestEndToEndReproduction(t *testing.T) {
+	net := core.Network{N: 300, R: 1.5, V: 0.05, Density: 4}
+	opts := experiments.DefaultOptions()
+	opts.TargetEvents = 6_000
+	m, err := experiments.MeasureRates(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := net.ControlRates(m.HeadRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, sim, ana, tol float64) {
+		if ana <= 0 || sim <= 0 {
+			t.Fatalf("%s: non-positive rate (sim %v, ana %v)", name, sim, ana)
+		}
+		if r := sim / ana; r < 1/tol || r > tol {
+			t.Errorf("%s: sim %v vs analysis %v beyond %gx band", name, sim, ana, tol)
+		}
+	}
+	check("f_hello", m.FHello, rates.Hello, 1.3)
+	check("f_cluster", m.FCluster, rates.Cluster, 1.4)
+	check("f_route", m.FRoute, rates.Route, 1.8)
+
+	// Figure 4 is closed-form: exact reproduction expected.
+	_, ratio, err := experiments.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ratio.Lookup("P from Eqn (16)").Points
+	approx := ratio.Lookup("P = 1/sqrt(d+1) (Eqn 17)").Points
+	last := len(exact) - 1
+	if gap := math.Abs(exact[last].Y/approx[last].Y - 1); gap > 0.001 {
+		t.Errorf("Eqn 17 approximation gap at d+1=61: %v", gap)
+	}
+}
