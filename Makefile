@@ -1,0 +1,23 @@
+# Development targets for the MANET overhead reproduction.
+
+.PHONY: build test vet race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./...
+
+# bench runs every benchmark once (the reproduction scoreboard) and then
+# regenerates the machine-readable performance artifact BENCH_1.json:
+# Figure 1–3 wall-clock serial vs parallel, mean-rel-gap, and the
+# steady-state tick-loop throughput vs the growth seed.
+bench:
+	go test -run '^$$' -bench=. -benchtime=1x .
+	go run ./cmd/bench -out BENCH_1.json

@@ -26,26 +26,8 @@ func benchOptions() experiments.Options {
 // `go test -bench` output doubles as a reproduction scoreboard.
 func reportAgreement(b *testing.B, fig *metrics.Figure) {
 	b.Helper()
-	var gap float64
-	var n int
-	for _, ana := range fig.Series {
-		const suffix = " analysis"
-		if len(ana.Name) <= len(suffix) || ana.Name[len(ana.Name)-len(suffix):] != suffix {
-			continue
-		}
-		sim := fig.Lookup(ana.Name[:len(ana.Name)-len(suffix)] + " simulation")
-		if sim == nil {
-			continue
-		}
-		for i := range ana.Points {
-			if ana.Points[i].Y > 0 {
-				gap += math.Abs(sim.Points[i].Y/ana.Points[i].Y - 1)
-				n++
-			}
-		}
-	}
-	if n > 0 {
-		b.ReportMetric(gap/float64(n), "mean-rel-gap")
+	if gap, n := fig.MeanRelGap(); n > 0 {
+		b.ReportMetric(gap, "mean-rel-gap")
 	}
 }
 
@@ -110,11 +92,11 @@ func BenchmarkFig4(b *testing.B) {
 // BenchmarkFig5 regenerates Figure 5 (LID cluster counts vs N and r).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fa, err := experiments.Figure5a(5, 42)
+		fa, err := experiments.Figure5a(5, 42, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		fb, err := experiments.Figure5b(5, 42)
+		fb, err := experiments.Figure5b(5, 42, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +270,7 @@ func BenchmarkOptimalRatio(b *testing.B) {
 // BenchmarkFormationConvergence measures LID formation rounds vs N.
 func BenchmarkFormationConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.FormationConvergence(cluster.LID{}, 5, 42)
+		rows, err := experiments.FormationConvergence(cluster.LID{}, 5, 42, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -301,7 +283,7 @@ func BenchmarkFormationConvergence(b *testing.B) {
 // BenchmarkDHopStudy compares Max-Min formations with the d-hop model.
 func BenchmarkDHopStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.DHopStudy(5, 42)
+		rows, err := experiments.DHopStudy(5, 42, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

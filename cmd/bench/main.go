@@ -1,0 +1,204 @@
+// Command bench measures the performance envelope of the simulator and
+// the sweep engine and writes a machine-readable artifact (BENCH_1.json
+// by default):
+//
+//   - wall-clock time of Figures 1–3 computed serially (-workers 1) and
+//     with the full worker pool (-workers 0), the resulting speedup, the
+//     mean-rel-gap agreement metric, and whether the parallel run was
+//     bit-identical to the serial one (it must be);
+//   - steady-state engine throughput: ns, heap allocations and heap
+//     bytes per tick of a 400-node mobile network.
+//
+// Usage:
+//
+//	bench -out BENCH_1.json -events 4000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+)
+
+// seedStep records the engine-throughput measurements taken on the
+// growth seed revision (linked-list grid cells, sort.Slice adjacency,
+// re-slicing message queue, serial sweep drivers) on the same class of
+// runner, so the artifact carries the before/after comparison of the
+// zero-alloc tick loop.
+var seedStep = StepResult{NsPerTick: 690119, AllocsPerTick: 800, BytesPerTick: 22458}
+
+// FigureResult is the artifact entry for one figure driver.
+type FigureResult struct {
+	Name       string  `json:"name"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	// Speedup is serial / parallel wall-clock time; on a single-core
+	// runner it hovers around 1 and the pool only helps elsewhere.
+	Speedup    float64 `json:"speedup"`
+	MeanRelGap float64 `json:"mean_rel_gap"`
+	GapPairs   int     `json:"gap_pairs"`
+	// ParallelBitIdentical reports whether the parallel figure rendered
+	// byte-identical CSV to the serial one. Anything but true is a bug.
+	ParallelBitIdentical bool `json:"parallel_bit_identical"`
+}
+
+// StepResult is the engine-throughput section of the artifact.
+type StepResult struct {
+	NsPerTick     float64 `json:"ns_per_tick"`
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+	BytesPerTick  float64 `json:"bytes_per_tick"`
+}
+
+// Report is the whole BENCH_1.json document.
+type Report struct {
+	GoVersion      string         `json:"go_version"`
+	GoMaxProcs     int            `json:"go_maxprocs"`
+	Seed           uint64         `json:"seed"`
+	TargetEvents   float64        `json:"target_events"`
+	Figures        []FigureResult `json:"figures"`
+	Step           StepResult     `json:"step"`
+	SeedStep       StepResult     `json:"seed_step"`
+	StepSpeedup    float64        `json:"step_speedup_vs_seed"`
+	AllocReduction float64        `json:"step_alloc_reduction_vs_seed"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	outPath := fs.String("out", "BENCH_1.json", "artifact path")
+	seed := fs.Uint64("seed", 42, "random seed")
+	events := fs.Float64("events", 4_000, "target link events per measured point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := Report{
+		GoVersion:    runtime.Version(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Seed:         *seed,
+		TargetEvents: *events,
+		SeedStep:     seedStep,
+	}
+
+	drivers := []struct {
+		name string
+		f    func(experiments.Options) (*metrics.Figure, error)
+	}{
+		{"fig1", experiments.Figure1},
+		{"fig2", experiments.Figure2},
+		{"fig3", experiments.Figure3},
+	}
+	for _, d := range drivers {
+		opts := experiments.DefaultOptions()
+		opts.Seed = *seed
+		opts.TargetEvents = *events
+
+		opts.Workers = 1
+		t0 := time.Now()
+		serial, err := d.f(opts)
+		if err != nil {
+			return fmt.Errorf("%s serial: %w", d.name, err)
+		}
+		serialMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+		opts.Workers = 0
+		t0 = time.Now()
+		parallel, err := d.f(opts)
+		if err != nil {
+			return fmt.Errorf("%s parallel: %w", d.name, err)
+		}
+		parallelMs := float64(time.Since(t0).Nanoseconds()) / 1e6
+
+		gap, pairs := serial.MeanRelGap()
+		r := FigureResult{
+			Name:                 d.name,
+			SerialMs:             serialMs,
+			ParallelMs:           parallelMs,
+			Speedup:              serialMs / parallelMs,
+			MeanRelGap:           gap,
+			GapPairs:             pairs,
+			ParallelBitIdentical: serial.CSV() == parallel.CSV(),
+		}
+		rep.Figures = append(rep.Figures, r)
+		fmt.Fprintf(out, "%s: serial %.0f ms, parallel %.0f ms (%.2fx, %d workers), mean-rel-gap %.4f, bit-identical %v\n",
+			r.Name, r.SerialMs, r.ParallelMs, r.Speedup, rep.GoMaxProcs, r.MeanRelGap, r.ParallelBitIdentical)
+		if !r.ParallelBitIdentical {
+			return fmt.Errorf("%s: parallel run diverged from serial — determinism contract broken", d.name)
+		}
+	}
+
+	step, err := measureStepLoop()
+	if err != nil {
+		return err
+	}
+	rep.Step = step
+	rep.StepSpeedup = seedStep.NsPerTick / step.NsPerTick
+	rep.AllocReduction = seedStep.AllocsPerTick - step.AllocsPerTick
+	fmt.Fprintf(out, "step: %.0f ns/tick, %.1f allocs/tick, %.0f B/tick (seed: %.0f ns, %.0f allocs → %.2fx)\n",
+		step.NsPerTick, step.AllocsPerTick, step.BytesPerTick,
+		seedStep.NsPerTick, seedStep.AllocsPerTick, rep.StepSpeedup)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}
+
+// measureStepLoop times the steady-state tick loop of the scenario
+// BenchmarkSimulatorStep uses: 400 mobile nodes, 10×10 region, r = 1.5.
+func measureStepLoop() (StepResult, error) {
+	sim, err := netsim.New(netsim.Config{
+		N: 400, Side: 10, Range: 1.5, Dt: 0.05, Seed: 1,
+		Metric: geom.MetricSquare,
+		Model:  mobility.EpochRWP{Speed: 0.05, Epoch: 10},
+	})
+	if err != nil {
+		return StepResult{}, err
+	}
+	if err := sim.Start(); err != nil {
+		return StepResult{}, err
+	}
+	for i := 0; i < 200; i++ { // reach steady-state buffer capacities
+		if err := sim.Step(); err != nil {
+			return StepResult{}, err
+		}
+	}
+	const ticks = 2000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < ticks; i++ {
+		if err := sim.Step(); err != nil {
+			return StepResult{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return StepResult{
+		NsPerTick:     float64(elapsed.Nanoseconds()) / ticks,
+		AllocsPerTick: float64(after.Mallocs-before.Mallocs) / ticks,
+		BytesPerTick:  float64(after.TotalAlloc-before.TotalAlloc) / ticks,
+	}, nil
+}

@@ -37,12 +37,14 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 40_000, "target link events per measured point")
 	repeats := fs.Int("repeats", 10, "placements averaged per Figure 5 point")
+	workers := fs.Int("workers", 0, "worker goroutines for sweep points (0 = GOMAXPROCS; results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := experiments.DefaultOptions()
 	opts.Seed = *seed
 	opts.TargetEvents = *events
+	opts.Workers = *workers
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -99,14 +101,14 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if want(5) {
-		fa, err := experiments.Figure5a(*repeats, *seed)
+		fa, err := experiments.Figure5a(*repeats, *seed, *workers)
 		if err != nil {
 			return err
 		}
 		if err := emit("fig5a", fa); err != nil {
 			return err
 		}
-		fb, err := experiments.Figure5b(*repeats, *seed)
+		fb, err := experiments.Figure5b(*repeats, *seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -188,13 +190,13 @@ func ablations(out io.Writer, opts experiments.Options, emit func(string, *metri
 	}
 	fmt.Fprintln(out, "Extension: LID vs the overhead-optimal head ratio")
 	fmt.Fprintln(out, experiments.OptimalRatioTable(opt))
-	conv, err := experiments.FormationConvergence(opts.Policy, 10, opts.Seed)
+	conv, err := experiments.FormationConvergence(opts.Policy, 10, opts.Seed, opts.Workers)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "Extension: formation convergence time vs network size")
 	fmt.Fprintln(out, experiments.ConvergenceTable(conv))
-	dhop, err := experiments.DHopStudy(10, opts.Seed)
+	dhop, err := experiments.DHopStudy(10, opts.Seed, opts.Workers)
 	if err != nil {
 		return err
 	}

@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 40_000, "target link events for the measurement window")
 	border := fs.Bool("border", false, "include border (teleport) events in measurements")
+	workers := fs.Int("workers", 0, "worker goroutines for sweep points (0 = GOMAXPROCS; results are identical for any value)")
 	traceFile := fs.String("trace", "", "write a JSONL event trace of a 20-time-unit run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	opts.Seed = *seed
 	opts.TargetEvents = *events
 	opts.IncludeBorder = *border
+	opts.Workers = *workers
 	switch *metric {
 	case "square":
 		opts.Metric = geom.MetricSquare

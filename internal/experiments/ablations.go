@@ -33,24 +33,25 @@ func AblationBorderEvents(opts Options) (*metrics.Figure, error) {
 
 	base := ablationBase()
 	a := base.Side()
-	for _, frac := range []float64{0.08, 0.12, 0.16, 0.22, 0.30} {
+	fracs := []float64{0.08, 0.12, 0.16, 0.22, 0.30}
+	// Flatten (range × border-mode) into one sweep: even index measures
+	// with border events excluded, odd with them included.
+	ms, err := RunSweep(opts.Workers, 2*len(fracs), func(t int) (Measured, error) {
+		net := base
+		net.R = fracs[t/2] * a
+		o := opts
+		o.IncludeBorder = t%2 == 1
+		return MeasureRates(net, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, frac := range fracs {
 		net := base
 		net.R = frac * a
-		optsEx := opts
-		optsEx.IncludeBorder = false
-		mEx, err := MeasureRates(net, optsEx)
-		if err != nil {
-			return nil, err
-		}
-		optsIn := opts
-		optsIn.IncludeBorder = true
-		mIn, err := MeasureRates(net, optsIn)
-		if err != nil {
-			return nil, err
-		}
 		ana.Add(frac, net.LinkChangeRate())
-		excl.Add(frac, mEx.LinkChangeRate)
-		incl.Add(frac, mIn.LinkChangeRate)
+		excl.Add(frac, ms[2*i].LinkChangeRate)
+		incl.Add(frac, ms[2*i+1].LinkChangeRate)
 	}
 	return fig, nil
 }
@@ -72,30 +73,33 @@ func AblationTorusMetric(opts Options) (*metrics.Figure, error) {
 
 	base := ablationBase()
 	a := base.Side()
-	for _, frac := range []float64{0.08, 0.12, 0.16, 0.22, 0.30} {
+	fracs := []float64{0.08, 0.12, 0.16, 0.22, 0.30}
+	// Flatten (range × metric) into one sweep: even index square, odd
+	// index torus.
+	ms, err := RunSweep(opts.Workers, 2*len(fracs), func(t int) (Measured, error) {
+		net := base
+		net.R = fracs[t/2] * a
+		o := opts
+		o.Metric = geom.MetricSquare
+		if t%2 == 1 {
+			o.Metric = geom.MetricTorus
+		}
+		return MeasureRates(net, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, frac := range fracs {
 		net := base
 		net.R = frac * a
-
-		sq := opts
-		sq.Metric = geom.MetricSquare
-		mSq, err := MeasureRates(net, sq)
-		if err != nil {
-			return nil, err
-		}
-		to := opts
-		to.Metric = geom.MetricTorus
-		mTo, err := MeasureRates(net, to)
-		if err != nil {
-			return nil, err
-		}
 		torusD, err := geom.ExpectedNeighborsTorus(net.N, net.R, a)
 		if err != nil {
 			return nil, err
 		}
 		anaSq.Add(frac, net.ExpectedNeighbors())
-		simSq.Add(frac, mSq.MeanDegree)
+		simSq.Add(frac, ms[2*i].MeanDegree)
 		anaTo.Add(frac, torusD)
-		simTo.Add(frac, mTo.MeanDegree)
+		simTo.Add(frac, ms[2*i+1].MeanDegree)
 	}
 	return fig, nil
 }
@@ -127,27 +131,28 @@ func AblationClusterers(opts Options) ([]ClustererComparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []ClustererComparison
-	for _, pol := range policies {
+	// Policies are immutable values (DMAC's weights are read-only), so
+	// the measurement runs can share them across workers.
+	return RunSweep(opts.Workers, len(policies), func(i int) (ClustererComparison, error) {
+		pol := policies[i]
 		o := opts
 		o.Policy = pol
 		m, err := MeasureRates(net, o)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: clusterer %s: %w", pol.Name(), err)
+			return ClustererComparison{}, fmt.Errorf("experiments: clusterer %s: %w", pol.Name(), err)
 		}
 		anaFC, err := net.ClusterRate(m.HeadRatio)
 		if err != nil {
-			return nil, err
+			return ClustererComparison{}, err
 		}
-		out = append(out, ClustererComparison{
+		return ClustererComparison{
 			Policy:     pol.Name(),
 			HeadRatio:  m.HeadRatio,
 			AnalysisP:  analysisP,
 			FCluster:   m.FCluster,
 			AnalysisFC: anaFC,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // ClustererTable renders the comparison.
@@ -191,23 +196,22 @@ func AblationMobility(opts Options) ([]MobilityComparison, error) {
 		{MobilityRandomWaypoint, "rwp"},
 		{MobilityRandomWalk, "random-walk"},
 	}
-	var out []MobilityComparison
-	for _, k := range kinds {
+	return RunSweep(opts.Workers, len(kinds), func(i int) (MobilityComparison, error) {
+		k := kinds[i]
 		o := opts
 		o.Mobility = k.kind
 		m, err := MeasureRates(net, o)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: mobility %s: %w", k.name, err)
+			return MobilityComparison{}, fmt.Errorf("experiments: mobility %s: %w", k.name, err)
 		}
-		out = append(out, MobilityComparison{
+		return MobilityComparison{
 			Model:          k.name,
 			LinkChangeRate: m.LinkChangeRate,
 			AnalysisRate:   net.LinkChangeRate(),
 			MeanDegree:     m.MeanDegree,
 			AnalysisDegree: net.ExpectedNeighbors(),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // MobilityTable renders the comparison.
@@ -246,25 +250,25 @@ func AblationFlatVsHybrid(opts Options) ([]FlatVsHybridRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []FlatVsHybridRow
-	for _, n := range []int{50, 100, 200, 400} {
+	sizes := []int{50, 100, 200, 400}
+	return RunSweep(opts.Workers, len(sizes), func(i int) (FlatVsHybridRow, error) {
+		n := sizes[i]
 		net := core.Network{N: n, R: 1.5, V: 0.05, Density: 4}
 		flat, err := measureFlatBits(net, opts)
 		if err != nil {
-			return nil, err
+			return FlatVsHybridRow{}, err
 		}
 		m, err := MeasureRates(net, opts)
 		if err != nil {
-			return nil, err
+			return FlatVsHybridRow{}, err
 		}
 		hybridBits := core.DefaultMessageSizes.Hello*m.FHello +
 			core.DefaultMessageSizes.Cluster*m.FCluster +
 			core.DefaultMessageSizes.RouteEntry/m.HeadRatio*m.FRoute
-		out = append(out, FlatVsHybridRow{
+		return FlatVsHybridRow{
 			N: n, FlatBits: flat, HybridBits: hybridBits, Ratio: flat / hybridBits,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // measureFlatBits measures flat DSDV per-node control bits per unit

@@ -32,26 +32,26 @@ func AblationGroupMobility(opts Options) ([]GroupMobilityRow, error) {
 		return nil, err
 	}
 	net := ablationBase()
-	rows := make([]GroupMobilityRow, 0, 2)
-	for _, kind := range []MobilityKind{MobilityEpochRWP, MobilityRPGM} {
+	kinds := []MobilityKind{MobilityEpochRWP, MobilityRPGM}
+	return RunSweep(opts.Workers, len(kinds), func(i int) (GroupMobilityRow, error) {
+		kind := kinds[i]
 		o := opts
 		o.Mobility = kind
 		m, err := MeasureRates(net, o)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: group mobility %d: %w", int(kind), err)
+			return GroupMobilityRow{}, fmt.Errorf("experiments: group mobility %d: %w", int(kind), err)
 		}
 		name := "epoch-rwp"
 		if kind == MobilityRPGM {
 			name = "rpgm"
 		}
-		rows = append(rows, GroupMobilityRow{
+		return GroupMobilityRow{
 			Model:          name,
 			LinkChangeRate: m.LinkChangeRate,
 			FCluster:       m.FCluster,
 			HeadRatio:      m.HeadRatio,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // GroupMobilityTable renders the comparison.
@@ -88,13 +88,13 @@ func AblationLinkLifetime(opts Options) ([]LifetimeRow, error) {
 		return nil, err
 	}
 	base := ablationBase()
-	var rows []LifetimeRow
-	for _, frac := range []float64{0.08, 0.15, 0.25} {
+	fracs := []float64{0.08, 0.15, 0.25}
+	return RunSweep(opts.Workers, len(fracs), func(i int) (LifetimeRow, error) {
 		net := base
-		net.R = frac * base.Side()
+		net.R = fracs[i] * base.Side()
 		model, err := opts.model(net)
 		if err != nil {
-			return nil, err
+			return LifetimeRow{}, err
 		}
 		sim, err := netsim.New(netsim.Config{
 			N: net.N, Side: net.Side(), Range: net.R,
@@ -102,28 +102,27 @@ func AblationLinkLifetime(opts Options) ([]LifetimeRow, error) {
 			Dt: measureStep(net, opts), Seed: opts.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return LifetimeRow{}, err
 		}
 		probe := netsim.NewLifetimeProbe()
 		if err := sim.Register(probe); err != nil {
-			return nil, err
+			return LifetimeRow{}, err
 		}
 		life, err := net.ExpectedLinkLifetime()
 		if err != nil {
-			return nil, err
+			return LifetimeRow{}, err
 		}
 		// Run long enough to complete a few thousand lifetimes.
 		if err := sim.Run(8 * life); err != nil {
-			return nil, err
+			return LifetimeRow{}, err
 		}
-		rows = append(rows, LifetimeRow{
+		return LifetimeRow{
 			R:        net.R,
 			Measured: probe.MeanLifetime(),
 			Analysis: life,
 			Samples:  probe.Samples(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // LifetimeTable renders the comparison.
@@ -167,11 +166,12 @@ func AblationHelloSchedule(opts Options) ([]HelloScheduleRow, error) {
 	}
 	net := ablationBase()
 	lower := net.HelloRate()
-	var rows []HelloScheduleRow
-	for _, interval := range []float64{0.5, 2, 8} {
+	intervals := []float64{0.5, 2, 8}
+	return RunSweep(opts.Workers, len(intervals), func(idx int) (HelloScheduleRow, error) {
+		interval := intervals[idx]
 		model, err := opts.model(net)
 		if err != nil {
-			return nil, err
+			return HelloScheduleRow{}, err
 		}
 		sim, err := netsim.New(netsim.Config{
 			N: net.N, Side: net.Side(), Range: net.R,
@@ -179,17 +179,17 @@ func AblationHelloSchedule(opts Options) ([]HelloScheduleRow, error) {
 			Dt: measureStep(net, opts), Seed: opts.Seed,
 		})
 		if err != nil {
-			return nil, err
+			return HelloScheduleRow{}, err
 		}
 		hello, err := routing.NewPeriodicHello(core.DefaultMessageSizes.Hello, interval)
 		if err != nil {
-			return nil, err
+			return HelloScheduleRow{}, err
 		}
 		if err := sim.Register(hello); err != nil {
-			return nil, err
+			return HelloScheduleRow{}, err
 		}
 		if err := sim.Run(5 * interval); err != nil { // warm the tables
-			return nil, err
+			return HelloScheduleRow{}, err
 		}
 		// Sample staleness at every tick across a 20-interval window:
 		// sampling must not align with the beacon phase, or the tables
@@ -198,7 +198,7 @@ func AblationHelloSchedule(opts Options) ([]HelloScheduleRow, error) {
 		dt := measureStep(net, opts)
 		for step := 0; step < int(20*interval/dt); step++ {
 			if err := sim.Step(); err != nil {
-				return nil, err
+				return HelloScheduleRow{}, err
 			}
 			for i := 0; i < sim.NumNodes(); i++ {
 				id := netsim.NodeID(i)
@@ -212,17 +212,16 @@ func AblationHelloSchedule(opts Options) ([]HelloScheduleRow, error) {
 		}
 		ana, err := net.UndiscoveredLinkFraction(interval)
 		if err != nil {
-			return nil, err
+			return HelloScheduleRow{}, err
 		}
-		rows = append(rows, HelloScheduleRow{
+		return HelloScheduleRow{
 			Interval:       interval,
 			Rate:           1 / interval,
 			LowerBoundRate: lower,
 			StaleFraction:  stale / math.Max(live, 1),
 			AnalysisStale:  ana,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // HelloScheduleTable renders the comparison.

@@ -137,7 +137,7 @@ func TestMeasureRatesNewMobilityKinds(t *testing.T) {
 }
 
 func TestFormationConvergence(t *testing.T) {
-	rows, err := FormationConvergence(clusterLID(), 5, 11)
+	rows, err := FormationConvergence(clusterLID(), 5, 11, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,16 +167,16 @@ func TestFormationConvergence(t *testing.T) {
 	if s := ConvergenceTable(rows); len(s) == 0 {
 		t.Error("empty table")
 	}
-	if _, err := FormationConvergence(nil, 5, 1); err == nil {
+	if _, err := FormationConvergence(nil, 5, 1, 1); err == nil {
 		t.Error("nil policy accepted")
 	}
-	if _, err := FormationConvergence(clusterLID(), 0, 1); err == nil {
+	if _, err := FormationConvergence(clusterLID(), 0, 1, 1); err == nil {
 		t.Error("zero repeats accepted")
 	}
 }
 
 func TestDHopStudy(t *testing.T) {
-	rows, err := DHopStudy(3, 5)
+	rows, err := DHopStudy(3, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestDHopStudy(t *testing.T) {
 	if s := DHopTable(rows); len(s) == 0 {
 		t.Error("empty table")
 	}
-	if _, err := DHopStudy(0, 1); err == nil {
+	if _, err := DHopStudy(0, 1, 1); err == nil {
 		t.Error("zero repeats accepted")
 	}
 }

@@ -26,33 +26,42 @@ type ConvergenceRow struct {
 // [16]). The empirical growth is logarithmic-like: each round decides
 // every node whose ID is a local minimum among survivors, so undecided
 // chains shrink geometrically.
-func FormationConvergence(policy cluster.Policy, repeats int, seed uint64) ([]ConvergenceRow, error) {
+func FormationConvergence(policy cluster.Policy, repeats int, seed uint64, workers int) ([]ConvergenceRow, error) {
 	if policy == nil {
 		return nil, fmt.Errorf("experiments: nil policy")
 	}
 	if repeats < 1 {
 		return nil, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
 	}
-	var rows []ConvergenceRow
-	for _, n := range []int{50, 100, 200, 400, 800} {
+	sizes := []int{50, 100, 200, 400, 800}
+	// Flatten (size × repeat) into one sweep; reduce per size in repeat
+	// order afterwards, so the statistics are worker-count independent.
+	rounds, err := RunSweep(workers, len(sizes)*repeats, func(t int) (int, error) {
+		n, rep := sizes[t/repeats], t%repeats
 		net := core.Network{N: n, R: 1.0, V: 0, Density: 4}
-		total := 0
-		maxRounds := 0
-		for rep := 0; rep < repeats; rep++ {
-			sim, err := netsim.New(netsim.Config{
-				N: n, Side: net.Side(), Range: net.R, Dt: 1,
-				Seed: seed + uint64(rep)*6151,
-			})
-			if err != nil {
-				return nil, err
-			}
-			_, stats, err := cluster.FormWithStats(sim, policy)
-			if err != nil {
-				return nil, err
-			}
-			total += stats.Rounds
-			if stats.Rounds > maxRounds {
-				maxRounds = stats.Rounds
+		sim, err := netsim.New(netsim.Config{
+			N: n, Side: net.Side(), Range: net.R, Dt: 1,
+			Seed: seed + uint64(rep)*6151,
+		})
+		if err != nil {
+			return 0, err
+		}
+		_, stats, err := cluster.FormWithStats(sim, policy)
+		if err != nil {
+			return 0, err
+		}
+		return stats.Rounds, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ConvergenceRow, 0, len(sizes))
+	for i, n := range sizes {
+		total, maxRounds := 0, 0
+		for _, r := range rounds[i*repeats : (i+1)*repeats] {
+			total += r
+			if r > maxRounds {
+				maxRounds = r
 			}
 		}
 		rows = append(rows, ConvergenceRow{

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestFigure1SerialParallelIdentical is the determinism regression test
+// for the sweep engine: the same figure computed serially and with eight
+// workers must render byte-identical CSV. Every sweep point owns its RNG
+// streams (rooted at the point's seed) and reductions run in point
+// order, so parallelism may only change wall-clock time.
+func TestFigure1SerialParallelIdentical(t *testing.T) {
+	render := func(workers int) string {
+		opts := DefaultOptions()
+		opts.Seed = 42
+		opts.TargetEvents = 300 // small window: determinism, not accuracy
+		opts.Workers = workers
+		fig, err := Figure1(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fig.CSV()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("Figure 1 CSV differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

@@ -25,35 +25,49 @@ type DHopRow struct {
 // Expect the same qualitative behaviour as Figure 5: useful in the
 // sparse regime, over-prediction as the effective (d-hop) neighborhood
 // densifies.
-func DHopStudy(repeats int, seed uint64) ([]DHopRow, error) {
+func DHopStudy(repeats int, seed uint64, workers int) ([]DHopRow, error) {
 	if repeats < 1 {
 		return nil, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
 	}
 	net := core.Network{N: 300, R: 0.8, V: 0, Density: 3}
-	var rows []DHopRow
-	for _, hops := range []int{1, 2, 3} {
+	hopBounds := []int{1, 2, 3}
+	type dhopSample struct{ heads, dist, members float64 }
+	// Flatten (hop bound × repeat) into one sweep; reduce per bound in
+	// repeat order afterwards, so the means are worker-count independent.
+	samples, err := RunSweep(workers, len(hopBounds)*repeats, func(t int) (dhopSample, error) {
+		hops, rep := hopBounds[t/repeats], t%repeats
+		sim, err := netsim.New(netsim.Config{
+			N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
+			Seed: seed + uint64(rep)*2671,
+		})
+		if err != nil {
+			return dhopSample{}, err
+		}
+		a, err := cluster.FormMaxMin(sim, hops)
+		if err != nil {
+			return dhopSample{}, err
+		}
+		s := dhopSample{heads: float64(a.NumHeads())}
+		for _, d := range a.Dist {
+			s.dist += float64(d)
+			s.members++
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]DHopRow, 0, len(hopBounds))
+	for i, hops := range hopBounds {
 		model, err := net.DHopExpectedClusters(hops)
 		if err != nil {
 			return nil, err
 		}
 		var heads, dist, members float64
-		for rep := 0; rep < repeats; rep++ {
-			sim, err := netsim.New(netsim.Config{
-				N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
-				Seed: seed + uint64(rep)*2671,
-			})
-			if err != nil {
-				return nil, err
-			}
-			a, err := cluster.FormMaxMin(sim, hops)
-			if err != nil {
-				return nil, err
-			}
-			heads += float64(a.NumHeads())
-			for _, d := range a.Dist {
-				dist += float64(d)
-				members++
-			}
+		for _, s := range samples[i*repeats : (i+1)*repeats] {
+			heads += s.heads
+			dist += s.dist
+			members += s.members
 		}
 		rows = append(rows, DHopRow{
 			Hops:          hops,

@@ -49,6 +49,10 @@ type Options struct {
 	// Policy selects the clustering algorithm (default LID, the paper's
 	// case study).
 	Policy cluster.Policy
+	// Workers bounds the worker pool that sweep drivers fan independent
+	// points across; 0 or negative selects GOMAXPROCS. Results are
+	// bit-identical for any value — see RunSweep.
+	Workers int
 }
 
 // MobilityKind names the mobility model family used in measurements.

@@ -10,13 +10,14 @@ import (
 )
 
 // countClusters forms LID clusters over `repeats` independent static
-// uniform placements and returns the average cluster count.
-func countClusters(net core.Network, policy cluster.Policy, repeats int, seed uint64) (float64, error) {
+// uniform placements and returns the average cluster count. Repeats are
+// independent simulations fanned across the worker pool; the average is
+// reduced in repeat order, so it is identical for any worker count.
+func countClusters(net core.Network, policy cluster.Policy, repeats int, seed uint64, workers int) (float64, error) {
 	if repeats < 1 {
 		return 0, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
 	}
-	total := 0.0
-	for rep := 0; rep < repeats; rep++ {
+	heads, err := RunSweep(workers, repeats, func(rep int) (float64, error) {
 		sim, err := netsim.New(netsim.Config{
 			N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
 			Seed: seed + uint64(rep)*7919,
@@ -28,9 +29,46 @@ func countClusters(net core.Network, policy cluster.Policy, repeats int, seed ui
 		if err != nil {
 			return 0, err
 		}
-		total += float64(a.NumHeads())
+		return float64(a.NumHeads()), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, h := range heads {
+		total += h
 	}
 	return total / float64(repeats), nil
+}
+
+// clusterCountFigure runs one Figure-5 panel: for every scenario it
+// evaluates the Eqn (16)/(18) analysis and averages simulated LID
+// formations, fanning the (scenario × repeat) grid across the pool.
+func clusterCountFigure(fig *metrics.Figure, xs []float64, nets []core.Network, repeats int, seed uint64, workers int) error {
+	ana := fig.AddSeries("analysis (N·P from Eqn 16)")
+	sim := fig.AddSeries("simulation (LID formation)")
+	type panelPoint struct{ want, got float64 }
+	points, err := RunSweep(workers, len(nets), func(i int) (panelPoint, error) {
+		want, err := nets[i].LIDExpectedClusters()
+		if err != nil {
+			return panelPoint{}, err
+		}
+		// Repeats run serially here: the outer sweep already saturates
+		// the pool and nested fan-out would oversubscribe it.
+		got, err := countClusters(nets[i], cluster.LID{}, repeats, seed, 1)
+		if err != nil {
+			return panelPoint{}, err
+		}
+		return panelPoint{want: want, got: got}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, x := range xs {
+		ana.Add(x, points[i].want)
+		sim.Add(x, points[i].got)
+	}
+	return nil
 }
 
 // Figure5a reproduces Figure 5(a): the number of LID clusters versus
@@ -39,53 +77,41 @@ func countClusters(net core.Network, policy cluster.Policy, repeats int, seed ui
 // simulated formations. The sweep stays in the sparse regime where the
 // independence approximation behind Eqn (16) is informative; see
 // EXPERIMENTS.md for the dense-regime divergence.
-func Figure5a(repeats int, seed uint64) (*metrics.Figure, error) {
+func Figure5a(repeats int, seed uint64, workers int) (*metrics.Figure, error) {
 	fig := &metrics.Figure{
 		Title:  "Figure 5(a): number of clusters vs network size",
 		XLabel: "network size N",
 		YLabel: "clusters",
 	}
-	ana := fig.AddSeries("analysis (N·P from Eqn 16)")
-	sim := fig.AddSeries("simulation (LID formation)")
 	const side = 10.0
-	for _, n := range []int{50, 100, 150, 200, 250, 300, 350, 400} {
-		net := core.Network{N: n, R: 1.0, V: 0, Density: float64(n) / (side * side)}
-		want, err := net.LIDExpectedClusters()
-		if err != nil {
-			return nil, err
-		}
-		got, err := countClusters(net, cluster.LID{}, repeats, seed)
-		if err != nil {
-			return nil, err
-		}
-		ana.Add(float64(n), want)
-		sim.Add(float64(n), got)
+	sizes := []int{50, 100, 150, 200, 250, 300, 350, 400}
+	xs := make([]float64, len(sizes))
+	nets := make([]core.Network, len(sizes))
+	for i, n := range sizes {
+		xs[i] = float64(n)
+		nets[i] = core.Network{N: n, R: 1.0, V: 0, Density: float64(n) / (side * side)}
+	}
+	if err := clusterCountFigure(fig, xs, nets, repeats, seed, workers); err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
 
 // Figure5b reproduces Figure 5(b): the number of LID clusters versus
 // transmission range with N = 400 nodes in a 10×10 region.
-func Figure5b(repeats int, seed uint64) (*metrics.Figure, error) {
+func Figure5b(repeats int, seed uint64, workers int) (*metrics.Figure, error) {
 	fig := &metrics.Figure{
 		Title:  "Figure 5(b): number of clusters vs transmission range",
 		XLabel: "r/a",
 		YLabel: "clusters",
 	}
-	ana := fig.AddSeries("analysis (N·P from Eqn 16)")
-	sim := fig.AddSeries("simulation (LID formation)")
-	for _, frac := range []float64{0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.12} {
-		net := core.Network{N: 400, R: frac * 10, V: 0, Density: 4}
-		want, err := net.LIDExpectedClusters()
-		if err != nil {
-			return nil, err
-		}
-		got, err := countClusters(net, cluster.LID{}, repeats, seed)
-		if err != nil {
-			return nil, err
-		}
-		ana.Add(frac, want)
-		sim.Add(frac, got)
+	fracs := []float64{0.03, 0.04, 0.05, 0.06, 0.08, 0.10, 0.12}
+	nets := make([]core.Network, len(fracs))
+	for i, frac := range fracs {
+		nets[i] = core.Network{N: 400, R: frac * 10, V: 0, Density: 4}
+	}
+	if err := clusterCountFigure(fig, fracs, nets, repeats, seed, workers); err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

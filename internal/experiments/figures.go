@@ -22,8 +22,31 @@ type RateFigureSpec struct {
 // scenario, measures the three per-node control message frequencies, and
 // evaluates the analysis (Eqns 4, 11, 13) using the *measured* head
 // ratio P — exactly the paper's methodology ("P for LID is measured in
-// real time during the simulation").
+// real time during the simulation"). Grid points are independent
+// simulations, so they are fanned across opts.Workers; the assembled
+// figure is identical for any worker count.
 func RateFigure(spec RateFigureSpec, opts Options) (*metrics.Figure, error) {
+	type ratePoint struct {
+		meas  Measured
+		rates core.Rates
+	}
+	points, err := RunSweep(opts.Workers, len(spec.Xs), func(i int) (ratePoint, error) {
+		x := spec.Xs[i]
+		net := spec.Apply(spec.Base, x)
+		meas, err := MeasureRates(net, opts)
+		if err != nil {
+			return ratePoint{}, fmt.Errorf("experiments: %s at %s=%g: %w", spec.Title, spec.XLabel, x, err)
+		}
+		rates, err := net.ControlRates(meas.HeadRatio)
+		if err != nil {
+			return ratePoint{}, fmt.Errorf("experiments: analysis at %s=%g: %w", spec.XLabel, x, err)
+		}
+		return ratePoint{meas: meas, rates: rates}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	fig := &metrics.Figure{Title: spec.Title, XLabel: spec.XLabel, YLabel: "messages per node per unit time"}
 	helloA := fig.AddSeries("f_hello analysis")
 	helloS := fig.AddSeries("f_hello simulation")
@@ -31,23 +54,13 @@ func RateFigure(spec RateFigureSpec, opts Options) (*metrics.Figure, error) {
 	clusterS := fig.AddSeries("f_cluster simulation")
 	routeA := fig.AddSeries("f_route analysis")
 	routeS := fig.AddSeries("f_route simulation")
-
-	for _, x := range spec.Xs {
-		net := spec.Apply(spec.Base, x)
-		meas, err := MeasureRates(net, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s at %s=%g: %w", spec.Title, spec.XLabel, x, err)
-		}
-		rates, err := net.ControlRates(meas.HeadRatio)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: analysis at %s=%g: %w", spec.XLabel, x, err)
-		}
-		helloA.Add(x, rates.Hello)
-		helloS.Add(x, meas.FHello)
-		clusterA.Add(x, rates.Cluster)
-		clusterS.Add(x, meas.FCluster)
-		routeA.Add(x, rates.Route)
-		routeS.Add(x, meas.FRoute)
+	for i, x := range spec.Xs {
+		helloA.Add(x, points[i].rates.Hello)
+		helloS.Add(x, points[i].meas.FHello)
+		clusterA.Add(x, points[i].rates.Cluster)
+		clusterS.Add(x, points[i].meas.FCluster)
+		routeA.Add(x, points[i].rates.Route)
+		routeS.Add(x, points[i].meas.FRoute)
 	}
 	return fig, nil
 }

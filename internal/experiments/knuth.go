@@ -58,8 +58,33 @@ func KnuthOrderTable(opts Options) ([]KnuthRow, error) {
 		claims[o.Overhead+"/"+o.Parameter] = o.Exponent
 	}
 
+	// Simulation measurements: 5 geometric points per axis, all
+	// independent, fanned across the pool as one flat (axis × point)
+	// sweep so the slowest axis cannot serialize the others.
+	const points = 5
+	axisXs := make([][]float64, len(axes))
+	for a, ax := range axes {
+		axisXs[a] = make([]float64, points)
+		for i := 0; i < points; i++ {
+			frac := float64(i) / float64(points-1)
+			axisXs[a][i] = ax.lo * pow(ax.hi/ax.lo, frac)
+		}
+	}
+	flat, err := RunSweep(opts.Workers, len(axes)*points, func(t int) (Measured, error) {
+		a, i := t/points, t%points
+		x := axisXs[a][i]
+		m, err := MeasureRates(axes[a].apply(base, x), opts)
+		if err != nil {
+			return Measured{}, fmt.Errorf("experiments: knuth sim %s=%g: %w", axes[a].name, x, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []KnuthRow
-	for _, ax := range axes {
+	for a, ax := range axes {
 		// Analysis fit: large network, LID head ratio.
 		anaFit := map[string]float64{}
 		for _, class := range classes {
@@ -84,20 +109,8 @@ func KnuthOrderTable(opts Options) ([]KnuthRow, error) {
 			anaFit[class] = fit
 		}
 
-		// Simulation fit: measure at 5 geometric points.
-		const points = 5
-		sims := make([]Measured, points)
-		xs := make([]float64, points)
-		for i := 0; i < points; i++ {
-			frac := float64(i) / float64(points-1)
-			xs[i] = ax.lo * pow(ax.hi/ax.lo, frac)
-			net := ax.apply(base, xs[i])
-			m, err := MeasureRates(net, opts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: knuth sim %s=%g: %w", ax.name, xs[i], err)
-			}
-			sims[i] = m
-		}
+		xs := axisXs[a]
+		sims := flat[a*points : (a+1)*points]
 		for _, class := range classes {
 			ys := make([]float64, points)
 			for i, m := range sims {

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -56,6 +57,34 @@ func (f *Figure) Lookup(name string) *Series {
 		}
 	}
 	return nil
+}
+
+// MeanRelGap returns the mean |simulation/analysis − 1| across the
+// figure's "<quantity> analysis" / "<quantity> simulation" series pairs,
+// and the number of point pairs averaged. Points whose analysis value is
+// not positive are skipped. It is the repository's reproduction
+// scoreboard metric: `go test -bench` and cmd/bench report it.
+func (f *Figure) MeanRelGap() (gap float64, pairs int) {
+	for _, ana := range f.Series {
+		const suffix = " analysis"
+		if !strings.HasSuffix(ana.Name, suffix) {
+			continue
+		}
+		sim := f.Lookup(strings.TrimSuffix(ana.Name, suffix) + " simulation")
+		if sim == nil {
+			continue
+		}
+		for i := range ana.Points {
+			if ana.Points[i].Y > 0 {
+				gap += math.Abs(sim.Points[i].Y/ana.Points[i].Y - 1)
+				pairs++
+			}
+		}
+	}
+	if pairs > 0 {
+		gap /= float64(pairs)
+	}
+	return gap, pairs
 }
 
 // CSV renders the figure as a comma-separated table: one row per distinct

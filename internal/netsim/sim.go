@@ -11,6 +11,18 @@ import (
 	"repro/internal/space"
 )
 
+// csrAdj is an adjacency structure in compressed-sparse-row form: node
+// i's sorted neighbor list is flat[off[i]:off[i+1]]. One flat buffer per
+// topology snapshot keeps the per-tick rebuild allocation-free and the
+// neighbor scans cache-linear.
+type csrAdj struct {
+	off  []int32 // len N+1
+	flat []NodeID
+}
+
+// row returns node i's neighbor list, sorted ascending.
+func (a *csrAdj) row(i NodeID) []NodeID { return a.flat[a.off[i]:a.off[i+1]] }
+
 // Sim is the simulation engine. Construct with New, register protocols,
 // then Start and Step (or Run). Sim is not safe for concurrent use.
 type Sim struct {
@@ -23,8 +35,14 @@ type Sim struct {
 	states []mobility.State
 	pos    []geom.Vec2
 
-	adj     [][]NodeID // current neighbor lists, sorted
-	prevAdj [][]NodeID
+	adj     csrAdj // current topology
+	prevAdj csrAdj // previous tick's topology
+
+	// Scratch buffers reused every tick by recomputeAdjacency.
+	pairBuf []uint64 // packed pairs (i<<32 | j), i < j, grid emission order
+	edgeTmp []uint64 // directed edges (from<<32 | to) bucketed by `to`
+	deg     []int32  // per-node degree counts
+	cursor  []int32  // per-node fill cursors
 
 	protocols []Protocol
 	started   bool
@@ -67,8 +85,10 @@ func New(cfg Config) (*Sim, error) {
 		rngMob:  src.Split("mobility").Rand(),
 		states:  states,
 		pos:     make([]geom.Vec2, cfg.N),
-		adj:     make([][]NodeID, cfg.N),
-		prevAdj: make([][]NodeID, cfg.N),
+		adj:     csrAdj{off: make([]int32, cfg.N+1)},
+		prevAdj: csrAdj{off: make([]int32, cfg.N+1)},
+		deg:     make([]int32, cfg.N),
+		cursor:  make([]int32, cfg.N),
 	}
 	s.syncPositions()
 	s.recomputeAdjacency()
@@ -171,14 +191,14 @@ func (s *Sim) NumNodes() int { return s.cfg.N }
 func (s *Sim) Config() Config { return s.cfg }
 
 // Neighbors implements Env.
-func (s *Sim) Neighbors(id NodeID) []NodeID { return s.adj[id] }
+func (s *Sim) Neighbors(id NodeID) []NodeID { return s.adj.row(id) }
 
 // Degree implements Env.
-func (s *Sim) Degree(id NodeID) int { return len(s.adj[id]) }
+func (s *Sim) Degree(id NodeID) int { return int(s.adj.off[id+1] - s.adj.off[id]) }
 
 // IsNeighbor implements Env.
 func (s *Sim) IsNeighbor(a, b NodeID) bool {
-	list := s.adj[a]
+	list := s.adj.row(a)
 	i := sort.Search(len(list), func(i int) bool { return list[i] >= b })
 	return i < len(list) && list[i] == b
 }
@@ -195,11 +215,7 @@ func (s *Sim) Delivered() int64 { return s.delivered }
 
 // MeanDegree returns the current average node degree.
 func (s *Sim) MeanDegree() float64 {
-	total := 0
-	for _, l := range s.adj {
-		total += len(l)
-	}
-	return float64(total) / float64(len(s.adj))
+	return float64(len(s.adj.flat)) / float64(s.cfg.N)
 }
 
 // Broadcast implements Env. Messages with an out-of-range sender or an
@@ -226,29 +242,32 @@ func (s *Sim) Broadcast(msg Message) {
 
 // drainQueue delivers queued broadcasts in FIFO order until quiescence.
 // Messages emitted by receive handlers are delivered within the same
-// tick (ideal zero-delay medium). A runaway protocol that floods without
-// termination is cut off with an error.
+// tick (ideal zero-delay medium). The queue is consumed with a head
+// index over one reusable buffer — no re-slicing that pins the backing
+// array, no capacity discard — so steady-state drains are allocation
+// free. A runaway protocol that floods without termination is cut off
+// with an error.
 func (s *Sim) drainQueue() error {
 	// Legitimate protocols broadcast O(N) messages per tick (a full
 	// cluster re-formation plus a table round is a few multiples of N);
 	// anything far beyond that is a non-terminating flood.
 	maxRounds := 200*s.cfg.N + 10_000
-	processed := 0
-	for len(s.queue) > 0 {
-		msg := s.queue[0]
-		s.queue = s.queue[1:]
-		for _, nb := range s.adj[msg.From] {
+	head := 0
+	for head < len(s.queue) {
+		msg := s.queue[head] // copied before handlers can grow s.queue
+		head++
+		for _, nb := range s.adj.row(msg.From) {
 			s.delivered++
 			for _, p := range s.protocols {
 				p.OnMessage(nb, msg)
 			}
 		}
-		processed++
-		if processed > maxRounds {
+		if head > maxRounds {
+			s.queue = s.queue[:0]
 			return fmt.Errorf("netsim: message storm: > %d broadcasts in one tick", maxRounds)
 		}
 	}
-	s.queue = nil
+	s.queue = s.queue[:0]
 	return nil
 }
 
@@ -260,18 +279,61 @@ func (s *Sim) syncPositions() {
 	}
 }
 
-// recomputeAdjacency rebuilds sorted neighbor lists from the grid.
+// recomputeAdjacency rebuilds the CSR neighbor lists from the grid with
+// two counting-sort passes instead of per-node comparison sorts: pairs
+// are collected in grid emission order, expanded to directed edges
+// bucketed by receiver (`to`), then distributed stably by sender
+// (`from`). Stability makes every row come out sorted ascending, in
+// O(E + N) with zero allocations at steady state.
 func (s *Sim) recomputeAdjacency() {
 	s.grid.Rebuild(s.pos)
-	for i := range s.adj {
-		s.adj[i] = s.adj[i][:0]
+	n := s.cfg.N
+	deg := s.deg
+	for i := range deg {
+		deg[i] = 0
 	}
+	s.pairBuf = s.pairBuf[:0]
 	s.grid.ForEachPair(func(i, j int) {
-		s.adj[i] = append(s.adj[i], NodeID(j))
-		s.adj[j] = append(s.adj[j], NodeID(i))
+		s.pairBuf = append(s.pairBuf, uint64(i)<<32|uint64(j))
+		deg[i]++
+		deg[j]++
 	})
-	for i := range s.adj {
-		sort.Slice(s.adj[i], func(a, b int) bool { return s.adj[i][a] < s.adj[i][b] })
+
+	// Prefix-sum degrees into CSR offsets.
+	off := s.adj.off
+	off[0] = 0
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + deg[i]
+	}
+	e2 := 2 * len(s.pairBuf)
+	if cap(s.edgeTmp) < e2 {
+		s.edgeTmp = make([]uint64, e2)
+	}
+	s.edgeTmp = s.edgeTmp[:e2]
+	if cap(s.adj.flat) < e2 {
+		s.adj.flat = make([]NodeID, e2)
+	}
+	s.adj.flat = s.adj.flat[:e2]
+
+	// Pass 1: bucket directed edges by `to`. A node's in-degree equals
+	// its degree, so the CSR offsets double as the bucket boundaries.
+	cur := s.cursor
+	copy(cur, off[:n])
+	for _, p := range s.pairBuf {
+		i, j := p>>32, p&0xffffffff
+		s.edgeTmp[cur[j]] = p // edge i→j in bucket j
+		cur[j]++
+		s.edgeTmp[cur[i]] = j<<32 | i // edge j→i in bucket i
+		cur[i]++
+	}
+
+	// Pass 2: distribute stably by `from`. Buckets were scanned in
+	// ascending `to` order, so each row fills sorted ascending.
+	copy(cur, off[:n])
+	for _, e := range s.edgeTmp {
+		from := e >> 32
+		s.adj.flat[cur[from]] = NodeID(e & 0xffffffff)
+		cur[from]++
 	}
 }
 
@@ -280,8 +342,8 @@ func (s *Sim) recomputeAdjacency() {
 // downs per node scan order, which is deterministic.
 func (s *Sim) diffAdjacency() {
 	s.events = s.events[:0]
-	for i := range s.adj {
-		oldL, newL := s.prevAdj[i], s.adj[i]
+	for i := 0; i < s.cfg.N; i++ {
+		oldL, newL := s.prevAdj.row(NodeID(i)), s.adj.row(NodeID(i))
 		oi, ni := 0, 0
 		for oi < len(oldL) || ni < len(newL) {
 			switch {

@@ -402,6 +402,55 @@ func TestTalliesWindowSub(t *testing.T) {
 	}
 }
 
+// beacon broadcasts one HELLO per node per tick and records nothing, so
+// every allocation observed during Step is the engine's own.
+type beacon struct{ env Env }
+
+func (b *beacon) Name() string { return "beacon" }
+func (b *beacon) Start(env Env) error {
+	b.env = env
+	return nil
+}
+func (b *beacon) OnLinkEvent(LinkEvent)     {}
+func (b *beacon) OnMessage(NodeID, Message) {}
+func (b *beacon) OnTick(float64) {
+	for i := 0; i < b.env.NumNodes(); i++ {
+		b.env.Broadcast(Message{Kind: MsgHello, From: NodeID(i), Bits: 64})
+	}
+}
+
+// TestStepZeroSteadyStateAllocs pins the zero-alloc tick loop: once the
+// scratch buffers (grid CSR, adjacency CSR, pair buffer, message queue)
+// have grown to their working size, Step must not allocate at all, even
+// with mobility churning links and a protocol broadcasting every tick.
+func TestStepZeroSteadyStateAllocs(t *testing.T) {
+	cfg := Config{N: 200, Side: 10, Range: 1.5, Dt: 0.05, Seed: 7,
+		Model: mobility.EpochRWP{Speed: 0.4, Epoch: 2}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(&beacon{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ { // grow scratch to steady-state capacity
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step allocates %v times per tick in steady state, want 0", allocs)
+	}
+}
+
 func TestInvalidBroadcastsCounted(t *testing.T) {
 	s, err := New(staticConfig(10))
 	if err != nil {

@@ -14,13 +14,19 @@ import (
 // Grid is a uniform-cell spatial index. Construct with NewGrid, then call
 // Rebuild each time positions change before issuing queries. Grid is not
 // safe for concurrent mutation.
+//
+// Cell membership is stored in a rebuilt CSR layout — a prefix-summed
+// start array over a flat item array — so a candidate scan of one cell is
+// one contiguous slice, not a pointer chase through per-node links.
 type Grid struct {
 	metric   geom.Metric
 	radius   float64 // query radius the cell size is tuned for
 	cells    int     // cells per axis
 	cellSize float64
-	heads    []int32 // head of the linked list per cell, -1 when empty
-	next     []int32 // next node index in the same cell, -1 at the end
+	start    []int32 // CSR cell offsets, len cells²+1
+	items    []int32 // node indices grouped by cell, ascending within a cell
+	cellIdx  []int32 // scratch: cell index per node, reused across rebuilds
+	cursor   []int32 // scratch: per-cell fill cursors
 	pos      []geom.Vec2
 }
 
@@ -46,7 +52,8 @@ func NewGrid(metric geom.Metric, radius float64) (*Grid, error) {
 		radius:   radius,
 		cells:    cells,
 		cellSize: side / float64(cells),
-		heads:    make([]int32, cells*cells),
+		start:    make([]int32, cells*cells+1),
+		cursor:   make([]int32, cells*cells),
 	}, nil
 }
 
@@ -56,21 +63,35 @@ func (g *Grid) Radius() float64 { return g.radius }
 // Len reports the number of indexed positions.
 func (g *Grid) Len() int { return len(g.pos) }
 
-// Rebuild reindexes the given positions. The slice is retained until the
-// next Rebuild; callers must not mutate it while issuing queries.
+// Rebuild reindexes the given positions with a counting sort into the CSR
+// layout: count per cell, prefix-sum, fill. The slice is retained until
+// the next Rebuild; callers must not mutate it while issuing queries.
 func (g *Grid) Rebuild(positions []geom.Vec2) {
 	g.pos = positions
-	for i := range g.heads {
-		g.heads[i] = -1
+	n := len(positions)
+	if cap(g.items) < n {
+		g.items = make([]int32, n)
+		g.cellIdx = make([]int32, n)
 	}
-	if cap(g.next) < len(positions) {
-		g.next = make([]int32, len(positions))
+	g.items = g.items[:n]
+	g.cellIdx = g.cellIdx[:n]
+
+	for i := range g.start {
+		g.start[i] = 0
 	}
-	g.next = g.next[:len(positions)]
 	for i, p := range positions {
-		c := g.cellOf(p)
-		g.next[i] = g.heads[c]
-		g.heads[c] = int32(i)
+		c := int32(g.cellOf(p))
+		g.cellIdx[i] = c
+		g.start[c+1]++
+	}
+	for c := 1; c < len(g.start); c++ {
+		g.start[c] += g.start[c-1]
+	}
+	copy(g.cursor, g.start[:len(g.start)-1])
+	for i := range positions {
+		c := g.cellIdx[i]
+		g.items[g.cursor[c]] = int32(i)
+		g.cursor[c]++
 	}
 }
 
@@ -132,10 +153,8 @@ func (g *Grid) forEachCandidate(p geom.Vec2, fn func(j int32)) {
 	if 2*span+1 >= g.cells {
 		// The scan window covers the whole axis; visit every cell exactly
 		// once to avoid duplicates under wrapping.
-		for c := range g.heads {
-			for j := g.heads[c]; j >= 0; j = g.next[j] {
-				fn(j)
-			}
+		for _, j := range g.items {
+			fn(j)
 		}
 		return
 	}
@@ -153,7 +172,8 @@ func (g *Grid) forEachCandidate(p geom.Vec2, fn func(j int32)) {
 			} else if x < 0 || x >= g.cells {
 				continue
 			}
-			for j := g.heads[y*g.cells+x]; j >= 0; j = g.next[j] {
+			c := y*g.cells + x
+			for _, j := range g.items[g.start[c]:g.start[c+1]] {
 				fn(j)
 			}
 		}

@@ -150,6 +150,98 @@ func TestForEachPairMatchesNeighbors(t *testing.T) {
 	}
 }
 
+// TestForEachPairMatchesBruteForce cross-checks the CSR bucket walk
+// against the O(N²) reference on both metrics, including a torus window
+// that wraps and spans several cells in each direction.
+func TestForEachPairMatchesBruteForce(t *testing.T) {
+	tests := []struct {
+		name   string
+		kind   geom.MetricKind
+		side   float64
+		radius float64
+		n      int
+	}{
+		{"square", geom.MetricSquare, 10, 1.1, 250},
+		{"torus multi-cell span", geom.MetricTorus, 10, 2.7, 180},
+		{"torus window covers grid", geom.MetricTorus, 4, 1.9, 90},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := mustGrid(t, tt.kind, tt.side, tt.radius)
+			m, _ := geom.NewMetric(tt.kind, tt.side)
+			ps := randomPositions(tt.n, tt.side, 17)
+			g.Rebuild(ps)
+			got := make(map[[2]int]bool)
+			g.ForEachPair(func(i, j int) {
+				if i >= j {
+					t.Fatalf("unordered pair (%d,%d)", i, j)
+				}
+				if got[[2]int{i, j}] {
+					t.Fatalf("duplicate pair (%d,%d)", i, j)
+				}
+				got[[2]int{i, j}] = true
+			})
+			want := make(map[[2]int]bool)
+			r2 := tt.radius * tt.radius
+			for i := 0; i < tt.n; i++ {
+				for j := i + 1; j < tt.n; j++ {
+					if m.Dist2(ps[i], ps[j]) <= r2 {
+						want[[2]int{i, j}] = true
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d pairs, want %d", len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("missing pair %v", p)
+				}
+			}
+		})
+	}
+}
+
+// TestGridClampsOutOfRangePositions feeds positions outside [0, side)
+// (mobility models keep nodes inside, but the grid must not index out of
+// bounds if a caller does not): cell assignment clamps, and distance
+// checks still decide every pair correctly.
+func TestGridClampsOutOfRangePositions(t *testing.T) {
+	const side = 10.0
+	const radius = 1.5
+	g := mustGrid(t, geom.MetricSquare, side, radius)
+	m, _ := geom.NewMetric(geom.MetricSquare, side)
+	ps := randomPositions(120, side, 23)
+	// Push a band of nodes off the region on all four sides.
+	for i := 0; i < 30; i++ {
+		switch i % 4 {
+		case 0:
+			ps[i].X = -0.5 - float64(i)/40
+		case 1:
+			ps[i].X = side + 0.5 + float64(i)/40
+		case 2:
+			ps[i].Y = -0.5 - float64(i)/40
+		default:
+			ps[i].Y = side + 0.5 + float64(i)/40
+		}
+	}
+	g.Rebuild(ps) // must not panic on out-of-range cells
+	for i := range ps {
+		got := g.Neighbors(i, nil)
+		want := bruteNeighbors(m, ps, i, radius)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: got %d neighbors, want %d", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("node %d neighbor mismatch: %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
 func TestRebuildReusesBuffers(t *testing.T) {
 	g := mustGrid(t, geom.MetricSquare, 10, 1)
 	ps := randomPositions(100, 10, 1)
