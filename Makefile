@@ -1,6 +1,6 @@
 # Development targets for the MANET overhead reproduction.
 
-.PHONY: build test vet race bench
+.PHONY: build test vet race check bench
 
 build:
 	go build ./...
@@ -14,10 +14,17 @@ vet:
 race:
 	go test -race ./...
 
+# check is the pre-merge gate: static analysis plus the full test suite
+# under the race detector.
+check:
+	go vet ./... && go test -race ./...
+
 # bench runs every benchmark once (the reproduction scoreboard) and then
-# regenerates the machine-readable performance artifact BENCH_1.json:
+# regenerates the machine-readable performance artifact BENCH_2.json:
 # Figure 1–3 wall-clock serial vs parallel, mean-rel-gap, and the
-# steady-state tick-loop throughput vs the growth seed.
+# steady-state tick-loop throughput vs the growth seed — on the ideal
+# medium and with the fault injector enabled. BENCH_1.json is the
+# preserved artifact of the previous revision.
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x .
-	go run ./cmd/bench -out BENCH_1.json
+	go run ./cmd/bench -out BENCH_2.json

@@ -1,5 +1,5 @@
 // Command bench measures the performance envelope of the simulator and
-// the sweep engine and writes a machine-readable artifact (BENCH_1.json
+// the sweep engine and writes a machine-readable artifact (BENCH_2.json
 // by default):
 //
 //   - wall-clock time of Figures 1–3 computed serially (-workers 1) and
@@ -7,11 +7,13 @@
 //     mean-rel-gap agreement metric, and whether the parallel run was
 //     bit-identical to the serial one (it must be);
 //   - steady-state engine throughput: ns, heap allocations and heap
-//     bytes per tick of a 400-node mobile network.
+//     bytes per tick of a 400-node mobile network, measured both on the
+//     ideal medium (must stay zero-alloc) and with the fault injector
+//     enabled (loss + churn), quantifying what fault injection costs.
 //
 // Usage:
 //
-//	bench -out BENCH_1.json -events 4000
+//	bench -out BENCH_2.json -events 4000
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
@@ -59,17 +62,23 @@ type StepResult struct {
 	BytesPerTick  float64 `json:"bytes_per_tick"`
 }
 
-// Report is the whole BENCH_1.json document.
+// Report is the whole artifact document.
 type Report struct {
-	GoVersion      string         `json:"go_version"`
-	GoMaxProcs     int            `json:"go_maxprocs"`
-	Seed           uint64         `json:"seed"`
-	TargetEvents   float64        `json:"target_events"`
-	Figures        []FigureResult `json:"figures"`
-	Step           StepResult     `json:"step"`
-	SeedStep       StepResult     `json:"seed_step"`
-	StepSpeedup    float64        `json:"step_speedup_vs_seed"`
-	AllocReduction float64        `json:"step_alloc_reduction_vs_seed"`
+	GoVersion    string         `json:"go_version"`
+	GoMaxProcs   int            `json:"go_maxprocs"`
+	Seed         uint64         `json:"seed"`
+	TargetEvents float64        `json:"target_events"`
+	Figures      []FigureResult `json:"figures"`
+	Step         StepResult     `json:"step"`
+	// StepFaults is the same tick loop with the fault injector enabled
+	// (20% Bernoulli loss + node churn); the ratio to Step is the cost of
+	// fault injection on the hot path.
+	StepFaults     StepResult `json:"step_faults"`
+	SeedStep       StepResult `json:"seed_step"`
+	StepSpeedup    float64    `json:"step_speedup_vs_seed"`
+	AllocReduction float64    `json:"step_alloc_reduction_vs_seed"`
+	// FaultsOverhead is StepFaults.NsPerTick / Step.NsPerTick.
+	FaultsOverhead float64 `json:"step_faults_overhead"`
 }
 
 func main() {
@@ -81,7 +90,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	outPath := fs.String("out", "BENCH_1.json", "artifact path")
+	outPath := fs.String("out", "BENCH_2.json", "artifact path")
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 4_000, "target link events per measured point")
 	if err := fs.Parse(args); err != nil {
@@ -143,7 +152,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	step, err := measureStepLoop()
+	step, err := measureStepLoop(nil)
 	if err != nil {
 		return err
 	}
@@ -153,6 +162,22 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "step: %.0f ns/tick, %.1f allocs/tick, %.0f B/tick (seed: %.0f ns, %.0f allocs → %.2fx)\n",
 		step.NsPerTick, step.AllocsPerTick, step.BytesPerTick,
 		seedStep.NsPerTick, seedStep.AllocsPerTick, rep.StepSpeedup)
+
+	inj, err := faults.New(faults.Config{
+		Loss:  0.2,
+		Churn: faults.Churn{MeanUpTicks: 2000, MeanDownTicks: 200},
+	})
+	if err != nil {
+		return err
+	}
+	stepFaults, err := measureStepLoop(inj)
+	if err != nil {
+		return err
+	}
+	rep.StepFaults = stepFaults
+	rep.FaultsOverhead = stepFaults.NsPerTick / step.NsPerTick
+	fmt.Fprintf(out, "step+faults (loss 0.2, churn 2000:200): %.0f ns/tick, %.1f allocs/tick, %.0f B/tick (%.2fx ideal)\n",
+		stepFaults.NsPerTick, stepFaults.AllocsPerTick, stepFaults.BytesPerTick, rep.FaultsOverhead)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -167,11 +192,13 @@ func run(args []string, out io.Writer) error {
 
 // measureStepLoop times the steady-state tick loop of the scenario
 // BenchmarkSimulatorStep uses: 400 mobile nodes, 10×10 region, r = 1.5.
-func measureStepLoop() (StepResult, error) {
+// A non-nil medium runs the same loop under fault injection.
+func measureStepLoop(medium netsim.Medium) (StepResult, error) {
 	sim, err := netsim.New(netsim.Config{
 		N: 400, Side: 10, Range: 1.5, Dt: 0.05, Seed: 1,
 		Metric: geom.MetricSquare,
 		Model:  mobility.EpochRWP{Speed: 0.05, Epoch: 10},
+		Medium: medium,
 	})
 	if err != nil {
 		return StepResult{}, err

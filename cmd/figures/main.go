@@ -9,7 +9,12 @@
 //	figures -out results  # also write results/fig1.csv, ...
 //
 // Figure ids: 1, 2, 3 (frequency validations), 4 (LID approximation),
-// 5 (cluster counts), 6 (Knuth Θ-order table), 7 (ablations).
+// 5 (cluster counts), 6 (Knuth Θ-order table), 7 (ablations),
+// 8 (overhead degradation vs loss rate).
+//
+// A sweep point that fails (or panics) does not abort the run: the
+// remaining points complete, partial figures are still rendered, and the
+// aggregated per-point errors are reported with a non-zero exit.
 package main
 
 import (
@@ -32,7 +37,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure to regenerate (0 = all; 1-5 paper figures, 6 Knuth table, 7 ablations)")
+	fig := fs.Int("fig", 0, "figure to regenerate (0 = all; 1-5 paper figures, 6 Knuth table, 7 ablations, 8 loss degradation)")
 	outDir := fs.String("out", "", "directory for CSV output (empty = none)")
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 40_000, "target link events per measured point")
@@ -127,6 +132,18 @@ func run(args []string, out io.Writer) error {
 	if want(7) {
 		if err := ablations(out, opts, emit); err != nil {
 			return err
+		}
+	}
+	if want(8) {
+		f, err := experiments.Figure8(opts)
+		if f != nil && len(f.Series) > 0 && len(f.Series[0].Points) > 0 {
+			// Render whatever points survived even when some failed.
+			if emitErr := emit("degradation", f); err == nil {
+				err = emitErr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("figure 8 (partial results above): %w", err)
 		}
 	}
 	return nil

@@ -44,3 +44,27 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+func TestRunFigure8WritesDegradationCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five-point degradation sweep")
+	}
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-fig", "8", "-events", "2000", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "degradation.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"loss rate p", "f_cluster analysis", "f_cluster simulation", "repair mean (ticks)"} {
+		if !strings.Contains(string(data), col) {
+			t.Errorf("degradation.csv missing column %q", col)
+		}
+	}
+	// One row per loss-rate grid point plus the header.
+	if rows := strings.Count(strings.TrimSpace(string(data)), "\n"); rows != 5 {
+		t.Errorf("degradation.csv has %d data rows, want 5", rows)
+	}
+}

@@ -5,6 +5,15 @@
 // Usage:
 //
 //	manetsim -n 400 -r 1.5 -v 0.05 -density 4 -policy lid -mobility epoch-rwp
+//
+// With -loss and/or -churn the scenario instead runs under deterministic
+// fault injection with the hardened protocol stack (JOIN/ACK handshake
+// maintenance, soft-state routing tables, per-tick invariant auditor)
+// and reports overhead inflation and invariant time-to-repair:
+//
+//	manetsim -loss 0.2                 # 20% Bernoulli delivery loss
+//	manetsim -churn 400:40             # crash/recover, mean 400 ticks up / 40 down
+//	manetsim -loss 0.1 -churn 800:80   # both
 package main
 
 import (
@@ -12,10 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
@@ -46,12 +57,25 @@ func run(args []string, out io.Writer) error {
 	border := fs.Bool("border", false, "include border (teleport) events in measurements")
 	workers := fs.Int("workers", 0, "worker goroutines for sweep points (0 = GOMAXPROCS; results are identical for any value)")
 	traceFile := fs.String("trace", "", "write a JSONL event trace of a 20-time-unit run to this file")
+	loss := fs.Float64("loss", 0, "Bernoulli delivery-loss probability p ∈ [0,1) (enables fault injection)")
+	churn := fs.String("churn", "", "node crash/recover schedule as meanUpTicks:meanDownTicks, e.g. 400:40")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	net := core.Network{N: *n, R: *r, V: *v, Density: *density}
 	if err := net.Validate(); err != nil {
+		return err
+	}
+	fcfg := faults.Config{Loss: *loss}
+	if *churn != "" {
+		c, err := parseChurn(*churn)
+		if err != nil {
+			return err
+		}
+		fcfg.Churn = c
+	}
+	if err := fcfg.Validate(); err != nil {
 		return err
 	}
 
@@ -107,6 +131,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "trace written to %s\n", *traceFile)
 	}
 
+	if fcfg.Active() {
+		return runFaulty(out, net, fcfg, opts)
+	}
+
 	m, err := experiments.MeasureRates(net, opts)
 	if err != nil {
 		return err
@@ -128,6 +156,48 @@ func run(args []string, out io.Writer) error {
 			{"f_hello", fmt.Sprintf("%.5g", m.FHello), fmt.Sprintf("%.5g", rates.Hello)},
 			{"f_cluster", fmt.Sprintf("%.5g", m.FCluster), fmt.Sprintf("%.5g", rates.Cluster)},
 			{"f_route", fmt.Sprintf("%.5g", m.FRoute), fmt.Sprintf("%.5g", rates.Route)},
+		})
+	fmt.Fprint(out, table)
+	return nil
+}
+
+// parseChurn parses a "meanUpTicks:meanDownTicks" flag value.
+func parseChurn(s string) (faults.Churn, error) {
+	var c faults.Churn
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return c, fmt.Errorf("churn must be meanUpTicks:meanDownTicks, got %q", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%g", &c.MeanUpTicks); err != nil {
+		return c, fmt.Errorf("churn mean up ticks %q: %w", parts[0], err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%g", &c.MeanDownTicks); err != nil {
+		return c, fmt.Errorf("churn mean down ticks %q: %w", parts[1], err)
+	}
+	return c, nil
+}
+
+// runFaulty measures the scenario under fault injection with the
+// hardened stack and reports degradation next to the ideal-medium
+// analysis.
+func runFaulty(out io.Writer, net core.Network, fcfg faults.Config, opts experiments.Options) error {
+	pt, err := experiments.MeasureFaulty(net, fcfg, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fault injection: loss=%g churn=%+v (seed %d)\n", fcfg.Loss, fcfg.Churn, opts.Seed)
+	fmt.Fprintf(out, "hardened stack: handshake maintenance, soft-state routing, invariant auditor\n\n")
+	table := metrics.RenderTable(
+		[]string{"quantity", "simulation", "ideal-medium analysis"},
+		[][]string{
+			{"head ratio P", fmt.Sprintf("%.4g", pt.HeadRatio), "(measured P drives analysis)"},
+			{"f_cluster", fmt.Sprintf("%.5g", pt.FCluster), fmt.Sprintf("%.5g", pt.FClusterBound)},
+			{"f_route", fmt.Sprintf("%.5g", pt.FRoute), "(soft-state refresh traffic)"},
+			{"delivery drop rate", fmt.Sprintf("%.4g", pt.DropRate), fmt.Sprintf("%.4g", fcfg.Loss)},
+			{"violated-node fraction", fmt.Sprintf("%.4g", pt.ViolatedNodeFraction), "0"},
+			{"time-to-repair mean (ticks)", fmt.Sprintf("%.4g", pt.RepairMeanTicks), "0"},
+			{"time-to-repair max (ticks)", fmt.Sprintf("%.4g", pt.RepairMaxTicks), "0"},
+			{"repaired violation spans", fmt.Sprintf("%d", pt.RepairCount), "0"},
 		})
 	fmt.Fprint(out, table)
 	return nil

@@ -42,9 +42,47 @@ func TestRunRejectsBadArgs(t *testing.T) {
 		{"-mobility", "nope"},
 		{"-metric", "nope"},
 		{"-n", "0"},
+		// Non-finite scenario parameters must fail validation up front
+		// (NaN passes every ordered comparison), not panic mid-run.
+		{"-r", "NaN"},
+		{"-r", "+Inf"},
+		{"-v", "NaN"},
+		{"-density", "NaN"},
+		// Malformed fault-injection flags.
+		{"-loss", "1.5"},
+		{"-loss", "NaN"},
+		{"-loss", "-0.1"},
+		{"-churn", "bogus"},
+		{"-churn", "10"},
+		{"-churn", "0:40"},
 	} {
-		if err := run(args, &out); err == nil {
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%v panicked: %v", args, r)
+					err = nil
+				}
+			}()
+			return run(args, &out)
+		}()
+		if err == nil {
 			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestRunFaultInjection(t *testing.T) {
+	var out strings.Builder
+	args := []string{"-n", "80", "-events", "800", "-loss", "0.2", "-churn", "300:30"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fault injection", "hardened stack", "f_cluster",
+		"delivery drop rate", "time-to-repair mean", "violated-node fraction",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fault-injection output missing %q:\n%s", want, out.String())
 		}
 	}
 }

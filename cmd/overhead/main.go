@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 	clusterBits := fs.Float64("cluster-bits", core.DefaultMessageSizes.Cluster, "CLUSTER message size (bits)")
 	routeBits := fs.Float64("route-bits", core.DefaultMessageSizes.RouteEntry, "routing table entry size (bits)")
 	optimize := fs.Bool("optimize", false, "also report the overhead-optimal head ratio and parameter elasticities")
+	loss := fs.Float64("loss", 0, "delivery-loss probability p ∈ [0,1): also report loss-adjusted CLUSTER rate (JOIN/ACK retransmissions)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +97,20 @@ func run(args []string, out io.Writer) error {
 			{"total", fmt.Sprintf("%.5g", rates.Total()), fmt.Sprintf("%.5g", ovh.Total())},
 		})
 	fmt.Fprint(out, table)
+
+	if *loss != 0 {
+		adjusted, err := rates.UnderLoss(*loss)
+		if err != nil {
+			return err
+		}
+		factor, err := core.JoinRetransmissionFactor(*loss)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nloss-adjusted CLUSTER rate at p=%g:        %.5g (×%.3f JOIN/ACK retransmission factor)\n",
+			*loss, adjusted.Cluster, factor)
+		fmt.Fprintf(out, "HELLO and ROUTE are sender-clocked; their transmission rates do not change under loss.\n")
+	}
 
 	if *optimize {
 		pOpt, total, err := net.OverheadAtOptimum(sizes)

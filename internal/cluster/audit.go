@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Span is one contiguous run of ticks during which a node violated the
+// P1/P2 invariants, as observed by the Auditor at tick granularity. Its
+// length is the node's time-to-repair.
+type Span struct {
+	// Node is the violating node.
+	Node netsim.NodeID
+	// Start is the simulation time at which the violation was first
+	// observed.
+	Start float64
+	// Ticks is the number of consecutive ticks the violation lasted.
+	Ticks int64
+}
+
+// Auditor is a read-only protocol that checks the maintainer's P1/P2
+// invariants once per tick, per node, and records every violation span
+// and its time-to-repair. Under the default oracle maintenance the
+// invariants are restored within the violating tick itself, so the
+// auditor sees nothing; under handshake maintenance with a lossy or
+// churning medium the spans measure how long repairs actually take.
+// Register it after the Maintainer so it audits the tick's final state.
+type Auditor struct {
+	m *Maintainer
+	// alive exempts crashed nodes from the check; nil means all alive.
+	alive func(netsim.NodeID) bool
+
+	env       netsim.Env
+	bad       []bool
+	openStart []float64
+	openTicks []int64
+
+	ticks        int64
+	badNodeTicks int64
+	badTicks     int64
+	spans        []Span
+}
+
+var _ netsim.Protocol = (*Auditor)(nil)
+
+// NewAuditor builds an invariant auditor for the given maintainer. alive
+// may be nil (no churn); with churn, pass the injector's Alive method so
+// crashed nodes' stale assignments are exempt.
+func NewAuditor(m *Maintainer, alive func(netsim.NodeID) bool) (*Auditor, error) {
+	if m == nil {
+		return nil, fmt.Errorf("cluster: nil maintainer")
+	}
+	return &Auditor{m: m, alive: alive}, nil
+}
+
+// Name implements netsim.Protocol.
+func (au *Auditor) Name() string { return "cluster/audit" }
+
+// Start implements netsim.Protocol.
+func (au *Auditor) Start(env netsim.Env) error {
+	au.env = env
+	n := env.NumNodes()
+	au.bad = make([]bool, n)
+	au.openStart = make([]float64, n)
+	au.openTicks = make([]int64, n)
+	return nil
+}
+
+// OnLinkEvent implements netsim.Protocol.
+func (au *Auditor) OnLinkEvent(netsim.LinkEvent) {}
+
+// OnMessage implements netsim.Protocol.
+func (au *Auditor) OnMessage(netsim.NodeID, netsim.Message) {}
+
+// OnTick implements netsim.Protocol: audit the tick's final state.
+func (au *Auditor) OnTick(now float64) {
+	au.ticks++
+	count := au.m.a.Violations(au.env, au.alive, au.bad)
+	au.badNodeTicks += int64(count)
+	if count > 0 {
+		au.badTicks++
+	}
+	for i, violated := range au.bad {
+		switch {
+		case violated && au.openTicks[i] == 0:
+			au.openStart[i] = now
+			au.openTicks[i] = 1
+		case violated:
+			au.openTicks[i]++
+		case au.openTicks[i] > 0:
+			au.spans = append(au.spans, Span{
+				Node: netsim.NodeID(i), Start: au.openStart[i], Ticks: au.openTicks[i],
+			})
+			au.openTicks[i] = 0
+		}
+	}
+}
+
+// Spans returns every violation span observed so far; spans still open at
+// the latest tick are included with their current length.
+func (au *Auditor) Spans() []Span {
+	out := append([]Span(nil), au.spans...)
+	for i, open := range au.openTicks {
+		if open > 0 {
+			out = append(out, Span{Node: netsim.NodeID(i), Start: au.openStart[i], Ticks: open})
+		}
+	}
+	return out
+}
+
+// ViolatedFraction returns the fraction of audited ticks with at least
+// one node in violation.
+func (au *Auditor) ViolatedFraction() float64 {
+	if au.ticks == 0 {
+		return 0
+	}
+	return float64(au.badTicks) / float64(au.ticks)
+}
+
+// ViolatedNodeFraction returns the mean fraction of nodes in violation
+// per audited tick — the network-wide invariant health metric.
+func (au *Auditor) ViolatedNodeFraction() float64 {
+	if au.ticks == 0 || au.env == nil {
+		return 0
+	}
+	return float64(au.badNodeTicks) / float64(au.ticks) / float64(au.env.NumNodes())
+}
+
+// RepairStats summarizes the closed spans' time-to-repair in ticks
+// (mean, max, count). Open spans are excluded: their repair time is not
+// yet known.
+func (au *Auditor) RepairStats() (mean, max float64, count int) {
+	var acc metrics.Accumulator
+	for _, s := range au.spans {
+		acc.Add(float64(s.Ticks))
+		if float64(s.Ticks) > max {
+			max = float64(s.Ticks)
+		}
+	}
+	return acc.Mean(), max, acc.N()
+}
+
+// RepairSeries exports the closed spans as a metric series: X is the
+// simulation time the violation opened, Y its time-to-repair in ticks.
+func (au *Auditor) RepairSeries(name string) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for _, sp := range au.spans {
+		s.Add(sp.Start, float64(sp.Ticks))
+	}
+	return s
+}

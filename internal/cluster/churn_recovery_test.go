@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+)
+
+// TestChurnRecoveryRestoresInvariants is the re-convergence property of
+// the hardened maintenance protocol: after an arbitrary crash/recover
+// schedule (plus message loss) the faults are switched off, and P1/P2
+// must be restored within a bounded number of ticks — and then hold on
+// every subsequent tick, since under an ideal medium the handshake
+// completes within the tick of each topology event.
+func TestChurnRecoveryRestoresInvariants(t *testing.T) {
+	// The recovery transient: resurfaced nodes reappear at the next
+	// topology recomputation, their link events fire, and every JOIN/ACK
+	// completes within its tick under the ideal medium. A couple of retry
+	// rounds of slack covers joins that were pending at disable time.
+	const recoveryBound = 50
+	const holdTicks = 30
+
+	for seed := uint64(1); seed <= 5; seed++ {
+		inj, err := faults.New(faults.Config{
+			Loss:  0.15,
+			Churn: faults.Churn{MeanUpTicks: 120, MeanDownTicks: 30},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mobileConfig(seed)
+		cfg.Medium = inj
+		s := newSim(t, cfg)
+		m, err := NewMaintainer(LID{}, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.EnableHandshake(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Register(m); err != nil {
+			t.Fatal(err)
+		}
+
+		// Faulty phase: crashes, recoveries and lost handshakes.
+		for i := 0; i < 400; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Tallies().Suppressed == 0 {
+			t.Fatalf("seed %d: churn schedule never crashed a sender", seed)
+		}
+
+		inj.Disable()
+		recovered := -1
+		for i := 0; i < recoveryBound; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if m.CheckInvariants() == nil && m.Pending() == 0 {
+				recovered = i + 1
+				break
+			}
+		}
+		if recovered < 0 {
+			t.Fatalf("seed %d: invariants not restored within %d ticks of disabling faults: %v (pending %d)",
+				seed, recoveryBound, m.CheckInvariants(), m.Pending())
+		}
+		// Once repaired, the ideal medium keeps it repaired.
+		for i := 0; i < holdTicks; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d: invariants violated %d ticks after recovery: %v", seed, i+1, err)
+			}
+			if p := m.Pending(); p != 0 {
+				t.Fatalf("seed %d: %d joins pending %d ticks after recovery", seed, p, i+1)
+			}
+		}
+		if recovered > 10 {
+			t.Logf("seed %d: recovery took %d ticks", seed, recovered)
+		}
+	}
+}
+
+// TestChurnRecoveryOracle pins the same property for the default oracle
+// maintainer: with faults disabled, the first post-churn tick that
+// processes the resurfacing link events already satisfies P1/P2.
+func TestChurnRecoveryOracle(t *testing.T) {
+	inj, err := faults.New(faults.Config{
+		Churn: faults.Churn{MeanUpTicks: 100, MeanDownTicks: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mobileConfig(11)
+	cfg.Medium = inj
+	s := newSim(t, cfg)
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		// Even mid-churn, the oracle keeps the invariants over the live
+		// sub-network on every tick.
+		if err := m.CheckInvariantsLive(func(id netsim.NodeID) bool { return inj.Alive(id) }); err != nil {
+			t.Fatalf("tick %d: live-node invariants: %v", i, err)
+		}
+	}
+	inj.Disable()
+	// One tick to resurface everyone, one to process the link events.
+	for i := 0; i < 2; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("oracle did not restore invariants after churn: %v", err)
+	}
+}

@@ -119,6 +119,16 @@ func (a Assignment) ClusterSizes() map[netsim.NodeID]int {
 // themselves; members with an existing head). It returns the first
 // violation found, or nil.
 func (a Assignment) Check(topo Topology) error {
+	return a.CheckLive(topo, nil)
+}
+
+// CheckLive is Check restricted to currently-alive nodes: under churn a
+// crashed node's stale assignment is exempt (its radio is off, so it can
+// neither violate P1 nor need a head), while a live member affiliated
+// with a crashed head still fails P2 — the head is no longer adjacent —
+// which is precisely the violation maintenance must repair. A nil alive
+// function means every node is alive.
+func (a Assignment) CheckLive(topo Topology, alive func(netsim.NodeID) bool) error {
 	n := topo.NumNodes()
 	if len(a.Role) != n || len(a.Head) != n {
 		return fmt.Errorf("cluster: assignment covers %d/%d nodes, topology has %d",
@@ -126,6 +136,9 @@ func (a Assignment) Check(topo Topology) error {
 	}
 	for i := 0; i < n; i++ {
 		id := netsim.NodeID(i)
+		if alive != nil && !alive(id) {
+			continue
+		}
 		switch a.Role[i] {
 		case RoleHead:
 			if a.Head[i] != id {
@@ -154,6 +167,53 @@ func (a Assignment) Check(topo Topology) error {
 		}
 	}
 	return nil
+}
+
+// Violations marks every alive node currently violating the clustering
+// invariants in the caller-provided scratch slice (len ≥ NumNodes): a
+// head linked to another head (P1, both marked), a member without an
+// adjacent existing head (P2), or a structurally inconsistent node. It
+// returns the number of violating nodes. A nil alive function means
+// every node is alive.
+func (a Assignment) Violations(topo Topology, alive func(netsim.NodeID) bool, bad []bool) int {
+	n := topo.NumNodes()
+	for i := 0; i < n; i++ {
+		bad[i] = false
+	}
+	count := 0
+	mark := func(id netsim.NodeID) {
+		if !bad[id] {
+			bad[id] = true
+			count++
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(i)
+		if alive != nil && !alive(id) {
+			continue
+		}
+		switch a.Role[i] {
+		case RoleHead:
+			if a.Head[i] != id {
+				mark(id)
+				continue
+			}
+			for _, nb := range topo.Neighbors(id) {
+				if a.Role[nb] == RoleHead {
+					mark(id)
+					mark(nb)
+				}
+			}
+		case RoleMember:
+			h := a.Head[i]
+			if h < 0 || int(h) >= n || a.Role[h] != RoleHead || !contains(topo.Neighbors(id), h) {
+				mark(id)
+			}
+		default:
+			mark(id)
+		}
+	}
+	return count
 }
 
 // contains reports whether sorted slice list includes x.

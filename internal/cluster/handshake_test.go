@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+)
+
+// captureEnv is a dynEnv that records every broadcast so tests can
+// inspect message flags and replay delivery by hand.
+type captureEnv struct {
+	*dynEnv
+	sent []netsim.Message
+}
+
+func (e *captureEnv) Broadcast(msg netsim.Message) { e.sent = append(e.sent, msg) }
+
+// TestHandshakeBorderPropagation pins the Border causal chain through
+// cluster maintenance: a Border-tagged HELLO that triggers a pending
+// member's CLUSTER rebroadcast must yield a Border=true JOIN, and the
+// head's ACK rebroadcast must inherit the JOIN's Border tag in turn.
+func TestHandshakeBorderPropagation(t *testing.T) {
+	env := &captureEnv{dynEnv: newDynEnv(3)}
+	// Path 0–1–2. LID formation: 0 heads {0, 1}; 2 is a lone head.
+	env.adj[0][1] = true
+	env.adj[1][0] = true
+	env.adj[1][2] = true
+	env.adj[2][1] = true
+
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableHandshake(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start(env); err != nil {
+		t.Fatal(err)
+	}
+	if m.RoleOf(0) != RoleHead || m.HeadOf(1) != 0 || m.RoleOf(2) != RoleHead {
+		t.Fatalf("unexpected formation: roles %v heads %v", m.a.Role, m.a.Head)
+	}
+
+	// Member 1 loses its head: it JOINs head 2 and goes pending.
+	m.OnLinkEvent(env.toggle(0, 1))
+	if m.Pending() != 1 {
+		t.Fatalf("Pending = %d after member break, want 1", m.Pending())
+	}
+	env.sent = nil
+
+	// Next tick (same-tick beacons are ignored: the original JOIN is
+	// still in flight). The retry timer (5 ticks) has not expired.
+	m.OnTick(0)
+
+	// A Border-tagged HELLO from head 2 triggers an immediate join retry;
+	// the CLUSTER rebroadcast it causes must carry Border=true.
+	m.OnMessage(1, netsim.Message{Kind: netsim.MsgHello, From: 2, Bits: 64, Border: true})
+	if len(env.sent) != 1 {
+		t.Fatalf("HELLO triggered %d broadcasts, want 1 JOIN", len(env.sent))
+	}
+	join := env.sent[0]
+	if join.Kind != netsim.MsgCluster {
+		t.Fatalf("triggered rebroadcast kind = %v, want CLUSTER", join.Kind)
+	}
+	if !join.Border {
+		t.Fatal("CLUSTER rebroadcast triggered by Border-tagged HELLO lost Border=true")
+	}
+	req, ok := join.Payload.(joinRequest)
+	if !ok || req.Node != 1 || req.Head != 2 {
+		t.Fatalf("unexpected JOIN payload %+v", join.Payload)
+	}
+
+	// Deliver the JOIN to the head: the ACK inherits Border as well.
+	env.sent = nil
+	m.OnMessage(2, join)
+	if len(env.sent) != 1 {
+		t.Fatalf("JOIN triggered %d broadcasts, want 1 ACK", len(env.sent))
+	}
+	ack := env.sent[0]
+	if ack.Kind != netsim.MsgCluster || !ack.Border {
+		t.Fatalf("ACK kind=%v border=%v, want Border-tagged CLUSTER", ack.Kind, ack.Border)
+	}
+
+	// Deliver the ACK: the member commits and P2 is restored.
+	m.OnMessage(1, ack)
+	if m.HeadOf(1) != 2 || m.Pending() != 0 {
+		t.Fatalf("after ACK: head=%d pending=%d, want head 2, pending 0", m.HeadOf(1), m.Pending())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after handshake: %v", err)
+	}
+}
+
+// TestHandshakeMatchesOracleUnderIdealMedium runs the same mobile
+// scenario under oracle and handshake maintenance: with an ideal medium
+// every JOIN/ACK completes within its tick, so the handshake must keep
+// the invariants continuously and produce the same total message count
+// the lower-bound oracle does.
+func TestHandshakeMatchesOracleUnderIdealMedium(t *testing.T) {
+	run := func(handshake bool) (*Maintainer, netsim.Tallies) {
+		s := newSim(t, mobileConfig(7))
+		m, err := NewMaintainer(LID{}, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if handshake {
+			if err := m.EnableHandshake(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Register(m); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("handshake=%v tick %d: %v", handshake, i, err)
+			}
+			if m.Pending() != 0 {
+				t.Fatalf("handshake=%v tick %d: %d joins still pending under ideal medium", handshake, i, m.Pending())
+			}
+		}
+		return m, s.Tallies()
+	}
+	oracle, oracleTallies := run(false)
+	hs, hsTallies := run(true)
+	// Message totals agree to well under 1%: the only divergence is the
+	// rare corner where a head resigns in the same tick a join toward it
+	// is in flight, where the two models price the re-target slightly
+	// differently.
+	if got, want := hs.Stats().Total(), oracle.Stats().Total(); math.Abs(got/want-1) > 0.01 {
+		t.Errorf("handshake sent %g CLUSTER messages, oracle %g (>1%% apart)", got, want)
+	}
+	if got, want := hsTallies.Of(netsim.MsgCluster).Msgs, oracleTallies.Of(netsim.MsgCluster).Msgs; math.Abs(got/want-1) > 0.01 {
+		t.Errorf("engine tallied %g CLUSTER messages under handshake, %g under oracle (>1%% apart)", got, want)
+	}
+}
+
+// TestAuditorUnderLossyMedium runs handshake maintenance over a lossy
+// medium: JOIN/ACK exchanges now fail and retry, so the auditor must see
+// violation spans open and close — and every span must close within a
+// bounded number of retry rounds.
+func TestAuditorUnderLossyMedium(t *testing.T) {
+	inj, err := faults.New(faults.Config{Loss: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mobileConfig(3)
+	cfg.Medium = inj
+	s := newSim(t, cfg)
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnableHandshake(2); err != nil {
+		t.Fatal(err)
+	}
+	au, err := NewAuditor(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m, au); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Tallies().Dropped == 0 {
+		t.Fatal("medium dropped nothing at p=0.3")
+	}
+	if au.ViolatedFraction() == 0 {
+		t.Error("no invariant violations observed despite 30% loss")
+	}
+	if frac := au.ViolatedNodeFraction(); frac > 0.2 {
+		t.Errorf("mean violated-node fraction %g: repairs are not keeping up", frac)
+	}
+	mean, max, count := au.RepairStats()
+	if count == 0 {
+		t.Fatal("no violation span ever closed")
+	}
+	// With retryTicks=2 and per-round success (1−p)² ≈ 0.49, spans beyond
+	// ~30 rounds (60 ticks) are astronomically unlikely.
+	if max > 60 {
+		t.Errorf("max time-to-repair %g ticks exceeds bound", max)
+	}
+	if mean <= 0 {
+		t.Errorf("mean time-to-repair %g, want positive", mean)
+	}
+	if got := len(au.RepairSeries("repair").Points); got != count {
+		t.Errorf("repair series has %d points, stats counted %d spans", got, count)
+	}
+}
+
+// TestAuditorSilentUnderOracle pins that the default oracle maintenance
+// never lets the auditor observe a violation: repairs are same-tick.
+func TestAuditorSilentUnderOracle(t *testing.T) {
+	s := newSim(t, mobileConfig(5))
+	m, err := NewMaintainer(LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := NewAuditor(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(m, au); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if frac := au.ViolatedFraction(); frac != 0 {
+		t.Errorf("oracle maintenance showed violated fraction %g, want 0", frac)
+	}
+	if got := au.Spans(); len(got) != 0 {
+		t.Errorf("oracle maintenance produced %d violation spans", len(got))
+	}
+}

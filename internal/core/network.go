@@ -38,10 +38,21 @@ type Network struct {
 }
 
 // Validate checks the parameters against the model's assumptions
-// (N ≥ 2, 0 < r < a, v ≥ 0, ρ > 0).
+// (N ≥ 2, 0 < r < a, v ≥ 0, ρ > 0, all parameters finite). NaN slips
+// through ordered comparisons (every one is false), so finiteness is
+// checked explicitly — a NaN range would otherwise surface much later as
+// a panic deep inside a simulation.
 func (n Network) Validate() error {
 	if n.N < 2 {
 		return fmt.Errorf("core: need at least 2 nodes, got %d", n.N)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"transmission range", n.R}, {"speed", n.V}, {"density", n.Density}} {
+		if math.IsNaN(p.v) || math.IsInf(p.v, 0) {
+			return fmt.Errorf("core: %s must be finite, got %g", p.name, p.v)
+		}
 	}
 	if n.Density <= 0 {
 		return fmt.Errorf("core: density must be positive, got %g", n.Density)

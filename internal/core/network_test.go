@@ -35,6 +35,13 @@ func TestNetworkValidate(t *testing.T) {
 		{"range exceeds side", Network{N: 4, R: 5, V: 1, Density: 1}, true},
 		{"negative speed", Network{N: 10, R: 1, V: -1, Density: 1}, true},
 		{"zero speed ok", Network{N: 10, R: 1, V: 0, Density: 1}, false},
+		// NaN passes every ordered comparison, so finiteness needs its own
+		// check — a NaN parameter must fail here, not panic downstream.
+		{"NaN range", Network{N: 10, R: math.NaN(), V: 1, Density: 1}, true},
+		{"Inf range", Network{N: 10, R: math.Inf(1), V: 1, Density: 1}, true},
+		{"NaN speed", Network{N: 10, R: 1, V: math.NaN(), Density: 1}, true},
+		{"NaN density", Network{N: 10, R: 1, V: 1, Density: math.NaN()}, true},
+		{"Inf density", Network{N: 10, R: 1, V: 1, Density: math.Inf(1)}, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

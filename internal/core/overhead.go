@@ -168,6 +168,40 @@ func (n Network) ControlOverheads(p float64, sizes MessageSizes) (Overheads, err
 	}, nil
 }
 
+// JoinRetransmissionFactor returns the first-order inflation of the
+// CLUSTER rate when deliveries are lost independently with probability
+// loss and every join is a JOIN/ACK handshake retried until acked. With
+// per-delivery success q = 1−loss a round succeeds with q², so the
+// member transmits 1/q² JOINs in expectation while the head answers one
+// ACK per JOIN it receives, q·(1/q²) = 1/q in total. Relative to the
+// ideal medium's two messages per join:
+//
+//	factor = (1/q² + 1/q) / 2
+//
+// The factor is an upper estimate: the hardened stack's hello-triggered
+// retries and self-promotion short-circuits resolve some joins with
+// fewer transmissions than the geometric model assumes.
+func JoinRetransmissionFactor(loss float64) (float64, error) {
+	if math.IsNaN(loss) || loss < 0 || loss >= 1 {
+		return 0, fmt.Errorf("core: loss probability must be in [0, 1), got %g", loss)
+	}
+	q := 1 - loss
+	return (1/(q*q) + 1/q) / 2, nil
+}
+
+// UnderLoss scales the CLUSTER rate by the JOIN/ACK retransmission
+// factor for the given delivery-loss probability. HELLO and ROUTE are
+// sender-clocked (beacons and periodic table refreshes are not
+// acknowledged), so their transmission rates are unchanged by loss.
+func (r Rates) UnderLoss(loss float64) (Rates, error) {
+	factor, err := JoinRetransmissionFactor(loss)
+	if err != nil {
+		return Rates{}, err
+	}
+	r.Cluster *= factor
+	return r, nil
+}
+
 // ExpectedClusterSize returns m = N/n = 1/P, the expected number of nodes
 // per cluster including its head.
 func ExpectedClusterSize(p float64) (float64, error) {

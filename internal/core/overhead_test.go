@@ -216,3 +216,52 @@ func TestPropertyOverheadsNonNegative(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestJoinRetransmissionFactor(t *testing.T) {
+	// Ideal medium: no retransmissions.
+	if f, err := JoinRetransmissionFactor(0); err != nil || f != 1 {
+		t.Errorf("factor(0) = (%v, %v), want (1, nil)", f, err)
+	}
+	// p=0.2: (1/0.64 + 1/0.8)/2 = 1.40625.
+	if f, err := JoinRetransmissionFactor(0.2); err != nil || !almostEq(f, 1.40625, 1e-12) {
+		t.Errorf("factor(0.2) = (%v, %v), want 1.40625", f, err)
+	}
+	// Monotone increasing in loss.
+	prev := 0.0
+	for _, p := range []float64{0, 0.1, 0.3, 0.5, 0.9} {
+		f, err := JoinRetransmissionFactor(p)
+		if err != nil {
+			t.Fatalf("factor(%g): %v", p, err)
+		}
+		if f <= prev {
+			t.Errorf("factor(%g) = %g not increasing (prev %g)", p, f, prev)
+		}
+		prev = f
+	}
+	for _, p := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := JoinRetransmissionFactor(p); err == nil {
+			t.Errorf("factor(%g) accepted", p)
+		}
+	}
+}
+
+func TestRatesUnderLoss(t *testing.T) {
+	rates, err := validNet().ControlRates(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := rates.UnderLoss(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only CLUSTER inflates; HELLO and ROUTE are sender-clocked.
+	if adj.Hello != rates.Hello || adj.Route != rates.Route {
+		t.Errorf("loss changed sender-clocked rates: %+v vs %+v", adj, rates)
+	}
+	if !almostEq(adj.Cluster, rates.Cluster*1.40625, 1e-12) {
+		t.Errorf("Cluster = %g, want %g", adj.Cluster, rates.Cluster*1.40625)
+	}
+	if _, err := rates.UnderLoss(1); err == nil {
+		t.Error("loss = 1 accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// degradationNet is the Figure 1 scenario at r = 0.12·a — the operating
+// point Figure8 sweeps.
+func degradationNet() core.Network {
+	net := core.Network{N: 400, Density: 4}
+	a := net.Side()
+	net.R = 0.12 * a
+	net.V = 0.005 * a
+	return net
+}
+
+// degradationOpts shortens the measurement window (relative to the
+// 40000-event figure run) to keep the test fast; the convergence and
+// monotonicity margins below are wide enough for the extra noise.
+func degradationOpts() Options {
+	opts := DefaultOptions()
+	opts.TargetEvents = 10000
+	return opts
+}
+
+// TestDegradationConvergesToBound is the headline property of the
+// degradation experiment: as the loss rate p→0, measured CLUSTER
+// overhead of the hardened handshake stack converges onto the paper's
+// ideal-medium bound, and retransmissions pull it monotonically above
+// the bound as p grows.
+func TestDegradationConvergesToBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point simulation sweep")
+	}
+	points, err := Degradation(degradationNet(), DegradationLosses, degradationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(DegradationLosses) {
+		t.Fatalf("got %d points, want %d", len(points), len(DegradationLosses))
+	}
+
+	// Excess over the analytic bound must shrink monotonically as p→0.
+	excess := func(pt DegradationPoint) float64 {
+		if pt.FClusterBound <= 0 {
+			t.Fatalf("p=%g: non-positive analytic bound %g", pt.Loss, pt.FClusterBound)
+		}
+		return pt.FCluster / pt.FClusterBound
+	}
+	for i := 1; i < len(points); i++ {
+		lo, hi := excess(points[i-1]), excess(points[i])
+		// Small tolerance: adjacent points are independent runs and the
+		// low-loss points differ by only a few percent.
+		if hi < lo*0.97 {
+			t.Errorf("excess over bound not monotone: p=%g gives %g, p=%g gives %g",
+				points[i-1].Loss, lo, points[i].Loss, hi)
+		}
+	}
+	// The clean endpoint sits on the bound (fig-1-style agreement); the
+	// lossiest endpoint is visibly above it.
+	if e := excess(points[0]); math.Abs(e-1) > 0.25 {
+		t.Errorf("p=0 cluster overhead %g× the bound, want ≈1", e)
+	}
+	if e0, e4 := excess(points[0]), excess(points[len(points)-1]); e4 < 1.3*e0 {
+		t.Errorf("p=0.4 excess %g not clearly above p=0 excess %g", e4, e0)
+	}
+
+	for _, pt := range points {
+		// The injector must realize the configured loss rate.
+		if math.Abs(pt.DropRate-pt.Loss) > 0.03 {
+			t.Errorf("p=%g: measured drop rate %g", pt.Loss, pt.DropRate)
+		}
+		// Routing traffic must stay live at every point.
+		if pt.FRoute <= 0 {
+			t.Errorf("p=%g: no ROUTE traffic measured", pt.Loss)
+		}
+		if pt.HeadRatio <= 0 || pt.HeadRatio >= 1 {
+			t.Errorf("p=%g: degenerate head ratio %g", pt.Loss, pt.HeadRatio)
+		}
+	}
+
+	// Under loss the auditor must observe repairs, and they must be
+	// bounded: retryTicks=2 with per-round success (1−p)² keeps even the
+	// p=0.4 tail far below 100 ticks.
+	for _, pt := range points {
+		if pt.Loss < 0.2 {
+			continue
+		}
+		if pt.RepairCount == 0 {
+			t.Errorf("p=%g: no violation span ever closed", pt.Loss)
+		}
+		if pt.RepairMaxTicks > 100 {
+			t.Errorf("p=%g: max time-to-repair %g ticks exceeds bound", pt.Loss, pt.RepairMaxTicks)
+		}
+		if pt.ViolatedNodeFraction > 0.25 {
+			t.Errorf("p=%g: violated-node fraction %g, repairs not keeping up", pt.Loss, pt.ViolatedNodeFraction)
+		}
+	}
+	// The clean endpoint keeps the invariants continuously.
+	if f := points[0].ViolatedNodeFraction; f != 0 {
+		t.Errorf("p=0: violated-node fraction %g, want 0", f)
+	}
+
+	fig := DegradationFigure(points)
+	for _, name := range []string{
+		"f_cluster analysis", "f_cluster simulation", "f_route simulation",
+		"drop rate", "repair mean (ticks)", "repair max (ticks)", "violated node fraction",
+	} {
+		s := fig.Lookup(name)
+		if s == nil {
+			t.Fatalf("figure lacks series %q", name)
+		}
+		if len(s.Points) != len(points) {
+			t.Errorf("series %q has %d points, want %d", name, len(s.Points), len(points))
+		}
+	}
+	if fig.CSV() == "" {
+		t.Error("degradation figure renders empty CSV")
+	}
+}
+
+// TestDegradationDeterministicAcrossWorkers pins that the degradation
+// sweep is bit-identical for any worker count, faults included.
+func TestDegradationDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point simulation sweep")
+	}
+	net := degradationNet()
+	net.N = 60
+	opts := degradationOpts()
+	opts.TargetEvents = 1000
+	losses := []float64{0.1, 0.3}
+
+	serial := opts
+	serial.Workers = 1
+	parallel := opts
+	parallel.Workers = 4
+	a, err := Degradation(net, losses, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Degradation(net, losses, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("point %d differs across worker counts:\nserial:   %+v\nparallel: %+v", i, a[i], b[i])
+		}
+	}
+}

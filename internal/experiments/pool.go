@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -18,8 +21,15 @@ import (
 //
 // workers <= 0 selects GOMAXPROCS. Point functions must not touch shared
 // mutable state; everything they need should be captured by value or be
-// read-only. If any point fails, the error of the lowest-indexed failing
-// point is returned (matching what a serial loop would report).
+// read-only.
+//
+// The sweep is fault-isolated: a point that returns an error — or
+// panics — never aborts the other points. Every point runs to
+// completion; failed points are left as the zero T in the returned
+// slice, and their errors (panics included, wrapped with the point index
+// and stack) are aggregated into one joined error, identical for any
+// worker count. Callers that can use partial results may inspect the
+// slice even when err != nil.
 func RunSweep[T any](workers, n int, point func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -31,17 +41,13 @@ func RunSweep[T any](workers, n int, point func(i int) (T, error)) ([]T, error) 
 		workers = n
 	}
 	results := make([]T, n)
+	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			r, err := point(i)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = r
+			results[i], errs[i] = runPoint(i, point)
 		}
-		return results, nil
+		return results, joinPointErrors(errs)
 	}
-	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -53,17 +59,35 @@ func RunSweep[T any](workers, n int, point func(i int) (T, error)) ([]T, error) 
 				if i >= n {
 					return
 				}
-				results[i], errs[i] = point(i)
+				results[i], errs[i] = runPoint(i, point)
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return results, joinPointErrors(errs)
+}
+
+// runPoint evaluates one sweep point, converting a panic into an error
+// that carries the point index and the panicking goroutine's stack, so a
+// buggy scenario diagnoses itself instead of tearing down the sweep (and
+// with it every healthy point).
+func runPoint[T any](i int, point func(i int) (T, error)) (result T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep point %d panicked: %v\n%s", i, r, debug.Stack())
 		}
+	}()
+	result, err = point(i)
+	if err != nil {
+		err = fmt.Errorf("sweep point %d: %w", i, err)
 	}
-	return results, nil
+	return result, err
+}
+
+// joinPointErrors aggregates per-point errors into one error (nil when
+// all points succeeded). errors.Is/As see through to every cause.
+func joinPointErrors(errs []error) error {
+	return errors.Join(errs...)
 }
 
 // SweepSeed derives the master seed for sweep point i from a base seed

@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -36,7 +37,7 @@ func TestRunSweepEmpty(t *testing.T) {
 	}
 }
 
-func TestRunSweepReturnsLowestIndexedError(t *testing.T) {
+func TestRunSweepAggregatesAllErrors(t *testing.T) {
 	errAt := func(bad ...int) func(i int) (int, error) {
 		return func(i int) (int, error) {
 			for _, b := range bad {
@@ -48,9 +49,47 @@ func TestRunSweepReturnsLowestIndexedError(t *testing.T) {
 		}
 	}
 	for _, workers := range []int{1, 4} {
-		_, err := RunSweep(workers, 20, errAt(13, 5, 17))
-		if err == nil || err.Error() != "point 5 failed" {
-			t.Fatalf("workers=%d: err = %v, want point 5", workers, err)
+		got, err := RunSweep(workers, 20, errAt(13, 5, 17))
+		if err == nil {
+			t.Fatalf("workers=%d: err = nil, want aggregated errors", workers)
+		}
+		for _, b := range []int{5, 13, 17} {
+			if want := fmt.Sprintf("point %d failed", b); !strings.Contains(err.Error(), want) {
+				t.Errorf("workers=%d: aggregated error lacks %q:\n%v", workers, want, err)
+			}
+		}
+		// Healthy points still produced results (partial output contract).
+		for _, i := range []int{0, 6, 19} {
+			if got[i] != i {
+				t.Errorf("workers=%d: healthy point %d = %d, want %d", workers, i, got[i], i)
+			}
+		}
+	}
+}
+
+func TestRunSweepRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls atomic.Int64
+		got, err := RunSweep(workers, 12, func(i int) (int, error) {
+			calls.Add(1)
+			if i == 4 {
+				panic("deliberate test panic")
+			}
+			return i + 100, nil
+		})
+		if calls.Load() != 12 {
+			t.Fatalf("workers=%d: a panicking point aborted the sweep: %d/12 points ran", workers, calls.Load())
+		}
+		if err == nil || !strings.Contains(err.Error(), "sweep point 4 panicked: deliberate test panic") {
+			t.Fatalf("workers=%d: err = %v, want panic surfaced as point-4 error", workers, err)
+		}
+		for i, v := range got {
+			switch {
+			case i == 4 && v != 0:
+				t.Errorf("workers=%d: panicked point has non-zero result %d", workers, v)
+			case i != 4 && v != i+100:
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, v, i+100)
+			}
 		}
 	}
 }

@@ -1,0 +1,301 @@
+// Package faults is the deterministic fault-injection layer of the
+// simulator. It implements netsim.Medium with three composable fault
+// models:
+//
+//   - Bernoulli loss: every point delivery (one broadcast × one receiving
+//     neighbor) is lost independently with probability Loss.
+//   - Gilbert–Elliott burst loss: each directed link carries a two-state
+//     Markov channel (Good/Bad) advanced once per tick; deliveries are
+//     lost with the state's loss probability, producing the time-correlated
+//     loss bursts real radio channels exhibit.
+//   - Node churn: each node alternates up/down with geometrically
+//     distributed sojourn times. A down node contributes no adjacency, so
+//     crashes and recoveries surface to protocols as ordinary link events.
+//
+// Every decision is a pure function of the run's master seed and the call
+// coordinates (delivery sequence number, link endpoints, tick) via
+// counter-based simrand draws: no draw depends on draw order, map
+// iteration or worker scheduling, so runs stay bit-for-bit reproducible
+// and sweep points stay independent. With the zero Config the injector is
+// a transparent no-op, and a nil netsim.Config.Medium skips it entirely —
+// the ideal path is unchanged byte-for-byte.
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/simrand"
+)
+
+// GilbertElliott parameterizes the two-state burst-loss channel. The
+// chain starts in the Good state and is advanced once per tick per
+// (lazily materialized) directed link.
+type GilbertElliott struct {
+	// PGoodBad is the per-tick transition probability Good→Bad.
+	PGoodBad float64
+	// PBadGood is the per-tick transition probability Bad→Good.
+	PBadGood float64
+	// LossGood is the per-delivery loss probability in the Good state.
+	LossGood float64
+	// LossBad is the per-delivery loss probability in the Bad state.
+	LossBad float64
+}
+
+// enabled reports whether the channel differs from the ideal medium.
+func (g GilbertElliott) enabled() bool {
+	return g.PGoodBad > 0 || g.LossGood > 0 || g.LossBad > 0
+}
+
+// Churn parameterizes node crash/recover schedules: independent
+// alternating up/down sojourns with geometric tick counts (the discrete
+// analogue of exponential on/off times). Zero values disable churn.
+type Churn struct {
+	// MeanUpTicks is the mean number of ticks a node stays up.
+	MeanUpTicks float64
+	// MeanDownTicks is the mean number of ticks a node stays down.
+	MeanDownTicks float64
+}
+
+// enabled reports whether churn is configured.
+func (c Churn) enabled() bool { return c.MeanUpTicks > 0 && c.MeanDownTicks > 0 }
+
+// Config selects which faults the injector applies. The zero value is a
+// transparent no-op medium.
+type Config struct {
+	// Loss is the independent per-delivery Bernoulli loss probability.
+	Loss float64
+	// Burst layers a Gilbert–Elliott channel on top of (or instead of)
+	// Bernoulli loss.
+	Burst GilbertElliott
+	// Churn crashes and recovers nodes.
+	Churn Churn
+}
+
+// Active reports whether the configuration injects any fault at all.
+func (c Config) Active() bool {
+	return c.Loss > 0 || c.Burst.enabled() || c.Churn.enabled()
+}
+
+// Validate rejects probabilities outside [0, 1) resp. [0, 1] and
+// non-finite or negative churn means.
+func (c Config) Validate() error {
+	if math.IsNaN(c.Loss) || c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("faults: loss probability must be in [0, 1), got %g", c.Loss)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"burst p(good→bad)", c.Burst.PGoodBad},
+		{"burst p(bad→good)", c.Burst.PBadGood},
+		{"burst loss (good)", c.Burst.LossGood},
+		{"burst loss (bad)", c.Burst.LossBad},
+	} {
+		if math.IsNaN(p.v) || p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s must be in [0, 1], got %g", p.name, p.v)
+		}
+	}
+	if c.Burst.enabled() && c.Burst.PBadGood <= 0 && c.Burst.PGoodBad > 0 {
+		return fmt.Errorf("faults: burst channel can never leave the bad state (p(bad→good) = 0)")
+	}
+	if c.Burst.LossBad >= 1 && c.Burst.PBadGood <= 0 && c.Burst.PGoodBad > 0 {
+		return fmt.Errorf("faults: burst channel would lose every delivery forever")
+	}
+	for _, m := range []struct {
+		name string
+		v    float64
+	}{
+		{"mean up ticks", c.Churn.MeanUpTicks},
+		{"mean down ticks", c.Churn.MeanDownTicks},
+	} {
+		if math.IsNaN(m.v) || math.IsInf(m.v, 0) || m.v < 0 {
+			return fmt.Errorf("faults: %s must be finite and non-negative, got %g", m.name, m.v)
+		}
+	}
+	if (c.Churn.MeanUpTicks > 0) != (c.Churn.MeanDownTicks > 0) {
+		return fmt.Errorf("faults: churn needs both mean up and mean down ticks, got %+v", c.Churn)
+	}
+	if c.Churn.enabled() && c.Churn.MeanUpTicks < 1 {
+		return fmt.Errorf("faults: mean up ticks must be ≥ 1, got %g", c.Churn.MeanUpTicks)
+	}
+	return nil
+}
+
+// geState is the lazily materialized per-directed-link channel state.
+type geState struct {
+	bad  bool
+	tick int64 // last tick the chain was advanced to
+}
+
+// Injector implements netsim.Medium. Construct with New, hand it to
+// netsim.Config.Medium, and the engine binds it to the run via Reset.
+// An Injector must not be shared between concurrent simulations: sweep
+// points each build their own.
+type Injector struct {
+	cfg     Config
+	enabled bool
+
+	n        int
+	tick     int64
+	lossSrc  simrand.Source
+	burstSrc simrand.Source
+
+	alive      []bool
+	nextToggle []int64 // tick at which the node's up/down state flips next
+	churnSrc   simrand.Source
+
+	ge map[uint64]geState
+}
+
+var _ netsim.Medium = (*Injector)(nil)
+
+// New builds an injector for the given fault configuration.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, enabled: cfg.Active()}, nil
+}
+
+// Reset implements netsim.Medium: bind to a run's node count and fault
+// stream family.
+func (inj *Injector) Reset(n int, src simrand.Source) {
+	inj.n = n
+	inj.tick = 0
+	inj.lossSrc = src.Split("loss")
+	inj.burstSrc = src.Split("burst")
+	inj.churnSrc = src.Split("churn")
+	inj.alive = make([]bool, n)
+	for i := range inj.alive {
+		inj.alive[i] = true
+	}
+	inj.ge = nil
+	if inj.cfg.Burst.enabled() {
+		inj.ge = make(map[uint64]geState)
+	}
+	inj.nextToggle = nil
+	if inj.cfg.Churn.enabled() {
+		inj.nextToggle = make([]int64, n)
+		for i := range inj.nextToggle {
+			inj.nextToggle[i] = inj.sojourn(netsim.NodeID(i), 0, true)
+		}
+	}
+}
+
+// sojourn returns the tick at which a node entering state `up` at tick
+// `from` flips again: from + a geometric duration with the configured
+// mean, drawn deterministically from the (node, from, up) coordinates.
+func (inj *Injector) sojourn(id netsim.NodeID, from int64, up bool) int64 {
+	mean := inj.cfg.Churn.MeanDownTicks
+	kind := uint64(0)
+	if up {
+		mean = inj.cfg.Churn.MeanUpTicks
+		kind = 1
+	}
+	u := inj.churnSrc.U01(uint64(id), uint64(from), kind)
+	// Geometric via inverse transform; at least one tick in-state so a
+	// node never flips twice within a tick.
+	d := int64(math.Ceil(math.Log(1-u) / math.Log(1-1/math.Max(mean, 1))))
+	if d < 1 {
+		d = 1
+	}
+	return from + d
+}
+
+// Advance implements netsim.Medium: move churn schedules to the given
+// tick.
+func (inj *Injector) Advance(tick int64) {
+	inj.tick = tick
+	if !inj.enabled || inj.nextToggle == nil {
+		return
+	}
+	for i := range inj.nextToggle {
+		for inj.nextToggle[i] <= tick {
+			inj.alive[i] = !inj.alive[i]
+			inj.nextToggle[i] = inj.sojourn(netsim.NodeID(i), inj.nextToggle[i], inj.alive[i])
+		}
+	}
+}
+
+// Alive implements netsim.Medium.
+func (inj *Injector) Alive(id netsim.NodeID) bool {
+	if !inj.enabled || inj.nextToggle == nil {
+		return true
+	}
+	return inj.alive[id]
+}
+
+// Deliver implements netsim.Medium.
+func (inj *Injector) Deliver(seq int64, from, to netsim.NodeID) bool {
+	if !inj.enabled {
+		return true
+	}
+	if p := inj.cfg.Loss; p > 0 && inj.lossSrc.U01(uint64(seq), uint64(from), uint64(to)) < p {
+		return false
+	}
+	if inj.ge != nil {
+		if inj.burstSrc.U01(uint64(seq), uint64(from), uint64(to)) < inj.burstLoss(from, to) {
+			return false
+		}
+	}
+	return true
+}
+
+// burstLoss advances the directed link's Gilbert–Elliott chain to the
+// current tick and returns its state's loss probability. The chain is
+// materialized on first use, starting Good at the tick it is first
+// touched; transitions draw from (link, tick) coordinates so the walk is
+// independent of delivery order.
+func (inj *Injector) burstLoss(from, to netsim.NodeID) float64 {
+	key := uint64(from)<<32 | uint64(to)
+	st, ok := inj.ge[key]
+	if !ok {
+		st = geState{tick: inj.tick}
+	}
+	for st.tick < inj.tick {
+		st.tick++
+		u := inj.burstSrc.U01(key, uint64(st.tick), math.MaxUint64)
+		if st.bad {
+			if u < inj.cfg.Burst.PBadGood {
+				st.bad = false
+			}
+		} else {
+			if u < inj.cfg.Burst.PGoodBad {
+				st.bad = true
+			}
+		}
+	}
+	inj.ge[key] = st
+	if st.bad {
+		return inj.cfg.Burst.LossBad
+	}
+	return inj.cfg.Burst.LossGood
+}
+
+// Disable turns every fault off from the next tick on: all nodes are up
+// and every delivery succeeds. Used by convergence experiments to measure
+// how fast protocols repair their soft state once the environment calms
+// down. (Nodes resurface at the next topology recomputation, i.e. the
+// tick after the call.)
+func (inj *Injector) Disable() {
+	inj.enabled = false
+	for i := range inj.alive {
+		inj.alive[i] = true
+	}
+}
+
+// Enabled reports whether the injector is currently applying faults.
+func (inj *Injector) Enabled() bool { return inj.enabled }
+
+// AliveCount returns the number of nodes currently up.
+func (inj *Injector) AliveCount() int {
+	count := 0
+	for _, a := range inj.alive {
+		if a {
+			count++
+		}
+	}
+	return count
+}

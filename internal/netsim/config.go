@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/geom"
 	"repro/internal/mobility"
@@ -28,6 +29,11 @@ type Config struct {
 	Dt float64
 	// Seed roots all randomness of the run.
 	Seed uint64
+	// Medium optionally injects faults (per-delivery loss, node churn)
+	// into the engine. nil selects the ideal medium the paper's
+	// lower-bound analysis assumes; the ideal path is byte-identical and
+	// allocation-identical to a build without fault support.
+	Medium Medium
 }
 
 // withDefaults returns the config with defaults applied.
@@ -41,21 +47,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Validate checks the scenario parameters.
+// Validate checks the scenario parameters. NaN and ±Inf are rejected
+// explicitly: NaN compares false against every bound, so a sign check
+// alone would wave it through and the failure would surface later as a
+// panic deep inside the spatial grid.
 func (c Config) Validate() error {
 	if c.N < 1 {
 		return fmt.Errorf("netsim: need at least one node, got %d", c.N)
 	}
-	if c.Side <= 0 {
-		return fmt.Errorf("netsim: side must be positive, got %g", c.Side)
+	if !isFinite(c.Side) || c.Side <= 0 {
+		return fmt.Errorf("netsim: side must be positive and finite, got %g", c.Side)
 	}
-	if c.Range <= 0 {
-		return fmt.Errorf("netsim: range must be positive, got %g", c.Range)
+	if !isFinite(c.Range) || c.Range <= 0 {
+		return fmt.Errorf("netsim: range must be positive and finite, got %g", c.Range)
 	}
-	if c.Dt <= 0 {
-		return fmt.Errorf("netsim: dt must be positive, got %g", c.Dt)
+	if !isFinite(c.Dt) || c.Dt <= 0 {
+		return fmt.Errorf("netsim: dt must be positive and finite, got %g", c.Dt)
 	}
 	return nil
+}
+
+// isFinite reports whether x is neither NaN nor ±Inf.
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
 }
 
 // Tally accumulates message counts and bits for one message class.
@@ -91,6 +105,14 @@ type Tallies struct {
 	// Invalid counts dropped broadcasts (bad sender or kind) — always
 	// zero unless a protocol has a bug.
 	Invalid float64
+	// Delivered counts successful point deliveries (message × receiving
+	// neighbor); Dropped counts point deliveries the fault medium lost.
+	// Without a Medium, Dropped is always zero.
+	Delivered, Dropped float64
+	// Suppressed counts broadcasts from crashed nodes: a dead radio
+	// transmits nothing, so the message is neither tallied as traffic
+	// nor delivered. Always zero without churn.
+	Suppressed float64
 }
 
 // Of returns the tally of a message kind, including border-flagged
@@ -122,5 +144,18 @@ func (t Tallies) Sub(o Tallies) Tallies {
 	out.BorderGen -= o.BorderGen
 	out.BorderBrk -= o.BorderBrk
 	out.Invalid -= o.Invalid
+	out.Delivered -= o.Delivered
+	out.Dropped -= o.Dropped
+	out.Suppressed -= o.Suppressed
 	return out
+}
+
+// DropRate returns the fraction of point delivery attempts the medium
+// lost (0 when there were no attempts).
+func (t Tallies) DropRate() float64 {
+	attempts := t.Delivered + t.Dropped
+	if attempts == 0 {
+		return 0
+	}
+	return t.Dropped / attempts
 }

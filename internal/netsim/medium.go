@@ -1,0 +1,38 @@
+package netsim
+
+import "repro/internal/simrand"
+
+// Medium abstracts the fault behavior of the broadcast medium and of the
+// nodes themselves. The engine's default (a nil Medium) is the paper's
+// ideal regime: every broadcast reaches every in-range neighbor and every
+// node is always up. A non-nil Medium — in practice a faults.Injector —
+// lets experiments depart from that regime deterministically:
+//
+//   - Alive gates a node's radio: a dead node contributes no adjacency
+//     (all its links read as broken), receives nothing and transmits
+//     nothing, which is how crash/recover churn manifests to protocols
+//     as ordinary link-break/link-generation events.
+//   - Deliver decides each point delivery (one broadcast × one receiving
+//     neighbor) independently, which models per-link loss.
+//
+// Determinism contract: implementations must derive every decision from
+// the simrand.Source handed to Reset and from the call coordinates (tick,
+// sequence number, endpoints) — never from wall clock, map iteration
+// order or global state — so a run remains bit-for-bit reproducible from
+// its seed.
+type Medium interface {
+	// Reset binds the medium to a run: the node count and the dedicated
+	// fault stream family rooted at the run's master seed. The engine
+	// calls it once, before initial topology computation.
+	Reset(n int, src simrand.Source)
+	// Advance moves time-driven fault state (e.g. churn schedules) to the
+	// given tick. The engine calls it once per tick, after mobility and
+	// before topology recomputation; tick 0 is the initial state.
+	Advance(tick int64)
+	// Alive reports whether the node's radio is up at the current tick.
+	Alive(id NodeID) bool
+	// Deliver reports whether one point delivery from→to succeeds. seq is
+	// the run-global delivery attempt counter (strictly increasing), so
+	// repeated deliveries over the same link draw independently.
+	Deliver(seq int64, from, to NodeID) bool
+}

@@ -5,10 +5,13 @@
 // lets protocol implementations (neighbor discovery, clustering, routing)
 // react by broadcasting messages that are tallied per message class.
 //
-// The medium is ideal — zero delay, no loss, no contention — matching the
-// paper's lower-bound regime in which every cluster and route change is
-// detected. Determinism: given one seed, every run is bit-for-bit
-// reproducible; all iteration orders are fixed.
+// The medium is ideal by default — zero delay, no loss, no contention —
+// matching the paper's lower-bound regime in which every cluster and
+// route change is detected. Config.Medium optionally departs from that
+// regime with deterministic fault injection (per-delivery loss, node
+// crash/recover churn); see the Medium interface and package faults.
+// Determinism: given one seed, every run is bit-for-bit reproducible; all
+// iteration orders are fixed.
 //
 // Border semantics: with the square metric, a node that wraps across the
 // region border teleports to the opposite side, which breaks and re-forms

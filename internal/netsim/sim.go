@@ -31,6 +31,7 @@ type Sim struct {
 	grid   *space.Grid
 	model  mobility.Model
 	rngMob *rand.Rand
+	medium Medium // nil = ideal medium
 
 	states []mobility.State
 	pos    []geom.Vec2
@@ -54,6 +55,7 @@ type Sim struct {
 	queue     []Message
 	events    []LinkEvent
 	delivered int64
+	dropped   int64
 }
 
 var _ Env = (*Sim)(nil)
@@ -83,12 +85,19 @@ func New(cfg Config) (*Sim, error) {
 		grid:    grid,
 		model:   cfg.Model,
 		rngMob:  src.Split("mobility").Rand(),
+		medium:  cfg.Medium,
 		states:  states,
 		pos:     make([]geom.Vec2, cfg.N),
 		adj:     csrAdj{off: make([]int32, cfg.N+1)},
 		prevAdj: csrAdj{off: make([]int32, cfg.N+1)},
 		deg:     make([]int32, cfg.N),
 		cursor:  make([]int32, cfg.N),
+	}
+	if s.medium != nil {
+		// Faults draw from a dedicated stream family: registering a
+		// medium never perturbs placement or mobility draws.
+		s.medium.Reset(cfg.N, src.Split("faults"))
+		s.medium.Advance(0)
 	}
 	s.syncPositions()
 	s.recomputeAdjacency()
@@ -130,9 +139,12 @@ func (s *Sim) Step() error {
 	s.tick++
 	s.now = float64(s.tick) * s.cfg.Dt
 
-	// 1. Mobility.
+	// 1. Mobility, then fault-state advancement (churn schedules).
 	s.model.Step(s.states, s.metric, s.cfg.Dt, s.rngMob)
 	s.syncPositions()
+	if s.medium != nil {
+		s.medium.Advance(s.tick)
+	}
 
 	// 2. Topology recomputation and diffing.
 	s.adj, s.prevAdj = s.prevAdj, s.adj
@@ -209,9 +221,13 @@ func (s *Sim) Position(id NodeID) geom.Vec2 { return s.pos[id] }
 // Tallies returns a snapshot of all counters.
 func (s *Sim) Tallies() Tallies { return s.tallies }
 
-// Delivered returns the total number of point deliveries (message ×
-// receiving neighbor) so far; useful for medium diagnostics.
+// Delivered returns the total number of successful point deliveries
+// (message × receiving neighbor) so far; useful for medium diagnostics.
 func (s *Sim) Delivered() int64 { return s.delivered }
+
+// Dropped returns the total number of point deliveries the fault medium
+// lost; always zero on the ideal medium.
+func (s *Sim) Dropped() int64 { return s.dropped }
 
 // MeanDegree returns the current average node degree.
 func (s *Sim) MeanDegree() float64 {
@@ -220,7 +236,9 @@ func (s *Sim) MeanDegree() float64 {
 
 // Broadcast implements Env. Messages with an out-of-range sender or an
 // unknown kind indicate a protocol bug; they are dropped and counted in
-// Tallies().Invalid so tests can assert none occurred.
+// Tallies().Invalid so tests can assert none occurred. Broadcasts from a
+// crashed node are suppressed entirely — a dead radio transmits nothing,
+// so they neither enter the traffic tallies nor reach any neighbor.
 func (s *Sim) Broadcast(msg Message) {
 	if msg.From < 0 || int(msg.From) >= s.cfg.N {
 		s.tallies.Invalid++
@@ -229,6 +247,10 @@ func (s *Sim) Broadcast(msg Message) {
 	idx := int(msg.Kind) - 1
 	if idx < 0 || idx >= numMsgKinds {
 		s.tallies.Invalid++
+		return
+	}
+	if s.medium != nil && !s.medium.Alive(msg.From) {
+		s.tallies.Suppressed++
 		return
 	}
 	s.tallies.byKind[idx].Msgs++
@@ -257,7 +279,13 @@ func (s *Sim) drainQueue() error {
 		msg := s.queue[head] // copied before handlers can grow s.queue
 		head++
 		for _, nb := range s.adj.row(msg.From) {
+			if s.medium != nil && !s.medium.Deliver(s.delivered+s.dropped+1, msg.From, nb) {
+				s.dropped++
+				s.tallies.Dropped++
+				continue
+			}
 			s.delivered++
+			s.tallies.Delivered++
 			for _, p := range s.protocols {
 				p.OnMessage(nb, msg)
 			}
@@ -293,11 +321,25 @@ func (s *Sim) recomputeAdjacency() {
 		deg[i] = 0
 	}
 	s.pairBuf = s.pairBuf[:0]
-	s.grid.ForEachPair(func(i, j int) {
-		s.pairBuf = append(s.pairBuf, uint64(i)<<32|uint64(j))
-		deg[i]++
-		deg[j]++
-	})
+	if s.medium == nil {
+		s.grid.ForEachPair(func(i, j int) {
+			s.pairBuf = append(s.pairBuf, uint64(i)<<32|uint64(j))
+			deg[i]++
+			deg[j]++
+		})
+	} else {
+		// A crashed node has no links: its pairs are filtered out here,
+		// so the adjacency diff reports the crash (and later recovery)
+		// as ordinary link-break/link-generation events.
+		s.grid.ForEachPair(func(i, j int) {
+			if !s.medium.Alive(NodeID(i)) || !s.medium.Alive(NodeID(j)) {
+				return
+			}
+			s.pairBuf = append(s.pairBuf, uint64(i)<<32|uint64(j))
+			deg[i]++
+			deg[j]++
+		})
+	}
 
 	// Prefix-sum degrees into CSR offsets.
 	off := s.adj.off

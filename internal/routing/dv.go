@@ -54,6 +54,13 @@ type IntraDV struct {
 	ownSeq   []uint32
 	dirty    []bool
 	prevHead []netsim.NodeID
+
+	// Soft state (EnableSoftState): routes expire unless refreshed, so
+	// tables survive a medium that silently loses advertisements.
+	softTTL     float64 // seconds a route lives without support; 0 = off
+	softRefresh float64 // seconds between periodic refresh advertisements
+	refreshed   []map[netsim.NodeID]float64
+	lastAdv     []float64
 }
 
 var _ netsim.Protocol = (*IntraDV)(nil)
@@ -69,6 +76,26 @@ func NewIntraDV(cl *cluster.Maintainer, entryBits float64) (*IntraDV, error) {
 	return &IntraDV{cl: cl, entryBits: entryBits}, nil
 }
 
+// EnableSoftState makes route entries soft state: every node
+// re-advertises its vector at least every refreshInterval seconds, and an
+// entry that goes ttl seconds without a supporting advertisement from its
+// next hop is expired (poisoned) instead of trusted forever. The default
+// hard-state behavior assumes the ideal medium's guaranteed delivery;
+// soft state is what keeps tables truthful when a fault medium silently
+// drops advertisements. ttl must exceed refreshInterval (several times
+// over, to ride out individual losses). Must be called before Start.
+func (dv *IntraDV) EnableSoftState(refreshInterval, ttl float64) error {
+	if dv.env != nil {
+		return fmt.Errorf("routing: EnableSoftState after Start")
+	}
+	if !(refreshInterval > 0) || !(ttl > refreshInterval) {
+		return fmt.Errorf("routing: need ttl > refresh interval > 0, got ttl=%g refresh=%g", ttl, refreshInterval)
+	}
+	dv.softRefresh = refreshInterval
+	dv.softTTL = ttl
+	return nil
+}
+
 // Name implements netsim.Protocol.
 func (dv *IntraDV) Name() string { return "routing/intra-dv" }
 
@@ -81,6 +108,13 @@ func (dv *IntraDV) Start(env netsim.Env) error {
 	dv.ownSeq = make([]uint32, n)
 	dv.dirty = make([]bool, n)
 	dv.prevHead = make([]netsim.NodeID, n)
+	if dv.softTTL > 0 {
+		dv.refreshed = make([]map[netsim.NodeID]float64, n)
+		dv.lastAdv = make([]float64, n)
+		for i := range dv.refreshed {
+			dv.refreshed[i] = make(map[netsim.NodeID]float64)
+		}
+	}
 	for i := 0; i < n; i++ {
 		dv.prevHead[i] = dv.cl.HeadOf(netsim.NodeID(i))
 		id := netsim.NodeID(i)
@@ -155,6 +189,13 @@ func (dv *IntraDV) OnMessage(rcv netsim.NodeID, msg netsim.Message) {
 				changed = true
 			}
 		}
+		if dv.softTTL > 0 {
+			// The advertisement supports whatever live route through this
+			// neighbor the table now holds — refresh its lease.
+			if e := tbl[row.Dest]; e.NextHop == msg.From && e.Metric < InfMetric {
+				dv.refreshed[rcv][row.Dest] = dv.env.Now()
+			}
+		}
 	}
 	if changed {
 		dv.advertise(rcv)
@@ -162,9 +203,9 @@ func (dv *IntraDV) OnMessage(rcv netsim.NodeID, msg netsim.Message) {
 }
 
 // OnTick implements netsim.Protocol: purge departed members, refresh own
-// sequence numbers of nodes whose cluster changed, and flush dirty
-// advertisements.
-func (dv *IntraDV) OnTick(float64) {
+// sequence numbers of nodes whose cluster changed, expire unsupported
+// soft-state routes, and flush dirty advertisements.
+func (dv *IntraDV) OnTick(now float64) {
 	n := dv.env.NumNodes()
 	for i := 0; i < n; i++ {
 		id := netsim.NodeID(i)
@@ -179,6 +220,15 @@ func (dv *IntraDV) OnTick(float64) {
 		for dest := range tbl {
 			if dest != id && dv.cl.HeadOf(dest) != own {
 				delete(tbl, dest)
+				if dv.softTTL > 0 {
+					delete(dv.refreshed[i], dest)
+				}
+				dv.dirty[i] = true
+			}
+		}
+		if dv.softTTL > 0 {
+			dv.expireStale(id, now)
+			if now-dv.lastAdv[i] >= dv.softRefresh {
 				dv.dirty[i] = true
 			}
 		}
@@ -192,6 +242,29 @@ func (dv *IntraDV) OnTick(float64) {
 	}
 }
 
+// expireStale poisons every live route of `at` whose lease ran out: its
+// next hop has not advertised support within the TTL, so under a lossy
+// medium the route can no longer be assumed valid. The poison re-enters
+// the normal DSDV break machinery (odd sequence, infinite metric), so a
+// still-working neighbor simply re-announces the route next refresh.
+func (dv *IntraDV) expireStale(at netsim.NodeID, now float64) {
+	tbl := dv.tables[at]
+	for dest, e := range tbl {
+		if dest == at || e.Metric >= InfMetric {
+			continue
+		}
+		if now-dv.refreshed[at][dest] > dv.softTTL {
+			e.Metric = InfMetric
+			if e.Seq%2 == 0 {
+				e.Seq++ // destination-issued even → broken odd
+			}
+			tbl[dest] = e
+			delete(dv.refreshed[at], dest)
+			dv.dirty[at] = true
+		}
+	}
+}
+
 // markDirty schedules a node for re-advertisement at tick end.
 func (dv *IntraDV) markDirty(id netsim.NodeID) {
 	dv.dirty[id] = true
@@ -199,6 +272,9 @@ func (dv *IntraDV) markDirty(id netsim.NodeID) {
 
 // advertise broadcasts the node's current vector for its cluster.
 func (dv *IntraDV) advertise(from netsim.NodeID) {
+	if dv.softTTL > 0 {
+		dv.lastAdv[from] = dv.env.Now()
+	}
 	own := dv.cl.HeadOf(from)
 	tbl := dv.tables[from]
 	rows := make([]Entry, 0, len(tbl))

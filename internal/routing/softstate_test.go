@@ -1,0 +1,222 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/simrand"
+)
+
+// blackoutMedium is a test medium that delivers everything until the
+// test flips blocked, after which every delivery is silently lost while
+// topology (and thus link-based detection) is unchanged — the exact
+// failure hard-state DV cannot see and soft-state TTLs exist for.
+type blackoutMedium struct {
+	blocked bool
+}
+
+func (m *blackoutMedium) Reset(int, simrand.Source)                        {}
+func (m *blackoutMedium) Advance(int64)                                    {}
+func (m *blackoutMedium) Alive(netsim.NodeID) bool                         { return true }
+func (m *blackoutMedium) Deliver(int64, netsim.NodeID, netsim.NodeID) bool { return !m.blocked }
+
+// buildDVStack wires hello + clustering + the distributed IntraDV tables
+// onto a simulator.
+func buildDVStack(t *testing.T, s *netsim.Sim) (*cluster.Maintainer, *IntraDV) {
+	t.Helper()
+	hello, err := NewHello(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.NewMaintainer(cluster.LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := NewIntraDV(cl, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(hello, cl, dv); err != nil {
+		t.Fatal(err)
+	}
+	return cl, dv
+}
+
+func TestEnableSoftStateValidation(t *testing.T) {
+	mk := func() *IntraDV {
+		cl, err := cluster.NewMaintainer(cluster.LID{}, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := NewIntraDV(cl, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dv
+	}
+	if err := mk().EnableSoftState(0, 1); err == nil {
+		t.Error("zero refresh interval accepted")
+	}
+	if err := mk().EnableSoftState(1, 1); err == nil {
+		t.Error("ttl == refresh accepted")
+	}
+	if err := mk().EnableSoftState(0.5, 2); err != nil {
+		t.Errorf("valid soft-state config rejected: %v", err)
+	}
+}
+
+// TestSoftStateExpiresUnsupportedRoutes is the core soft-state property:
+// when the medium silently stops delivering advertisements (links still
+// up, so no link event fires), routes must expire within the TTL instead
+// of being trusted forever.
+func TestSoftStateExpiresUnsupportedRoutes(t *testing.T) {
+	med := &blackoutMedium{}
+	s, err := netsim.New(netsim.Config{
+		N: 2, Side: 1, Range: 2, Dt: 0.1, Seed: 1, Medium: med,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.NewMaintainer(cluster.LID{}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := NewIntraDV(cl, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refresh, ttl = 0.5, 2.0
+	if err := dv.EnableSoftState(refresh, ttl); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(cl, dv); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Static pair in range: 0 heads {0, 1}; each routes to the other.
+	for i := 0; i < 30; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := dv.Lookup(0, 1); !ok {
+		t.Fatal("route 0→1 missing under working medium")
+	}
+	if _, ok := dv.Lookup(1, 0); !ok {
+		t.Fatal("route 1→0 missing under working medium")
+	}
+
+	// Silent blackout: links stay up, every delivery is lost.
+	med.blocked = true
+	steps := int((ttl + 3*refresh) / 0.1)
+	for i := 0; i < steps; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := dv.Lookup(0, 1); ok {
+		t.Error("route 0→1 survived a silent blackout longer than its TTL")
+	}
+	if _, ok := dv.Lookup(1, 0); ok {
+		t.Error("route 1→0 survived a silent blackout longer than its TTL")
+	}
+
+	// Recovery: deliveries resume, the next refresh re-announces, and the
+	// poisoned routes come back.
+	med.blocked = false
+	for i := 0; i < steps; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := dv.Lookup(0, 1); !ok {
+		t.Error("route 0→1 not re-learned after the medium recovered")
+	}
+	if _, ok := dv.Lookup(1, 0); !ok {
+		t.Error("route 1→0 not re-learned after the medium recovered")
+	}
+}
+
+// TestSoftStateIdleUnderIdealMedium pins that enabling soft state under
+// the ideal medium never expires a live route: periodic refreshes always
+// arrive, so tables keep converging exactly as hard state does.
+func TestSoftStateIdleUnderIdealMedium(t *testing.T) {
+	s := newSim(t, mobileConfig(9))
+	cl, dv := buildDVStack(t, s)
+	if err := dv.EnableSoftState(0.5, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every member must still hold a live route to its head, and vice
+	// versa — expiry must never outrun the refresh under zero loss.
+	n := s.NumNodes()
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(i)
+		h := cl.HeadOf(id)
+		if h == id {
+			continue
+		}
+		if _, ok := dv.Lookup(id, h); !ok {
+			t.Fatalf("member %d lost its route to head %d under ideal medium", id, h)
+		}
+		if _, ok := dv.Lookup(h, id); !ok {
+			t.Fatalf("head %d lost its route to member %d under ideal medium", h, id)
+		}
+	}
+}
+
+// TestSoftStateRecoversUnderLoss runs the full stack over a lossy medium
+// with soft state enabled: tables must keep (re)converging — every
+// member/head pair reachable at the end once losses are survivable.
+func TestSoftStateRecoversUnderLoss(t *testing.T) {
+	inj, err := faults.New(faults.Config{Loss: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mobileConfig(13)
+	cfg.Medium = inj
+	s := newSim(t, cfg)
+	cl, dv := buildDVStack(t, s)
+	if err := dv.EnableSoftState(0.25, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Loss delays convergence, so demand most — not all — pairs routable.
+	n := s.NumNodes()
+	pairs, live := 0, 0
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(i)
+		h := cl.HeadOf(id)
+		if h == id {
+			continue
+		}
+		pairs++
+		if _, ok := dv.Lookup(id, h); ok {
+			live++
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("degenerate clustering: no members")
+	}
+	if frac := float64(live) / float64(pairs); frac < 0.8 {
+		t.Errorf("only %g of member→head routes live under 20%% loss with soft state", frac)
+	}
+}

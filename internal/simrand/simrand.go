@@ -45,6 +45,24 @@ func (s Source) Rand() *rand.Rand {
 	return rand.New(rand.NewSource(int64(avalanche(s.seed ^ 0xd1b54a32d192ed03))))
 }
 
+// Mix hashes three coordinate words against the source's seed into one
+// well-distributed 64-bit value. It is the stateless counterpart of
+// Rand(): counter-based consumers (e.g. per-delivery loss decisions
+// addressed by (sequence, from, to)) get a deterministic draw that is
+// independent of draw order and allocation-free.
+func (s Source) Mix(a, b, c uint64) uint64 {
+	x := s.seed ^ 0xa0761d6478bd642f
+	x = avalanche(x ^ (a+1)*0x9e3779b97f4a7c15)
+	x = avalanche(x ^ (b+1)*0xbf58476d1ce4e5b9)
+	x = avalanche(x ^ (c+1)*0x94d049bb133111eb)
+	return x
+}
+
+// U01 maps Mix into a uniform draw in [0, 1).
+func (s Source) U01(a, b, c uint64) float64 {
+	return float64(s.Mix(a, b, c)>>11) / (1 << 53)
+}
+
 // mix folds a label into a seed with FNV-1a followed by an avalanche.
 func mix(seed uint64, label string) uint64 {
 	h := fnv.New64a()

@@ -101,6 +101,39 @@ func TestUniformInRange(t *testing.T) {
 	}
 }
 
+func TestMixDeterministicAndCoordinateSensitive(t *testing.T) {
+	s := New(42).Split("loss")
+	if s.Mix(1, 2, 3) != s.Mix(1, 2, 3) {
+		t.Error("Mix not deterministic")
+	}
+	base := s.Mix(1, 2, 3)
+	for _, other := range []uint64{s.Mix(2, 2, 3), s.Mix(1, 3, 3), s.Mix(1, 2, 4), New(43).Split("loss").Mix(1, 2, 3)} {
+		if other == base {
+			t.Error("Mix ignores a coordinate or the seed")
+		}
+	}
+	// Zero coordinates must not collapse the hash to a constant.
+	if s.Mix(0, 0, 0) == s.Mix(0, 0, 1) || s.Mix(0, 0, 0) == s.Mix(0, 1, 0) {
+		t.Error("Mix degenerate at zero coordinates")
+	}
+}
+
+func TestU01UniformMean(t *testing.T) {
+	s := New(9).Split("u01")
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		u := s.U01(uint64(i), 7, 11)
+		if u < 0 || u >= 1 {
+			t.Fatalf("U01 out of range: %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("U01 mean %v, want ≈0.5", mean)
+	}
+}
+
 func TestPropertyAvalancheBijectiveish(t *testing.T) {
 	// avalanche must not collide on small consecutive inputs (it is
 	// bijective; a collision indicates a transcription bug).

@@ -45,9 +45,12 @@ type Record struct {
 	MsgKind string         `json:"msg,omitempty"`
 	Bits    float64        `json:"bits,omitempty"`
 
-	// Summary fields (kind == "summary").
+	// Summary fields (kind == "summary"). Delivered and Dropped are the
+	// engine's cumulative per-neighbor delivery counters; Dropped stays 0
+	// under the ideal medium and counts fault-injected losses otherwise.
 	MeanDegree float64 `json:"meanDegree,omitempty"`
 	Delivered  int64   `json:"delivered,omitempty"`
+	Dropped    int64   `json:"dropped,omitempty"`
 }
 
 // Tracer streams simulation records to a writer. It deduplicates
@@ -147,10 +150,20 @@ func (t *Tracer) OnTick(now float64) {
 	for i := 0; i < n; i++ {
 		mean += float64(t.env.Degree(netsim.NodeID(i)))
 	}
-	t.write(Record{
+	rec := Record{
 		Time: now, Kind: KindSummary,
 		MeanDegree: mean / float64(n),
-	})
+	}
+	// The concrete env (netsim.Sim) exposes cumulative delivery counters;
+	// the Env interface itself stays minimal.
+	if c, ok := t.env.(interface {
+		Delivered() int64
+		Dropped() int64
+	}); ok {
+		rec.Delivered = c.Delivered()
+		rec.Dropped = c.Dropped()
+	}
+	t.write(rec)
 }
 
 // write encodes one record, retaining the first error.
