@@ -14,10 +14,13 @@ vet:
 race:
 	go test -race ./...
 
-# check is the pre-merge gate: static analysis plus the full test suite
-# under the race detector.
+# check is the pre-merge gate: static analysis, the full test suite
+# under the race detector, and a short fuzz smoke over the checkpoint
+# journal decoder (the code path between a crash-damaged file and a
+# resumed experiment).
 check:
 	go vet ./... && go test -race ./...
+	go test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint
 
 # bench runs every benchmark once (the reproduction scoreboard) and then
 # regenerates the machine-readable performance artifact BENCH_2.json:

@@ -92,11 +92,11 @@ func BenchmarkFig4(b *testing.B) {
 // BenchmarkFig5 regenerates Figure 5 (LID cluster counts vs N and r).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fa, err := experiments.Figure5a(5, 42, 1)
+		fa, err := experiments.Figure5a(experiments.Options{Seed: 42, Workers: 1}, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
-		fb, err := experiments.Figure5b(5, 42, 1)
+		fb, err := experiments.Figure5b(experiments.Options{Seed: 42, Workers: 1}, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -270,7 +270,7 @@ func BenchmarkOptimalRatio(b *testing.B) {
 // BenchmarkFormationConvergence measures LID formation rounds vs N.
 func BenchmarkFormationConvergence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.FormationConvergence(cluster.LID{}, 5, 42, 1)
+		rows, err := experiments.FormationConvergence(experiments.Options{Seed: 42, Workers: 1, Policy: cluster.LID{}}, 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -283,7 +283,7 @@ func BenchmarkFormationConvergence(b *testing.B) {
 // BenchmarkDHopStudy compares Max-Min formations with the d-hop model.
 func BenchmarkDHopStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.DHopStudy(5, 42, 1)
+		rows, err := experiments.DHopStudy(experiments.Options{Seed: 42, Workers: 1}, 5)
 		if err != nil {
 			b.Fatal(err)
 		}

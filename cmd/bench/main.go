@@ -22,9 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/geom"
@@ -64,8 +67,13 @@ type StepResult struct {
 
 // Report is the whole artifact document.
 type Report struct {
-	GoVersion    string         `json:"go_version"`
-	GoMaxProcs   int            `json:"go_maxprocs"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+	// GitSHA and GitDirty pin the measured revision: the commit hash and
+	// whether the working tree had uncommitted changes. Empty/false when
+	// the binary runs outside a git checkout.
+	GitSHA       string         `json:"git_sha,omitempty"`
+	GitDirty     bool           `json:"git_dirty,omitempty"`
 	Seed         uint64         `json:"seed"`
 	TargetEvents float64        `json:"target_events"`
 	Figures      []FigureResult `json:"figures"`
@@ -97,9 +105,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	sha, dirty := gitRevision()
 	rep := Report{
 		GoVersion:    runtime.Version(),
 		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		GitSHA:       sha,
+		GitDirty:     dirty,
 		Seed:         *seed,
 		TargetEvents: *events,
 		SeedStep:     seedStep,
@@ -183,11 +194,28 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+	if err := checkpoint.WriteFileAtomic(*outPath, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", *outPath)
 	return nil
+}
+
+// gitRevision reports the current commit hash and whether the working
+// tree is dirty, so the artifact pins the exact code it measured. Both
+// degrade to zero values when git (or a checkout) is unavailable —
+// benchmarks must run anywhere.
+func gitRevision() (sha string, dirty bool) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	sha = strings.TrimSpace(string(out))
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	if err != nil {
+		return sha, false
+	}
+	return sha, len(strings.TrimSpace(string(status))) > 0
 }
 
 // measureStepLoop times the steady-state tick loop of the scenario

@@ -15,27 +15,52 @@
 // A sweep point that fails (or panics) does not abort the run: the
 // remaining points complete, partial figures are still rendered, and the
 // aggregated per-point errors are reported with a non-zero exit.
+//
+// Long runs are crash-safe: -checkpoint PATH journals every completed
+// sweep point (fsynced before the sweep moves on), -resume replays the
+// journal instead of re-simulating, and -point-timeout bounds a runaway
+// point. SIGINT/SIGTERM drain in-flight points, flush the journal and
+// still write valid partial CSVs; a resumed run's output is
+// byte-identical to an uninterrupted one.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// fingerprintConfig is the configuration bound into a checkpoint
+// journal's header: a resumed run must use the same values or the
+// cached results would not match. Workers is deliberately absent —
+// results are bit-identical for any worker count.
+type fingerprintConfig struct {
+	Tool    string
+	Seed    uint64
+	Events  float64
+	Repeats int
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate (0 = all; 1-5 paper figures, 6 Knuth table, 7 ablations, 8 loss degradation)")
 	outDir := fs.String("out", "", "directory for CSV output (empty = none)")
@@ -43,6 +68,9 @@ func run(args []string, out io.Writer) error {
 	events := fs.Float64("events", 40_000, "target link events per measured point")
 	repeats := fs.Int("repeats", 10, "placements averaged per Figure 5 point")
 	workers := fs.Int("workers", 0, "worker goroutines for sweep points (0 = GOMAXPROCS; results are identical for any value)")
+	ckpt := fs.String("checkpoint", "", "journal completed sweep points to this file (crash-safe; see -resume)")
+	resume := fs.Bool("resume", false, "resume from an existing -checkpoint journal instead of refusing to overwrite it")
+	pointTimeout := fs.Duration("point-timeout", 0, "abort any single sweep point that runs longer than this (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,6 +78,45 @@ func run(args []string, out io.Writer) error {
 	opts.Seed = *seed
 	opts.TargetEvents = *events
 	opts.Workers = *workers
+	opts.Ctx = ctx
+	opts.PointDeadline = *pointTimeout
+
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *ckpt != "" {
+		if _, err := os.Stat(*ckpt); err == nil && !*resume {
+			return fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it to start over", *ckpt)
+		}
+		fp, err := checkpoint.Fingerprint(fingerprintConfig{
+			Tool: "figures", Seed: *seed, Events: *events, Repeats: *repeats,
+		})
+		if err != nil {
+			return err
+		}
+		j, err := checkpoint.Open(*ckpt, fp)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if n := j.SalvagedBytes(); n > 0 {
+			fmt.Fprintf(os.Stderr, "figures: checkpoint %s: dropped %d bytes of torn tail\n", *ckpt, n)
+		}
+		if n := j.Completed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "figures: resuming from %s with %d completed points\n", *ckpt, n)
+		}
+		opts.Journal = j
+		opts.OnProgress = func(p experiments.Progress) {
+			switch {
+			case p.Err != nil:
+				fmt.Fprintf(os.Stderr, "figures: %s point %d/%d failed: %v\n", p.Sweep, p.Point+1, p.Total, p.Err)
+			case p.Cached:
+				fmt.Fprintf(os.Stderr, "figures: %s point %d/%d replayed from checkpoint\n", p.Sweep, p.Point+1, p.Total)
+			default:
+				fmt.Fprintf(os.Stderr, "figures: %s point %d/%d done\n", p.Sweep, p.Point+1, p.Total)
+			}
+		}
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -63,33 +130,34 @@ func run(args []string, out io.Writer) error {
 			return nil
 		}
 		path := filepath.Join(*outDir, name+".csv")
-		return os.WriteFile(path, []byte(f.CSV()), 0o644)
+		return checkpoint.WriteFileAtomic(path, []byte(f.CSV()), 0o644)
 	}
-
+	// render persists whatever a figure driver produced — on failure or
+	// interruption the completed points still become a valid (partial)
+	// table and CSV — and then surfaces the driver's error.
+	render := func(name string, f *metrics.Figure, ferr error) error {
+		if f != nil && (ferr == nil || hasPoints(f)) {
+			if err := emit(name, f); err != nil {
+				return errors.Join(ferr, err)
+			}
+		}
+		return ferr
+	}
 	if want(1) {
 		f, err := experiments.Figure1(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit("fig1", f); err != nil {
+		if err := render("fig1", f, err); err != nil {
 			return err
 		}
 	}
 	if want(2) {
 		f, err := experiments.Figure2(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit("fig2", f); err != nil {
+		if err := render("fig2", f, err); err != nil {
 			return err
 		}
 	}
 	if want(3) {
 		f, err := experiments.Figure3(opts)
-		if err != nil {
-			return err
-		}
-		if err := emit("fig3", f); err != nil {
+		if err := render("fig3", f, err); err != nil {
 			return err
 		}
 	}
@@ -106,18 +174,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if want(5) {
-		fa, err := experiments.Figure5a(*repeats, *seed, *workers)
-		if err != nil {
+		fa, err := experiments.Figure5a(opts, *repeats)
+		if err := render("fig5a", fa, err); err != nil {
 			return err
 		}
-		if err := emit("fig5a", fa); err != nil {
-			return err
-		}
-		fb, err := experiments.Figure5b(*repeats, *seed, *workers)
-		if err != nil {
-			return err
-		}
-		if err := emit("fig5b", fb); err != nil {
+		fb, err := experiments.Figure5b(opts, *repeats)
+		if err := render("fig5b", fb, err); err != nil {
 			return err
 		}
 	}
@@ -136,17 +198,21 @@ func run(args []string, out io.Writer) error {
 	}
 	if want(8) {
 		f, err := experiments.Figure8(opts)
-		if f != nil && len(f.Series) > 0 && len(f.Series[0].Points) > 0 {
-			// Render whatever points survived even when some failed.
-			if emitErr := emit("degradation", f); err == nil {
-				err = emitErr
-			}
-		}
-		if err != nil {
+		if err := render("degradation", f, err); err != nil {
 			return fmt.Errorf("figure 8 (partial results above): %w", err)
 		}
 	}
 	return nil
+}
+
+// hasPoints reports whether any series of the figure holds data.
+func hasPoints(f *metrics.Figure) bool {
+	for _, s := range f.Series {
+		if len(s.Points) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // ablations runs the four design-choice studies of DESIGN.md §5.
@@ -207,13 +273,13 @@ func ablations(out io.Writer, opts experiments.Options, emit func(string, *metri
 	}
 	fmt.Fprintln(out, "Extension: LID vs the overhead-optimal head ratio")
 	fmt.Fprintln(out, experiments.OptimalRatioTable(opt))
-	conv, err := experiments.FormationConvergence(opts.Policy, 10, opts.Seed, opts.Workers)
+	conv, err := experiments.FormationConvergence(opts, 10)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "Extension: formation convergence time vs network size")
 	fmt.Fprintln(out, experiments.ConvergenceTable(conv))
-	dhop, err := experiments.DHopStudy(10, opts.Seed, opts.Workers)
+	dhop, err := experiments.DHopStudy(opts, 10)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 func TestRunFigure4Only(t *testing.T) {
 	// Figure 4 is pure closed-form math: instant and deterministic.
 	var out strings.Builder
-	if err := run([]string{"-fig", "4"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "4"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Figure 4(a)") || !strings.Contains(out.String(), "Figure 4(b)") {
@@ -24,7 +25,7 @@ func TestRunFigure4Only(t *testing.T) {
 func TestRunFigure5WritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder
-	if err := run([]string{"-fig", "5", "-repeats", "2", "-out", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "5", "-repeats", "2", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig5a.csv", "fig5b.csv"} {
@@ -40,7 +41,7 @@ func TestRunFigure5WritesCSV(t *testing.T) {
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-nope"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &out); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
@@ -51,7 +52,7 @@ func TestRunFigure8WritesDegradationCSV(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var out strings.Builder
-	if err := run([]string{"-fig", "8", "-events", "2000", "-out", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "8", "-events", "2000", "-out", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "degradation.csv"))
@@ -66,5 +67,54 @@ func TestRunFigure8WritesDegradationCSV(t *testing.T) {
 	// One row per loss-rate grid point plus the header.
 	if rows := strings.Count(strings.TrimSpace(string(data)), "\n"); rows != 5 {
 		t.Errorf("degradation.csv has %d data rows, want 5", rows)
+	}
+}
+
+func TestRunCheckpointResumeIdenticalCSV(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "journal.jsonl")
+	refDir := filepath.Join(dir, "ref")
+	resDir := filepath.Join(dir, "res")
+	common := []string{"-fig", "1", "-events", "300", "-seed", "42"}
+
+	// Reference: uninterrupted, no checkpoint.
+	var out strings.Builder
+	if err := run(context.Background(), append(common, "-out", refDir), &out); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(refDir, "fig1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First checkpointed run completes and journals every point.
+	if err := run(context.Background(), append(common, "-checkpoint", ckpt), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running against the journal without -resume must refuse.
+	if err := run(context.Background(), append(common, "-checkpoint", ckpt), &out); err == nil {
+		t.Fatal("existing checkpoint overwritten without -resume")
+	}
+	// Resume replays every point and must render identical CSV.
+	if err := run(context.Background(), append(common, "-checkpoint", ckpt, "-resume", "-out", resDir), &out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(resDir, "fig1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("resumed fig1.csv differs from uninterrupted run:\n--- resumed ---\n%s\n--- reference ---\n%s", got, want)
+	}
+	// A journal is bound to its configuration: a different seed refuses.
+	if err := run(context.Background(), []string{"-fig", "1", "-events", "300", "-seed", "43", "-checkpoint", ckpt, "-resume"}, &out); err == nil {
+		t.Error("resume accepted a journal from a different configuration")
+	}
+}
+
+func TestRunResumeRequiresCheckpoint(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-resume"}, &out); err == nil {
+		t.Error("-resume without -checkpoint accepted")
 	}
 }

@@ -17,12 +17,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -37,13 +41,30 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "manetsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// scenarioFingerprint binds every flag that shapes a measurement into
+// the checkpoint journal header, so a -resume with different parameters
+// is rejected instead of replaying a mismatched result.
+type scenarioFingerprint struct {
+	Tool                string
+	N                   int
+	R, V, Density       float64
+	Policy, Mob, Metric string
+	Seed                uint64
+	Events              float64
+	Border              bool
+	Loss                float64
+	Churn               string
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("manetsim", flag.ContinueOnError)
 	n := fs.Int("n", 400, "number of nodes")
 	r := fs.Float64("r", 1.5, "transmission range")
@@ -59,6 +80,9 @@ func run(args []string, out io.Writer) error {
 	traceFile := fs.String("trace", "", "write a JSONL event trace of a 20-time-unit run to this file")
 	loss := fs.Float64("loss", 0, "Bernoulli delivery-loss probability p ∈ [0,1) (enables fault injection)")
 	churn := fs.String("churn", "", "node crash/recover schedule as meanUpTicks:meanDownTicks, e.g. 400:40")
+	ckpt := fs.String("checkpoint", "", "journal the completed measurement to this file (crash-safe; see -resume)")
+	resume := fs.Bool("resume", false, "resume from an existing -checkpoint journal instead of refusing to overwrite it")
+	pointTimeout := fs.Duration("point-timeout", 0, "abort the measurement if it runs longer than this (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,6 +108,8 @@ func run(args []string, out io.Writer) error {
 	opts.TargetEvents = *events
 	opts.IncludeBorder = *border
 	opts.Workers = *workers
+	opts.Ctx = ctx
+	opts.PointDeadline = *pointTimeout
 	switch *metric {
 	case "square":
 		opts.Metric = geom.MetricSquare
@@ -124,6 +150,30 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *ckpt != "" {
+		if _, err := os.Stat(*ckpt); err == nil && !*resume {
+			return fmt.Errorf("checkpoint %s already exists; pass -resume to continue it or remove it to start over", *ckpt)
+		}
+		fp, err := checkpoint.Fingerprint(scenarioFingerprint{
+			Tool: "manetsim", N: *n, R: *r, V: *v, Density: *density,
+			Policy: *policy, Mob: *mob, Metric: *metric,
+			Seed: *seed, Events: *events, Border: *border,
+			Loss: *loss, Churn: *churn,
+		})
+		if err != nil {
+			return err
+		}
+		j, err := checkpoint.Open(*ckpt, fp)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		opts.Journal = j
+	}
+
 	if *traceFile != "" {
 		if err := writeTrace(*traceFile, net, opts); err != nil {
 			return err
@@ -132,10 +182,14 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if fcfg.Active() {
-		return runFaulty(out, net, fcfg, opts)
+		return runFaulty(ctx, out, net, fcfg, opts)
 	}
 
-	m, err := experiments.MeasureRates(net, opts)
+	m, err := measureOnce(ctx, "measure", opts, func(ctx context.Context) (experiments.Measured, error) {
+		o := opts
+		o.Ctx = ctx
+		return experiments.MeasureRates(net, o)
+	})
 	if err != nil {
 		return err
 	}
@@ -177,11 +231,37 @@ func parseChurn(s string) (faults.Churn, error) {
 	return c, nil
 }
 
+// measureOnce runs one measurement as a single-point orchestrated sweep,
+// so the CLI inherits the engine's crash safety: the finished result is
+// journaled (when -checkpoint is set), a -resume replays it without
+// re-simulating, SIGINT aborts cooperatively mid-tick, and
+// -point-timeout bounds the wall-clock time.
+func measureOnce[T any](ctx context.Context, name string, opts experiments.Options, f func(ctx context.Context) (T, error)) (T, error) {
+	res, err := experiments.RunSweepCtx(ctx, experiments.SweepOptions{
+		Name:          name,
+		Workers:       1,
+		Seed:          opts.Seed,
+		Journal:       opts.Journal,
+		PointDeadline: opts.PointDeadline,
+	}, 1, func(ctx context.Context, _ int) (T, error) {
+		return f(ctx)
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return res.Results[0], nil
+}
+
 // runFaulty measures the scenario under fault injection with the
 // hardened stack and reports degradation next to the ideal-medium
 // analysis.
-func runFaulty(out io.Writer, net core.Network, fcfg faults.Config, opts experiments.Options) error {
-	pt, err := experiments.MeasureFaulty(net, fcfg, opts)
+func runFaulty(ctx context.Context, out io.Writer, net core.Network, fcfg faults.Config, opts experiments.Options) error {
+	pt, err := measureOnce(ctx, "measure-faulty", opts, func(ctx context.Context) (experiments.DegradationPoint, error) {
+		o := opts
+		o.Ctx = ctx
+		return experiments.MeasureFaulty(net, fcfg, o)
+	})
 	if err != nil {
 		return err
 	}
@@ -204,21 +284,28 @@ func runFaulty(out io.Writer, net core.Network, fcfg faults.Config, opts experim
 }
 
 // writeTrace runs a short traced simulation of the scenario and writes
-// the JSONL event log.
+// the JSONL event log. The file is written atomically — a crash or an
+// abort mid-run leaves either the previous trace or none, never a torn
+// one — and close errors surface instead of vanishing in a defer.
 func writeTrace(path string, net core.Network, opts experiments.Options) error {
-	f, err := os.Create(path)
+	f, err := checkpoint.CreateAtomic(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Abort()
 	tracer, err := trace.New(f, 1)
 	if err != nil {
 		return err
+	}
+	var stop func() bool
+	if ctx := opts.Ctx; ctx != nil && ctx.Done() != nil {
+		stop = func() bool { return ctx.Err() != nil }
 	}
 	sim, err := netsim.New(netsim.Config{
 		N: net.N, Side: net.Side(), Range: net.R, Metric: opts.Metric,
 		Model: mobility.EpochRWP{Speed: net.V, Epoch: net.Side() / 4 / maxf(net.V, 1e-9)},
 		Dt:    net.R / 30 / maxf(net.V, 1e-9), Seed: opts.Seed,
+		Stop: stop,
 	})
 	if err != nil {
 		return err
@@ -237,7 +324,10 @@ func writeTrace(path string, net core.Network, opts experiments.Options) error {
 	if err := sim.Run(20); err != nil {
 		return err
 	}
-	return tracer.Flush()
+	if err := tracer.Flush(); err != nil {
+		return err
+	}
+	return f.Commit()
 }
 
 // maxf returns the larger of two floats.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 func TestRunSmallScenario(t *testing.T) {
 	var out strings.Builder
 	args := []string{"-n", "100", "-events", "1500"}
-	if err := run(args, &out); err != nil {
+	if err := run(context.Background(), args, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"mean degree d", "f_hello", "f_cluster", "f_route", "head ratio P"} {
@@ -29,7 +30,7 @@ func TestRunPolicyAndMobilityVariants(t *testing.T) {
 		{"-n", "80", "-events", "800", "-border"},
 	} {
 		var out strings.Builder
-		if err := run(args, &out); err != nil {
+		if err := run(context.Background(), args, &out); err != nil {
 			t.Errorf("%v: %v", args, err)
 		}
 	}
@@ -63,7 +64,7 @@ func TestRunRejectsBadArgs(t *testing.T) {
 					err = nil
 				}
 			}()
-			return run(args, &out)
+			return run(context.Background(), args, &out)
 		}()
 		if err == nil {
 			t.Errorf("%v accepted", args)
@@ -74,7 +75,7 @@ func TestRunRejectsBadArgs(t *testing.T) {
 func TestRunFaultInjection(t *testing.T) {
 	var out strings.Builder
 	args := []string{"-n", "80", "-events", "800", "-loss", "0.2", "-churn", "300:30"}
-	if err := run(args, &out); err != nil {
+	if err := run(context.Background(), args, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
@@ -91,7 +92,7 @@ func TestRunWritesTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "run.jsonl")
 	var out strings.Builder
-	if err := run([]string{"-n", "60", "-events", "500", "-trace", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-n", "60", "-events", "500", "-trace", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -11,11 +11,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/metrics"
 )
@@ -27,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("overhead", flag.ContinueOnError)
 	n := fs.Int("n", 400, "number of nodes")
 	r := fs.Float64("r", 1.5, "transmission range")
@@ -39,8 +41,20 @@ func run(args []string, out io.Writer) error {
 	routeBits := fs.Float64("route-bits", core.DefaultMessageSizes.RouteEntry, "routing table entry size (bits)")
 	optimize := fs.Bool("optimize", false, "also report the overhead-optimal head ratio and parameter elasticities")
 	loss := fs.Float64("loss", 0, "delivery-loss probability p ∈ [0,1): also report loss-adjusted CLUSTER rate (JOIN/ACK retransmissions)")
+	outPath := fs.String("out", "", "also write the report to this file (written atomically)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *outPath != "" {
+		// Tee the report into a buffer and persist it atomically at the
+		// end, so a crash mid-report never leaves a torn file.
+		var buf bytes.Buffer
+		out = io.MultiWriter(out, &buf)
+		defer func() {
+			if werr := checkpoint.WriteFileAtomic(*outPath, buf.Bytes(), 0o644); werr != nil && err == nil {
+				err = fmt.Errorf("write -out: %w", werr)
+			}
+		}()
 	}
 
 	net := core.Network{N: *n, R: *r, V: *v, Density: *density}

@@ -1,0 +1,112 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path with the temp-file + fsync +
+// rename idiom: the bytes land in a hidden temp file in the same
+// directory, are synced to stable storage, and only then atomically
+// renamed over path. Readers observe either the old file or the
+// complete new one — never a torn write — and a crash mid-write leaves
+// the previous version intact.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	f, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer f.Abort()
+	if err := f.Chmod(perm); err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+	}
+	return f.Commit()
+}
+
+// AtomicFile is a streaming variant of WriteFileAtomic for writers that
+// produce output incrementally (traces, large CSVs): create, write,
+// then Commit. Until Commit succeeds, the destination path is
+// untouched; Abort (safe to defer unconditionally) discards the temp
+// file.
+type AtomicFile struct {
+	f    *os.File
+	path string
+	done bool
+}
+
+// CreateAtomic opens a temp file in path's directory that Commit will
+// rename over path.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: create %s: %w", path, err)
+	}
+	return &AtomicFile{f: f, path: path}, nil
+}
+
+// Write implements io.Writer.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Chmod sets the permissions the committed file will carry (CreateTemp
+// defaults to 0600).
+func (a *AtomicFile) Chmod(perm os.FileMode) error {
+	if err := a.f.Chmod(perm); err != nil {
+		return fmt.Errorf("checkpoint: chmod %s: %w", a.path, err)
+	}
+	return nil
+}
+
+// Commit syncs the temp file, closes it, and atomically renames it over
+// the destination path, then syncs the directory so the rename itself
+// survives a crash.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("checkpoint: %s already committed or aborted", a.path)
+	}
+	a.done = true
+	tmp := a.f.Name()
+	err := a.f.Sync()
+	if cerr := a.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: commit %s: %w", a.path, err)
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: commit %s: %w", a.path, err)
+	}
+	return syncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the temp file. It is a no-op after Commit, so it can
+// be deferred unconditionally.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	tmp := a.f.Name()
+	a.f.Close()
+	os.Remove(tmp)
+}
+
+// syncDir fsyncs a directory to persist a rename. Filesystems that
+// cannot sync directories are tolerated: the rename is still atomic,
+// only its durability window widens.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	d.Sync()
+	return d.Close()
+}
+
+var _ io.Writer = (*AtomicFile)(nil)

@@ -1,0 +1,201 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrFingerprintMismatch is returned by Open when an existing journal
+// was written under a different config fingerprint.
+var ErrFingerprintMismatch = errors.New("checkpoint: journal fingerprint does not match the current configuration")
+
+// ErrUnencodableResult marks an Append whose result value JSON cannot
+// represent (NaN or Inf in a float, say). The journal is untouched and
+// still healthy; the point simply isn't cached and will re-run
+// deterministically on resume. Callers can errors.Is on it to treat
+// this as a benign skip rather than a journaling failure.
+var ErrUnencodableResult = errors.New("checkpoint: result value is not JSON-encodable")
+
+// errClosed reports use after Close.
+var errClosed = errors.New("checkpoint: journal is closed")
+
+// Journal is a crash-safe append-only log of completed sweep points.
+// Appends are fsynced before they return, so an acknowledged point
+// survives any subsequent crash; a crash mid-append damages at most the
+// unacknowledged tail record, which Open silently truncates away. A
+// Journal is safe for concurrent use by sweep workers.
+type Journal struct {
+	mu          sync.Mutex
+	f           *os.File
+	path        string
+	fingerprint string
+	completed   map[journalKey]Entry
+	salvaged    int // bytes of damaged tail discarded on Open
+}
+
+type journalKey struct {
+	sweep string
+	point int
+}
+
+// Entry is one cached point available for replay.
+type Entry struct {
+	Seed   uint64
+	Result json.RawMessage
+}
+
+// Open creates the journal at path, or resumes an existing one. A new
+// journal's header is committed atomically (temp file + fsync + rename)
+// before the file is opened for appending. An existing journal is
+// decoded tolerantly: a damaged tail is truncated off and its intact
+// records become available through Lookup. Resuming a journal written
+// under a different fingerprint fails with ErrFingerprintMismatch.
+func Open(path, fingerprint string) (*Journal, error) {
+	if fingerprint == "" {
+		return nil, fmt.Errorf("checkpoint: empty fingerprint")
+	}
+	j := &Journal{path: path, fingerprint: fingerprint, completed: map[journalKey]Entry{}}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		hdr, err := encodeHeader(fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		if err := WriteFileAtomic(path, hdr, 0o644); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	default:
+		fp, records, valid, err := DecodeJournal(data)
+		if err != nil {
+			return nil, err
+		}
+		if fp != fingerprint {
+			return nil, fmt.Errorf("%w: journal %s has %s, current config is %s",
+				ErrFingerprintMismatch, path, fp, fingerprint)
+		}
+		for _, r := range records {
+			j.completed[journalKey{r.Sweep, r.Point}] = Entry{Seed: r.Seed, Result: r.Result}
+		}
+		j.salvaged = len(data) - valid
+		if j.salvaged > 0 {
+			if err := truncateTo(path, valid); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// truncateTo cuts the file to n bytes and syncs the truncation.
+func truncateTo(path string, n int) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	err = f.Truncate(int64(n))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: truncating damaged tail: %w", err)
+	}
+	return nil
+}
+
+// Append journals one completed sweep point and fsyncs it. A result
+// JSON cannot represent (NaN or Inf in a float) returns
+// ErrUnencodableResult and leaves the journal untouched; the caller
+// keeps the in-memory result and the point simply re-runs on resume.
+func (j *Journal) Append(sweep string, point int, seed uint64, result any) error {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("%w: %s point %d: %v", ErrUnencodableResult, sweep, point, err)
+	}
+	rec := Record{Sweep: sweep, Point: point, Seed: seed, Result: raw}
+	rec.Sum = rec.checksum()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode %s point %d: %w", sweep, point, err)
+	}
+	line = append(line, '\n')
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errClosed
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: append %s point %d: %w", sweep, point, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync %s point %d: %w", sweep, point, err)
+	}
+	j.completed[journalKey{sweep, point}] = Entry{Seed: seed, Result: raw}
+	return nil
+}
+
+// Lookup returns the cached result of a journaled point, if present and
+// recorded under the same sweep seed.
+func (j *Journal) Lookup(sweep string, point int, seed uint64) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.completed[journalKey{sweep, point}]
+	if !ok || e.Seed != seed {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Completed reports how many points the journal holds.
+func (j *Journal) Completed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.completed)
+}
+
+// SalvagedBytes reports how many bytes of damaged tail Open discarded
+// (zero for a clean journal).
+func (j *Journal) SalvagedBytes() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.salvaged
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal. It is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	return nil
+}
+
+var _ io.Closer = (*Journal)(nil)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -36,16 +37,19 @@ func AblationBorderEvents(opts Options) (*metrics.Figure, error) {
 	fracs := []float64{0.08, 0.12, 0.16, 0.22, 0.30}
 	// Flatten (range × border-mode) into one sweep: even index measures
 	// with border events excluded, odd with them included.
-	ms, err := RunSweep(opts.Workers, 2*len(fracs), func(t int) (Measured, error) {
-		net := base
-		net.R = fracs[t/2] * a
-		o := opts
-		o.IncludeBorder = t%2 == 1
-		return MeasureRates(net, o)
-	})
+	res, err := RunSweepCtx(opts.context(), opts.sweep("ablation-border"), 2*len(fracs),
+		func(ctx context.Context, t int) (Measured, error) {
+			net := base
+			net.R = fracs[t/2] * a
+			o := opts
+			o.Ctx = ctx
+			o.IncludeBorder = t%2 == 1
+			return MeasureRates(net, o)
+		})
 	if err != nil {
 		return nil, err
 	}
+	ms := res.Results
 	for i, frac := range fracs {
 		net := base
 		net.R = frac * a
@@ -76,19 +80,22 @@ func AblationTorusMetric(opts Options) (*metrics.Figure, error) {
 	fracs := []float64{0.08, 0.12, 0.16, 0.22, 0.30}
 	// Flatten (range × metric) into one sweep: even index square, odd
 	// index torus.
-	ms, err := RunSweep(opts.Workers, 2*len(fracs), func(t int) (Measured, error) {
-		net := base
-		net.R = fracs[t/2] * a
-		o := opts
-		o.Metric = geom.MetricSquare
-		if t%2 == 1 {
-			o.Metric = geom.MetricTorus
-		}
-		return MeasureRates(net, o)
-	})
+	res, err := RunSweepCtx(opts.context(), opts.sweep("ablation-torus"), 2*len(fracs),
+		func(ctx context.Context, t int) (Measured, error) {
+			net := base
+			net.R = fracs[t/2] * a
+			o := opts
+			o.Ctx = ctx
+			o.Metric = geom.MetricSquare
+			if t%2 == 1 {
+				o.Metric = geom.MetricTorus
+			}
+			return MeasureRates(net, o)
+		})
 	if err != nil {
 		return nil, err
 	}
+	ms := res.Results
 	for i, frac := range fracs {
 		net := base
 		net.R = frac * a
@@ -133,26 +140,29 @@ func AblationClusterers(opts Options) ([]ClustererComparison, error) {
 	}
 	// Policies are immutable values (DMAC's weights are read-only), so
 	// the measurement runs can share them across workers.
-	return RunSweep(opts.Workers, len(policies), func(i int) (ClustererComparison, error) {
-		pol := policies[i]
-		o := opts
-		o.Policy = pol
-		m, err := MeasureRates(net, o)
-		if err != nil {
-			return ClustererComparison{}, fmt.Errorf("experiments: clusterer %s: %w", pol.Name(), err)
-		}
-		anaFC, err := net.ClusterRate(m.HeadRatio)
-		if err != nil {
-			return ClustererComparison{}, err
-		}
-		return ClustererComparison{
-			Policy:     pol.Name(),
-			HeadRatio:  m.HeadRatio,
-			AnalysisP:  analysisP,
-			FCluster:   m.FCluster,
-			AnalysisFC: anaFC,
-		}, nil
-	})
+	res, err := RunSweepCtx(opts.context(), opts.sweep("ablation-clusterers"), len(policies),
+		func(ctx context.Context, i int) (ClustererComparison, error) {
+			pol := policies[i]
+			o := opts
+			o.Ctx = ctx
+			o.Policy = pol
+			m, err := MeasureRates(net, o)
+			if err != nil {
+				return ClustererComparison{}, fmt.Errorf("experiments: clusterer %s: %w", pol.Name(), err)
+			}
+			anaFC, err := net.ClusterRate(m.HeadRatio)
+			if err != nil {
+				return ClustererComparison{}, err
+			}
+			return ClustererComparison{
+				Policy:     pol.Name(),
+				HeadRatio:  m.HeadRatio,
+				AnalysisP:  analysisP,
+				FCluster:   m.FCluster,
+				AnalysisFC: anaFC,
+			}, nil
+		})
+	return res.Results, err
 }
 
 // ClustererTable renders the comparison.
@@ -196,22 +206,25 @@ func AblationMobility(opts Options) ([]MobilityComparison, error) {
 		{MobilityRandomWaypoint, "rwp"},
 		{MobilityRandomWalk, "random-walk"},
 	}
-	return RunSweep(opts.Workers, len(kinds), func(i int) (MobilityComparison, error) {
-		k := kinds[i]
-		o := opts
-		o.Mobility = k.kind
-		m, err := MeasureRates(net, o)
-		if err != nil {
-			return MobilityComparison{}, fmt.Errorf("experiments: mobility %s: %w", k.name, err)
-		}
-		return MobilityComparison{
-			Model:          k.name,
-			LinkChangeRate: m.LinkChangeRate,
-			AnalysisRate:   net.LinkChangeRate(),
-			MeanDegree:     m.MeanDegree,
-			AnalysisDegree: net.ExpectedNeighbors(),
-		}, nil
-	})
+	res, err := RunSweepCtx(opts.context(), opts.sweep("ablation-mobility"), len(kinds),
+		func(ctx context.Context, i int) (MobilityComparison, error) {
+			k := kinds[i]
+			o := opts
+			o.Ctx = ctx
+			o.Mobility = k.kind
+			m, err := MeasureRates(net, o)
+			if err != nil {
+				return MobilityComparison{}, fmt.Errorf("experiments: mobility %s: %w", k.name, err)
+			}
+			return MobilityComparison{
+				Model:          k.name,
+				LinkChangeRate: m.LinkChangeRate,
+				AnalysisRate:   net.LinkChangeRate(),
+				MeanDegree:     m.MeanDegree,
+				AnalysisDegree: net.ExpectedNeighbors(),
+			}, nil
+		})
+	return res.Results, err
 }
 
 // MobilityTable renders the comparison.
@@ -251,24 +264,28 @@ func AblationFlatVsHybrid(opts Options) ([]FlatVsHybridRow, error) {
 		return nil, err
 	}
 	sizes := []int{50, 100, 200, 400}
-	return RunSweep(opts.Workers, len(sizes), func(i int) (FlatVsHybridRow, error) {
-		n := sizes[i]
-		net := core.Network{N: n, R: 1.5, V: 0.05, Density: 4}
-		flat, err := measureFlatBits(net, opts)
-		if err != nil {
-			return FlatVsHybridRow{}, err
-		}
-		m, err := MeasureRates(net, opts)
-		if err != nil {
-			return FlatVsHybridRow{}, err
-		}
-		hybridBits := core.DefaultMessageSizes.Hello*m.FHello +
-			core.DefaultMessageSizes.Cluster*m.FCluster +
-			core.DefaultMessageSizes.RouteEntry/m.HeadRatio*m.FRoute
-		return FlatVsHybridRow{
-			N: n, FlatBits: flat, HybridBits: hybridBits, Ratio: flat / hybridBits,
-		}, nil
-	})
+	res, err := RunSweepCtx(opts.context(), opts.sweep("ablation-flat-vs-hybrid"), len(sizes),
+		func(ctx context.Context, i int) (FlatVsHybridRow, error) {
+			n := sizes[i]
+			net := core.Network{N: n, R: 1.5, V: 0.05, Density: 4}
+			pointOpts := opts
+			pointOpts.Ctx = ctx
+			flat, err := measureFlatBits(net, pointOpts)
+			if err != nil {
+				return FlatVsHybridRow{}, err
+			}
+			m, err := MeasureRates(net, pointOpts)
+			if err != nil {
+				return FlatVsHybridRow{}, err
+			}
+			hybridBits := core.DefaultMessageSizes.Hello*m.FHello +
+				core.DefaultMessageSizes.Cluster*m.FCluster +
+				core.DefaultMessageSizes.RouteEntry/m.HeadRatio*m.FRoute
+			return FlatVsHybridRow{
+				N: n, FlatBits: flat, HybridBits: hybridBits, Ratio: flat / hybridBits,
+			}, nil
+		})
+	return res.Results, err
 }
 
 // measureFlatBits measures flat DSDV per-node control bits per unit
@@ -285,6 +302,7 @@ func measureFlatBits(net core.Network, opts Options) (float64, error) {
 	sim, err := netsim.New(netsim.Config{
 		N: net.N, Side: net.Side(), Range: net.R,
 		Metric: opts.Metric, Model: model, Dt: dt, Seed: opts.Seed,
+		Stop: stopCheck(opts.Ctx),
 	})
 	if err != nil {
 		return 0, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,25 +34,28 @@ func AblationGroupMobility(opts Options) ([]GroupMobilityRow, error) {
 	}
 	net := ablationBase()
 	kinds := []MobilityKind{MobilityEpochRWP, MobilityRPGM}
-	return RunSweep(opts.Workers, len(kinds), func(i int) (GroupMobilityRow, error) {
-		kind := kinds[i]
-		o := opts
-		o.Mobility = kind
-		m, err := MeasureRates(net, o)
-		if err != nil {
-			return GroupMobilityRow{}, fmt.Errorf("experiments: group mobility %d: %w", int(kind), err)
-		}
-		name := "epoch-rwp"
-		if kind == MobilityRPGM {
-			name = "rpgm"
-		}
-		return GroupMobilityRow{
-			Model:          name,
-			LinkChangeRate: m.LinkChangeRate,
-			FCluster:       m.FCluster,
-			HeadRatio:      m.HeadRatio,
-		}, nil
-	})
+	res, err := RunSweepCtx(opts.context(), opts.sweep("ablation-group-mobility"), len(kinds),
+		func(ctx context.Context, i int) (GroupMobilityRow, error) {
+			kind := kinds[i]
+			o := opts
+			o.Ctx = ctx
+			o.Mobility = kind
+			m, err := MeasureRates(net, o)
+			if err != nil {
+				return GroupMobilityRow{}, fmt.Errorf("experiments: group mobility %d: %w", int(kind), err)
+			}
+			name := "epoch-rwp"
+			if kind == MobilityRPGM {
+				name = "rpgm"
+			}
+			return GroupMobilityRow{
+				Model:          name,
+				LinkChangeRate: m.LinkChangeRate,
+				FCluster:       m.FCluster,
+				HeadRatio:      m.HeadRatio,
+			}, nil
+		})
+	return res.Results, err
 }
 
 // GroupMobilityTable renders the comparison.
@@ -89,40 +93,43 @@ func AblationLinkLifetime(opts Options) ([]LifetimeRow, error) {
 	}
 	base := ablationBase()
 	fracs := []float64{0.08, 0.15, 0.25}
-	return RunSweep(opts.Workers, len(fracs), func(i int) (LifetimeRow, error) {
-		net := base
-		net.R = fracs[i] * base.Side()
-		model, err := opts.model(net)
-		if err != nil {
-			return LifetimeRow{}, err
-		}
-		sim, err := netsim.New(netsim.Config{
-			N: net.N, Side: net.Side(), Range: net.R,
-			Metric: opts.Metric, Model: model,
-			Dt: measureStep(net, opts), Seed: opts.Seed,
+	res, err := RunSweepCtx(opts.context(), opts.sweep("ablation-lifetime"), len(fracs),
+		func(ctx context.Context, i int) (LifetimeRow, error) {
+			net := base
+			net.R = fracs[i] * base.Side()
+			model, err := opts.model(net)
+			if err != nil {
+				return LifetimeRow{}, err
+			}
+			sim, err := netsim.New(netsim.Config{
+				N: net.N, Side: net.Side(), Range: net.R,
+				Metric: opts.Metric, Model: model,
+				Dt: measureStep(net, opts), Seed: opts.Seed,
+				Stop: stopCheck(ctx),
+			})
+			if err != nil {
+				return LifetimeRow{}, err
+			}
+			probe := netsim.NewLifetimeProbe()
+			if err := sim.Register(probe); err != nil {
+				return LifetimeRow{}, err
+			}
+			life, err := net.ExpectedLinkLifetime()
+			if err != nil {
+				return LifetimeRow{}, err
+			}
+			// Run long enough to complete a few thousand lifetimes.
+			if err := sim.Run(8 * life); err != nil {
+				return LifetimeRow{}, err
+			}
+			return LifetimeRow{
+				R:        net.R,
+				Measured: probe.MeanLifetime(),
+				Analysis: life,
+				Samples:  probe.Samples(),
+			}, nil
 		})
-		if err != nil {
-			return LifetimeRow{}, err
-		}
-		probe := netsim.NewLifetimeProbe()
-		if err := sim.Register(probe); err != nil {
-			return LifetimeRow{}, err
-		}
-		life, err := net.ExpectedLinkLifetime()
-		if err != nil {
-			return LifetimeRow{}, err
-		}
-		// Run long enough to complete a few thousand lifetimes.
-		if err := sim.Run(8 * life); err != nil {
-			return LifetimeRow{}, err
-		}
-		return LifetimeRow{
-			R:        net.R,
-			Measured: probe.MeanLifetime(),
-			Analysis: life,
-			Samples:  probe.Samples(),
-		}, nil
-	})
+	return res.Results, err
 }
 
 // LifetimeTable renders the comparison.
@@ -167,61 +174,64 @@ func AblationHelloSchedule(opts Options) ([]HelloScheduleRow, error) {
 	net := ablationBase()
 	lower := net.HelloRate()
 	intervals := []float64{0.5, 2, 8}
-	return RunSweep(opts.Workers, len(intervals), func(idx int) (HelloScheduleRow, error) {
-		interval := intervals[idx]
-		model, err := opts.model(net)
-		if err != nil {
-			return HelloScheduleRow{}, err
-		}
-		sim, err := netsim.New(netsim.Config{
-			N: net.N, Side: net.Side(), Range: net.R,
-			Metric: opts.Metric, Model: model,
-			Dt: measureStep(net, opts), Seed: opts.Seed,
-		})
-		if err != nil {
-			return HelloScheduleRow{}, err
-		}
-		hello, err := routing.NewPeriodicHello(core.DefaultMessageSizes.Hello, interval)
-		if err != nil {
-			return HelloScheduleRow{}, err
-		}
-		if err := sim.Register(hello); err != nil {
-			return HelloScheduleRow{}, err
-		}
-		if err := sim.Run(5 * interval); err != nil { // warm the tables
-			return HelloScheduleRow{}, err
-		}
-		// Sample staleness at every tick across a 20-interval window:
-		// sampling must not align with the beacon phase, or the tables
-		// would always look freshly refreshed.
-		var stale, live float64
-		dt := measureStep(net, opts)
-		for step := 0; step < int(20*interval/dt); step++ {
-			if err := sim.Step(); err != nil {
+	res, err := RunSweepCtx(opts.context(), opts.sweep("ablation-hello-schedule"), len(intervals),
+		func(ctx context.Context, idx int) (HelloScheduleRow, error) {
+			interval := intervals[idx]
+			model, err := opts.model(net)
+			if err != nil {
 				return HelloScheduleRow{}, err
 			}
-			for i := 0; i < sim.NumNodes(); i++ {
-				id := netsim.NodeID(i)
-				for _, nb := range sim.Neighbors(id) {
-					live++
-					if !hello.Knows(id, nb) {
-						stale++
+			sim, err := netsim.New(netsim.Config{
+				N: net.N, Side: net.Side(), Range: net.R,
+				Metric: opts.Metric, Model: model,
+				Dt: measureStep(net, opts), Seed: opts.Seed,
+				Stop: stopCheck(ctx),
+			})
+			if err != nil {
+				return HelloScheduleRow{}, err
+			}
+			hello, err := routing.NewPeriodicHello(core.DefaultMessageSizes.Hello, interval)
+			if err != nil {
+				return HelloScheduleRow{}, err
+			}
+			if err := sim.Register(hello); err != nil {
+				return HelloScheduleRow{}, err
+			}
+			if err := sim.Run(5 * interval); err != nil { // warm the tables
+				return HelloScheduleRow{}, err
+			}
+			// Sample staleness at every tick across a 20-interval window:
+			// sampling must not align with the beacon phase, or the tables
+			// would always look freshly refreshed.
+			var stale, live float64
+			dt := measureStep(net, opts)
+			for step := 0; step < int(20*interval/dt); step++ {
+				if err := sim.Step(); err != nil {
+					return HelloScheduleRow{}, err
+				}
+				for i := 0; i < sim.NumNodes(); i++ {
+					id := netsim.NodeID(i)
+					for _, nb := range sim.Neighbors(id) {
+						live++
+						if !hello.Knows(id, nb) {
+							stale++
+						}
 					}
 				}
 			}
-		}
-		ana, err := net.UndiscoveredLinkFraction(interval)
-		if err != nil {
-			return HelloScheduleRow{}, err
-		}
-		return HelloScheduleRow{
-			Interval:       interval,
-			Rate:           1 / interval,
-			LowerBoundRate: lower,
-			StaleFraction:  stale / math.Max(live, 1),
-			AnalysisStale:  ana,
-		}, nil
-	})
+			ana, err := net.UndiscoveredLinkFraction(interval)
+			if err != nil {
+				return HelloScheduleRow{}, err
+			}
+			return HelloScheduleRow{
+				Interval:       interval,
+				Rate:           1 / interval,
+				LowerBoundRate: lower,
+				StaleFraction:  stale / math.Max(live, 1),
+				AnalysisStale:  ana,
+			}, nil
+		})
+	return res.Results, err
 }
 
 // HelloScheduleTable renders the comparison.

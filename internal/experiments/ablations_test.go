@@ -137,7 +137,7 @@ func TestMeasureRatesNewMobilityKinds(t *testing.T) {
 }
 
 func TestFormationConvergence(t *testing.T) {
-	rows, err := FormationConvergence(clusterLID(), 5, 11, 1)
+	rows, err := FormationConvergence(Options{Seed: 11, Workers: 1, Policy: clusterLID()}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,16 +167,16 @@ func TestFormationConvergence(t *testing.T) {
 	if s := ConvergenceTable(rows); len(s) == 0 {
 		t.Error("empty table")
 	}
-	if _, err := FormationConvergence(nil, 5, 1, 1); err == nil {
-		t.Error("nil policy accepted")
+	if _, err := FormationConvergence(Options{WarmupFrac: -1}, 5); err == nil {
+		t.Error("invalid options accepted")
 	}
-	if _, err := FormationConvergence(clusterLID(), 0, 1, 1); err == nil {
+	if _, err := FormationConvergence(Options{Seed: 1, Workers: 1, Policy: clusterLID()}, 0); err == nil {
 		t.Error("zero repeats accepted")
 	}
 }
 
 func TestDHopStudy(t *testing.T) {
-	rows, err := DHopStudy(3, 5, 1)
+	rows, err := DHopStudy(Options{Seed: 5, Workers: 1}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestDHopStudy(t *testing.T) {
 	if s := DHopTable(rows); len(s) == 0 {
 		t.Error("empty table")
 	}
-	if _, err := DHopStudy(0, 1, 1); err == nil {
+	if _, err := DHopStudy(Options{Seed: 1, Workers: 1}, 0); err == nil {
 		t.Error("zero repeats accepted")
 	}
 }

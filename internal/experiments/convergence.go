@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,16 +20,17 @@ type ConvergenceRow struct {
 	LogN       float64
 }
 
-// FormationConvergence measures how many synchronous rounds LID
-// formation needs to assign every node, versus network size at constant
-// density — the convergence-time dimension of clustering overhead that
-// the authors analyze for MobDHop in their companion paper (reference
-// [16]). The empirical growth is logarithmic-like: each round decides
-// every node whose ID is a local minimum among survivors, so undecided
-// chains shrink geometrically.
-func FormationConvergence(policy cluster.Policy, repeats int, seed uint64, workers int) ([]ConvergenceRow, error) {
-	if policy == nil {
-		return nil, fmt.Errorf("experiments: nil policy")
+// FormationConvergence measures how many synchronous rounds formation
+// under opts.Policy (default LID) needs to assign every node, versus
+// network size at constant density — the convergence-time dimension of
+// clustering overhead that the authors analyze for MobDHop in their
+// companion paper (reference [16]). The empirical growth is
+// logarithmic-like: each round decides every node whose ID is a local
+// minimum among survivors, so undecided chains shrink geometrically.
+func FormationConvergence(opts Options, repeats int) ([]ConvergenceRow, error) {
+	opts, err := opts.validate()
+	if err != nil {
+		return nil, err
 	}
 	if repeats < 1 {
 		return nil, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
@@ -36,25 +38,28 @@ func FormationConvergence(policy cluster.Policy, repeats int, seed uint64, worke
 	sizes := []int{50, 100, 200, 400, 800}
 	// Flatten (size × repeat) into one sweep; reduce per size in repeat
 	// order afterwards, so the statistics are worker-count independent.
-	rounds, err := RunSweep(workers, len(sizes)*repeats, func(t int) (int, error) {
-		n, rep := sizes[t/repeats], t%repeats
-		net := core.Network{N: n, R: 1.0, V: 0, Density: 4}
-		sim, err := netsim.New(netsim.Config{
-			N: n, Side: net.Side(), Range: net.R, Dt: 1,
-			Seed: seed + uint64(rep)*6151,
+	res, err := RunSweepCtx(opts.context(), opts.sweep("convergence"), len(sizes)*repeats,
+		func(ctx context.Context, t int) (int, error) {
+			n, rep := sizes[t/repeats], t%repeats
+			net := core.Network{N: n, R: 1.0, V: 0, Density: 4}
+			sim, err := netsim.New(netsim.Config{
+				N: n, Side: net.Side(), Range: net.R, Dt: 1,
+				Seed: opts.Seed + uint64(rep)*6151,
+				Stop: stopCheck(ctx),
+			})
+			if err != nil {
+				return 0, err
+			}
+			_, stats, err := cluster.FormWithStats(sim, opts.Policy)
+			if err != nil {
+				return 0, err
+			}
+			return stats.Rounds, nil
 		})
-		if err != nil {
-			return 0, err
-		}
-		_, stats, err := cluster.FormWithStats(sim, policy)
-		if err != nil {
-			return 0, err
-		}
-		return stats.Rounds, nil
-	})
 	if err != nil {
 		return nil, err
 	}
+	rounds := res.Results
 	rows := make([]ConvergenceRow, 0, len(sizes))
 	for i, n := range sizes {
 		total, maxRounds := 0, 0

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -59,15 +60,18 @@ func Degradation(net core.Network, losses []float64, opts Options) ([]Degradatio
 		return nil, err
 	}
 	base := opts.Seed
-	return RunSweep(opts.Workers, len(losses), func(i int) (DegradationPoint, error) {
-		pointOpts := opts
-		pointOpts.Seed = SweepSeed(base, "degradation", i)
-		pt, err := measureDegraded(net, losses[i], pointOpts)
-		if err != nil {
-			return DegradationPoint{}, fmt.Errorf("experiments: degradation at p=%g: %w", losses[i], err)
-		}
-		return pt, nil
-	})
+	res, err := RunSweepCtx(opts.context(), opts.sweep("degradation"), len(losses),
+		func(ctx context.Context, i int) (DegradationPoint, error) {
+			pointOpts := opts
+			pointOpts.Ctx = ctx
+			pointOpts.Seed = SweepSeed(base, "degradation", i)
+			pt, err := measureDegraded(net, losses[i], pointOpts)
+			if err != nil {
+				return DegradationPoint{}, fmt.Errorf("experiments: degradation at p=%g: %w", losses[i], err)
+			}
+			return pt, nil
+		})
+	return res.Results, err
 }
 
 // measureDegraded runs one loss-rate point of the degradation sweep.
@@ -113,7 +117,7 @@ func MeasureFaulty(net core.Network, fcfg faults.Config, opts Options) (Degradat
 	sim, err := netsim.New(netsim.Config{
 		N: net.N, Side: net.Side(), Range: net.R,
 		Metric: opts.Metric, Model: model, Dt: dt, Seed: opts.Seed,
-		Medium: medium,
+		Medium: medium, Stop: stopCheck(opts.Ctx),
 	})
 	if err != nil {
 		return DegradationPoint{}, err

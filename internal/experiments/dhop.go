@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -18,6 +19,11 @@ type DHopRow struct {
 	MeanDist      float64 // average member→head hop distance
 }
 
+// dhopSample is one (hop bound × repeat) measurement. Fields are
+// exported so the sample survives a JSON round trip through the
+// checkpoint journal bit-exactly.
+type dhopSample struct{ Heads, Dist, Members float64 }
+
 // DHopStudy forms Max-Min clusters for growing hop bounds on static
 // sparse placements and compares the measured head counts with
 // core.DHopExpectedClusters — the §7 future-work question ("further
@@ -25,38 +31,40 @@ type DHopRow struct {
 // Expect the same qualitative behaviour as Figure 5: useful in the
 // sparse regime, over-prediction as the effective (d-hop) neighborhood
 // densifies.
-func DHopStudy(repeats int, seed uint64, workers int) ([]DHopRow, error) {
+func DHopStudy(opts Options, repeats int) ([]DHopRow, error) {
 	if repeats < 1 {
 		return nil, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
 	}
 	net := core.Network{N: 300, R: 0.8, V: 0, Density: 3}
 	hopBounds := []int{1, 2, 3}
-	type dhopSample struct{ heads, dist, members float64 }
 	// Flatten (hop bound × repeat) into one sweep; reduce per bound in
 	// repeat order afterwards, so the means are worker-count independent.
-	samples, err := RunSweep(workers, len(hopBounds)*repeats, func(t int) (dhopSample, error) {
-		hops, rep := hopBounds[t/repeats], t%repeats
-		sim, err := netsim.New(netsim.Config{
-			N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
-			Seed: seed + uint64(rep)*2671,
+	res, err := RunSweepCtx(opts.context(), opts.sweep("dhop"), len(hopBounds)*repeats,
+		func(ctx context.Context, t int) (dhopSample, error) {
+			hops, rep := hopBounds[t/repeats], t%repeats
+			sim, err := netsim.New(netsim.Config{
+				N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
+				Seed: opts.Seed + uint64(rep)*2671,
+				Stop: stopCheck(ctx),
+			})
+			if err != nil {
+				return dhopSample{}, err
+			}
+			a, err := cluster.FormMaxMin(sim, hops)
+			if err != nil {
+				return dhopSample{}, err
+			}
+			s := dhopSample{Heads: float64(a.NumHeads())}
+			for _, d := range a.Dist {
+				s.Dist += float64(d)
+				s.Members++
+			}
+			return s, nil
 		})
-		if err != nil {
-			return dhopSample{}, err
-		}
-		a, err := cluster.FormMaxMin(sim, hops)
-		if err != nil {
-			return dhopSample{}, err
-		}
-		s := dhopSample{heads: float64(a.NumHeads())}
-		for _, d := range a.Dist {
-			s.dist += float64(d)
-			s.members++
-		}
-		return s, nil
-	})
 	if err != nil {
 		return nil, err
 	}
+	samples := res.Results
 	rows := make([]DHopRow, 0, len(hopBounds))
 	for i, hops := range hopBounds {
 		model, err := net.DHopExpectedClusters(hops)
@@ -65,9 +73,9 @@ func DHopStudy(repeats int, seed uint64, workers int) ([]DHopRow, error) {
 		}
 		var heads, dist, members float64
 		for _, s := range samples[i*repeats : (i+1)*repeats] {
-			heads += s.heads
-			dist += s.dist
-			members += s.members
+			heads += s.Heads
+			dist += s.Dist
+			members += s.Members
 		}
 		rows = append(rows, DHopRow{
 			Hops:          hops,

@@ -7,9 +7,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -53,6 +56,65 @@ type Options struct {
 	// points across; 0 or negative selects GOMAXPROCS. Results are
 	// bit-identical for any value — see RunSweep.
 	Workers int
+
+	// Ctx optionally carries cancellation into every simulation these
+	// options drive: sweeps stop claiming new points once it is
+	// cancelled and in-flight simulations abort cooperatively within
+	// one tick (netsim.ErrStopped). nil behaves like
+	// context.Background() and keeps the engine on its exact historical
+	// code path. Carrying the context in Options (rather than a
+	// parameter on every driver) is deliberate: it must reach dozens of
+	// figure, table and ablation drivers uniformly.
+	Ctx context.Context
+	// Journal, when non-nil, checkpoints every completed sweep point
+	// and replays journaled points on resume — see RunSweepCtx and
+	// internal/checkpoint. Results are byte-identical with or without
+	// it.
+	Journal *checkpoint.Journal
+	// PointDeadline bounds the wall-clock time of one sweep point; a
+	// runaway point is aborted cooperatively and reported as
+	// ErrPointDeadline. Zero disables the watchdog.
+	PointDeadline time.Duration
+	// OnProgress, when non-nil, observes every settled sweep point; it
+	// may be called concurrently from worker goroutines.
+	OnProgress func(Progress)
+}
+
+// context returns the options' context, never nil.
+func (o Options) context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// sweep assembles the orchestration options for one named sweep. An
+// empty name disables journaling (there would be no collision-free
+// namespace to store points under) but keeps cancellation and the
+// deadline watchdog.
+func (o Options) sweep(name string) SweepOptions {
+	s := SweepOptions{
+		Name:          name,
+		Workers:       o.Workers,
+		Seed:          o.Seed,
+		Journal:       o.Journal,
+		PointDeadline: o.PointDeadline,
+		OnProgress:    o.OnProgress,
+	}
+	if name == "" {
+		s.Journal = nil
+	}
+	return s
+}
+
+// stopCheck adapts a context to the engine's cooperative stop-check.
+// Background-like contexts (nil, or never cancellable) map to nil so
+// the engine keeps its exact zero-overhead historical path.
+func stopCheck(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 // MobilityKind names the mobility model family used in measurements.
@@ -193,6 +255,7 @@ func MeasureRates(net core.Network, opts Options) (Measured, error) {
 	sim, err := netsim.New(netsim.Config{
 		N: net.N, Side: net.Side(), Range: net.R,
 		Metric: opts.Metric, Model: model, Dt: dt, Seed: opts.Seed,
+		Stop: stopCheck(opts.Ctx),
 	})
 	if err != nil {
 		return Measured{}, err

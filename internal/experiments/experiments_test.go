@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -223,7 +224,7 @@ func TestFigure4Properties(t *testing.T) {
 }
 
 func TestFigure5Reduced(t *testing.T) {
-	fig, err := Figure5b(3, 7, 1)
+	fig, err := Figure5b(Options{Seed: 7, Workers: 1}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,10 +258,10 @@ func TestFigure5Reduced(t *testing.T) {
 
 func TestCountClustersValidation(t *testing.T) {
 	net := core.Network{N: 50, R: 1.5, V: 0, Density: 0.5}
-	if _, err := countClusters(net, nil, 1, 1, 1); err == nil {
+	if _, err := countClusters(context.Background(), net, nil, 1, 1, 1); err == nil {
 		t.Error("nil policy accepted")
 	}
-	if _, err := countClusters(net, nil, 0, 1, 1); err == nil {
+	if _, err := countClusters(context.Background(), net, nil, 0, 1, 1); err == nil {
 		t.Error("zero repeats accepted")
 	}
 }

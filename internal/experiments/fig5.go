@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -13,62 +14,71 @@ import (
 // uniform placements and returns the average cluster count. Repeats are
 // independent simulations fanned across the worker pool; the average is
 // reduced in repeat order, so it is identical for any worker count.
-func countClusters(net core.Network, policy cluster.Policy, repeats int, seed uint64, workers int) (float64, error) {
+func countClusters(ctx context.Context, net core.Network, policy cluster.Policy, repeats int, seed uint64, workers int) (float64, error) {
 	if repeats < 1 {
 		return 0, fmt.Errorf("experiments: repeats must be positive, got %d", repeats)
 	}
-	heads, err := RunSweep(workers, repeats, func(rep int) (float64, error) {
-		sim, err := netsim.New(netsim.Config{
-			N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
-			Seed: seed + uint64(rep)*7919,
+	res, err := RunSweepCtx(ctx, SweepOptions{Workers: workers}, repeats,
+		func(ctx context.Context, rep int) (float64, error) {
+			sim, err := netsim.New(netsim.Config{
+				N: net.N, Side: net.Side(), Range: net.R, Dt: 1,
+				Seed: seed + uint64(rep)*7919,
+				Stop: stopCheck(ctx),
+			})
+			if err != nil {
+				return 0, err
+			}
+			a, err := cluster.Form(sim, policy)
+			if err != nil {
+				return 0, err
+			}
+			return float64(a.NumHeads()), nil
 		})
-		if err != nil {
-			return 0, err
-		}
-		a, err := cluster.Form(sim, policy)
-		if err != nil {
-			return 0, err
-		}
-		return float64(a.NumHeads()), nil
-	})
 	if err != nil {
 		return 0, err
 	}
 	total := 0.0
-	for _, h := range heads {
+	for _, h := range res.Results {
 		total += h
 	}
 	return total / float64(repeats), nil
 }
 
+// panelPoint is one scenario of a Figure-5 panel. Fields are exported so
+// the point survives a JSON round trip through the checkpoint journal
+// bit-exactly.
+type panelPoint struct{ Want, Got float64 }
+
 // clusterCountFigure runs one Figure-5 panel: for every scenario it
 // evaluates the Eqn (16)/(18) analysis and averages simulated LID
-// formations, fanning the (scenario × repeat) grid across the pool.
-func clusterCountFigure(fig *metrics.Figure, xs []float64, nets []core.Network, repeats int, seed uint64, workers int) error {
+// formations, fanning the (scenario × repeat) grid across the pool. When
+// the sweep is cut short, the series built from the completed scenarios
+// are returned alongside the error.
+func clusterCountFigure(fig *metrics.Figure, name string, xs []float64, nets []core.Network, repeats int, opts Options) error {
 	ana := fig.AddSeries("analysis (N·P from Eqn 16)")
 	sim := fig.AddSeries("simulation (LID formation)")
-	type panelPoint struct{ want, got float64 }
-	points, err := RunSweep(workers, len(nets), func(i int) (panelPoint, error) {
-		want, err := nets[i].LIDExpectedClusters()
-		if err != nil {
-			return panelPoint{}, err
-		}
-		// Repeats run serially here: the outer sweep already saturates
-		// the pool and nested fan-out would oversubscribe it.
-		got, err := countClusters(nets[i], cluster.LID{}, repeats, seed, 1)
-		if err != nil {
-			return panelPoint{}, err
-		}
-		return panelPoint{want: want, got: got}, nil
-	})
-	if err != nil {
-		return err
-	}
+	res, err := RunSweepCtx(opts.context(), opts.sweep(name), len(nets),
+		func(ctx context.Context, i int) (panelPoint, error) {
+			want, err := nets[i].LIDExpectedClusters()
+			if err != nil {
+				return panelPoint{}, err
+			}
+			// Repeats run serially here: the outer sweep already saturates
+			// the pool and nested fan-out would oversubscribe it.
+			got, err := countClusters(ctx, nets[i], cluster.LID{}, repeats, opts.Seed, 1)
+			if err != nil {
+				return panelPoint{}, err
+			}
+			return panelPoint{Want: want, Got: got}, nil
+		})
 	for i, x := range xs {
-		ana.Add(x, points[i].want)
-		sim.Add(x, points[i].got)
+		if !res.Done[i] {
+			continue
+		}
+		ana.Add(x, res.Results[i].Want)
+		sim.Add(x, res.Results[i].Got)
 	}
-	return nil
+	return err
 }
 
 // Figure5a reproduces Figure 5(a): the number of LID clusters versus
@@ -76,8 +86,9 @@ func clusterCountFigure(fig *metrics.Figure, xs []float64, nets []core.Network, 
 // (a = 10, r = a/10), comparing the Eqn (16)/(18) analysis against
 // simulated formations. The sweep stays in the sparse regime where the
 // independence approximation behind Eqn (16) is informative; see
-// EXPERIMENTS.md for the dense-regime divergence.
-func Figure5a(repeats int, seed uint64, workers int) (*metrics.Figure, error) {
+// EXPERIMENTS.md for the dense-regime divergence. When the sweep is cut
+// short, the partial figure is returned alongside the error.
+func Figure5a(opts Options, repeats int) (*metrics.Figure, error) {
 	fig := &metrics.Figure{
 		Title:  "Figure 5(a): number of clusters vs network size",
 		XLabel: "network size N",
@@ -91,15 +102,12 @@ func Figure5a(repeats int, seed uint64, workers int) (*metrics.Figure, error) {
 		xs[i] = float64(n)
 		nets[i] = core.Network{N: n, R: 1.0, V: 0, Density: float64(n) / (side * side)}
 	}
-	if err := clusterCountFigure(fig, xs, nets, repeats, seed, workers); err != nil {
-		return nil, err
-	}
-	return fig, nil
+	return fig, clusterCountFigure(fig, "fig5a", xs, nets, repeats, opts)
 }
 
 // Figure5b reproduces Figure 5(b): the number of LID clusters versus
 // transmission range with N = 400 nodes in a 10×10 region.
-func Figure5b(repeats int, seed uint64, workers int) (*metrics.Figure, error) {
+func Figure5b(opts Options, repeats int) (*metrics.Figure, error) {
 	fig := &metrics.Figure{
 		Title:  "Figure 5(b): number of clusters vs transmission range",
 		XLabel: "r/a",
@@ -110,8 +118,5 @@ func Figure5b(repeats int, seed uint64, workers int) (*metrics.Figure, error) {
 	for i, frac := range fracs {
 		nets[i] = core.Network{N: 400, R: frac * 10, V: 0, Density: 4}
 	}
-	if err := clusterCountFigure(fig, fracs, nets, repeats, seed, workers); err != nil {
-		return nil, err
-	}
-	return fig, nil
+	return fig, clusterCountFigure(fig, "fig5b", fracs, nets, repeats, opts)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -10,6 +11,10 @@ import (
 // RateFigureSpec describes one frequency-validation sweep (Figures 1–3):
 // a base scenario, the swept parameter, and its grid.
 type RateFigureSpec struct {
+	// Name is the sweep's stable short identifier ("fig1"); it
+	// namespaces checkpoint journal records, so it must not change
+	// between a run and its resume.
+	Name   string
 	Title  string
 	XLabel string
 	Base   core.Network
@@ -18,34 +23,44 @@ type RateFigureSpec struct {
 	Apply func(net core.Network, x float64) core.Network
 }
 
+// ratePoint is one measured grid point of a rate figure. Fields are
+// exported so the point survives a JSON round trip through the
+// checkpoint journal bit-exactly.
+type ratePoint struct {
+	Meas  Measured
+	Rates core.Rates
+}
+
 // RateFigure runs the sweep: at every grid point it simulates the
 // scenario, measures the three per-node control message frequencies, and
 // evaluates the analysis (Eqns 4, 11, 13) using the *measured* head
 // ratio P — exactly the paper's methodology ("P for LID is measured in
 // real time during the simulation"). Grid points are independent
 // simulations, so they are fanned across opts.Workers; the assembled
-// figure is identical for any worker count.
+// figure is identical for any worker count, and — when opts carries a
+// journal — identical whether the sweep ran uninterrupted or was
+// interrupted and resumed.
+//
+// When the sweep is cut short (cancellation, deadline, point failure),
+// the figure built from the completed points is returned alongside the
+// error, so callers can persist a valid partial CSV.
 func RateFigure(spec RateFigureSpec, opts Options) (*metrics.Figure, error) {
-	type ratePoint struct {
-		meas  Measured
-		rates core.Rates
-	}
-	points, err := RunSweep(opts.Workers, len(spec.Xs), func(i int) (ratePoint, error) {
-		x := spec.Xs[i]
-		net := spec.Apply(spec.Base, x)
-		meas, err := MeasureRates(net, opts)
-		if err != nil {
-			return ratePoint{}, fmt.Errorf("experiments: %s at %s=%g: %w", spec.Title, spec.XLabel, x, err)
-		}
-		rates, err := net.ControlRates(meas.HeadRatio)
-		if err != nil {
-			return ratePoint{}, fmt.Errorf("experiments: analysis at %s=%g: %w", spec.XLabel, x, err)
-		}
-		return ratePoint{meas: meas, rates: rates}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
+	res, err := RunSweepCtx(opts.context(), opts.sweep(spec.Name), len(spec.Xs),
+		func(ctx context.Context, i int) (ratePoint, error) {
+			pointOpts := opts
+			pointOpts.Ctx = ctx
+			x := spec.Xs[i]
+			net := spec.Apply(spec.Base, x)
+			meas, err := MeasureRates(net, pointOpts)
+			if err != nil {
+				return ratePoint{}, fmt.Errorf("experiments: %s at %s=%g: %w", spec.Title, spec.XLabel, x, err)
+			}
+			rates, err := net.ControlRates(meas.HeadRatio)
+			if err != nil {
+				return ratePoint{}, fmt.Errorf("experiments: analysis at %s=%g: %w", spec.XLabel, x, err)
+			}
+			return ratePoint{Meas: meas, Rates: rates}, nil
+		})
 
 	fig := &metrics.Figure{Title: spec.Title, XLabel: spec.XLabel, YLabel: "messages per node per unit time"}
 	helloA := fig.AddSeries("f_hello analysis")
@@ -55,14 +70,17 @@ func RateFigure(spec RateFigureSpec, opts Options) (*metrics.Figure, error) {
 	routeA := fig.AddSeries("f_route analysis")
 	routeS := fig.AddSeries("f_route simulation")
 	for i, x := range spec.Xs {
-		helloA.Add(x, points[i].rates.Hello)
-		helloS.Add(x, points[i].meas.FHello)
-		clusterA.Add(x, points[i].rates.Cluster)
-		clusterS.Add(x, points[i].meas.FCluster)
-		routeA.Add(x, points[i].rates.Route)
-		routeS.Add(x, points[i].meas.FRoute)
+		if !res.Done[i] {
+			continue
+		}
+		helloA.Add(x, res.Results[i].Rates.Hello)
+		helloS.Add(x, res.Results[i].Meas.FHello)
+		clusterA.Add(x, res.Results[i].Rates.Cluster)
+		clusterS.Add(x, res.Results[i].Meas.FCluster)
+		routeA.Add(x, res.Results[i].Rates.Route)
+		routeS.Add(x, res.Results[i].Meas.FRoute)
 	}
-	return fig, nil
+	return fig, err
 }
 
 // Figure1 reproduces Figure 1: control message frequencies versus
@@ -72,6 +90,7 @@ func Figure1(opts Options) (*metrics.Figure, error) {
 	base := core.Network{N: 400, Density: 4} // a = 10
 	a := base.Side()
 	spec := RateFigureSpec{
+		Name:   "fig1",
 		Title:  "Figure 1: control message frequencies vs transmission range",
 		XLabel: "r/a",
 		Base:   base,
@@ -92,6 +111,7 @@ func Figure2(opts Options) (*metrics.Figure, error) {
 	base := core.Network{N: 400, Density: 4}
 	a := base.Side()
 	spec := RateFigureSpec{
+		Name:   "fig2",
 		Title:  "Figure 2: control message frequencies vs node speed",
 		XLabel: "v/a",
 		Base:   base,
@@ -110,6 +130,7 @@ func Figure2(opts Options) (*metrics.Figure, error) {
 // region side shrinks as density grows: a = √(N/ρ)).
 func Figure3(opts Options) (*metrics.Figure, error) {
 	spec := RateFigureSpec{
+		Name:   "fig3",
 		Title:  "Figure 3: control message frequencies vs network density",
 		XLabel: "density (nodes per unit area)",
 		Base:   core.Network{N: 400},

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -70,18 +71,22 @@ func KnuthOrderTable(opts Options) ([]KnuthRow, error) {
 			axisXs[a][i] = ax.lo * pow(ax.hi/ax.lo, frac)
 		}
 	}
-	flat, err := RunSweep(opts.Workers, len(axes)*points, func(t int) (Measured, error) {
-		a, i := t/points, t%points
-		x := axisXs[a][i]
-		m, err := MeasureRates(axes[a].apply(base, x), opts)
-		if err != nil {
-			return Measured{}, fmt.Errorf("experiments: knuth sim %s=%g: %w", axes[a].name, x, err)
-		}
-		return m, nil
-	})
+	res, err := RunSweepCtx(opts.context(), opts.sweep("knuth"), len(axes)*points,
+		func(ctx context.Context, t int) (Measured, error) {
+			a, i := t/points, t%points
+			x := axisXs[a][i]
+			pointOpts := opts
+			pointOpts.Ctx = ctx
+			m, err := MeasureRates(axes[a].apply(base, x), pointOpts)
+			if err != nil {
+				return Measured{}, fmt.Errorf("experiments: knuth sim %s=%g: %w", axes[a].name, x, err)
+			}
+			return m, nil
+		})
 	if err != nil {
 		return nil, err
 	}
+	flat := res.Results
 
 	var rows []KnuthRow
 	for a, ax := range axes {

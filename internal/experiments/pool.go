@@ -1,15 +1,100 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/simrand"
 )
+
+// ErrPointDeadline marks a sweep point that was aborted by the
+// per-point deadline watchdog (SweepOptions.PointDeadline): the point's
+// simulation was cancelled cooperatively and the point is reported
+// failed without disturbing healthy points. Test with errors.Is.
+var ErrPointDeadline = errors.New("experiments: sweep point exceeded its deadline")
+
+// SweepOptions configures the orchestration layer around a sweep: crash
+// safety, runaway protection and progress reporting. The zero value
+// runs exactly like the historical RunSweep.
+type SweepOptions struct {
+	// Name namespaces this sweep's points inside a shared journal
+	// (e.g. "fig1"). Required when Journal is set.
+	Name string
+	// Workers bounds the worker pool; 0 or negative selects GOMAXPROCS.
+	// Results are bit-identical for any value.
+	Workers int
+	// Seed is the sweep's base seed, stored with every journal record
+	// as a resume guard: cached results recorded under another seed are
+	// ignored and the point re-runs.
+	Seed uint64
+	// Journal, when non-nil, records every completed point (fsynced
+	// before the point is acknowledged) and replays journaled points on
+	// a later run instead of re-executing them. Replayed results are
+	// bit-identical to freshly computed ones, so a resumed sweep's
+	// output is byte-identical to an uninterrupted run's.
+	Journal *checkpoint.Journal
+	// PointDeadline bounds the wall-clock time of a single point; a
+	// point that exceeds it is cancelled cooperatively and reported as
+	// ErrPointDeadline. Zero disables the watchdog.
+	PointDeadline time.Duration
+	// OnProgress, when non-nil, observes every settled point (executed,
+	// replayed from the journal, or failed). It may be called
+	// concurrently from worker goroutines.
+	OnProgress func(Progress)
+}
+
+// Progress reports one settled sweep point to SweepOptions.OnProgress.
+type Progress struct {
+	// Sweep is the SweepOptions.Name of the reporting sweep.
+	Sweep string
+	// Point and Total locate the point within the sweep.
+	Point, Total int
+	// Cached is true when the result was replayed from the journal.
+	Cached bool
+	// Err is the point's failure, nil on success.
+	Err error
+}
+
+func (o SweepOptions) progress(p Progress) {
+	if o.OnProgress != nil {
+		o.OnProgress(p)
+	}
+}
+
+// SweepResult carries a sweep's results together with completion
+// bookkeeping, so callers can render partial output after an
+// interruption: Results[i] is meaningful exactly when Done[i] is true.
+type SweepResult[T any] struct {
+	// Results holds one entry per point, in point order; entries whose
+	// Done flag is false are the zero T (failed, interrupted, or never
+	// started).
+	Results []T
+	// Done flags the points that completed (freshly or via journal
+	// replay).
+	Done []bool
+	// Cached counts points replayed from the journal, Executed points
+	// computed this run, Interrupted points cut short or skipped by
+	// context cancellation.
+	Cached, Executed, Interrupted int
+}
+
+// Complete reports whether every point finished.
+func (r SweepResult[T]) Complete() bool {
+	for _, d := range r.Done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
 
 // RunSweep evaluates n independent sweep points across a pool of workers
 // and returns the results in point order. It is the fan-out primitive
@@ -30,54 +115,166 @@ import (
 // and stack) are aggregated into one joined error, identical for any
 // worker count. Callers that can use partial results may inspect the
 // slice even when err != nil.
+//
+// RunSweep is the plain, non-cancellable form; RunSweepCtx adds
+// cooperative cancellation, checkpoint/resume and deadline watchdogs.
 func RunSweep[T any](workers, n int, point func(i int) (T, error)) ([]T, error) {
+	res, err := RunSweepCtx(context.Background(), SweepOptions{Workers: workers}, n,
+		func(_ context.Context, i int) (T, error) { return point(i) })
+	return res.Results, err
+}
+
+// RunSweepCtx is the orchestrated sweep: RunSweep's fan-out plus crash
+// safety and interruptibility.
+//
+//   - Resume: points already in opt.Journal (same sweep name, point
+//     index and seed) are not re-executed; their cached results are
+//     decoded into the result slice, so an interrupted-then-resumed
+//     sweep produces output byte-identical to an uninterrupted run.
+//   - Checkpoint: each freshly computed point is appended to the
+//     journal and fsynced before the sweep moves on.
+//   - Cancellation: when ctx is cancelled, workers stop claiming new
+//     points and in-flight points abort within one simulation tick via
+//     the engine's cooperative stop-check; the returned error wraps
+//     context.Cause(ctx). Completed points remain valid and journaled.
+//   - Watchdog: opt.PointDeadline bounds each point's wall-clock time;
+//     a runaway point fails with ErrPointDeadline while healthy points
+//     are undisturbed.
+//
+// The point function receives a per-point context (parent ctx, plus the
+// deadline when configured) and must propagate it into any simulation
+// it drives for cancellation to take effect mid-point.
+func RunSweepCtx[T any](ctx context.Context, opt SweepOptions, n int, point func(ctx context.Context, i int) (T, error)) (SweepResult[T], error) {
+	var res SweepResult[T]
 	if n <= 0 {
-		return nil, nil
+		return res, nil
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res.Results = make([]T, n)
+	res.Done = make([]bool, n)
+	errs := make([]error, n)
+
+	// Resume pass: replay journaled points before any execution.
+	var todo []int
+	for i := 0; i < n; i++ {
+		if opt.Journal != nil {
+			if raw, ok := opt.Journal.Lookup(opt.Name, i, opt.Seed); ok {
+				if err := json.Unmarshal(raw, &res.Results[i]); err == nil {
+					res.Done[i] = true
+					res.Cached++
+					opt.progress(Progress{Sweep: opt.Name, Point: i, Total: n, Cached: true})
+					continue
+				}
+				// An undecodable cached result (result type changed
+				// shape) is treated as absent: the point re-runs.
+				var zero T
+				res.Results[i] = zero
+			}
+		}
+		todo = append(todo, i)
+	}
+
+	var executed, interrupted atomic.Int64
+	runOne := func(i int) {
+		if ctx.Err() != nil {
+			interrupted.Add(1)
+			return
+		}
+		pctx := ctx
+		var cancel context.CancelFunc
+		if opt.PointDeadline > 0 {
+			pctx, cancel = context.WithTimeout(ctx, opt.PointDeadline)
+		}
+		r, err := runPoint(pctx, i, point)
+		deadlined := cancel != nil && pctx.Err() == context.DeadlineExceeded
+		if cancel != nil {
+			cancel()
+		}
+		switch {
+		case err == nil:
+			res.Results[i] = r
+			res.Done[i] = true
+			executed.Add(1)
+			if opt.Journal != nil {
+				// An I/O failure keeps the in-memory result — the run's
+				// output is unaffected — but surfaces in the joined error
+				// so the operator knows resume coverage is incomplete. An
+				// unencodable result (NaN in a degenerate measurement) is
+				// benign: the journal skips it and a resume re-runs the
+				// point deterministically, so it is not an error at all.
+				jerr := opt.Journal.Append(opt.Name, i, opt.Seed, r)
+				if jerr != nil && !errors.Is(jerr, checkpoint.ErrUnencodableResult) {
+					errs[i] = fmt.Errorf("sweep point %d: %w", i, jerr)
+				}
+			}
+			opt.progress(Progress{Sweep: opt.Name, Point: i, Total: n, Err: errs[i]})
+		case ctx.Err() != nil:
+			// The whole sweep was interrupted while this point ran; the
+			// abort is not the point's fault, so it carries no error.
+			interrupted.Add(1)
+		case deadlined:
+			errs[i] = fmt.Errorf("sweep point %d (after %v): %w", i, opt.PointDeadline, ErrPointDeadline)
+			opt.progress(Progress{Sweep: opt.Name, Point: i, Total: n, Err: errs[i]})
+		default:
+			errs[i] = err
+			opt.progress(Progress{Sweep: opt.Name, Point: i, Total: n, Err: err})
+		}
+	}
+
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > len(todo) {
+		workers = len(todo)
 	}
-	results := make([]T, n)
-	errs := make([]error, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			results[i], errs[i] = runPoint(i, point)
+	if workers <= 1 {
+		for _, i := range todo {
+			runOne(i)
 		}
-		return results, joinPointErrors(errs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(todo) {
+						return
+					}
+					runOne(todo[k])
 				}
-				results[i], errs[i] = runPoint(i, point)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	return results, joinPointErrors(errs)
+	res.Executed = int(executed.Load())
+	res.Interrupted = int(interrupted.Load())
+
+	err := joinPointErrors(errs)
+	if ctx.Err() != nil {
+		done := res.Cached + res.Executed
+		err = errors.Join(fmt.Errorf("experiments: sweep %q interrupted with %d/%d points complete: %w",
+			opt.Name, done, n, context.Cause(ctx)), err)
+	}
+	return res, err
 }
 
 // runPoint evaluates one sweep point, converting a panic into an error
 // that carries the point index and the panicking goroutine's stack, so a
 // buggy scenario diagnoses itself instead of tearing down the sweep (and
 // with it every healthy point).
-func runPoint[T any](i int, point func(i int) (T, error)) (result T, err error) {
+func runPoint[T any](ctx context.Context, i int, point func(ctx context.Context, i int) (T, error)) (result T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sweep point %d panicked: %v\n%s", i, r, debug.Stack())
 		}
 	}()
-	result, err = point(i)
+	result, err = point(ctx, i)
 	if err != nil {
 		err = fmt.Errorf("sweep point %d: %w", i, err)
 	}

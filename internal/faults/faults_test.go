@@ -17,8 +17,8 @@ func TestConfigValidate(t *testing.T) {
 		{Burst: GilbertElliott{PGoodBad: 1.5}},
 		{Burst: GilbertElliott{PGoodBad: 0.1, LossBad: 0.5}}, // absorbing bad state
 		{Burst: GilbertElliott{LossGood: math.NaN()}},
-		{Churn: Churn{MeanUpTicks: 100}},                         // missing down mean
-		{Churn: Churn{MeanUpTicks: 0.5, MeanDownTicks: 10}},      // sub-tick sojourn
+		{Churn: Churn{MeanUpTicks: 100}},                    // missing down mean
+		{Churn: Churn{MeanUpTicks: 0.5, MeanDownTicks: 10}}, // sub-tick sojourn
 		{Churn: Churn{MeanUpTicks: math.Inf(1), MeanDownTicks: 1}},
 	}
 	for _, cfg := range bad {

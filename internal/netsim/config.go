@@ -34,6 +34,16 @@ type Config struct {
 	// lower-bound analysis assumes; the ideal path is byte-identical and
 	// allocation-identical to a build without fault support.
 	Medium Medium
+	// Stop is an optional cooperative cancellation check, consulted once
+	// at the top of every Step before any state advances. When it
+	// returns true, Step (and therefore Run) fails with ErrStopped and
+	// the simulation halts on a tick boundary with all counters
+	// consistent. The check must be cheap and allocation-free — it runs
+	// on the hot path; a closure over context.Context.Err is the
+	// intended shape. nil keeps the engine byte-for-byte and
+	// allocation-for-allocation identical to a build without
+	// cancellation support.
+	Stop func() bool
 }
 
 // withDefaults returns the config with defaults applied.

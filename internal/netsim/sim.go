@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -10,6 +11,12 @@ import (
 	"repro/internal/simrand"
 	"repro/internal/space"
 )
+
+// ErrStopped is returned by Step and Run when the scenario's
+// cooperative stop-check (Config.Stop) requested cancellation. The
+// simulation halts on a tick boundary: no partial tick is ever
+// observable, so tallies and topology stay consistent.
+var ErrStopped = errors.New("netsim: simulation stopped by cooperative cancellation")
 
 // csrAdj is an adjacency structure in compressed-sparse-row form: node
 // i's sorted neighbor list is flat[off[i]:off[i+1]]. One flat buffer per
@@ -31,7 +38,8 @@ type Sim struct {
 	grid   *space.Grid
 	model  mobility.Model
 	rngMob *rand.Rand
-	medium Medium // nil = ideal medium
+	medium Medium      // nil = ideal medium
+	stop   func() bool // nil = never cancelled
 
 	states []mobility.State
 	pos    []geom.Vec2
@@ -86,6 +94,7 @@ func New(cfg Config) (*Sim, error) {
 		model:   cfg.Model,
 		rngMob:  src.Split("mobility").Rand(),
 		medium:  cfg.Medium,
+		stop:    cfg.Stop,
 		states:  states,
 		pos:     make([]geom.Vec2, cfg.N),
 		adj:     csrAdj{off: make([]int32, cfg.N+1)},
@@ -129,8 +138,13 @@ func (s *Sim) Start() error {
 	return s.drainQueue()
 }
 
-// Step advances the simulation by one tick.
+// Step advances the simulation by one tick. When the scenario's
+// stop-check requests cancellation, Step returns ErrStopped before any
+// state advances.
 func (s *Sim) Step() error {
+	if s.stop != nil && s.stop() {
+		return ErrStopped
+	}
 	if !s.started {
 		if err := s.Start(); err != nil {
 			return err

@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mobility"
+)
+
+// mobileStopConfig is a small mobile scenario for stop-check tests.
+func mobileStopConfig() Config {
+	return Config{
+		N: 50, Side: 10, Range: 2, Dt: 0.1, Seed: 7,
+		Model: mobility.EpochRWP{Speed: 0.5, Epoch: 5},
+	}
+}
+
+// TestStopCheckNilAndFalseIdentical verifies the cooperative
+// cancellation seam is inert until it fires: a sim with no stop-check
+// and a sim whose stop-check always answers false must produce
+// identical tallies — the seam may not perturb results.
+func TestStopCheckNilAndFalseIdentical(t *testing.T) {
+	run := func(stop func() bool) Tallies {
+		cfg := mobileStopConfig()
+		cfg.Stop = stop
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Tallies()
+	}
+	base := run(nil)
+	checked := run(func() bool { return false })
+	if base != checked {
+		t.Errorf("stop-check perturbed the simulation:\nnil:   %+v\nfalse: %+v", base, checked)
+	}
+}
+
+// TestStopCheckAbortsStep verifies that a firing stop-check halts the
+// simulation with ErrStopped before any further state advances.
+func TestStopCheckAbortsStep(t *testing.T) {
+	steps := 0
+	cfg := mobileStopConfig()
+	cfg.Stop = func() bool { return steps >= 5 }
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for ; steps < 100; steps++ {
+		if err := sim.Step(); err != nil {
+			if !errors.Is(err, ErrStopped) {
+				t.Fatalf("step %d: err = %v, want ErrStopped", steps, err)
+			}
+			break
+		}
+	}
+	if steps != 5 {
+		t.Errorf("stopped after %d steps, want 5", steps)
+	}
+	now := sim.Now()
+	if err := sim.Step(); !errors.Is(err, ErrStopped) {
+		t.Fatalf("step after stop: err = %v, want ErrStopped", err)
+	}
+	if sim.Now() != now {
+		t.Error("clock advanced past a firing stop-check")
+	}
+}

@@ -187,6 +187,11 @@ func (t *Tracer) Flush() error {
 	return t.w.Flush()
 }
 
+// Close flushes the tracer; it makes a Tracer usable wherever an
+// io.Closer is expected (the underlying writer is not closed — the
+// caller owns it).
+func (t *Tracer) Close() error { return t.Flush() }
+
 // Counts reports how many link and message records were written.
 func (t *Tracer) Counts() (links, messages int64) {
 	return t.links, t.messages
@@ -205,6 +210,35 @@ func Read(r io.Reader) ([]Record, error) {
 		out = append(out, rec)
 	}
 	return out, nil
+}
+
+// ReadPartial parses a JSONL trace tolerating a torn tail: records up
+// to the first undecodable line are returned together with the count of
+// bytes discarded after them. A trace cut short by a crash or SIGKILL
+// mid-write is therefore still analyzable; a fully healthy trace
+// returns dropped == 0. Unlike Read, a decode failure is not an error.
+func ReadPartial(data []byte) (records []Record, dropped int) {
+	rest := data
+	for len(rest) > 0 {
+		nl := -1
+		for i, c := range rest {
+			if c == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			// No trailing newline: the final record was torn mid-write.
+			return records, len(rest)
+		}
+		var rec Record
+		if err := json.Unmarshal(rest[:nl], &rec); err != nil {
+			return records, len(rest)
+		}
+		records = append(records, rec)
+		rest = rest[nl+1:]
+	}
+	return records, 0
 }
 
 // Summary aggregates a parsed trace: counts per record kind and message

@@ -137,3 +137,35 @@ func TestTraceJSONShape(t *testing.T) {
 		t.Errorf("first line not a JSON record: %q", line)
 	}
 }
+
+func TestReadPartialSalvagesTornTrace(t *testing.T) {
+	full := `{"t":1,"kind":"link"}` + "\n" + `{"t":2,"kind":"message","msg":"hello"}` + "\n"
+
+	records, dropped := ReadPartial([]byte(full))
+	if len(records) != 2 || dropped != 0 {
+		t.Fatalf("clean trace: %d records, %d dropped; want 2, 0", len(records), dropped)
+	}
+
+	// A crash mid-write tears the last record.
+	torn := full[:len(full)-8]
+	records, dropped = ReadPartial([]byte(torn))
+	if len(records) != 1 {
+		t.Fatalf("torn trace salvaged %d records, want 1", len(records))
+	}
+	if dropped == 0 {
+		t.Error("torn trace reported 0 dropped bytes")
+	}
+	if records[0].Time != 1 || records[0].Kind != KindLink {
+		t.Errorf("salvaged record corrupted: %+v", records[0])
+	}
+
+	// Garbage mid-file stops the salvage there.
+	records, dropped = ReadPartial([]byte(`{"t":1,"kind":"link"}` + "\nnot json\n" + `{"t":3,"kind":"link"}` + "\n"))
+	if len(records) != 1 || dropped == 0 {
+		t.Fatalf("mid-file garbage: %d records, %d dropped; want 1 record, >0 dropped", len(records), dropped)
+	}
+
+	if records, dropped = ReadPartial(nil); len(records) != 0 || dropped != 0 {
+		t.Errorf("empty trace: %d records, %d dropped", len(records), dropped)
+	}
+}
