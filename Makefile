@@ -1,6 +1,6 @@
 # Development targets for the MANET overhead reproduction.
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check check-full difftest bench
 
 build:
 	go build ./...
@@ -14,13 +14,25 @@ vet:
 race:
 	go test -race ./...
 
-# check is the pre-merge gate: static analysis, the full test suite
-# under the race detector, and a short fuzz smoke over the checkpoint
-# journal decoder (the code path between a crash-damaged file and a
-# resumed experiment).
+# check is the pre-merge gate: static analysis, the test suite in short
+# mode under the race detector (this includes the 24-scenario
+# differential lockstep matrix and the metamorphic/conformance gates of
+# internal/difftest), and short fuzz smokes over the checkpoint journal
+# decoder and the netsim config validator.
 check:
-	go vet ./... && go test -race ./...
+	go vet ./... && go test -race -short -count=1 ./...
 	go test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint
+	go test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 5s ./internal/netsim
+
+# check-full is the CI deep gate: the whole suite — 48 lockstep
+# scenarios, full-length statistical conformance — with caching off.
+check-full:
+	go vet ./... && go test -race -count=1 ./...
+
+# difftest runs only the correctness harness (differential oracle,
+# metamorphic invariances, statistical conformance) at full size.
+difftest:
+	go test -count=1 -v ./internal/difftest/ ./internal/refsim/
 
 # bench runs every benchmark once (the reproduction scoreboard) and then
 # regenerates the machine-readable performance artifact BENCH_2.json:

@@ -101,8 +101,12 @@ func run(args []string, out io.Writer) error {
 	outPath := fs.String("out", "BENCH_2.json", "artifact path")
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 4_000, "target link events per measured point")
+	stepTicks := fs.Int("step-ticks", 2000, "ticks measured per engine-throughput loop")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *stepTicks < 1 {
+		return fmt.Errorf("-step-ticks must be positive, got %d", *stepTicks)
 	}
 
 	sha, dirty := gitRevision()
@@ -163,7 +167,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	step, err := measureStepLoop(nil)
+	step, err := measureStepLoop(nil, *stepTicks)
 	if err != nil {
 		return err
 	}
@@ -181,7 +185,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	stepFaults, err := measureStepLoop(inj)
+	stepFaults, err := measureStepLoop(inj, *stepTicks)
 	if err != nil {
 		return err
 	}
@@ -220,8 +224,9 @@ func gitRevision() (sha string, dirty bool) {
 
 // measureStepLoop times the steady-state tick loop of the scenario
 // BenchmarkSimulatorStep uses: 400 mobile nodes, 10×10 region, r = 1.5.
-// A non-nil medium runs the same loop under fault injection.
-func measureStepLoop(medium netsim.Medium) (StepResult, error) {
+// A non-nil medium runs the same loop under fault injection; ticks is
+// the measured loop length (-step-ticks — tests shrink it).
+func measureStepLoop(medium netsim.Medium, ticks int) (StepResult, error) {
 	sim, err := netsim.New(netsim.Config{
 		N: 400, Side: 10, Range: 1.5, Dt: 0.05, Seed: 1,
 		Metric: geom.MetricSquare,
@@ -239,7 +244,6 @@ func measureStepLoop(medium netsim.Medium) (StepResult, error) {
 			return StepResult{}, err
 		}
 	}
-	const ticks = 2000
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -252,8 +256,8 @@ func measureStepLoop(medium netsim.Medium) (StepResult, error) {
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&after)
 	return StepResult{
-		NsPerTick:     float64(elapsed.Nanoseconds()) / ticks,
-		AllocsPerTick: float64(after.Mallocs-before.Mallocs) / ticks,
-		BytesPerTick:  float64(after.TotalAlloc-before.TotalAlloc) / ticks,
+		NsPerTick:     float64(elapsed.Nanoseconds()) / float64(ticks),
+		AllocsPerTick: float64(after.Mallocs-before.Mallocs) / float64(ticks),
+		BytesPerTick:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ticks),
 	}, nil
 }

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRunWritesArtifact runs the whole bench pipeline once (shrunk via
+// -events and -step-ticks) and pins the artifact contract: the file is
+// valid JSON matching the Report schema, replaces any pre-existing file
+// atomically without leaving temp droppings, and pins the revision it
+// measured.
+func TestRunWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	// Pre-existing garbage must be replaced wholesale, not appended to or
+	// half-overwritten.
+	if err := os.WriteFile(out, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	if err := run([]string{"-out", out, "-events", "150", "-step-ticks", "50"}, &log); err != nil {
+		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "bench.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("output dir should hold exactly the artifact, got %v", names)
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(blob, []byte("\n")) {
+		t.Error("artifact does not end with a newline")
+	}
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("artifact is not a Report: %v", err)
+	}
+
+	if rep.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", rep.GoVersion, runtime.Version())
+	}
+	if rep.GoMaxProcs < 1 {
+		t.Errorf("go_maxprocs = %d", rep.GoMaxProcs)
+	}
+	if rep.Seed != 42 {
+		t.Errorf("seed = %d, want the default 42", rep.Seed)
+	}
+	if rep.TargetEvents != 150 {
+		t.Errorf("target_events = %g, want 150", rep.TargetEvents)
+	}
+
+	// The test binary runs inside the repository checkout, so the
+	// revision must be pinned: a full commit hash, and a dirty flag that
+	// agrees with an independent git query.
+	if !regexp.MustCompile(`^[0-9a-f]{40}$`).MatchString(rep.GitSHA) {
+		t.Errorf("git_sha = %q, want a 40-hex commit hash", rep.GitSHA)
+	}
+	if sha, dirty := gitRevision(); sha != rep.GitSHA || dirty != rep.GitDirty {
+		t.Errorf("artifact revision (%q, dirty=%v) disagrees with gitRevision() (%q, dirty=%v)",
+			rep.GitSHA, rep.GitDirty, sha, dirty)
+	}
+
+	want := map[string]bool{"fig1": true, "fig2": true, "fig3": true}
+	if len(rep.Figures) != len(want) {
+		t.Fatalf("got %d figure entries, want %d", len(rep.Figures), len(want))
+	}
+	for _, f := range rep.Figures {
+		if !want[f.Name] {
+			t.Errorf("unexpected figure entry %q", f.Name)
+		}
+		delete(want, f.Name)
+		if f.SerialMs <= 0 || f.ParallelMs <= 0 || f.Speedup <= 0 {
+			t.Errorf("%s: non-positive timing %+v", f.Name, f)
+		}
+		if !f.ParallelBitIdentical {
+			t.Errorf("%s: parallel run not bit-identical (run should have failed)", f.Name)
+		}
+	}
+
+	for name, s := range map[string]StepResult{"step": rep.Step, "step_faults": rep.StepFaults} {
+		if s.NsPerTick <= 0 {
+			t.Errorf("%s: ns_per_tick = %g", name, s.NsPerTick)
+		}
+		if s.AllocsPerTick < 0 || s.BytesPerTick < 0 {
+			t.Errorf("%s: negative allocation counters %+v", name, s)
+		}
+	}
+	if rep.SeedStep != seedStep {
+		t.Errorf("seed_step = %+v, want the baked-in baseline %+v", rep.SeedStep, seedStep)
+	}
+	if rep.StepSpeedup <= 0 || rep.FaultsOverhead <= 0 {
+		t.Errorf("derived ratios must be positive: speedup %g, faults overhead %g",
+			rep.StepSpeedup, rep.FaultsOverhead)
+	}
+	if !strings.Contains(log.String(), "wrote "+out) {
+		t.Errorf("log does not confirm the artifact path:\n%s", log.String())
+	}
+}
+
+// TestRunRejectsBadFlags pins flag validation: bad invocations must fail
+// before any measurement runs, without touching the output path.
+func TestRunRejectsBadFlags(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "never.json")
+	cases := [][]string{
+		{"-out", out, "-step-ticks", "0"},
+		{"-out", out, "-step-ticks", "-3"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted a bad invocation", args)
+		}
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Errorf("rejected invocation still touched the artifact path: %v", err)
+	}
+}

@@ -1,0 +1,154 @@
+package difftest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// conformanceNet is the deployment the statistical gates run on: a
+// mid-density point of the paper's parameter space (d ≈ 12) where
+// Figures 1–3 land, with the same v/a and r/a scales the figure sweeps
+// use.
+var conformanceNet = core.Network{N: 200, R: 1.2, V: 0.05, Density: 3}
+
+// measured bundles per-seed accumulators of the quantities the gates
+// check.
+type measured struct {
+	hello, cluster, route    metrics.Accumulator
+	boundH, boundC, boundR   metrics.Accumulator
+	headRatio, deg, linkRate metrics.Accumulator
+}
+
+// measureSeeds runs the standard measurement pipeline over independent
+// seeds, evaluating the analysis at each run's *measured* head ratio —
+// the paper's methodology ("P for LID is measured in real time during
+// the simulation"), and the same convention the figure drivers use.
+func measureSeeds(t *testing.T, seeds []uint64) measured {
+	t.Helper()
+	var acc measured
+	for _, seed := range seeds {
+		opts := experiments.DefaultOptions()
+		opts.Seed = seed
+		opts.TargetEvents = 6_000
+		opts.Workers = 1
+		m, err := experiments.MeasureRates(conformanceNet, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds, err := conformanceNet.ControlRates(m.HeadRatio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.hello.Add(m.FHello)
+		acc.cluster.Add(m.FCluster)
+		acc.route.Add(m.FRoute)
+		acc.boundH.Add(bounds.Hello)
+		acc.boundC.Add(bounds.Cluster)
+		acc.boundR.Add(bounds.Route)
+		acc.headRatio.Add(m.HeadRatio)
+		acc.deg.Add(m.MeanDegree)
+		acc.linkRate.Add(m.LinkChangeRate)
+	}
+	return acc
+}
+
+// TestRatesConformToPaperBounds is the statistical gate for Figures
+// 1–3.
+//
+// For HELLO and CLUSTER the simulated protocols are the idealized
+// event-driven ones the lower bound models, so simulation and analysis
+// estimate the same quantity: the gate is a two-sided agreement band.
+// The repository's own published figures show the simulation up to
+// ~14% below the analysis at dense operating points (square-border
+// degree model error plus time discretization; see results/fig3.csv),
+// so the band is [0.80, 1.20]×bound — a real accounting regression
+// moves these rates by integer factors.
+//
+// For ROUTE the simulated protocol genuinely does more work than the
+// bound models (a table round per intra-cluster change, not only
+// star breaks), so the gate is one-sided: the simulated rate must sit
+// at or above the closed-form lower bound — with CI95 headroom — as
+// the paper's "lower bound" claim demands.
+func TestRatesConformToPaperBounds(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	acc := measureSeeds(t, seeds)
+
+	band := func(name string, sim, bound metrics.Accumulator) {
+		ratio := sim.Mean() / bound.Mean()
+		t.Logf("%s: simulated %.4f ± %.4f, analysis %.4f (sim/analysis = %.3f)",
+			name, sim.Mean(), sim.CI95(), bound.Mean(), ratio)
+		if ratio < 0.80 || ratio > 1.20 {
+			t.Errorf("%s rate %.4f is outside the [0.80, 1.20] agreement band of the analysis %.4f",
+				name, sim.Mean(), bound.Mean())
+		}
+	}
+	band("hello", acc.hello, acc.boundH)
+	band("cluster", acc.cluster, acc.boundC)
+
+	routeSim, routeBound := acc.route, acc.boundR
+	t.Logf("route: simulated %.4f ± %.4f, analysis lower bound %.4f",
+		routeSim.Mean(), routeSim.CI95(), routeBound.Mean())
+	if routeSim.Mean()+routeSim.CI95() < routeBound.Mean() {
+		t.Errorf("route rate %.4f ± %.4f fell below the paper's lower bound %.4f",
+			routeSim.Mean(), routeSim.CI95(), routeBound.Mean())
+	}
+
+	// Claim 2: the per-node link change rate is λ = 16dv/π²r. Evaluate
+	// it at the *measured* degree so the check isolates the
+	// link-dynamics model from the neighbor-count model.
+	predicted := 16 * acc.deg.Mean() * conformanceNet.V / (math.Pi * math.Pi * conformanceNet.R)
+	if rel := math.Abs(acc.linkRate.Mean()/predicted - 1); rel > 0.15 {
+		t.Errorf("link change rate %.4f deviates %.1f%% from Claim 2's λ=16dv/π²r = %.4f",
+			acc.linkRate.Mean(), 100*rel, predicted)
+	}
+}
+
+// TestFormationHeadRatioConformsToEqn17: P ≈ 1/√(d+1) (Eqn 17)
+// describes the head ratio of a fresh LID formation — the maintained
+// ratio drifts well below it as clusters coarsen (see
+// results/head_ratio_timeline.csv) — so the gate forms clusters on
+// independent static uniform placements, exactly the Figure 5 protocol,
+// and compares against Eqn 17 at the measured mean degree. The point
+// sits at r/a = 0.03, deep in the sparse regime: the repository's own
+// Figure 5(b) data shows the independence approximation behind Eqn (16)
+// within ~1% of simulation there but already 18% high at r/a = 0.05
+// (see results/fig5b.csv), so a denser operating point would gate on
+// the approximation's known bias rather than on the simulator.
+func TestFormationHeadRatioConformsToEqn17(t *testing.T) {
+	reps := 6
+	if testing.Short() {
+		reps = 4
+	}
+	var ratio, deg metrics.Accumulator
+	for rep := 0; rep < reps; rep++ {
+		sim, err := netsim.New(netsim.Config{
+			N: 400, Side: 10, Range: 0.3, Dt: 1, Seed: 1000 + uint64(rep),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := cluster.Form(sim, cluster.LID{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio.Add(a.HeadRatio())
+		deg.Add(sim.MeanDegree())
+	}
+	want := 1 / math.Sqrt(deg.Mean()+1)
+	got := ratio.Mean()
+	tol := math.Max(3*ratio.CI95(), 0.12*want)
+	t.Logf("formation head ratio: simulated %.4f ± %.4f over %d placements, 1/√(d+1) = %.4f at measured d = %.2f (tolerance %.4f)",
+		got, ratio.CI95(), reps, want, deg.Mean(), tol)
+	if math.Abs(got-want) > tol {
+		t.Errorf("formation head ratio %.4f is outside tolerance %.4f of 1/√(d+1) = %.4f", got, tol, want)
+	}
+}

@@ -1,0 +1,157 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+)
+
+// scenarios generates the randomized lockstep matrix: count scenarios
+// with N, density, range and speed drawn from a fixed-seed rng, cycling
+// through both metrics, the mobility model families, the fault regimes
+// and both maintenance modes. Fixed seed → the matrix is identical on
+// every run, so a divergence is always reproducible by name.
+func scenarios(count, ticks int) []Scenario {
+	rng := rand.New(rand.NewSource(20060425)) // ICDCS 2006 — the paper's venue year
+	metrics := []geom.MetricKind{geom.MetricSquare, geom.MetricTorus}
+	var out []Scenario
+	for i := 0; i < count; i++ {
+		n := 8 + rng.Intn(41)          // 8..48 nodes
+		density := 1 + 3*rng.Float64() // ρ ∈ [1,4) nodes per unit area
+		side := math.Sqrt(float64(n) / density)
+		// r down to 0.12·a forces fine grids (≥ 5 cells per axis), so the
+		// windowed cell scan is exercised, not just the small-grid
+		// whole-axis fallback.
+		r := side * (0.12 + 0.3*rng.Float64()) // r ∈ [0.12,0.42)·a
+		v := 0.02 + 0.2*rng.Float64()          // distance per unit time
+		dt := r / v / 25                       // ~r/25 of travel per tick
+		seed := rng.Uint64()
+
+		s := Scenario{
+			Cfg: netsim.Config{
+				N: n, Side: side, Range: r, Dt: dt, Seed: seed,
+				Metric: metrics[i%len(metrics)],
+			},
+			Ticks: ticks,
+		}
+		switch i % 4 {
+		case 0:
+			s.NewModel = func() mobility.Model { return mobility.BCV{Speed: v} }
+		case 1:
+			epoch := 8 * dt
+			s.NewModel = func() mobility.Model { return mobility.EpochRWP{Speed: v, Epoch: epoch} }
+		case 2:
+			s.NewModel = func() mobility.Model {
+				return mobility.RandomWaypoint{MinSpeed: v / 2, MaxSpeed: 2 * v}
+			}
+		case 3:
+			// RPGM is pointer-stateful — exactly why NewModel is a
+			// factory and not a shared Model value.
+			epoch, radius, jitter := 10*dt, r/2, v/4
+			groups := 1 + n/8
+			s.NewModel = func() mobility.Model {
+				m, err := mobility.NewRPGM(groups, v, epoch, radius, jitter)
+				if err != nil {
+					panic(err)
+				}
+				return m
+			}
+		}
+		switch i % 3 {
+		case 1:
+			s.Faults = &faults.Config{Loss: 0.1 + 0.2*rng.Float64()}
+		case 2:
+			s.Faults = &faults.Config{
+				Burst: faults.GilbertElliott{
+					PGoodBad: 0.05, PBadGood: 0.3, LossGood: 0.01, LossBad: 0.7,
+				},
+				Churn: faults.Churn{MeanUpTicks: 400, MeanDownTicks: 40},
+			}
+		}
+		// Soft-state handshake mode on half the faulted scenarios and a
+		// few ideal ones, periodic HELLO on every fifth scenario.
+		s.Handshake = i%3 != 0 && i%2 == 1 || i%8 == 0
+		s.PeriodicHello = i%5 == 0
+		s.Name = name(i, s)
+		out = append(out, s)
+	}
+	return out
+}
+
+// name builds a stable, self-describing scenario label.
+func name(i int, s Scenario) string {
+	lbl := "square"
+	if s.Cfg.Metric == geom.MetricTorus {
+		lbl = "torus"
+	}
+	mode := "ideal"
+	switch {
+	case s.Faults != nil && s.Faults.Loss > 0:
+		mode = "loss"
+	case s.Faults != nil:
+		mode = "burst+churn"
+	}
+	maint := "oracle"
+	if s.Handshake {
+		maint = "handshake"
+	}
+	hello := "event"
+	if s.PeriodicHello {
+		hello = "periodic"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s-hello/n%d#%d", lbl, mode, maint, hello, s.Cfg.N, i)
+}
+
+// TestLockstepMatrix is the differential gate: ≥ 20 randomized configs
+// (24 in -short mode, 48 with more ticks otherwise) covering square and
+// torus metrics, four mobility families, ideal/lossy/bursty+churn media
+// and oracle/handshake maintenance, each run in lockstep against the
+// brute-force oracle with zero tolerated divergence.
+func TestLockstepMatrix(t *testing.T) {
+	count, ticks := 48, 120
+	if testing.Short() {
+		count, ticks = 24, 60
+	}
+	covered := map[string]bool{}
+	for _, s := range scenarios(count, ticks) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := Lockstep(s); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if s.Cfg.Metric == geom.MetricTorus {
+			covered["torus"] = true
+		} else {
+			covered["square"] = true
+		}
+		if s.Faults != nil {
+			covered["faults"] = true
+		}
+		if s.Handshake {
+			covered["handshake"] = true
+		}
+	}
+	for _, want := range []string{"square", "torus", "faults", "handshake"} {
+		if !covered[want] {
+			t.Errorf("scenario matrix lost %s coverage", want)
+		}
+	}
+}
+
+// TestLockstepRejectsBadScenario pins the harness's own input checking.
+func TestLockstepRejectsBadScenario(t *testing.T) {
+	if err := Lockstep(Scenario{Name: "no-ticks", Cfg: netsim.Config{N: 2, Side: 4, Range: 1, Dt: 1}}); err == nil {
+		t.Fatal("Lockstep accepted Ticks=0")
+	}
+	if err := Lockstep(Scenario{Name: "bad-cfg", Cfg: netsim.Config{N: 0}, Ticks: 1}); err == nil {
+		t.Fatal("Lockstep accepted an invalid config")
+	}
+}

@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+// TestGilbertElliottStationaryLoss checks the burst channel against its
+// closed-form stationary distribution: a two-state chain with
+// transition probabilities pGB, pBG spends a long-run fraction
+// πb = pGB/(pGB+pBG) of its time Bad, so the long-run loss rate is
+// (1−πb)·LossGood + πb·LossBad.
+//
+// The tolerance is set from the chain's mixing, not from i.i.d.
+// statistics: occupancy samples decorrelate over the relaxation time
+// τ = 1/(pGB+pBG) ticks, so across T ticks the effective sample count
+// is ≈ T/(2τ) and the occupancy fraction has standard deviation
+// ≈ √(πb(1−πb)·2τ/T). The gate allows 5σ on a fixed seed — loose
+// enough never to flake on the pinned stream, tight enough that a sign
+// flip, a swapped state, or a mis-keyed draw moves the rate by far
+// more.
+func TestGilbertElliottStationaryLoss(t *testing.T) {
+	ticks := int64(200_000)
+	if testing.Short() {
+		ticks = 60_000
+	}
+	cases := []struct {
+		name string
+		ge   GilbertElliott
+	}{
+		// LossGood=0, LossBad=1 makes the loss count literally the
+		// Bad-tick count, isolating the chain itself.
+		{"occupancy", GilbertElliott{PGoodBad: 0.05, PBadGood: 0.2, LossGood: 0, LossBad: 1}},
+		// Mixed per-state losses exercise the full rate formula.
+		{"mixed-loss", GilbertElliott{PGoodBad: 0.02, PBadGood: 0.1, LossGood: 0.05, LossBad: 0.8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj, err := New(Config{Burst: tc.ge})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj.Reset(2, simrand.New(0xBEEF))
+			lost := int64(0)
+			for tick := int64(1); tick <= ticks; tick++ {
+				inj.Advance(tick)
+				if !inj.Deliver(tick, 0, 1) {
+					lost++
+				}
+			}
+			pib := tc.ge.PGoodBad / (tc.ge.PGoodBad + tc.ge.PBadGood)
+			want := (1-pib)*tc.ge.LossGood + pib*tc.ge.LossBad
+			got := float64(lost) / float64(ticks)
+			tau := 1 / (tc.ge.PGoodBad + tc.ge.PBadGood)
+			sigma := math.Sqrt(pib * (1 - pib) * 2 * tau / float64(ticks))
+			// Per-state loss randomness adds at most Bernoulli variance on
+			// top of occupancy variance; fold it in.
+			sigma += math.Sqrt(want * (1 - want) / float64(ticks))
+			tol := 5 * sigma
+			t.Logf("loss rate %.5f over %d ticks, stationary prediction %.5f (πb = %.4f, tol %.5f)",
+				got, ticks, want, pib, tol)
+			if math.Abs(got-want) > tol {
+				t.Errorf("loss rate %.5f deviates from the stationary prediction %.5f by more than %.5f",
+					got, want, tol)
+			}
+		})
+	}
+}
+
+// TestGilbertElliottBurstLength checks the time-correlation the channel
+// exists to provide: with LossBad=1 and LossGood=0, maximal runs of
+// consecutive lost ticks are exactly Bad sojourns, which are geometric
+// with mean 1/pBG. A channel that drew i.i.d. losses at the right rate
+// would pass the stationary test yet fail here with mean run length
+// ≈ 1/(1−loss) ≈ 1.25.
+func TestGilbertElliottBurstLength(t *testing.T) {
+	ticks := int64(200_000)
+	if testing.Short() {
+		ticks = 60_000
+	}
+	ge := GilbertElliott{PGoodBad: 0.05, PBadGood: 0.2, LossGood: 0, LossBad: 1}
+	inj, err := New(Config{Burst: ge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Reset(2, simrand.New(0xF00D))
+	var runs, lostTicks int64
+	inBurst := false
+	for tick := int64(1); tick <= ticks; tick++ {
+		inj.Advance(tick)
+		if !inj.Deliver(tick, 0, 1) {
+			lostTicks++
+			if !inBurst {
+				runs++
+				inBurst = true
+			}
+		} else {
+			inBurst = false
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no loss bursts observed at all")
+	}
+	got := float64(lostTicks) / float64(runs)
+	want := 1 / ge.PBadGood
+	// Geometric run lengths have sd √(1−p)/p; the mean over `runs`
+	// bursts gets 5σ of slack on the pinned stream.
+	tol := 5 * math.Sqrt(1-ge.PBadGood) / ge.PBadGood / math.Sqrt(float64(runs))
+	t.Logf("mean burst length %.3f over %d bursts, geometric prediction %.3f (tol %.3f)", got, runs, want, tol)
+	if math.Abs(got-want) > tol {
+		t.Errorf("mean burst length %.3f deviates from 1/p(bad→good) = %.3f by more than %.3f", got, want, tol)
+	}
+}

@@ -131,6 +131,25 @@ func (t Tallies) Of(kind MsgKind) Tally {
 	return t.byKind[int(kind)-1]
 }
 
+// Record tallies one accepted broadcast of the given kind, mirroring what
+// Sim.Broadcast does internally. It exists so an independent engine (the
+// refsim differential oracle) can keep a Tallies snapshot that is
+// comparable field-for-field with the optimized engine's. Unknown kinds
+// are ignored and reported as false; callers count them in Invalid.
+func (t *Tallies) Record(kind MsgKind, bits float64, border bool) bool {
+	idx := int(kind) - 1
+	if idx < 0 || idx >= numMsgKinds {
+		return false
+	}
+	t.byKind[idx].Msgs++
+	t.byKind[idx].Bits += bits
+	if border {
+		t.byKindBorder[idx].Msgs++
+		t.byKindBorder[idx].Bits += bits
+	}
+	return true
+}
+
 // BorderOf returns the border-flagged portion of a kind's tally.
 func (t Tallies) BorderOf(kind MsgKind) Tally {
 	return t.byKindBorder[int(kind)-1]

@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzConfigValidate drives Config.Validate and the constructor with
+// arbitrary scenario parameters. The contract under test:
+//
+//   - Validate never panics and never accepts a non-finite or
+//     non-positive geometry — NaN compares false against every bound,
+//     so a naive sign check would wave it through and the failure would
+//     surface later as an index panic deep inside the spatial grid;
+//   - Validate and New agree: New fails exactly when Validate does, so
+//     there is no constructor path around the checks;
+//   - every config Validate accepts actually runs: New + Start + a few
+//     Steps complete without a panic and with finite positions.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(32, 4.0, 1.0, 0.1, uint64(42), uint8(0))
+	f.Add(1, 1.0, 0.5, 1.0, uint64(0), uint8(1))
+	f.Add(0, 10.0, 1.0, 0.1, uint64(7), uint8(0))           // no nodes
+	f.Add(-5, 10.0, 1.0, 0.1, uint64(7), uint8(1))          // negative nodes
+	f.Add(16, math.NaN(), 1.0, 0.1, uint64(3), uint8(0))    // NaN side
+	f.Add(16, 10.0, math.Inf(1), 0.1, uint64(3), uint8(1))  // +Inf range
+	f.Add(16, 10.0, 1.0, math.Inf(-1), uint64(3), uint8(0)) // -Inf dt
+	f.Add(16, -2.0, 1.0, 0.1, uint64(3), uint8(1))          // negative side
+	f.Add(16, 10.0, 0.0, 0.1, uint64(3), uint8(0))          // zero range
+	f.Add(16, 10.0, 1e-300, 1e-300, uint64(3), uint8(1))    // denormal-scale geometry
+	f.Add(8, 1e9, 1e-3, 1.0, uint64(9), uint8(0))           // grid cell-count cap territory
+
+	f.Fuzz(func(t *testing.T, n int, side, rng, dt float64, seed uint64, metricBit uint8) {
+		metric := geom.MetricSquare
+		if metricBit%2 == 1 {
+			metric = geom.MetricTorus
+		}
+		cfg := Config{N: n, Side: side, Range: rng, Dt: dt, Seed: seed, Metric: metric}
+
+		verr := cfg.Validate()
+		bad := n < 1 ||
+			math.IsNaN(side) || math.IsInf(side, 0) || side <= 0 ||
+			math.IsNaN(rng) || math.IsInf(rng, 0) || rng <= 0 ||
+			math.IsNaN(dt) || math.IsInf(dt, 0) || dt <= 0
+		if bad && verr == nil {
+			t.Fatalf("Validate accepted a bad config: %+v", cfg)
+		}
+		if !bad && verr != nil {
+			t.Fatalf("Validate rejected a good config %+v: %v", cfg, verr)
+		}
+
+		// Keep the engine run bounded: huge node counts and extreme
+		// side/range ratios only change allocation size, not the
+		// validation logic under test here.
+		runnable := verr == nil && n <= 128 && side/rng <= 256 && rng/side <= 256
+		sim, nerr := New(cfg)
+		if (nerr == nil) != (verr == nil) {
+			t.Fatalf("New and Validate disagree on %+v: new=%v validate=%v", cfg, nerr, verr)
+		}
+		if !runnable || nerr != nil {
+			return
+		}
+		if err := sim.Start(); err != nil {
+			t.Fatalf("Start failed on a validated config %+v: %v", cfg, err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := sim.Step(); err != nil {
+				t.Fatalf("Step %d failed on a validated config %+v: %v", i, cfg, err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			p := sim.Position(NodeID(i))
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || p.X < 0 || p.Y < 0 || p.X > side || p.Y > side {
+				t.Fatalf("node %d left the region or went NaN: %+v under %+v", i, p, cfg)
+			}
+		}
+	})
+}

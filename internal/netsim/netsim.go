@@ -48,6 +48,13 @@ const (
 	numMsgKinds = int(MsgData)
 )
 
+// KindValid reports whether k is one of the engine's message kinds —
+// the same acceptance test Sim.Broadcast applies before tallying.
+func KindValid(k MsgKind) bool {
+	idx := int(k) - 1
+	return idx >= 0 && idx < numMsgKinds
+}
+
 // String implements fmt.Stringer.
 func (k MsgKind) String() string {
 	switch k {

@@ -1,0 +1,154 @@
+package refsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+)
+
+// TestAdjacencyMatchesMetric checks the one property the reference
+// engine is trusted for: node j is a neighbor of node i exactly when
+// their metric distance is within range, rows are sorted ascending and
+// the relation is symmetric.
+func TestAdjacencyMatchesMetric(t *testing.T) {
+	for _, kind := range []geom.MetricKind{geom.MetricSquare, geom.MetricTorus} {
+		cfg := netsim.Config{
+			N: 60, Side: 8, Range: 1.7, Dt: 0.1, Seed: 11,
+			Metric: kind,
+			Model:  mobility.BCV{Speed: 0.2},
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metric, err := geom.NewMetric(kind, cfg.Side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 25; step++ {
+			for i := 0; i < cfg.N; i++ {
+				row := s.Neighbors(netsim.NodeID(i))
+				for k := 1; k < len(row); k++ {
+					if row[k-1] >= row[k] {
+						t.Fatalf("%v step %d: row %d not strictly ascending: %v", kind, step, i, row)
+					}
+				}
+				for j := 0; j < cfg.N; j++ {
+					if i == j {
+						continue
+					}
+					within := metric.Dist2(s.Position(netsim.NodeID(i)), s.Position(netsim.NodeID(j))) <= cfg.Range*cfg.Range
+					if got := s.IsNeighbor(netsim.NodeID(i), netsim.NodeID(j)); got != within {
+						t.Fatalf("%v step %d: adjacency(%d,%d)=%v, metric says %v", kind, step, i, j, got, within)
+					}
+					if s.IsNeighbor(netsim.NodeID(i), netsim.NodeID(j)) != s.IsNeighbor(netsim.NodeID(j), netsim.NodeID(i)) {
+						t.Fatalf("%v step %d: adjacency not symmetric at (%d,%d)", kind, step, i, j)
+					}
+				}
+			}
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestLIDRerunSatisfiesInvariants re-runs the Lowest-ID formation from
+// scratch against the reference topology every tick — the brute-force
+// clustering oracle — and requires P1/P2 to hold by construction.
+func TestLIDRerunSatisfiesInvariants(t *testing.T) {
+	s, err := New(netsim.Config{
+		N: 50, Side: 8, Range: 1.6, Dt: 0.1, Seed: 3,
+		Model: mobility.EpochRWP{Speed: 0.3, Epoch: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 30; step++ {
+		a, err := cluster.Form(s, cluster.LID{})
+		if err != nil {
+			t.Fatalf("step %d: formation: %v", step, err)
+		}
+		if err := a.Check(s); err != nil {
+			t.Fatalf("step %d: fresh LID formation violates invariants: %v", step, err)
+		}
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBroadcastAcceptanceRules pins the Invalid/Suppressed accounting:
+// bad senders and unknown kinds are Invalid, broadcasts from crashed
+// nodes are Suppressed, and neither reaches the queue.
+func TestBroadcastAcceptanceRules(t *testing.T) {
+	inj, err := faults.New(faults.Config{Churn: faults.Churn{MeanUpTicks: 1, MeanDownTicks: 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(netsim.Config{N: 4, Side: 5, Range: 3, Dt: 1, Seed: 1, Medium: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.Broadcast(netsim.Message{Kind: netsim.MsgHello, From: -1})
+	s.Broadcast(netsim.Message{Kind: netsim.MsgKind(99), From: 0})
+	w := s.Tallies()
+	if w.Invalid != 2 {
+		t.Fatalf("Invalid = %v, want 2", w.Invalid)
+	}
+	// Advance until churn crashes some node, then broadcast from it.
+	for step := 0; step < 50; step++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		crashed := netsim.NodeID(-1)
+		for i := 0; i < s.NumNodes(); i++ {
+			if !inj.Alive(netsim.NodeID(i)) {
+				crashed = netsim.NodeID(i)
+				break
+			}
+		}
+		if crashed >= 0 {
+			before := s.Tallies().Suppressed
+			s.Broadcast(netsim.Message{Kind: netsim.MsgHello, From: crashed, Bits: 8})
+			if got := s.Tallies().Suppressed; got != before+1 {
+				t.Fatalf("Suppressed = %v, want %v", got, before+1)
+			}
+			return
+		}
+	}
+	t.Fatal("churn never crashed a node within 50 ticks")
+}
+
+// TestStopCheck verifies the cooperative cancellation seam mirrors the
+// optimized engine: Step fails with netsim.ErrStopped before any state
+// advances.
+func TestStopCheck(t *testing.T) {
+	stopped := false
+	s, err := New(netsim.Config{
+		N: 5, Side: 5, Range: 2, Dt: 1, Seed: 1,
+		Stop: func() bool { return stopped },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Now()
+	stopped = true
+	if err := s.Step(); !errors.Is(err, netsim.ErrStopped) {
+		t.Fatalf("Step under cancellation = %v, want ErrStopped", err)
+	}
+	if s.Now() != before {
+		t.Fatal("cancelled Step advanced simulation time")
+	}
+}

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// goldenSchemas pins the header row — and with it the column count and
+// order — of every published CSV under results/. Downstream notebooks
+// and the paper's figure scripts address columns by these names, so a
+// renamed or reordered column is a breaking change that must show up in
+// review as an explicit golden update, not slip through as a "refactor".
+var goldenSchemas = map[string][]string{
+	"fig1.csv": {"r/a", "f_hello analysis", "f_hello simulation",
+		"f_cluster analysis", "f_cluster simulation", "f_route analysis", "f_route simulation"},
+	"fig2.csv": {"v/a", "f_hello analysis", "f_hello simulation",
+		"f_cluster analysis", "f_cluster simulation", "f_route analysis", "f_route simulation"},
+	"fig3.csv": {"density (nodes per unit area)", "f_hello analysis", "f_hello simulation",
+		"f_cluster analysis", "f_cluster simulation", "f_route analysis", "f_route simulation"},
+	"fig4a.csv": {"d+1", "(1-P)^(d+1) at fixed point"},
+	"fig4b.csv": {"d+1", "P from Eqn (16)", "P = 1/sqrt(d+1) (Eqn 17)"},
+	"fig5a.csv": {"network size N", "analysis (N·P from Eqn 16)", "simulation (LID formation)"},
+	"fig5b.csv": {"r/a", "analysis (N·P from Eqn 16)", "simulation (LID formation)"},
+	"ablation_border.csv": {"r/a", "analysis λ (Claim 2)",
+		"simulation, border excluded", "simulation, border included"},
+	"ablation_torus.csv": {"r/a", "analysis d, square (Miller)", "simulation d, square",
+		"analysis d, torus (πρr²)", "simulation d, torus"},
+	"degradation.csv": {"loss rate p", "f_cluster analysis", "f_cluster simulation",
+		"f_route simulation", "drop rate", "repair mean (ticks)", "repair max (ticks)",
+		"violated node fraction"},
+	"head_ratio_timeline.csv": {"time / E[link lifetime]", "P(t) simulation",
+		"formation P (Eqn 16)", "equilibrium P (measured)"},
+}
+
+// TestResultsSchemas checks every results/*.csv against its golden
+// header and requires every data row to be rectangular and numeric —
+// the minimal promise a plotting script relies on.
+func TestResultsSchemas(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("results", "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no CSVs under results/ — wrong working directory?")
+	}
+
+	seen := map[string]bool{}
+	for _, path := range files {
+		name := filepath.Base(path)
+		seen[name] = true
+		t.Run(name, func(t *testing.T) {
+			want, ok := goldenSchemas[name]
+			if !ok {
+				t.Fatalf("results/%s has no golden schema — add it to goldenSchemas", name)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			rows, err := csv.NewReader(f).ReadAll()
+			if err != nil {
+				t.Fatalf("not parseable CSV: %v", err)
+			}
+			if len(rows) < 2 {
+				t.Fatalf("only %d rows — a published figure needs a header and data", len(rows))
+			}
+			if !slices.Equal(rows[0], want) {
+				t.Errorf("header changed:\n got %q\nwant %q", rows[0], want)
+			}
+			for i, row := range rows[1:] {
+				if len(row) != len(want) {
+					t.Fatalf("data row %d has %d columns, header has %d", i+1, len(row), len(want))
+				}
+				for j, cell := range row {
+					if _, err := strconv.ParseFloat(strings.TrimSpace(cell), 64); err != nil {
+						t.Fatalf("row %d column %q is not numeric: %q", i+1, want[j], cell)
+					}
+				}
+			}
+		})
+	}
+	for name := range goldenSchemas {
+		if !seen[name] {
+			t.Errorf("golden schema for %s has no file under results/ — regenerate or drop the golden", name)
+		}
+	}
+}
