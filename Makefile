@@ -1,6 +1,6 @@
 # Development targets for the MANET overhead reproduction.
 
-.PHONY: build test vet race check check-full difftest bench
+.PHONY: build test vet race check check-full chaos difftest bench
 
 build:
 	go build ./...
@@ -18,16 +18,27 @@ race:
 # mode under the race detector (this includes the 24-scenario
 # differential lockstep matrix and the metamorphic/conformance gates of
 # internal/difftest), and short fuzz smokes over the checkpoint journal
-# decoder and the netsim config validator.
+# decoder, the netsim config validator, the pending-delivery queue and
+# the faults config validator.
 check:
 	go vet ./... && go test -race -short -count=1 ./...
 	go test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint
 	go test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 5s ./internal/netsim
+	go test -run '^$$' -fuzz FuzzPendingQueue -fuzztime 5s ./internal/netsim
+	go test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 5s ./internal/faults
 
 # check-full is the CI deep gate: the whole suite — 48 lockstep
 # scenarios, full-length statistical conformance — with caching off.
 check-full:
 	go vet ./... && go test -race -count=1 ./...
+
+# chaos is the convergence-SLO soak: the randomized pathology matrix
+# (loss + delay/jitter + duplication + moving partitions) under the race
+# detector, demanding that every partition heal reaches cluster and
+# route convergence before the next onset. Short mode keeps it a quick
+# focused gate; check-full runs the full matrix as part of the suite.
+chaos:
+	go test -race -short -count=1 -run TestChaosConvergence -v ./internal/experiments
 
 # difftest runs only the correctness harness (differential oracle,
 # metamorphic invariances, statistical conformance) at full size.
@@ -35,11 +46,13 @@ difftest:
 	go test -count=1 -v ./internal/difftest/ ./internal/refsim/
 
 # bench runs every benchmark once (the reproduction scoreboard) and then
-# regenerates the machine-readable performance artifact BENCH_2.json:
+# regenerates the machine-readable performance artifact BENCH_3.json:
 # Figure 1–3 wall-clock serial vs parallel, mean-rel-gap, and the
 # steady-state tick-loop throughput vs the growth seed — on the ideal
-# medium and with the fault injector enabled. BENCH_1.json is the
-# preserved artifact of the previous revision.
+# medium, with loss+churn faults, and with the full delivery pipeline
+# (delay/jitter + duplication + partition) to confirm the pending queue
+# keeps the tick loop zero-alloc. BENCH_1.json and BENCH_2.json are the
+# preserved artifacts of previous revisions.
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x .
-	go run ./cmd/bench -out BENCH_2.json
+	go run ./cmd/bench -out BENCH_3.json

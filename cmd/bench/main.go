@@ -1,5 +1,5 @@
 // Command bench measures the performance envelope of the simulator and
-// the sweep engine and writes a machine-readable artifact (BENCH_2.json
+// the sweep engine and writes a machine-readable artifact (BENCH_3.json
 // by default):
 //
 //   - wall-clock time of Figures 1–3 computed serially (-workers 1) and
@@ -7,13 +7,16 @@
 //     mean-rel-gap agreement metric, and whether the parallel run was
 //     bit-identical to the serial one (it must be);
 //   - steady-state engine throughput: ns, heap allocations and heap
-//     bytes per tick of a 400-node mobile network, measured both on the
-//     ideal medium (must stay zero-alloc) and with the fault injector
-//     enabled (loss + churn), quantifying what fault injection costs.
+//     bytes per tick of a 400-node mobile network, measured on the
+//     ideal medium (must stay zero-alloc), with the fault injector
+//     enabled (loss + churn), and with the full delivery pipeline
+//     (loss + delay/jitter + duplication + a moving partition) — the
+//     last confirming the pending-delivery queue keeps the tick loop
+//     zero-alloc even when every frame is parked and re-released.
 //
 // Usage:
 //
-//	bench -out BENCH_2.json -events 4000
+//	bench -out BENCH_3.json -events 4000
 package main
 
 import (
@@ -81,12 +84,19 @@ type Report struct {
 	// StepFaults is the same tick loop with the fault injector enabled
 	// (20% Bernoulli loss + node churn); the ratio to Step is the cost of
 	// fault injection on the hot path.
-	StepFaults     StepResult `json:"step_faults"`
-	SeedStep       StepResult `json:"seed_step"`
-	StepSpeedup    float64    `json:"step_speedup_vs_seed"`
-	AllocReduction float64    `json:"step_alloc_reduction_vs_seed"`
-	// FaultsOverhead is StepFaults.NsPerTick / Step.NsPerTick.
-	FaultsOverhead float64 `json:"step_faults_overhead"`
+	StepFaults StepResult `json:"step_faults"`
+	// StepFaultsDelay is the tick loop under the full delivery pipeline
+	// (loss + delay/jitter + duplication + a moving partition): every
+	// delivery transits the bounded pending queue, so this row proves
+	// the parked/re-released path stays zero-alloc in steady state.
+	StepFaultsDelay StepResult `json:"step_faults_delay"`
+	SeedStep        StepResult `json:"seed_step"`
+	StepSpeedup     float64    `json:"step_speedup_vs_seed"`
+	AllocReduction  float64    `json:"step_alloc_reduction_vs_seed"`
+	// FaultsOverhead is StepFaults.NsPerTick / Step.NsPerTick;
+	// PipelineOverhead is StepFaultsDelay.NsPerTick / Step.NsPerTick.
+	FaultsOverhead   float64 `json:"step_faults_overhead"`
+	PipelineOverhead float64 `json:"step_faults_delay_overhead"`
 }
 
 func main() {
@@ -98,7 +108,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	outPath := fs.String("out", "BENCH_2.json", "artifact path")
+	outPath := fs.String("out", "BENCH_3.json", "artifact path")
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 4_000, "target link events per measured point")
 	stepTicks := fs.Int("step-ticks", 2000, "ticks measured per engine-throughput loop")
@@ -193,6 +203,28 @@ func run(args []string, out io.Writer) error {
 	rep.FaultsOverhead = stepFaults.NsPerTick / step.NsPerTick
 	fmt.Fprintf(out, "step+faults (loss 0.2, churn 2000:200): %.0f ns/tick, %.1f allocs/tick, %.0f B/tick (%.2fx ideal)\n",
 		stepFaults.NsPerTick, stepFaults.AllocsPerTick, stepFaults.BytesPerTick, rep.FaultsOverhead)
+
+	// The delivery-pipeline row: delay/jitter park every frame in the
+	// pending queue, duplication doubles a twentieth of them, and a
+	// moving partition churns the adjacency — the worst case for the
+	// parked-delivery path.
+	injDelay, err := faults.New(faults.Config{
+		Loss:      0.05,
+		Delay:     faults.Delay{BaseTicks: 1, JitterTicks: 3},
+		DupProb:   0.05,
+		Partition: faults.Partition{PeriodTicks: 240, DurationTicks: 40},
+	})
+	if err != nil {
+		return err
+	}
+	stepDelay, err := measureStepLoop(injDelay, *stepTicks)
+	if err != nil {
+		return err
+	}
+	rep.StepFaultsDelay = stepDelay
+	rep.PipelineOverhead = stepDelay.NsPerTick / step.NsPerTick
+	fmt.Fprintf(out, "step+pipeline (loss 0.05, delay 1+u·3, dup 0.05, partition 240:40): %.0f ns/tick, %.1f allocs/tick, %.0f B/tick (%.2fx ideal)\n",
+		stepDelay.NsPerTick, stepDelay.AllocsPerTick, stepDelay.BytesPerTick, rep.PipelineOverhead)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -98,7 +98,9 @@ func TestRunWritesArtifact(t *testing.T) {
 		}
 	}
 
-	for name, s := range map[string]StepResult{"step": rep.Step, "step_faults": rep.StepFaults} {
+	for name, s := range map[string]StepResult{
+		"step": rep.Step, "step_faults": rep.StepFaults, "step_faults_delay": rep.StepFaultsDelay,
+	} {
 		if s.NsPerTick <= 0 {
 			t.Errorf("%s: ns_per_tick = %g", name, s.NsPerTick)
 		}
@@ -109,9 +111,9 @@ func TestRunWritesArtifact(t *testing.T) {
 	if rep.SeedStep != seedStep {
 		t.Errorf("seed_step = %+v, want the baked-in baseline %+v", rep.SeedStep, seedStep)
 	}
-	if rep.StepSpeedup <= 0 || rep.FaultsOverhead <= 0 {
-		t.Errorf("derived ratios must be positive: speedup %g, faults overhead %g",
-			rep.StepSpeedup, rep.FaultsOverhead)
+	if rep.StepSpeedup <= 0 || rep.FaultsOverhead <= 0 || rep.PipelineOverhead <= 0 {
+		t.Errorf("derived ratios must be positive: speedup %g, faults overhead %g, pipeline overhead %g",
+			rep.StepSpeedup, rep.FaultsOverhead, rep.PipelineOverhead)
 	}
 	if !strings.Contains(log.String(), "wrote "+out) {
 		t.Errorf("log does not confirm the artifact path:\n%s", log.String())

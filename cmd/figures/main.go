@@ -10,7 +10,7 @@
 //
 // Figure ids: 1, 2, 3 (frequency validations), 4 (LID approximation),
 // 5 (cluster counts), 6 (Knuth Θ-order table), 7 (ablations),
-// 8 (overhead degradation vs loss rate).
+// 8 (overhead degradation vs loss rate), 9 (partition-heal recovery).
 //
 // A sweep point that fails (or panics) does not abort the run: the
 // remaining points complete, partial figures are still rendered, and the
@@ -62,7 +62,7 @@ type fingerprintConfig struct {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.Int("fig", 0, "figure to regenerate (0 = all; 1-5 paper figures, 6 Knuth table, 7 ablations, 8 loss degradation)")
+	fig := fs.Int("fig", 0, "figure to regenerate (0 = all; 1-5 paper figures, 6 Knuth table, 7 ablations, 8 loss degradation, 9 partition recovery)")
 	outDir := fs.String("out", "", "directory for CSV output (empty = none)")
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 40_000, "target link events per measured point")
@@ -200,6 +200,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		f, err := experiments.Figure8(opts)
 		if err := render("degradation", f, err); err != nil {
 			return fmt.Errorf("figure 8 (partial results above): %w", err)
+		}
+	}
+	if want(9) {
+		f, err := experiments.Figure9(opts)
+		if err := render("recovery", f, err); err != nil {
+			return fmt.Errorf("figure 9 (partial results above): %w", err)
 		}
 	}
 	return nil

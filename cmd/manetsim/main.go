@@ -6,14 +6,19 @@
 //
 //	manetsim -n 400 -r 1.5 -v 0.05 -density 4 -policy lid -mobility epoch-rwp
 //
-// With -loss and/or -churn the scenario instead runs under deterministic
-// fault injection with the hardened protocol stack (JOIN/ACK handshake
-// maintenance, soft-state routing tables, per-tick invariant auditor)
-// and reports overhead inflation and invariant time-to-repair:
+// With any of -loss, -churn, -delay, -jitter, -dup or -partition the
+// scenario instead runs under deterministic fault injection with the
+// hardened protocol stack (JOIN/ACK handshake maintenance, soft-state
+// routing tables, sequence-numbered control messages, per-tick
+// invariant auditor) and reports overhead inflation and invariant
+// time-to-repair:
 //
 //	manetsim -loss 0.2                 # 20% Bernoulli delivery loss
 //	manetsim -churn 400:40             # crash/recover, mean 400 ticks up / 40 down
-//	manetsim -loss 0.1 -churn 800:80   # both
+//	manetsim -delay 1 -jitter 3        # park frames 1 + u·3 ticks (reordering)
+//	manetsim -dup 0.1                  # duplicate 10% of deliveries
+//	manetsim -partition 240:40         # sever a moving cut 40 of every 240 ticks
+//	manetsim -loss 0.1 -churn 800:80   # any combination composes
 package main
 
 import (
@@ -62,6 +67,8 @@ type scenarioFingerprint struct {
 	Border              bool
 	Loss                float64
 	Churn               string
+	Delay, Jitter, Dup  float64
+	Partition           string
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -80,6 +87,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	traceFile := fs.String("trace", "", "write a JSONL event trace of a 20-time-unit run to this file")
 	loss := fs.Float64("loss", 0, "Bernoulli delivery-loss probability p ∈ [0,1) (enables fault injection)")
 	churn := fs.String("churn", "", "node crash/recover schedule as meanUpTicks:meanDownTicks, e.g. 400:40")
+	delay := fs.Float64("delay", 0, "per-delivery latency floor in ticks (enables fault injection)")
+	jitter := fs.Float64("jitter", 0, "uniform jitter width in ticks added to -delay; jittered frames reorder")
+	dup := fs.Float64("dup", 0, "per-delivery duplication probability p ∈ [0,1)")
+	partition := fs.String("partition", "", "periodic moving-cut partition as periodTicks:durationTicks, e.g. 240:40")
 	ckpt := fs.String("checkpoint", "", "journal the completed measurement to this file (crash-safe; see -resume)")
 	resume := fs.Bool("resume", false, "resume from an existing -checkpoint journal instead of refusing to overwrite it")
 	pointTimeout := fs.Duration("point-timeout", 0, "abort the measurement if it runs longer than this (0 = no limit)")
@@ -91,13 +102,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := net.Validate(); err != nil {
 		return err
 	}
-	fcfg := faults.Config{Loss: *loss}
+	fcfg := faults.Config{
+		Loss:    *loss,
+		Delay:   faults.Delay{BaseTicks: *delay, JitterTicks: *jitter},
+		DupProb: *dup,
+	}
 	if *churn != "" {
 		c, err := parseChurn(*churn)
 		if err != nil {
 			return err
 		}
 		fcfg.Churn = c
+	}
+	if *partition != "" {
+		p, err := parsePartition(*partition)
+		if err != nil {
+			return err
+		}
+		fcfg.Partition = p
 	}
 	if err := fcfg.Validate(); err != nil {
 		return err
@@ -162,6 +184,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Policy: *policy, Mob: *mob, Metric: *metric,
 			Seed: *seed, Events: *events, Border: *border,
 			Loss: *loss, Churn: *churn,
+			Delay: *delay, Jitter: *jitter, Dup: *dup, Partition: *partition,
 		})
 		if err != nil {
 			return err
@@ -215,6 +238,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return nil
 }
 
+// parsePartition parses a "periodTicks:durationTicks" flag value.
+func parsePartition(s string) (faults.Partition, error) {
+	var p faults.Partition
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return p, fmt.Errorf("partition must be periodTicks:durationTicks, got %q", s)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &p.PeriodTicks); err != nil {
+		return p, fmt.Errorf("partition period ticks %q: %w", parts[0], err)
+	}
+	if _, err := fmt.Sscanf(parts[1], "%d", &p.DurationTicks); err != nil {
+		return p, fmt.Errorf("partition duration ticks %q: %w", parts[1], err)
+	}
+	return p, nil
+}
+
 // parseChurn parses a "meanUpTicks:meanDownTicks" flag value.
 func parseChurn(s string) (faults.Churn, error) {
 	var c faults.Churn
@@ -265,8 +304,10 @@ func runFaulty(ctx context.Context, out io.Writer, net core.Network, fcfg faults
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "fault injection: loss=%g churn=%+v (seed %d)\n", fcfg.Loss, fcfg.Churn, opts.Seed)
-	fmt.Fprintf(out, "hardened stack: handshake maintenance, soft-state routing, invariant auditor\n\n")
+	fmt.Fprintf(out, "fault injection: loss=%g churn=%+v delay=%g+u·%g dup=%g partition=%+v (seed %d)\n",
+		fcfg.Loss, fcfg.Churn, fcfg.Delay.BaseTicks, fcfg.Delay.JitterTicks,
+		fcfg.DupProb, fcfg.Partition, opts.Seed)
+	fmt.Fprintf(out, "hardened stack: handshake maintenance, soft-state routing, sequenced control messages, invariant auditor\n\n")
 	table := metrics.RenderTable(
 		[]string{"quantity", "simulation", "ideal-medium analysis"},
 		[][]string{

@@ -7,7 +7,11 @@
 //
 //	overhead -n 400 -r 1.5 -v 0.05 -density 4 [-p 0.2]
 //
-// When -p is omitted the LID head ratio from Eqn (16) is used.
+// When -p is omitted the LID head ratio from Eqn (16) is used. The
+// fault-pipeline flags (-loss, -delay, -jitter, -dup, -partition) are
+// validated through faults.Config and append analytic summaries of the
+// configured pathologies (retransmission factor, mean latency,
+// duplication factor, partition duty cycle) to the report.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 )
 
@@ -41,6 +46,10 @@ func run(args []string, out io.Writer) (err error) {
 	routeBits := fs.Float64("route-bits", core.DefaultMessageSizes.RouteEntry, "routing table entry size (bits)")
 	optimize := fs.Bool("optimize", false, "also report the overhead-optimal head ratio and parameter elasticities")
 	loss := fs.Float64("loss", 0, "delivery-loss probability p ∈ [0,1): also report loss-adjusted CLUSTER rate (JOIN/ACK retransmissions)")
+	delay := fs.Float64("delay", 0, "per-delivery latency floor in ticks: also report the analytic fault-pipeline summary")
+	jitter := fs.Float64("jitter", 0, "uniform jitter width in ticks added to -delay")
+	dup := fs.Float64("dup", 0, "per-delivery duplication probability p ∈ [0,1)")
+	partition := fs.String("partition", "", "periodic moving-cut partition as periodTicks:durationTicks, e.g. 240:40")
 	outPath := fs.String("out", "", "also write the report to this file (written atomically)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +68,22 @@ func run(args []string, out io.Writer) (err error) {
 
 	net := core.Network{N: *n, R: *r, V: *v, Density: *density}
 	if err := net.Validate(); err != nil {
+		return err
+	}
+	// The fault-pipeline flags share faults.Config's validation, so the
+	// CLI rejects exactly the shapes the injector would.
+	fcfg := faults.Config{
+		Loss:    *loss,
+		Delay:   faults.Delay{BaseTicks: *delay, JitterTicks: *jitter},
+		DupProb: *dup,
+	}
+	if *partition != "" {
+		if _, err := fmt.Sscanf(*partition, "%d:%d",
+			&fcfg.Partition.PeriodTicks, &fcfg.Partition.DurationTicks); err != nil {
+			return fmt.Errorf("partition must be periodTicks:durationTicks, got %q: %w", *partition, err)
+		}
+	}
+	if err := fcfg.Validate(); err != nil {
 		return err
 	}
 	headRatio := *p
@@ -124,6 +149,19 @@ func run(args []string, out io.Writer) (err error) {
 		fmt.Fprintf(out, "\nloss-adjusted CLUSTER rate at p=%g:        %.5g (×%.3f JOIN/ACK retransmission factor)\n",
 			*loss, adjusted.Cluster, factor)
 		fmt.Fprintf(out, "HELLO and ROUTE are sender-clocked; their transmission rates do not change under loss.\n")
+	}
+
+	if fcfg.Delay.BaseTicks > 0 || fcfg.Delay.JitterTicks > 0 || fcfg.DupProb > 0 || fcfg.Partition.PeriodTicks > 0 {
+		fmt.Fprintf(out, "\nfault pipeline (analytic):\n")
+		fmt.Fprintf(out, "  mean delivery latency:     %.4g ticks (floor %g + mean jitter %g/2)\n",
+			fcfg.Delay.BaseTicks+fcfg.Delay.JitterTicks/2, fcfg.Delay.BaseTicks, fcfg.Delay.JitterTicks)
+		fmt.Fprintf(out, "  delivered-traffic factor:  ×%.4g (duplication p=%g)\n", 1+fcfg.DupProb, fcfg.DupProb)
+		if fcfg.Partition.PeriodTicks > 0 {
+			fmt.Fprintf(out, "  partition duty cycle:      %.4g%% (%d of every %d ticks split)\n",
+				100*float64(fcfg.Partition.DurationTicks)/float64(fcfg.Partition.PeriodTicks),
+				fcfg.Partition.DurationTicks, fcfg.Partition.PeriodTicks)
+		}
+		fmt.Fprintf(out, "transmission rates above are sender-clocked and unchanged; delay, duplication and partitions shape what receivers see.\n")
 	}
 
 	if *optimize {

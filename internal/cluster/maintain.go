@@ -97,6 +97,20 @@ type Maintainer struct {
 	retryTicks int64
 	tick       int64
 	pending    []pendingJoin
+
+	// seqOut[a] numbers node a's CLUSTER messages; the filters generalize
+	// the in-flight JOIN dedup to every control class the maintainer
+	// consumes in handshake mode. CLUSTER frames carry distinct semantic
+	// payloads (a JOIN and its ACK), so they get exact-duplicate
+	// suppression with an anti-replay window — latest-wins filtering
+	// would starve the handshake under jitter, where a head's ACK is
+	// routinely leapfrogged by its next broadcast. HELLO beacons are
+	// pure liveness, so latest-wins is exactly right there. On ideal and
+	// loss-only media deliveries arrive in per-link send order, so
+	// neither filter ever fires and those regimes stay byte-identical.
+	seqOut        []uint32
+	filterCluster *netsim.DedupWindow
+	filterHello   *netsim.SeqFilter
 }
 
 // pendingJoin tracks a member waiting for a head's ACK in handshake
@@ -164,8 +178,11 @@ func (m *Maintainer) Start(env netsim.Env) error {
 		return err
 	}
 	m.a = a
+	m.seqOut = make([]uint32, env.NumNodes())
 	if m.handshake {
 		m.pending = make([]pendingJoin, env.NumNodes())
+		m.filterCluster = netsim.NewDedupWindow(env.NumNodes())
+		m.filterHello = netsim.NewSeqFilter(env.NumNodes())
 	}
 	return nil
 }
@@ -191,21 +208,37 @@ func (m *Maintainer) OnMessage(rcv netsim.NodeID, msg netsim.Message) {
 	}
 	switch msg.Kind {
 	case netsim.MsgCluster:
+		// Exact-duplicate suppression for the whole CLUSTER class: a
+		// medium-duplicated frame or a far-stale straggler must not
+		// re-trigger an exchange, while an out-of-order-but-new frame
+		// (an ACK leapfrogged by the head's next broadcast) still lands.
+		if !m.filterCluster.Fresh(rcv, msg.From, msg.Seq) {
+			return
+		}
 		switch p := msg.Payload.(type) {
 		case joinRequest:
-			if p.Head == rcv && m.a.Role[rcv] == RoleHead {
+			// The neighbor check guards against delayed JOINs from nodes
+			// that have since moved out of range: an ACK could never reach
+			// them, and the membership it implies would violate P2.
+			if p.Head == rcv && m.a.Role[rcv] == RoleHead && m.env.IsNeighbor(rcv, p.Node) {
 				// Accept and acknowledge; the ACK inherits the JOIN's
 				// Border tag (causal propagation).
 				m.sendAck(rcv, p.Node, msg.Border, p.Cause)
 			}
 		case joinAck:
-			if p.Member == rcv && m.pending[rcv].active && m.pending[rcv].head == msg.From {
+			// A stale ACK from a head that is no longer adjacent must not
+			// commit the membership — it would violate P2 on the spot.
+			if p.Member == rcv && m.pending[rcv].active && m.pending[rcv].head == msg.From &&
+				m.env.IsNeighbor(rcv, msg.From) {
 				m.a.Role[rcv] = RoleMember
 				m.a.Head[rcv] = msg.From
 				m.pending[rcv] = pendingJoin{}
 			}
 		}
 	case netsim.MsgHello:
+		if !m.filterHello.Fresh(rcv, msg.From, msg.Seq) {
+			return
+		}
 		// Soft-state shortcut: a pending member that hears any head's
 		// beacon retries its join immediately instead of waiting out the
 		// retry timer. The triggered JOIN inherits the beacon's Border
@@ -387,11 +420,13 @@ func (m *Maintainer) send(from netsim.NodeID, border bool, cause Cause) {
 	if border {
 		m.stats.borderMsgs[int(cause)-1]++
 	}
+	m.seqOut[from]++
 	m.env.Broadcast(netsim.Message{
 		Kind:   netsim.MsgCluster,
 		From:   from,
 		Bits:   m.bits,
 		Border: border,
+		Seq:    m.seqOut[from],
 		Payload: clusterAnnouncement{
 			Node: from,
 			Head: m.a.Head[from],
@@ -408,11 +443,13 @@ func (m *Maintainer) sendJoin(member, head netsim.NodeID, border bool, cause Cau
 	if border {
 		m.stats.borderMsgs[int(cause)-1]++
 	}
+	m.seqOut[member]++
 	m.env.Broadcast(netsim.Message{
 		Kind:    netsim.MsgCluster,
 		From:    member,
 		Bits:    m.bits,
 		Border:  border,
+		Seq:     m.seqOut[member],
 		Payload: joinRequest{Node: member, Head: head, Cause: cause},
 	})
 }
@@ -423,11 +460,13 @@ func (m *Maintainer) sendAck(head, member netsim.NodeID, border bool, cause Caus
 	if border {
 		m.stats.borderMsgs[int(cause)-1]++
 	}
+	m.seqOut[head]++
 	m.env.Broadcast(netsim.Message{
 		Kind:    netsim.MsgCluster,
 		From:    head,
 		Bits:    m.bits,
 		Border:  border,
+		Seq:     m.seqOut[head],
 		Payload: joinAck{Member: member, Head: head},
 	})
 }
@@ -481,6 +520,14 @@ func (m *Maintainer) CheckInvariants() error { return m.a.Check(m.env) }
 // see Assignment.CheckLive.
 func (m *Maintainer) CheckInvariantsLive(alive func(netsim.NodeID) bool) error {
 	return m.a.CheckLive(m.env, alive)
+}
+
+// Violations marks every alive node currently violating the clustering
+// invariants in the caller-provided scratch slice and returns the count;
+// see Assignment.Violations. Unlike Assignment() it does not copy, so
+// per-tick auditors can call it allocation-free.
+func (m *Maintainer) Violations(alive func(netsim.NodeID) bool, bad []bool) int {
+	return m.a.Violations(m.env, alive, bad)
 }
 
 // Pending returns the number of nodes whose handshake join is still

@@ -70,6 +70,7 @@ var (
 type delivery struct {
 	Rcv, From netsim.NodeID
 	Kind      netsim.MsgKind
+	Seq       uint32
 	Bits      float64
 	Border    bool
 }
@@ -89,7 +90,7 @@ func (r *recorder) OnLinkEvent(ev netsim.LinkEvent) {
 }
 func (r *recorder) OnMessage(rcv netsim.NodeID, msg netsim.Message) {
 	r.deliveries = append(r.deliveries, delivery{
-		Rcv: rcv, From: msg.From, Kind: msg.Kind, Bits: msg.Bits, Border: msg.Border,
+		Rcv: rcv, From: msg.From, Kind: msg.Kind, Seq: msg.Seq, Bits: msg.Bits, Border: msg.Border,
 	})
 }
 func (r *recorder) OnTick(float64) {}

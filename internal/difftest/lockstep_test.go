@@ -63,7 +63,7 @@ func scenarios(count, ticks int) []Scenario {
 				return m
 			}
 		}
-		switch i % 3 {
+		switch i % 5 {
 		case 1:
 			s.Faults = &faults.Config{Loss: 0.1 + 0.2*rng.Float64()}
 		case 2:
@@ -73,10 +73,31 @@ func scenarios(count, ticks int) []Scenario {
 				},
 				Churn: faults.Churn{MeanUpTicks: 400, MeanDownTicks: 40},
 			}
+		case 3:
+			// The reordering regime: jitter wide enough that frames
+			// routinely overtake each other, plus duplication, plus a
+			// little loss so all three pipeline stages fire together.
+			s.Faults = &faults.Config{
+				Loss:    0.05,
+				Delay:   faults.Delay{BaseTicks: 1 + 2*rng.Float64(), JitterTicks: 1 + 3*rng.Float64()},
+				DupProb: 0.05 + 0.15*rng.Float64(),
+			}
+		case 4:
+			// A moving partition with delayed delivery: several
+			// sever/heal cycles fit inside the run, so the lockstep
+			// comparison covers the cut draw, the severed adjacency and
+			// the heal re-flood through the pending queue.
+			s.Faults = &faults.Config{
+				Delay: faults.Delay{BaseTicks: rng.Float64(), JitterTicks: 2 * rng.Float64()},
+				Partition: faults.Partition{
+					PeriodTicks:   20 + int64(rng.Intn(21)),
+					DurationTicks: 5 + int64(rng.Intn(6)),
+				},
+			}
 		}
 		// Soft-state handshake mode on half the faulted scenarios and a
 		// few ideal ones, periodic HELLO on every fifth scenario.
-		s.Handshake = i%3 != 0 && i%2 == 1 || i%8 == 0
+		s.Handshake = i%5 != 0 && i%2 == 1 || i%8 == 0
 		s.PeriodicHello = i%5 == 0
 		s.Name = name(i, s)
 		out = append(out, s)
@@ -92,9 +113,14 @@ func name(i int, s Scenario) string {
 	}
 	mode := "ideal"
 	switch {
-	case s.Faults != nil && s.Faults.Loss > 0:
+	case s.Faults == nil:
+	case s.Faults.Partition.PeriodTicks > 0:
+		mode = "partition+delay"
+	case s.Faults.DupProb > 0:
+		mode = "delay+dup"
+	case s.Faults.Loss > 0:
 		mode = "loss"
-	case s.Faults != nil:
+	default:
 		mode = "burst+churn"
 	}
 	maint := "oracle"
@@ -110,9 +136,10 @@ func name(i int, s Scenario) string {
 
 // TestLockstepMatrix is the differential gate: ≥ 20 randomized configs
 // (24 in -short mode, 48 with more ticks otherwise) covering square and
-// torus metrics, four mobility families, ideal/lossy/bursty+churn media
-// and oracle/handshake maintenance, each run in lockstep against the
-// brute-force oracle with zero tolerated divergence.
+// torus metrics, four mobility families, five media regimes (ideal,
+// lossy, bursty+churn, delayed/reordered+duplicated, partitioned with
+// delay) and oracle/handshake maintenance, each run in lockstep against
+// the brute-force oracle with zero tolerated divergence.
 func TestLockstepMatrix(t *testing.T) {
 	count, ticks := 48, 120
 	if testing.Short() {
@@ -134,12 +161,21 @@ func TestLockstepMatrix(t *testing.T) {
 		}
 		if s.Faults != nil {
 			covered["faults"] = true
+			if s.Faults.Delay.BaseTicks > 0 || s.Faults.Delay.JitterTicks > 0 {
+				covered["delay"] = true
+			}
+			if s.Faults.DupProb > 0 {
+				covered["dup"] = true
+			}
+			if s.Faults.Partition.PeriodTicks > 0 {
+				covered["partition"] = true
+			}
 		}
 		if s.Handshake {
 			covered["handshake"] = true
 		}
 	}
-	for _, want := range []string{"square", "torus", "faults", "handshake"} {
+	for _, want := range []string{"square", "torus", "faults", "handshake", "delay", "dup", "partition"} {
 		if !covered[want] {
 			t.Errorf("scenario matrix lost %s coverage", want)
 		}

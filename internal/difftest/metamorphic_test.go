@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
@@ -118,13 +119,83 @@ func runHelloOnly(t *testing.T, cfg netsim.Config, ticks int) (netsim.Tallies, [
 // excluded — the Wrapped flag marks crossings of the coordinate seam,
 // and a translation moves the seam relative to the trajectories, so on
 // the torus only the merged totals are invariant.
-func borderMerged(w netsim.Tallies) [10]float64 {
-	return [10]float64{
+func borderMerged(w netsim.Tallies) [12]float64 {
+	return [12]float64{
 		w.Of(netsim.MsgHello).Msgs, w.Of(netsim.MsgCluster).Msgs,
 		w.Of(netsim.MsgRoute).Msgs, w.Of(netsim.MsgRouteDiscovery).Msgs,
 		w.LinkGen + w.BorderGen, w.LinkBrk + w.BorderBrk,
 		w.Invalid, w.Delivered, w.Dropped, w.Suppressed,
+		w.Overflow, w.Duplicated,
 	}
+}
+
+// lockstepFaultPair builds two optimized stacks that differ only in
+// their fault wiring and demands exact equality of every observable
+// (positions, neighbors, link events, delivery stream with sequence
+// numbers, tallies, cluster and routing state) after every tick, via
+// the same compare the differential harness uses.
+func lockstepFaultPair(t *testing.T, label string, cfg netsim.Config, fa, fb *faults.Config, handshake bool, ticks int) {
+	t.Helper()
+	newStack := func(fc *faults.Config) *stack {
+		s := Scenario{
+			Name: label, Cfg: cfg,
+			NewModel:  func() mobility.Model { return mobility.BCV{Speed: 0.06} },
+			Faults:    fc,
+			Handshake: handshake,
+		}
+		st, err := build(s, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.eng.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := newStack(fa), newStack(fb)
+	s := Scenario{Name: label, Cfg: cfg, Faults: fa, Handshake: handshake}
+	if err := compare(s, 0, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for tick := 1; tick <= ticks; tick++ {
+		a.rec.reset()
+		b.rec.reset()
+		if err := a.eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := compare(s, tick, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestZeroPathologyByteIdentical pins the delivery pipeline's zero
+// cost: an injector whose delay, jitter, duplication and partition
+// parameters are all zero must be byte-identical to the paths that
+// predate the pipeline — the nil-medium ideal engine and the loss-only
+// injector — so enabling the new fault dimensions at zero strength can
+// never perturb a published figure.
+func TestZeroPathologyByteIdentical(t *testing.T) {
+	cfg := netsim.Config{
+		N: 36, Side: 8, Range: 1.5, Dt: 0.5, Seed: 11,
+		Metric: geom.MetricTorus,
+	}
+	t.Run("zero-config-vs-nil-medium", func(t *testing.T) {
+		lockstepFaultPair(t, "zero-vs-nil", cfg, nil, &faults.Config{}, false, 80)
+	})
+	t.Run("loss-only-vs-zero-pipeline", func(t *testing.T) {
+		lossOnly := &faults.Config{Loss: 0.2}
+		zeroPipeline := &faults.Config{
+			Loss:      0.2,
+			Delay:     faults.Delay{BaseTicks: 0, JitterTicks: 0},
+			DupProb:   0,
+			Partition: faults.Partition{PeriodTicks: 0, DurationTicks: 0},
+		}
+		lockstepFaultPair(t, "loss-vs-zero-pipeline", cfg, lossOnly, zeroPipeline, true, 80)
+	})
 }
 
 // TestTorusTranslationInvariance: shifting every initial position by a

@@ -126,9 +126,13 @@ func MeasureFaulty(net core.Network, fcfg faults.Config, opts Options) (Degradat
 	if err != nil {
 		return DegradationPoint{}, err
 	}
-	// Retry every 2 ticks: fast enough that repairs stay well inside the
-	// event timescale, slow enough that a retry storm cannot form.
-	if err := maint.EnableHandshake(2); err != nil {
+	// Retry every 2 ticks plus a round trip of the configured delivery
+	// latency: fast enough that repairs stay well inside the event
+	// timescale, slow enough that a retry never fires while its JOIN or
+	// ACK is still in flight (which would double the traffic into a
+	// storm). With no delay configured this is the historical 2 ticks.
+	retry := 2 + 2*int(math.Ceil(fcfg.Delay.BaseTicks+fcfg.Delay.JitterTicks))
+	if err := maint.EnableHandshake(retry); err != nil {
 		return DegradationPoint{}, err
 	}
 	hello, err := routing.NewHello(core.DefaultMessageSizes.Hello)

@@ -1,5 +1,5 @@
 // Package faults is the deterministic fault-injection layer of the
-// simulator. It implements netsim.Medium with three composable fault
+// simulator. It implements netsim.Medium with six composable fault
 // models:
 //
 //   - Bernoulli loss: every point delivery (one broadcast × one receiving
@@ -11,6 +11,17 @@
 //   - Node churn: each node alternates up/down with geometrically
 //     distributed sojourn times. A down node contributes no adjacency, so
 //     crashes and recoveries surface to protocols as ordinary link events.
+//   - Delay/jitter: every delivered frame is parked by the engine for
+//     floor(BaseTicks + u·JitterTicks) ticks. Frames with different
+//     realized delays overtake each other, so jitter doubles as the
+//     reordering model.
+//   - Duplication: a delivered frame spawns a second copy with
+//     probability DupProb; the copy draws its own independent delay, so
+//     duplicates arrive at a different time than the original.
+//   - Partition: every PeriodTicks a fresh random bipartition of the
+//     nodes (a moving cut) severs all links between the two sides for
+//     DurationTicks, then heals — the transient split-network regime
+//     cluster maintenance must converge through.
 //
 // Every decision is a pure function of the run's master seed and the call
 // coordinates (delivery sequence number, link endpoints, tick) via
@@ -61,6 +72,36 @@ type Churn struct {
 // enabled reports whether churn is configured.
 func (c Churn) enabled() bool { return c.MeanUpTicks > 0 && c.MeanDownTicks > 0 }
 
+// Delay parameterizes the per-delivery latency model: each delivered
+// frame is parked for floor(BaseTicks + u·JitterTicks) ticks, u uniform
+// in [0, 1) and drawn per delivery, so jitter produces reordering. The
+// zero value delivers within the same tick — the ideal timing.
+type Delay struct {
+	// BaseTicks is the deterministic latency floor, in ticks.
+	BaseTicks float64
+	// JitterTicks is the width of the uniform jitter added on top.
+	JitterTicks float64
+}
+
+// enabled reports whether any latency is configured.
+func (d Delay) enabled() bool { return d.BaseTicks > 0 || d.JitterTicks > 0 }
+
+// Partition parameterizes transient network splits: every PeriodTicks a
+// fresh random bipartition of the nodes severs all links between the two
+// sides for DurationTicks (starting at the period boundary), then heals
+// for the remainder of the period. Each window redraws the cut, so the
+// partition "moves" across the network. Zero values disable partitions.
+type Partition struct {
+	// PeriodTicks is the distance between consecutive partition onsets.
+	PeriodTicks int64
+	// DurationTicks is how long each partition lasts; it must be shorter
+	// than the period so the network always heals before the next onset.
+	DurationTicks int64
+}
+
+// enabled reports whether partitions are configured.
+func (p Partition) enabled() bool { return p.PeriodTicks > 0 && p.DurationTicks > 0 }
+
 // Config selects which faults the injector applies. The zero value is a
 // transparent no-op medium.
 type Config struct {
@@ -71,11 +112,20 @@ type Config struct {
 	Burst GilbertElliott
 	// Churn crashes and recovers nodes.
 	Churn Churn
+	// Delay parks delivered frames for a (possibly jittered) number of
+	// ticks, reordering traffic across ticks.
+	Delay Delay
+	// DupProb duplicates each delivered frame with this probability; the
+	// copy draws its own independent delay.
+	DupProb float64
+	// Partition periodically severs the adjacency along a moving cut.
+	Partition Partition
 }
 
 // Active reports whether the configuration injects any fault at all.
 func (c Config) Active() bool {
-	return c.Loss > 0 || c.Burst.enabled() || c.Churn.enabled()
+	return c.Loss > 0 || c.Burst.enabled() || c.Churn.enabled() ||
+		c.Delay.enabled() || c.DupProb > 0 || c.Partition.enabled()
 }
 
 // Validate rejects probabilities outside [0, 1) resp. [0, 1] and
@@ -120,6 +170,33 @@ func (c Config) Validate() error {
 	if c.Churn.enabled() && c.Churn.MeanUpTicks < 1 {
 		return fmt.Errorf("faults: mean up ticks must be ≥ 1, got %g", c.Churn.MeanUpTicks)
 	}
+	for _, d := range []struct {
+		name string
+		v    float64
+	}{
+		{"delay base ticks", c.Delay.BaseTicks},
+		{"delay jitter ticks", c.Delay.JitterTicks},
+	} {
+		if math.IsNaN(d.v) || math.IsInf(d.v, 0) || d.v < 0 {
+			return fmt.Errorf("faults: %s must be finite and non-negative, got %g", d.name, d.v)
+		}
+	}
+	if max := c.Delay.BaseTicks + c.Delay.JitterTicks; max > netsim.MaxDelayTicks {
+		return fmt.Errorf("faults: delay base+jitter must not exceed %d ticks, got %g",
+			netsim.MaxDelayTicks, max)
+	}
+	if math.IsNaN(c.DupProb) || c.DupProb < 0 || c.DupProb >= 1 {
+		return fmt.Errorf("faults: duplication probability must be in [0, 1), got %g", c.DupProb)
+	}
+	if c.Partition.PeriodTicks < 0 || c.Partition.DurationTicks < 0 {
+		return fmt.Errorf("faults: partition period and duration must be non-negative, got %+v", c.Partition)
+	}
+	if (c.Partition.PeriodTicks > 0) != (c.Partition.DurationTicks > 0) {
+		return fmt.Errorf("faults: partition needs both a period and a non-zero duration, got %+v", c.Partition)
+	}
+	if c.Partition.enabled() && c.Partition.DurationTicks >= c.Partition.PeriodTicks {
+		return fmt.Errorf("faults: partition duration must be shorter than its period, got %+v", c.Partition)
+	}
 	return nil
 }
 
@@ -141,10 +218,19 @@ type Injector struct {
 	tick     int64
 	lossSrc  simrand.Source
 	burstSrc simrand.Source
+	delaySrc simrand.Source
+	dupSrc   simrand.Source
 
 	alive      []bool
 	nextToggle []int64 // tick at which the node's up/down state flips next
 	churnSrc   simrand.Source
+
+	// side holds each node's side of the current partition window's cut
+	// (nil when partitions are disabled); sideWindow is the window the
+	// assignment was drawn for.
+	side       []uint8
+	sideWindow int64
+	partSrc    simrand.Source
 
 	ge map[uint64]geState
 }
@@ -167,6 +253,9 @@ func (inj *Injector) Reset(n int, src simrand.Source) {
 	inj.lossSrc = src.Split("loss")
 	inj.burstSrc = src.Split("burst")
 	inj.churnSrc = src.Split("churn")
+	inj.delaySrc = src.Split("delay")
+	inj.dupSrc = src.Split("dup")
+	inj.partSrc = src.Split("partition")
 	inj.alive = make([]bool, n)
 	for i := range inj.alive {
 		inj.alive[i] = true
@@ -181,6 +270,11 @@ func (inj *Injector) Reset(n int, src simrand.Source) {
 		for i := range inj.nextToggle {
 			inj.nextToggle[i] = inj.sojourn(netsim.NodeID(i), 0, true)
 		}
+	}
+	inj.side = nil
+	inj.sideWindow = -1
+	if inj.cfg.Partition.enabled() {
+		inj.side = make([]uint8, n)
 	}
 }
 
@@ -204,17 +298,30 @@ func (inj *Injector) sojourn(id netsim.NodeID, from int64, up bool) int64 {
 	return from + d
 }
 
-// Advance implements netsim.Medium: move churn schedules to the given
-// tick.
+// Advance implements netsim.Medium: move churn schedules and the
+// partition window's cut assignment to the given tick.
 func (inj *Injector) Advance(tick int64) {
 	inj.tick = tick
-	if !inj.enabled || inj.nextToggle == nil {
+	if !inj.enabled {
 		return
 	}
-	for i := range inj.nextToggle {
-		for inj.nextToggle[i] <= tick {
-			inj.alive[i] = !inj.alive[i]
-			inj.nextToggle[i] = inj.sojourn(netsim.NodeID(i), inj.nextToggle[i], inj.alive[i])
+	if inj.nextToggle != nil {
+		for i := range inj.nextToggle {
+			for inj.nextToggle[i] <= tick {
+				inj.alive[i] = !inj.alive[i]
+				inj.nextToggle[i] = inj.sojourn(netsim.NodeID(i), inj.nextToggle[i], inj.alive[i])
+			}
+		}
+	}
+	if inj.side != nil {
+		// Each window redraws every node's side from (window, node)
+		// coordinates — the moving cut. Drawing per window, not per tick,
+		// keeps Advance O(N) only at onsets and free elsewhere.
+		if w := tick / inj.cfg.Partition.PeriodTicks; w != inj.sideWindow {
+			inj.sideWindow = w
+			for i := range inj.side {
+				inj.side[i] = uint8(inj.partSrc.Mix(uint64(w), uint64(i), 0) & 1)
+			}
 		}
 	}
 }
@@ -227,20 +334,57 @@ func (inj *Injector) Alive(id netsim.NodeID) bool {
 	return inj.alive[id]
 }
 
-// Deliver implements netsim.Medium.
-func (inj *Injector) Deliver(seq int64, from, to netsim.NodeID) bool {
+// Cut implements netsim.Medium: true while a partition window is active
+// and a, b sit on opposite sides of the window's cut.
+func (inj *Injector) Cut(a, b netsim.NodeID) bool {
+	if !inj.enabled || inj.side == nil {
+		return false
+	}
+	if inj.tick%inj.cfg.Partition.PeriodTicks >= inj.cfg.Partition.DurationTicks {
+		return false
+	}
+	return inj.side[a] != inj.side[b]
+}
+
+// Deliver implements netsim.Medium: loss draws decide survival first,
+// then the surviving frame (and its optional duplicate) draws latency.
+func (inj *Injector) Deliver(seq int64, from, to netsim.NodeID) netsim.Fate {
 	if !inj.enabled {
-		return true
+		return netsim.Fate{}
 	}
 	if p := inj.cfg.Loss; p > 0 && inj.lossSrc.U01(uint64(seq), uint64(from), uint64(to)) < p {
-		return false
+		return netsim.Fate{Drop: true}
 	}
 	if inj.ge != nil {
 		if inj.burstSrc.U01(uint64(seq), uint64(from), uint64(to)) < inj.burstLoss(from, to) {
-			return false
+			return netsim.Fate{Drop: true}
 		}
 	}
-	return true
+	var f netsim.Fate
+	f.Delay = inj.delay(0, seq, from, to)
+	if p := inj.cfg.DupProb; p > 0 && inj.dupSrc.U01(uint64(seq), uint64(from), uint64(to)) < p {
+		f.Dup = true
+		f.DupDelay = inj.delay(1, seq, from, to)
+	}
+	return f
+}
+
+// delay realizes one latency draw: floor(base + u·jitter) ticks. copy
+// disambiguates the primary frame (0) from its duplicate (1) so the two
+// draw independent jitter and arrive at different times.
+func (inj *Injector) delay(copy uint64, seq int64, from, to netsim.NodeID) int32 {
+	d := inj.cfg.Delay
+	if !d.enabled() {
+		return 0
+	}
+	v := d.BaseTicks
+	if d.JitterTicks > 0 {
+		v += d.JitterTicks * inj.delaySrc.U01(uint64(seq)<<1|copy, uint64(from), uint64(to))
+	}
+	if v > netsim.MaxDelayTicks {
+		v = netsim.MaxDelayTicks
+	}
+	return int32(v)
 }
 
 // burstLoss advances the directed link's Gilbert–Elliott chain to the

@@ -20,6 +20,17 @@ func TestConfigValidate(t *testing.T) {
 		{Churn: Churn{MeanUpTicks: 100}},                    // missing down mean
 		{Churn: Churn{MeanUpTicks: 0.5, MeanDownTicks: 10}}, // sub-tick sojourn
 		{Churn: Churn{MeanUpTicks: math.Inf(1), MeanDownTicks: 1}},
+		{Delay: Delay{BaseTicks: -1}},
+		{Delay: Delay{JitterTicks: math.NaN()}},
+		{Delay: Delay{BaseTicks: math.Inf(1)}},
+		{Delay: Delay{BaseTicks: float64(netsim.MaxDelayTicks), JitterTicks: 1}}, // exceeds the ring
+		{DupProb: 1},
+		{DupProb: -0.1},
+		{DupProb: math.NaN()},
+		{Partition: Partition{PeriodTicks: 100}},                     // zero-length window
+		{Partition: Partition{DurationTicks: 10}},                    // no period
+		{Partition: Partition{PeriodTicks: -5, DurationTicks: 1}},    // negative period
+		{Partition: Partition{PeriodTicks: 100, DurationTicks: 100}}, // never heals
 	}
 	for _, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -31,6 +42,10 @@ func TestConfigValidate(t *testing.T) {
 		{Loss: 0.999},
 		{Burst: GilbertElliott{PGoodBad: 0.1, PBadGood: 0.3, LossGood: 0.01, LossBad: 0.8}},
 		{Churn: Churn{MeanUpTicks: 200, MeanDownTicks: 40}},
+		{Delay: Delay{BaseTicks: 2, JitterTicks: 3}},
+		{Delay: Delay{JitterTicks: 0.5}},
+		{DupProb: 0.999},
+		{Partition: Partition{PeriodTicks: 100, DurationTicks: 99}},
 	}
 	for _, cfg := range good {
 		if err := cfg.Validate(); err != nil {
@@ -52,9 +67,12 @@ func TestZeroConfigIsTransparent(t *testing.T) {
 		}
 	}
 	for seq := int64(1); seq <= 1000; seq++ {
-		if !inj.Deliver(seq, 0, 1) {
-			t.Fatalf("delivery %d lost under zero config", seq)
+		if fate := inj.Deliver(seq, 0, 1); fate != (netsim.Fate{}) {
+			t.Fatalf("delivery %d got non-ideal fate %+v under zero config", seq, fate)
 		}
+	}
+	if inj.Cut(0, 1) {
+		t.Error("zero config cuts links")
 	}
 	if inj.Enabled() {
 		t.Error("zero config reports Enabled")
@@ -81,7 +99,7 @@ func TestBernoulliLossRateAndDeterminism(t *testing.T) {
 		if db := b.Deliver(seq, from, to); da != db {
 			t.Fatalf("same seed, same coordinates, different outcome at seq %d", seq)
 		}
-		if !da {
+		if da.Drop {
 			lost++
 		}
 	}
@@ -102,7 +120,7 @@ func TestLossDrawIsOrderIndependent(t *testing.T) {
 		from, to netsim.NodeID
 	}
 	keys := []key{{1, 0, 1}, {2, 1, 0}, {3, 2, 3}, {4, 0, 2}, {5, 3, 1}}
-	first := make(map[key]bool)
+	first := make(map[key]netsim.Fate)
 	for _, k := range keys {
 		first[k] = inj.Deliver(k.seq, k.from, k.to)
 	}
@@ -133,7 +151,7 @@ func TestGilbertElliottBurstiness(t *testing.T) {
 	prev := false
 	for tick := int64(1); tick <= ticks; tick++ {
 		inj.Advance(tick)
-		lost := !inj.Deliver(tick, 0, 1)
+		lost := inj.Deliver(tick, 0, 1).Drop
 		if lost {
 			losses++
 		}
@@ -237,8 +255,8 @@ func TestDisableRestoresIdealMedium(t *testing.T) {
 		t.Fatalf("AliveCount = %d after Disable, want 10", inj.AliveCount())
 	}
 	for seq := int64(1); seq <= 500; seq++ {
-		if !inj.Deliver(seq, 0, 1) {
-			t.Fatal("delivery lost after Disable")
+		if fate := inj.Deliver(seq, 0, 1); fate != (netsim.Fate{}) {
+			t.Fatalf("non-ideal fate %+v after Disable", fate)
 		}
 	}
 	inj.Advance(201)

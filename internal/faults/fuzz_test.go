@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/simrand"
+)
+
+// FuzzConfigValidate drives Config.Validate and the constructor over the
+// delivery-pipeline parameters (loss, delay/jitter, duplication,
+// partition window). The contract under test:
+//
+//   - Validate never panics and rejects exactly the documented bad
+//     shapes: NaN or negative probabilities, dup probability ≥ 1,
+//     non-finite or negative delay, base+jitter beyond
+//     netsim.MaxDelayTicks, negative or one-sided partition windows,
+//     and partitions that never heal (duration ≥ period);
+//   - New fails exactly when Validate does — no constructor path
+//     around the checks;
+//   - every accepted config actually runs: Advance and Deliver stay
+//     inside the Fate contract (delays in [0, MaxDelayTicks], Dup only
+//     when DupProb > 0, Drop only when a loss model is on) and Cut is
+//     symmetric and irreflexive.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(0.1, 1.0, 2.0, 0.05, int64(240), int64(40))
+	f.Add(0.0, 0.0, 0.0, 0.0, int64(0), int64(0))         // zero config: transparent no-op
+	f.Add(0.0, math.NaN(), 0.0, 0.0, int64(0), int64(0))  // NaN delay base
+	f.Add(0.0, -1.0, 0.0, 0.0, int64(0), int64(0))        // negative delay base
+	f.Add(0.0, 0.0, math.Inf(1), 0.0, int64(0), int64(0)) // +Inf jitter
+	f.Add(0.0, 0.0, 0.0, 1.0, int64(0), int64(0))         // dup probability ≥ 1
+	f.Add(0.0, 0.0, 0.0, math.NaN(), int64(0), int64(0))  // NaN dup probability
+	f.Add(0.0, 0.0, 0.0, 0.0, int64(100), int64(0))       // zero-length partition window
+	f.Add(0.0, 0.0, 0.0, 0.0, int64(0), int64(7))         // partition duration without period
+	f.Add(0.0, 0.0, 0.0, 0.0, int64(40), int64(40))       // partition never heals
+	f.Add(0.0, 400.0, 200.0, 0.0, int64(0), int64(0))     // base+jitter beyond the ring
+	f.Add(0.0, 0.0, 0.0, -0.5, int64(-3), int64(-1))      // negative everything
+	f.Add(math.Nextafter(1, 0), 0.0, 0.5, 0.0, int64(2), int64(1))
+
+	f.Fuzz(func(t *testing.T, loss, base, jitter, dup float64, period, duration int64) {
+		cfg := Config{
+			Loss:      loss,
+			Delay:     Delay{BaseTicks: base, JitterTicks: jitter},
+			DupProb:   dup,
+			Partition: Partition{PeriodTicks: period, DurationTicks: duration},
+		}
+		verr := cfg.Validate()
+
+		badDelay := func(x float64) bool { return math.IsNaN(x) || math.IsInf(x, 0) || x < 0 }
+		bad := math.IsNaN(loss) || loss < 0 || loss >= 1 ||
+			badDelay(base) || badDelay(jitter) || base+jitter > netsim.MaxDelayTicks ||
+			math.IsNaN(dup) || dup < 0 || dup >= 1 ||
+			period < 0 || duration < 0 ||
+			(period > 0) != (duration > 0) ||
+			(period > 0 && duration >= period)
+		if bad && verr == nil {
+			t.Fatalf("Validate accepted a bad config: %+v", cfg)
+		}
+		if !bad && verr != nil {
+			t.Fatalf("Validate rejected a good config %+v: %v", cfg, verr)
+		}
+
+		inj, nerr := New(cfg)
+		if (nerr == nil) != (verr == nil) {
+			t.Fatalf("New and Validate disagree on %+v: new=%v validate=%v", cfg, nerr, verr)
+		}
+		if nerr != nil {
+			return
+		}
+
+		const n = 6
+		inj.Reset(n, simrand.New(9))
+		seq := int64(0)
+		for tick := int64(0); tick < 6; tick++ {
+			inj.Advance(tick)
+			for from := netsim.NodeID(0); from < n; from++ {
+				for to := netsim.NodeID(0); to < n; to++ {
+					if to == from {
+						continue
+					}
+					if inj.Cut(from, to) != inj.Cut(to, from) {
+						t.Fatalf("Cut(%d,%d) is not symmetric at tick %d under %+v", from, to, tick, cfg)
+					}
+					fate := inj.Deliver(seq, from, to)
+					seq++
+					if fate.Delay < 0 || fate.Delay > netsim.MaxDelayTicks ||
+						fate.DupDelay < 0 || fate.DupDelay > netsim.MaxDelayTicks {
+						t.Fatalf("delay outside [0, %d]: %+v under %+v", netsim.MaxDelayTicks, fate, cfg)
+					}
+					if fate.Dup && cfg.DupProb == 0 {
+						t.Fatalf("duplicate produced with DupProb=0: %+v under %+v", fate, cfg)
+					}
+					if fate.Drop && cfg.Loss == 0 {
+						t.Fatalf("drop produced with no loss model: %+v under %+v", fate, cfg)
+					}
+				}
+			}
+			if inj.Cut(0, 0) {
+				t.Fatalf("Cut(0,0) true at tick %d under %+v — a node cannot be partitioned from itself", tick, cfg)
+			}
+		}
+	})
+}

@@ -46,7 +46,7 @@ func TestGilbertElliottStationaryLoss(t *testing.T) {
 			lost := int64(0)
 			for tick := int64(1); tick <= ticks; tick++ {
 				inj.Advance(tick)
-				if !inj.Deliver(tick, 0, 1) {
+				if inj.Deliver(tick, 0, 1).Drop {
 					lost++
 				}
 			}
@@ -90,7 +90,7 @@ func TestGilbertElliottBurstLength(t *testing.T) {
 	inBurst := false
 	for tick := int64(1); tick <= ticks; tick++ {
 		inj.Advance(tick)
-		if !inj.Deliver(tick, 0, 1) {
+		if inj.Deliver(tick, 0, 1).Drop {
 			lostTicks++
 			if !inBurst {
 				runs++

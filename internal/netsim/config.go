@@ -34,6 +34,12 @@ type Config struct {
 	// lower-bound analysis assumes; the ideal path is byte-identical and
 	// allocation-identical to a build without fault support.
 	Medium Medium
+	// PendingLimit bounds the number of in-flight delayed deliveries each
+	// receiving node may hold when the Medium delays traffic; beyond it
+	// the node's oldest parked delivery is evicted (drop-oldest) and
+	// counted in Tallies.Overflow. Zero selects DefaultPendingLimit;
+	// negative values are rejected. Irrelevant without a delaying Medium.
+	PendingLimit int
 	// Stop is an optional cooperative cancellation check, consulted once
 	// at the top of every Step before any state advances. When it
 	// returns true, Step (and therefore Run) fails with ErrStopped and
@@ -73,6 +79,9 @@ func (c Config) Validate() error {
 	}
 	if !isFinite(c.Dt) || c.Dt <= 0 {
 		return fmt.Errorf("netsim: dt must be positive and finite, got %g", c.Dt)
+	}
+	if c.PendingLimit < 0 {
+		return fmt.Errorf("netsim: pending limit must be non-negative, got %d", c.PendingLimit)
 	}
 	return nil
 }
@@ -123,6 +132,14 @@ type Tallies struct {
 	// transmits nothing, so the message is neither tallied as traffic
 	// nor delivered. Always zero without churn.
 	Suppressed float64
+	// Overflow counts delayed deliveries evicted by the bounded
+	// per-receiver pending queue's drop-oldest policy. Always zero unless
+	// the medium delays traffic faster than receivers drain it.
+	Overflow float64
+	// Duplicated counts the extra frame copies the medium injected
+	// (counted when duplicated, whether or not the copy later survives
+	// eviction or a dead receiver). Always zero without duplication.
+	Duplicated float64
 }
 
 // Of returns the tally of a message kind, including border-flagged
@@ -176,6 +193,8 @@ func (t Tallies) Sub(o Tallies) Tallies {
 	out.Delivered -= o.Delivered
 	out.Dropped -= o.Dropped
 	out.Suppressed -= o.Suppressed
+	out.Overflow -= o.Overflow
+	out.Duplicated -= o.Duplicated
 	return out
 }
 

@@ -86,6 +86,12 @@ type Message struct {
 	// event; the flag must be propagated by protocols that rebroadcast
 	// in reaction to a Border message.
 	Border bool
+	// Seq is a per-sender, per-class sequence number stamped by hardened
+	// protocols (0 = unsequenced). Receivers feed it to a SeqFilter for
+	// stale-message rejection and duplicate suppression under delaying,
+	// reordering or duplicating media; the engine itself never interprets
+	// it.
+	Seq uint32
 	// Payload carries protocol-specific content.
 	Payload any
 }

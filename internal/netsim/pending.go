@@ -1,0 +1,93 @@
+package netsim
+
+// pendingDelivery is one delayed point delivery parked in the engine's
+// pending queue, waiting for its due tick.
+type pendingDelivery struct {
+	msg  Message
+	rcv  NodeID
+	dead bool // tombstoned by the drop-oldest overflow policy
+}
+
+// pendingQueue holds delayed point deliveries bucketed by due tick in a
+// ring of MaxDelayTicks+1 buckets — due tick t lives in buckets[t mod
+// len]. Because a delay is at most MaxDelayTicks and the current tick's
+// bucket is emptied before any new entry is parked, a bucket never holds
+// two distinct due ticks at once. Bucket backing arrays are kept and
+// reused (truncated to length zero on release), so the steady-state tick
+// loop stays allocation-free.
+//
+// Each receiving node holds at most `limit` live entries; parking beyond
+// that tombstones the receiver's oldest live entry (smallest due tick,
+// then earliest insertion — plain drop-oldest). Tombstones are skipped
+// and discarded when their bucket comes due.
+type pendingQueue struct {
+	buckets [][]pendingDelivery
+	count   []int32 // live entries per receiving node
+	limit   int32
+	size    int // total live entries
+}
+
+// newPendingQueue sizes the ring for n nodes with the given per-receiver
+// bound (callers resolve the DefaultPendingLimit fallback).
+func newPendingQueue(n, limit int) *pendingQueue {
+	return &pendingQueue{
+		buckets: make([][]pendingDelivery, MaxDelayTicks+1),
+		count:   make([]int32, n),
+		limit:   int32(limit),
+	}
+}
+
+// add parks one delivery due at tick due, which must satisfy
+// now < due ≤ now+MaxDelayTicks. It reports whether the receiver's queue
+// was full and an older entry was evicted to make room (the new entry
+// itself is always parked).
+func (q *pendingQueue) add(now, due int64, rcv NodeID, msg Message) (evicted bool) {
+	if q.count[rcv] >= q.limit {
+		q.evictOldest(now, rcv)
+		evicted = true
+	}
+	b := due % int64(len(q.buckets))
+	q.buckets[b] = append(q.buckets[b], pendingDelivery{msg: msg, rcv: rcv})
+	q.count[rcv]++
+	q.size++
+	return evicted
+}
+
+// evictOldest tombstones the receiver's oldest live entry. Due ticks are
+// scanned ascending starting just after now; within one bucket entries
+// sit in insertion order, so the first live match is the oldest.
+func (q *pendingQueue) evictOldest(now int64, rcv NodeID) {
+	l := int64(len(q.buckets))
+	for d := int64(1); d <= MaxDelayTicks; d++ {
+		b := q.buckets[(now+d)%l]
+		for i := range b {
+			if !b[i].dead && b[i].rcv == rcv {
+				b[i].dead = true
+				q.count[rcv]--
+				q.size--
+				return
+			}
+		}
+	}
+}
+
+// take removes and returns the entries due at the given tick, in
+// insertion order, tombstones included (callers skip them). The returned
+// slice aliases the bucket's backing array, which is only reused for due
+// ticks MaxDelayTicks later, so callers consuming it within the current
+// tick are safe.
+func (q *pendingQueue) take(tick int64) []pendingDelivery {
+	i := tick % int64(len(q.buckets))
+	b := q.buckets[i]
+	if len(b) == 0 {
+		return nil
+	}
+	q.buckets[i] = b[:0]
+	for k := range b {
+		if !b[k].dead {
+			q.count[b[k].rcv]--
+			q.size--
+		}
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// FuzzPendingQueue drives the ring-bucketed pending-delivery queue
+// against a naive flat-slice model over arbitrary add/advance schedules.
+// The contract under test:
+//
+//   - take(t) returns exactly the entries due at t, in insertion order
+//     (FIFO tie-break within a tick), tombstones included and flagged;
+//   - add reports an eviction exactly when the receiver already holds
+//     `limit` live entries, and the evicted entry is the receiver's
+//     oldest live one — smallest due tick, then earliest insertion;
+//   - the live-entry accounting (per-receiver counts and the total
+//     size) drains to zero once every due tick has been taken.
+func FuzzPendingQueue(f *testing.F) {
+	f.Add(uint8(2), uint8(1), []byte{7, 3, 7, 3, 7, 3, 0, 0, 7, 200, 0, 0})
+	f.Add(uint8(3), uint8(2), []byte{1, 1, 2, 1, 1, 255, 0, 0, 2, 4})
+	f.Add(uint8(1), uint8(4), []byte{9, 8, 9, 8, 9, 8, 9, 8, 9, 8, 0, 0})
+	f.Add(uint8(0), uint8(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, nRaw, limitRaw uint8, ops []byte) {
+		n := 1 + int(nRaw)%4
+		limit := 1 + int(limitRaw)%5
+		q := newPendingQueue(n, limit)
+
+		// The reference model: a flat append-only list of parked
+		// deliveries, each carrying a unique marker in Message.Bits so
+		// streams can be compared element by element.
+		type modelEntry struct {
+			due  int64
+			rcv  NodeID
+			mark float64
+			dead bool
+		}
+		var model []modelEntry
+		now := int64(0)
+		liveFor := func(rcv NodeID) int {
+			c := 0
+			for _, e := range model {
+				if !e.dead && e.rcv == rcv {
+					c++
+				}
+			}
+			return c
+		}
+		type obs struct {
+			mark float64
+			dead bool
+		}
+		takeTick := func() {
+			now++
+			var want []obs
+			rest := model[:0]
+			for _, e := range model {
+				if e.due == now {
+					want = append(want, obs{mark: e.mark, dead: e.dead})
+				} else {
+					rest = append(rest, e)
+				}
+			}
+			model = rest
+			var got []obs
+			for _, p := range q.take(now) {
+				got = append(got, obs{mark: p.msg.Bits, dead: p.dead})
+			}
+			if len(got) != len(want) {
+				t.Fatalf("tick %d: take returned %d entries, model has %d", now, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("tick %d: entry %d: got %+v, want %+v (order or tombstoning broken)",
+						now, i, got[i], want[i])
+				}
+			}
+		}
+
+		mark := 0.0
+		for i := 0; i+1 < len(ops); i += 2 {
+			a, b := ops[i], ops[i+1]
+			if a%5 == 0 {
+				takeTick()
+				continue
+			}
+			rcv := NodeID(int(a) % n)
+			d := 1 + int64(b)%9
+			if b == 255 {
+				d = MaxDelayTicks
+			}
+			mark++
+			evicted := q.add(now, now+d, rcv, Message{Bits: mark})
+			wantEvict := liveFor(rcv) >= limit
+			if evicted != wantEvict {
+				t.Fatalf("add #%g for rcv %d: evicted=%v, model says %v (live %d, limit %d)",
+					mark, rcv, evicted, wantEvict, liveFor(rcv), limit)
+			}
+			if wantEvict {
+				// Tombstone the receiver's oldest live entry: smallest
+				// due, then earliest insertion (model is in insertion
+				// order, so strict < keeps the first among equals).
+				best := -1
+				for j := range model {
+					if model[j].dead || model[j].rcv != rcv {
+						continue
+					}
+					if best == -1 || model[j].due < model[best].due {
+						best = j
+					}
+				}
+				model[best].dead = true
+			}
+			model = append(model, modelEntry{due: now + d, rcv: rcv, mark: mark})
+		}
+
+		// Drain: after MaxDelayTicks more takes nothing can remain parked.
+		for i := 0; i <= MaxDelayTicks; i++ {
+			takeTick()
+		}
+		if len(model) != 0 {
+			t.Fatalf("model still holds %d entries after a full drain", len(model))
+		}
+		if q.size != 0 {
+			t.Fatalf("queue size %d after a full drain", q.size)
+		}
+		for rcv, c := range q.count {
+			if c != 0 {
+				t.Fatalf("receiver %d still counts %d live entries after a full drain", rcv, c)
+			}
+		}
+	})
+}

@@ -64,6 +64,15 @@ type Sim struct {
 	events    []LinkEvent
 	delivered int64
 	dropped   int64
+	// attempts is the run-global delivery attempt counter handed to
+	// Medium.Deliver as the draw coordinate. Without delay or duplication
+	// it equals delivered+dropped, which keeps the fault-draw stream — and
+	// therefore every existing loss/churn run — byte-identical.
+	attempts int64
+	// pending parks delayed deliveries until their due tick. Lazily
+	// allocated on the first non-zero Fate.Delay, so media that never
+	// delay cost nothing.
+	pending *pendingQueue
 }
 
 var _ Env = (*Sim)(nil)
@@ -184,6 +193,9 @@ func (s *Sim) Step() error {
 			p.OnLinkEvent(ev)
 		}
 	}
+	// 3.5. Delayed deliveries whose latency expires this tick reach their
+	// receivers; responses they trigger drain with the link-event traffic.
+	s.releasePending()
 	if err := s.drainQueue(); err != nil {
 		return err
 	}
@@ -293,15 +305,21 @@ func (s *Sim) drainQueue() error {
 		msg := s.queue[head] // copied before handlers can grow s.queue
 		head++
 		for _, nb := range s.adj.row(msg.From) {
-			if s.medium != nil && !s.medium.Deliver(s.delivered+s.dropped+1, msg.From, nb) {
+			if s.medium == nil {
+				s.deliver(nb, msg)
+				continue
+			}
+			s.attempts++
+			fate := s.medium.Deliver(s.attempts, msg.From, nb)
+			if fate.Drop {
 				s.dropped++
 				s.tallies.Dropped++
 				continue
 			}
-			s.delivered++
-			s.tallies.Delivered++
-			for _, p := range s.protocols {
-				p.OnMessage(nb, msg)
+			s.deliverOrPark(nb, msg, fate.Delay)
+			if fate.Dup {
+				s.tallies.Duplicated++
+				s.deliverOrPark(nb, msg, fate.DupDelay)
 			}
 		}
 		if head > maxRounds {
@@ -311,6 +329,63 @@ func (s *Sim) drainQueue() error {
 	}
 	s.queue = s.queue[:0]
 	return nil
+}
+
+// deliver fires one point delivery into the protocol stack.
+func (s *Sim) deliver(rcv NodeID, msg Message) {
+	s.delivered++
+	s.tallies.Delivered++
+	for _, p := range s.protocols {
+		p.OnMessage(rcv, msg)
+	}
+}
+
+// deliverOrPark applies a non-drop fate: zero delay delivers within the
+// current tick (the ideal path), a positive delay parks the delivery in
+// the pending queue until tick+delay. Evictions forced by the bounded
+// per-receiver queue are counted in Tallies.Overflow.
+func (s *Sim) deliverOrPark(rcv NodeID, msg Message, delay int32) {
+	if delay <= 0 {
+		s.deliver(rcv, msg)
+		return
+	}
+	d := int64(delay)
+	if d > MaxDelayTicks {
+		d = MaxDelayTicks
+	}
+	if s.pending == nil {
+		limit := s.cfg.PendingLimit
+		if limit == 0 {
+			limit = DefaultPendingLimit
+		}
+		s.pending = newPendingQueue(s.cfg.N, limit)
+	}
+	if s.pending.add(s.tick, s.tick+d, rcv, msg) {
+		s.tallies.Overflow++
+	}
+}
+
+// releasePending delivers every parked message whose due tick is now. A
+// receiver whose radio died while the frame was in flight loses it (the
+// delivery counts as Dropped); current adjacency is deliberately not
+// re-checked — the frame was already on the air, which is exactly how
+// delayed media feed protocols stale information. Handlers' response
+// broadcasts queue as usual and drain right after.
+func (s *Sim) releasePending() {
+	if s.pending == nil {
+		return
+	}
+	for _, p := range s.pending.take(s.tick) {
+		if p.dead {
+			continue
+		}
+		if !s.medium.Alive(p.rcv) {
+			s.dropped++
+			s.tallies.Dropped++
+			continue
+		}
+		s.deliver(p.rcv, p.msg)
+	}
 }
 
 // syncPositions copies mobility positions into the flat slice the grid
@@ -342,11 +417,13 @@ func (s *Sim) recomputeAdjacency() {
 			deg[j]++
 		})
 	} else {
-		// A crashed node has no links: its pairs are filtered out here,
-		// so the adjacency diff reports the crash (and later recovery)
-		// as ordinary link-break/link-generation events.
+		// A crashed node has no links, and a partition cut severs pairs on
+		// opposite sides: both filter out here, so the adjacency diff
+		// reports crashes, recoveries, partition onsets and heals as
+		// ordinary link-break/link-generation events.
 		s.grid.ForEachPair(func(i, j int) {
-			if !s.medium.Alive(NodeID(i)) || !s.medium.Alive(NodeID(j)) {
+			if !s.medium.Alive(NodeID(i)) || !s.medium.Alive(NodeID(j)) ||
+				s.medium.Cut(NodeID(i), NodeID(j)) {
 				return
 			}
 			s.pairBuf = append(s.pairBuf, uint64(i)<<32|uint64(j))

@@ -57,6 +57,21 @@ type Sim struct {
 	events    []netsim.LinkEvent
 	delivered int64
 	dropped   int64
+	attempts  int64
+
+	// pending holds delayed point deliveries in one flat, append-only
+	// slice in insertion order — no due-tick buckets, no ring, no buffer
+	// reuse. Releases scan the whole slice; overflow evictions scan it
+	// again for the receiver's oldest live entry. Deliberately naive.
+	pending []refPending
+}
+
+// refPending is one delayed point delivery awaiting its due tick.
+type refPending struct {
+	due  int64
+	msg  netsim.Message
+	rcv  netsim.NodeID
+	dead bool // evicted by the drop-oldest overflow policy
 }
 
 var _ netsim.Env = (*Sim)(nil)
@@ -171,6 +186,7 @@ func (s *Sim) Step() error {
 			p.OnLinkEvent(ev)
 		}
 	}
+	s.releasePending()
 	if err := s.drainQueue(); err != nil {
 		return err
 	}
@@ -279,15 +295,21 @@ func (s *Sim) drainQueue() error {
 		s.queue = s.queue[1:]
 		processed++
 		for _, nb := range s.adj[msg.From] {
-			if s.medium != nil && !s.medium.Deliver(s.delivered+s.dropped+1, msg.From, nb) {
+			if s.medium == nil {
+				s.deliver(nb, msg)
+				continue
+			}
+			s.attempts++
+			fate := s.medium.Deliver(s.attempts, msg.From, nb)
+			if fate.Drop {
 				s.dropped++
 				s.tallies.Dropped++
 				continue
 			}
-			s.delivered++
-			s.tallies.Delivered++
-			for _, p := range s.protocols {
-				p.OnMessage(nb, msg)
+			s.deliverOrPark(nb, msg, fate.Delay)
+			if fate.Dup {
+				s.tallies.Duplicated++
+				s.deliverOrPark(nb, msg, fate.DupDelay)
 			}
 		}
 		if processed > maxRounds {
@@ -297,6 +319,80 @@ func (s *Sim) drainQueue() error {
 	}
 	s.queue = nil
 	return nil
+}
+
+// deliver fires one point delivery into the protocol stack.
+func (s *Sim) deliver(rcv netsim.NodeID, msg netsim.Message) {
+	s.delivered++
+	s.tallies.Delivered++
+	for _, p := range s.protocols {
+		p.OnMessage(rcv, msg)
+	}
+}
+
+// deliverOrPark applies a non-drop fate under the same rules as the
+// optimized engine: zero delay delivers now, a positive delay (clamped
+// to MaxDelayTicks) parks the delivery. When the receiver already holds
+// PendingLimit live entries, its oldest (smallest due tick, earliest
+// insertion on ties) is tombstoned and counted in Tallies.Overflow —
+// found here by a full scan rather than a bucket walk.
+func (s *Sim) deliverOrPark(rcv netsim.NodeID, msg netsim.Message, delay int32) {
+	if delay <= 0 {
+		s.deliver(rcv, msg)
+		return
+	}
+	d := int64(delay)
+	if d > netsim.MaxDelayTicks {
+		d = netsim.MaxDelayTicks
+	}
+	limit := s.cfg.PendingLimit
+	if limit == 0 {
+		limit = netsim.DefaultPendingLimit
+	}
+	live, oldest := 0, -1
+	for i := range s.pending {
+		if s.pending[i].dead || s.pending[i].rcv != rcv {
+			continue
+		}
+		live++
+		if oldest == -1 || s.pending[i].due < s.pending[oldest].due {
+			oldest = i
+		}
+	}
+	if live >= limit {
+		s.pending[oldest].dead = true
+		s.tallies.Overflow++
+	}
+	s.pending = append(s.pending, refPending{due: s.tick + d, msg: msg, rcv: rcv})
+}
+
+// releasePending delivers every parked message due this tick, in
+// insertion order, and compacts the slice. Receivers whose radio died in
+// flight lose the frame (counted Dropped); adjacency is deliberately not
+// re-checked — both mirror the optimized engine's semantics. Handlers
+// only queue broadcasts (parking happens in drainQueue), so the slice is
+// not mutated while it is walked.
+func (s *Sim) releasePending() {
+	if s.medium == nil || len(s.pending) == 0 {
+		return
+	}
+	var rest []refPending
+	for _, p := range s.pending {
+		if p.dead {
+			continue
+		}
+		if p.due != s.tick {
+			rest = append(rest, p)
+			continue
+		}
+		if !s.medium.Alive(p.rcv) {
+			s.dropped++
+			s.tallies.Dropped++
+			continue
+		}
+		s.deliver(p.rcv, p.msg)
+	}
+	s.pending = rest
 }
 
 // computeAdjacency rebuilds the topology by brute force: every unordered
@@ -313,7 +409,8 @@ func (s *Sim) computeAdjacency() [][]netsim.NodeID {
 			continue
 		}
 		for j := i + 1; j < n; j++ {
-			if s.medium != nil && !s.medium.Alive(netsim.NodeID(j)) {
+			if s.medium != nil && (!s.medium.Alive(netsim.NodeID(j)) ||
+				s.medium.Cut(netsim.NodeID(i), netsim.NodeID(j))) {
 				continue
 			}
 			if s.metric.Dist2(s.states[i].Pos, s.states[j].Pos) <= r2 {

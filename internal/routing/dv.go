@@ -55,6 +55,13 @@ type IntraDV struct {
 	dirty    []bool
 	prevHead []netsim.NodeID
 
+	// advSeq numbers each node's advertisements (distinct from the DSDV
+	// destination sequence numbers inside the rows); filter rejects
+	// stale and medium-duplicated adverts so a delayed vector cannot
+	// roll a table back or re-trigger a cascade.
+	advSeq []uint32
+	filter *netsim.SeqFilter
+
 	// Soft state (EnableSoftState): routes expire unless refreshed, so
 	// tables survive a medium that silently loses advertisements.
 	softTTL     float64 // seconds a route lives without support; 0 = off
@@ -108,6 +115,8 @@ func (dv *IntraDV) Start(env netsim.Env) error {
 	dv.ownSeq = make([]uint32, n)
 	dv.dirty = make([]bool, n)
 	dv.prevHead = make([]netsim.NodeID, n)
+	dv.advSeq = make([]uint32, n)
+	dv.filter = netsim.NewSeqFilter(n)
 	if dv.softTTL > 0 {
 		dv.refreshed = make([]map[netsim.NodeID]float64, n)
 		dv.lastAdv = make([]float64, n)
@@ -162,6 +171,20 @@ func (dv *IntraDV) OnMessage(rcv netsim.NodeID, msg netsim.Message) {
 	ad, ok := msg.Payload.(vectorAd)
 	if !ok {
 		return // a Hybrid accounting round or foreign payload
+	}
+	// Hardening against delaying/reordering/duplicating media: reject
+	// adverts that arrive out of sequence (an old vector must never roll
+	// the table back) and adverts from nodes that are no longer
+	// neighbors (adopting them would install a next hop the receiver
+	// cannot reach). Same-tick delivery implies in-order arrival from a
+	// current neighbor, so the ideal and loss-only paths never hit
+	// either guard. The payload type is checked first so Hybrid's
+	// unstamped accounting rounds never touch the filter.
+	if !dv.filter.Fresh(rcv, msg.From, msg.Seq) {
+		return
+	}
+	if !dv.env.IsNeighbor(rcv, msg.From) {
+		return
 	}
 	if dv.cl.HeadOf(rcv) != ad.Cluster || dv.cl.HeadOf(msg.From) != ad.Cluster {
 		return // stale cross-cluster advertisement
@@ -281,10 +304,12 @@ func (dv *IntraDV) advertise(from netsim.NodeID) {
 	for _, e := range tbl {
 		rows = append(rows, e)
 	}
+	dv.advSeq[from]++
 	dv.env.Broadcast(netsim.Message{
 		Kind:    netsim.MsgRoute,
 		From:    from,
 		Bits:    dv.entryBits * float64(len(rows)),
+		Seq:     dv.advSeq[from],
 		Payload: vectorAd{Cluster: own, Rows: rows},
 	})
 }

@@ -39,6 +39,10 @@ type Hello struct {
 	lastSent float64
 	// heard[a][b] is the time node a last heard node b's beacon.
 	heard []map[netsim.NodeID]float64
+	// seqOut[a] is node a's beacon sequence counter; filter rejects
+	// stale and duplicated beacons under delaying/reordering media.
+	seqOut []uint32
+	filter *netsim.SeqFilter
 }
 
 var _ netsim.Protocol = (*Hello)(nil)
@@ -76,6 +80,8 @@ func (h *Hello) Start(env netsim.Env) error {
 	for i := range h.heard {
 		h.heard[i] = make(map[netsim.NodeID]float64)
 	}
+	h.seqOut = make([]uint32, env.NumNodes())
+	h.filter = netsim.NewSeqFilter(env.NumNodes())
 	for i := 0; i < env.NumNodes(); i++ {
 		h.beacon(netsim.NodeID(i), false)
 	}
@@ -99,10 +105,22 @@ func (h *Hello) OnLinkEvent(ev netsim.LinkEvent) {
 	}
 }
 
-// OnMessage implements netsim.Protocol: receiving any HELLO refreshes the
-// sender's entry in the receiver's table.
+// OnMessage implements netsim.Protocol: receiving a HELLO refreshes the
+// sender's entry in the receiver's table. Two hardening guards protect
+// the table under non-ideal media: stale or duplicated beacons (sequence
+// number at or below one already accepted) are rejected, and a beacon
+// from a node that is no longer a neighbor is ignored — a delayed frame
+// must not resurrect an entry the soft timer already dropped. On the
+// ideal medium both guards never fire: same-tick delivery implies the
+// sender is a current neighbor and beacons arrive in sequence order.
 func (h *Hello) OnMessage(rcv netsim.NodeID, msg netsim.Message) {
 	if msg.Kind != netsim.MsgHello {
+		return
+	}
+	if !h.filter.Fresh(rcv, msg.From, msg.Seq) {
+		return
+	}
+	if !h.env.IsNeighbor(rcv, msg.From) {
 		return
 	}
 	h.heard[rcv][msg.From] = h.env.Now()
@@ -129,13 +147,15 @@ func (h *Hello) OnTick(now float64) {
 	}
 }
 
-// beacon broadcasts one HELLO from the given node.
+// beacon broadcasts one sequence-stamped HELLO from the given node.
 func (h *Hello) beacon(from netsim.NodeID, border bool) {
+	h.seqOut[from]++
 	h.env.Broadcast(netsim.Message{
 		Kind:   netsim.MsgHello,
 		From:   from,
 		Bits:   h.bits,
 		Border: border,
+		Seq:    h.seqOut[from],
 	})
 }
 

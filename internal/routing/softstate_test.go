@@ -17,10 +17,13 @@ type blackoutMedium struct {
 	blocked bool
 }
 
-func (m *blackoutMedium) Reset(int, simrand.Source)                        {}
-func (m *blackoutMedium) Advance(int64)                                    {}
-func (m *blackoutMedium) Alive(netsim.NodeID) bool                         { return true }
-func (m *blackoutMedium) Deliver(int64, netsim.NodeID, netsim.NodeID) bool { return !m.blocked }
+func (m *blackoutMedium) Reset(int, simrand.Source)             {}
+func (m *blackoutMedium) Advance(int64)                         {}
+func (m *blackoutMedium) Alive(netsim.NodeID) bool              { return true }
+func (m *blackoutMedium) Cut(netsim.NodeID, netsim.NodeID) bool { return false }
+func (m *blackoutMedium) Deliver(int64, netsim.NodeID, netsim.NodeID) netsim.Fate {
+	return netsim.Fate{Drop: m.blocked}
+}
 
 // buildDVStack wires hello + clustering + the distributed IntraDV tables
 // onto a simulator.

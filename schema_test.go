@@ -35,6 +35,10 @@ var goldenSchemas = map[string][]string{
 		"violated node fraction"},
 	"head_ratio_timeline.csv": {"time / E[link lifetime]", "P(t) simulation",
 		"formation P (Eqn 16)", "equilibrium P (measured)"},
+	"recovery.csv": {"partition duration (ticks)", "heals", "unconverged heals",
+		"cluster converge mean (ticks)", "cluster converge max (ticks)",
+		"route converge mean (ticks)", "route converge max (ticks)",
+		"drop rate", "dup rate"},
 }
 
 // TestResultsSchemas checks every results/*.csv against its golden
