@@ -1,6 +1,6 @@
 # Development targets for the MANET overhead reproduction.
 
-.PHONY: build test vet race check check-full chaos difftest bench
+.PHONY: build test vet race check check-full chaos difftest bench bench-smoke
 
 build:
 	go build ./...
@@ -46,13 +46,21 @@ difftest:
 	go test -count=1 -v ./internal/difftest/ ./internal/refsim/
 
 # bench runs every benchmark once (the reproduction scoreboard) and then
-# regenerates the machine-readable performance artifact BENCH_3.json:
-# Figure 1–3 wall-clock serial vs parallel, mean-rel-gap, and the
-# steady-state tick-loop throughput vs the growth seed — on the ideal
-# medium, with loss+churn faults, and with the full delivery pipeline
-# (delay/jitter + duplication + partition) to confirm the pending queue
-# keeps the tick loop zero-alloc. BENCH_1.json and BENCH_2.json are the
-# preserved artifacts of previous revisions.
+# regenerates the machine-readable performance artifact BENCH_4.json:
+# Figure 1–3 wall-clock per worker count, the steady-state tick-loop
+# throughput vs the growth seed — on the ideal medium, with loss+churn
+# faults, and with the full delivery pipeline — and the node-count
+# scaling sweep (1k/10k/100k at constant density) against the BENCH_3
+# full-rescan extrapolation. BENCH_1–3.json are the preserved artifacts
+# of previous revisions.
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x .
-	go run ./cmd/bench -out BENCH_3.json
+	go run ./cmd/bench -out BENCH_4.json
+
+# bench-smoke is the CI-sized benchmark gate: the N=1k step loop with
+# tile-parallel topology maintenance enabled, under the race detector,
+# writing its artifact to a scratch path. It is a correctness smoke (the
+# tiled gather/fill phases race-checked on a real workload), not a
+# timing source.
+bench-smoke:
+	go run -race ./cmd/bench -step-only -step-ticks 120 -n 1000 -tiles 4 -out /tmp/bench-smoke.json

@@ -13,10 +13,10 @@ import (
 )
 
 // TestRunWritesArtifact runs the whole bench pipeline once (shrunk via
-// -events and -step-ticks) and pins the artifact contract: the file is
-// valid JSON matching the Report schema, replaces any pre-existing file
-// atomically without leaving temp droppings, and pins the revision it
-// measured.
+// -events, -step-ticks and -n) and pins the artifact contract: the file
+// is valid JSON matching the Report schema, replaces any pre-existing
+// file atomically without leaving temp droppings, and pins the revision
+// it measured.
 func TestRunWritesArtifact(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "bench.json")
@@ -27,7 +27,8 @@ func TestRunWritesArtifact(t *testing.T) {
 	}
 
 	var log bytes.Buffer
-	if err := run([]string{"-out", out, "-events", "150", "-step-ticks", "50"}, &log); err != nil {
+	args := []string{"-out", out, "-events", "150", "-step-ticks", "50", "-n", "600", "-tiles", "2", "-workers", "1,2"}
+	if err := run(args, &log); err != nil {
 		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
 	}
 
@@ -60,8 +61,8 @@ func TestRunWritesArtifact(t *testing.T) {
 	if rep.GoVersion != runtime.Version() {
 		t.Errorf("go_version = %q, want %q", rep.GoVersion, runtime.Version())
 	}
-	if rep.GoMaxProcs < 1 {
-		t.Errorf("go_maxprocs = %d", rep.GoMaxProcs)
+	if rep.GoMaxProcs < 1 || rep.HostCPUs < 1 {
+		t.Errorf("go_maxprocs = %d, host_cpus = %d", rep.GoMaxProcs, rep.HostCPUs)
 	}
 	if rep.Seed != 42 {
 		t.Errorf("seed = %d, want the default 42", rep.Seed)
@@ -81,20 +82,24 @@ func TestRunWritesArtifact(t *testing.T) {
 			rep.GitSHA, rep.GitDirty, sha, dirty)
 	}
 
-	want := map[string]bool{"fig1": true, "fig2": true, "fig3": true}
-	if len(rep.Figures) != len(want) {
-		t.Fatalf("got %d figure entries, want %d", len(rep.Figures), len(want))
-	}
+	// One row per (figure, worker count): 3 figures × workers {1, 2}.
+	want := map[string]int{"fig1": 2, "fig2": 2, "fig3": 2}
+	got := map[string]int{}
 	for _, f := range rep.Figures {
-		if !want[f.Name] {
-			t.Errorf("unexpected figure entry %q", f.Name)
+		got[f.Name]++
+		if f.Ms <= 0 || f.SpeedupVsSerial <= 0 {
+			t.Errorf("%s workers=%d: non-positive timing %+v", f.Name, f.Workers, f)
 		}
-		delete(want, f.Name)
-		if f.SerialMs <= 0 || f.ParallelMs <= 0 || f.Speedup <= 0 {
-			t.Errorf("%s: non-positive timing %+v", f.Name, f)
+		if !f.BitIdentical {
+			t.Errorf("%s workers=%d: not bit-identical (run should have failed)", f.Name, f.Workers)
 		}
-		if !f.ParallelBitIdentical {
-			t.Errorf("%s: parallel run not bit-identical (run should have failed)", f.Name)
+		if f.Workers == 1 && f.GapPairs == 0 {
+			t.Errorf("%s: serial row lost the mean-rel-gap agreement metric", f.Name)
+		}
+	}
+	for name, n := range want {
+		if got[name] != n {
+			t.Errorf("figure %s: %d rows, want %d", name, got[name], n)
 		}
 	}
 
@@ -107,7 +112,39 @@ func TestRunWritesArtifact(t *testing.T) {
 		if s.AllocsPerTick < 0 || s.BytesPerTick < 0 {
 			t.Errorf("%s: negative allocation counters %+v", name, s)
 		}
+		if s.N != 400 {
+			t.Errorf("%s: n = %d, want the canonical 400", name, s.N)
+		}
+		if s.RequeryFrac < 0 || s.RequeryFrac > 1 {
+			t.Errorf("%s: requery_frac = %g out of [0,1]", name, s.RequeryFrac)
+		}
 	}
+	// The fault rows force a full requery every tick by design.
+	if rep.StepFaults.RequeryFrac != 1 {
+		t.Errorf("step_faults requery_frac = %g, want 1", rep.StepFaults.RequeryFrac)
+	}
+
+	if len(rep.StepScaling) != 2 {
+		t.Fatalf("got %d scaling rows, want 2 (canonical + low mobility)", len(rep.StepScaling))
+	}
+	for k, wantMob := range []string{"canonical", "low"} {
+		row := rep.StepScaling[k]
+		if row.N != 600 || row.Tiles != 2 || row.Mobility != wantMob {
+			t.Errorf("scaling row %d (n=%d, tiles=%d, mobility=%q), want (600, 2, %q)",
+				k, row.N, row.Tiles, row.Mobility, wantMob)
+		}
+		if row.NsPerTick <= 0 || row.ExtrapolatedRescanNs <= 0 || row.SpeedupVsRescan <= 0 {
+			t.Errorf("scaling row %d has non-positive measurements: %+v", k, row)
+		}
+		if !row.TilesBitIdentical {
+			t.Errorf("scaling row %d not tiles-bit-identical (run should have failed)", k)
+		}
+	}
+	// Both rows face the same mobility-independent rescan baseline.
+	if a, b := rep.StepScaling[0].ExtrapolatedRescanNs, rep.StepScaling[1].ExtrapolatedRescanNs; a != b {
+		t.Errorf("extrapolated baselines differ between mobility rows: %g vs %g", a, b)
+	}
+
 	if rep.SeedStep != seedStep {
 		t.Errorf("seed_step = %+v, want the baked-in baseline %+v", rep.SeedStep, seedStep)
 	}
@@ -120,6 +157,31 @@ func TestRunWritesArtifact(t *testing.T) {
 	}
 }
 
+// TestRunStepOnlySkipsFigures pins the -step-only smoke mode the CI
+// bench-smoke target uses: no figure rows, everything else present.
+func TestRunStepOnlySkipsFigures(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "smoke.json")
+	var log bytes.Buffer
+	args := []string{"-out", out, "-step-only", "-step-ticks", "40", "-n", "500", "-tiles", "4"}
+	if err := run(args, &log); err != nil {
+		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Figures) != 0 {
+		t.Errorf("-step-only still produced %d figure rows", len(rep.Figures))
+	}
+	if rep.Step.NsPerTick <= 0 || len(rep.StepScaling) != 2 {
+		t.Errorf("step rows missing: %+v", rep)
+	}
+}
+
 // TestRunRejectsBadFlags pins flag validation: bad invocations must fail
 // before any measurement runs, without touching the output path.
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -127,6 +189,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-out", out, "-step-ticks", "0"},
 		{"-out", out, "-step-ticks", "-3"},
+		{"-out", out, "-tiles", "0"},
+		{"-out", out, "-n", "100,nope"},
+		{"-out", out, "-n", "0"},
+		{"-out", out, "-workers", "-1"},
 		{"-not-a-flag"},
 	}
 	for _, args := range cases {

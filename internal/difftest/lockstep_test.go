@@ -33,10 +33,15 @@ func scenarios(count, ticks int) []Scenario {
 		dt := r / v / 25                       // ~r/25 of travel per tick
 		seed := rng.Uint64()
 
+		// Cycle the optimized engine's tile count through serial, the
+		// smallest parallel split and an oversubscribed split; the oracle
+		// ignores Tiles, so every parallel scenario is also a
+		// parallel-vs-serial equivalence check.
+		tiles := []int{1, 2, 8}[i%3]
 		s := Scenario{
 			Cfg: netsim.Config{
 				N: n, Side: side, Range: r, Dt: dt, Seed: seed,
-				Metric: metrics[i%len(metrics)],
+				Metric: metrics[i%len(metrics)], Tiles: tiles,
 			},
 			Ticks: ticks,
 		}
@@ -131,7 +136,7 @@ func name(i int, s Scenario) string {
 	if s.PeriodicHello {
 		hello = "periodic"
 	}
-	return fmt.Sprintf("%s/%s/%s/%s-hello/n%d#%d", lbl, mode, maint, hello, s.Cfg.N, i)
+	return fmt.Sprintf("%s/%s/%s/%s-hello/n%d/t%d#%d", lbl, mode, maint, hello, s.Cfg.N, s.Cfg.Tiles, i)
 }
 
 // TestLockstepMatrix is the differential gate: ≥ 20 randomized configs

@@ -25,19 +25,19 @@ type translate struct {
 
 func (m translate) Name() string { return m.inner.Name() + "+translate" }
 
-func (m translate) Init(n int, metric geom.Metric, rng *rand.Rand) ([]mobility.State, error) {
-	states, err := m.inner.Init(n, metric, rng)
+func (m translate) Init(n int, metric geom.Metric, rng *rand.Rand) (*mobility.Population, error) {
+	p, err := m.inner.Init(n, metric, rng)
 	if err != nil {
 		return nil, err
 	}
-	for i := range states {
-		states[i].Pos, _ = metric.Wrap(states[i].Pos.Add(m.delta))
+	for i := range p.Pos {
+		p.Pos[i], _ = metric.Wrap(p.Pos[i].Add(m.delta))
 	}
-	return states, nil
+	return p, nil
 }
 
-func (m translate) Step(states []mobility.State, metric geom.Metric, dt float64, rng *rand.Rand) {
-	m.inner.Step(states, metric, dt, rng)
+func (m translate) Step(p *mobility.Population, metric geom.Metric, dt float64, rng *rand.Rand) {
+	m.inner.Step(p, metric, dt, rng)
 }
 
 // relabel decorates a mobility model by permuting which node gets which
@@ -52,20 +52,17 @@ type relabel struct {
 
 func (m relabel) Name() string { return m.inner.Name() + "+relabel" }
 
-func (m relabel) Init(n int, metric geom.Metric, rng *rand.Rand) ([]mobility.State, error) {
-	base, err := m.inner.Init(n, metric, rng)
+func (m relabel) Init(n int, metric geom.Metric, rng *rand.Rand) (*mobility.Population, error) {
+	p, err := m.inner.Init(n, metric, rng)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]mobility.State, n)
-	for i := range out {
-		out[i] = base[m.perm[i]]
-	}
-	return out, nil
+	p.Permute(m.perm)
+	return p, nil
 }
 
-func (m relabel) Step(states []mobility.State, metric geom.Metric, dt float64, rng *rand.Rand) {
-	m.inner.Step(states, metric, dt, rng)
+func (m relabel) Step(p *mobility.Population, metric geom.Metric, dt float64, rng *rand.Rand) {
+	m.inner.Step(p, metric, dt, rng)
 }
 
 // runFullStack runs the optimized engine with the standard protocol

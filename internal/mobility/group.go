@@ -26,7 +26,7 @@ type RPGM struct {
 	radius      float64
 	jitterSpeed float64
 
-	centers []State
+	centers *Population // one entry per group
 	offsets []geom.Vec2 // node offsets from their group center
 	targets []geom.Vec2 // per-node wander target offsets
 }
@@ -57,46 +57,45 @@ func (*RPGM) Name() string { return "rpgm" }
 func (m *RPGM) Group(node int) int { return node % m.groups }
 
 // Init implements Model. Nodes are assigned to groups round-robin.
-func (m *RPGM) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+func (m *RPGM) Init(n int, metric geom.Metric, rng *rand.Rand) (*Population, error) {
 	if m.groups > n {
 		return nil, fmt.Errorf("mobility: RPGM has more groups (%d) than nodes (%d)", m.groups, n)
 	}
-	m.centers = make([]State, m.groups)
-	for g := range m.centers {
+	m.centers = NewPopulation(m.groups)
+	for g := 0; g < m.groups; g++ {
 		x, y := simrand.UniformIn(rng, metric.Side())
-		m.centers[g] = State{
-			Pos:       geom.Vec2{X: x, Y: y},
-			Dir:       simrand.Direction(rng),
-			Speed:     m.speed,
-			remaining: m.epoch,
-		}
+		m.centers.Pos[g] = geom.Vec2{X: x, Y: y}
+		m.centers.Dir[g] = simrand.Direction(rng)
+		m.centers.Speed[g] = m.speed
+		m.centers.Remaining[g] = m.epoch
 	}
-	states := make([]State, n)
+	p := NewPopulation(n)
 	m.offsets = make([]geom.Vec2, n)
 	m.targets = make([]geom.Vec2, n)
-	for i := range states {
+	for i := 0; i < n; i++ {
 		m.offsets[i] = m.sampleOffset(rng)
 		m.targets[i] = m.sampleOffset(rng)
-		pos, _ := metric.Wrap(m.centers[m.Group(i)].Pos.Add(m.offsets[i]))
-		states[i] = State{Pos: pos, Speed: m.jitterSpeed}
+		pos, _ := metric.Wrap(m.centers.Pos[m.Group(i)].Add(m.offsets[i]))
+		p.Pos[i] = pos
+		p.Speed[i] = m.jitterSpeed
 	}
-	return states, nil
+	return p, nil
 }
 
 // Step implements Model: advance the group centers, then each node's
 // wander offset, and recompose positions. When a group center wraps the
 // whole group teleports together, so every member reports Wrapped.
-func (m *RPGM) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
-	for g := range m.centers {
-		c := &m.centers[g]
-		c.remaining -= dt
-		if c.remaining <= 0 {
-			c.Dir = simrand.Direction(rng)
-			c.remaining += m.epoch
+func (m *RPGM) Step(p *Population, metric geom.Metric, dt float64, rng *rand.Rand) {
+	c := m.centers
+	for g := 0; g < m.groups; g++ {
+		c.Remaining[g] -= dt
+		if c.Remaining[g] <= 0 {
+			c.Dir[g] = simrand.Direction(rng)
+			c.Remaining[g] += m.epoch
 		}
-		advanceWrap(c, metric, dt)
+		advanceWrap(c, g, metric, dt)
 	}
-	for i := range states {
+	for i := range p.Pos {
 		// Wander: move the offset toward the target offset, resampling
 		// on (near) arrival.
 		to := m.targets[i].Sub(m.offsets[i])
@@ -107,10 +106,10 @@ func (m *RPGM) Step(states []State, metric geom.Metric, dt float64, rng *rand.Ra
 		} else {
 			m.offsets[i] = m.offsets[i].Add(to.Unit().Scale(step))
 		}
-		center := m.centers[m.Group(i)]
-		pos, wrapped := metric.Wrap(center.Pos.Add(m.offsets[i]))
-		states[i].Pos = pos
-		states[i].Wrapped = center.Wrapped || wrapped
+		g := m.Group(i)
+		pos, wrapped := metric.Wrap(c.Pos[g].Add(m.offsets[i]))
+		p.Pos[i] = pos
+		p.Wrapped[i] = c.Wrapped[g] || wrapped
 	}
 }
 
@@ -147,7 +146,7 @@ var _ Model = GaussMarkov{}
 func (GaussMarkov) Name() string { return "gauss-markov" }
 
 // Init implements Model.
-func (m GaussMarkov) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+func (m GaussMarkov) Init(n int, metric geom.Metric, rng *rand.Rand) (*Population, error) {
 	switch {
 	case m.MeanSpeed < 0:
 		return nil, fmt.Errorf("mobility: Gauss-Markov mean speed must be non-negative")
@@ -158,34 +157,33 @@ func (m GaussMarkov) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, e
 	case m.Tick <= 0:
 		return nil, fmt.Errorf("mobility: Gauss-Markov tick must be positive, got %g", m.Tick)
 	}
-	states, err := uniformInit(n, metric, rng)
+	p, err := uniformInit(n, metric, rng)
 	if err != nil {
 		return nil, err
 	}
-	for i := range states {
-		states[i].Dir = simrand.Direction(rng)
-		states[i].Speed = m.MeanSpeed
-		states[i].remaining = m.Tick
+	for i := range p.Dir {
+		p.Dir[i] = simrand.Direction(rng)
+		p.Speed[i] = m.MeanSpeed
+		p.Remaining[i] = m.Tick
 	}
-	return states, nil
+	return p, nil
 }
 
 // Step implements Model.
-func (m GaussMarkov) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
-	for i := range states {
-		s := &states[i]
-		s.remaining -= dt
-		if s.remaining <= 0 {
-			s.remaining += m.Tick
-			meanDir := m.meanDirection(s.Pos, s.Dir, metric.Side())
+func (m GaussMarkov) Step(p *Population, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for i := range p.Pos {
+		p.Remaining[i] -= dt
+		if p.Remaining[i] <= 0 {
+			p.Remaining[i] += m.Tick
+			meanDir := m.meanDirection(p.Pos[i], p.Dir[i], metric.Side())
 			root := math.Sqrt(1 - m.Alpha*m.Alpha)
-			s.Speed = m.Alpha*s.Speed + (1-m.Alpha)*m.MeanSpeed + root*m.SpeedSigma*rng.NormFloat64()
-			if s.Speed < 0 {
-				s.Speed = 0
+			p.Speed[i] = m.Alpha*p.Speed[i] + (1-m.Alpha)*m.MeanSpeed + root*m.SpeedSigma*rng.NormFloat64()
+			if p.Speed[i] < 0 {
+				p.Speed[i] = 0
 			}
-			s.Dir = m.Alpha*s.Dir + (1-m.Alpha)*meanDir + root*m.DirSigma*rng.NormFloat64()
+			p.Dir[i] = m.Alpha*p.Dir[i] + (1-m.Alpha)*meanDir + root*m.DirSigma*rng.NormFloat64()
 		}
-		advanceReflect(s, metric, dt)
+		advanceReflect(p, i, metric, dt)
 	}
 }
 

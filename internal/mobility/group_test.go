@@ -45,12 +45,12 @@ func TestRPGMGroupCohesion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	states, err := m.Init(100, metric, rng)
+	p, err := m.Init(100, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for step := 0; step < 1000; step++ {
-		m.Step(states, metric, 0.05, rng)
+		m.Step(p, metric, 0.05, rng)
 	}
 	// After a long run, same-group nodes must remain within 2·radius of
 	// each other (modulo the wrap seam: compare via torus distance).
@@ -58,20 +58,20 @@ func TestRPGMGroupCohesion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range states {
-		for j := i + 1; j < len(states); j++ {
+	for i := range p.Pos {
+		for j := i + 1; j < p.Len(); j++ {
 			if m.Group(i) != m.Group(j) {
 				continue
 			}
-			if d := torus.Dist(states[i].Pos, states[j].Pos); d > 3.0+1e-9 {
+			if d := torus.Dist(p.Pos[i], p.Pos[j]); d > 3.0+1e-9 {
 				t.Fatalf("group %d members %d,%d drifted %v apart", m.Group(i), i, j, d)
 			}
 		}
 	}
 	// All positions stay in the region.
-	for i, s := range states {
-		if !metric.Contains(s.Pos) {
-			t.Fatalf("node %d left region: %v", i, s.Pos)
+	for i, pos := range p.Pos {
+		if !metric.Contains(pos) {
+			t.Fatalf("node %d left region: %v", i, pos)
 		}
 	}
 }
@@ -83,25 +83,23 @@ func TestRPGMGroupsActuallyMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	states, err := m.Init(30, metric, rng)
+	p, err := m.Init(30, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	start := make([]geom.Vec2, len(states))
-	for i, s := range states {
-		start[i] = s.Pos
-	}
+	start := make([]geom.Vec2, p.Len())
+	copy(start, p.Pos)
 	for step := 0; step < 200; step++ {
-		m.Step(states, metric, 0.1, rng)
+		m.Step(p, metric, 0.1, rng)
 	}
 	moved := 0
-	for i, s := range states {
-		if s.Pos.Dist(start[i]) > 1 {
+	for i := range p.Pos {
+		if p.Pos[i].Dist(start[i]) > 1 {
 			moved++
 		}
 	}
-	if moved < len(states)/2 {
-		t.Errorf("only %d/%d nodes moved appreciably", moved, len(states))
+	if moved < p.Len()/2 {
+		t.Errorf("only %d/%d nodes moved appreciably", moved, p.Len())
 	}
 }
 
@@ -127,21 +125,21 @@ func TestGaussMarkovStaysInRegionAndVariesSpeed(t *testing.T) {
 	metric := testMetric(t, 10)
 	rng := simrand.New(5).Rand()
 	m := GaussMarkov{MeanSpeed: 0.5, Alpha: 0.8, SpeedSigma: 0.2, DirSigma: 0.5, Tick: 0.5}
-	states, err := m.Init(80, metric, rng)
+	p, err := m.Init(80, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sawSpeedChange := false
 	for step := 0; step < 2000; step++ {
-		m.Step(states, metric, 0.05, rng)
-		for i, s := range states {
-			if !metric.Contains(s.Pos) {
-				t.Fatalf("node %d escaped: %v", i, s.Pos)
+		m.Step(p, metric, 0.05, rng)
+		for i := range p.Pos {
+			if !metric.Contains(p.Pos[i]) {
+				t.Fatalf("node %d escaped: %v", i, p.Pos[i])
 			}
-			if s.Speed < 0 {
+			if p.Speed[i] < 0 {
 				t.Fatalf("negative speed on node %d", i)
 			}
-			if s.Speed != 0.5 {
+			if p.Speed[i] != 0.5 {
 				sawSpeedChange = true
 			}
 		}
@@ -155,17 +153,17 @@ func TestGaussMarkovMeanSpeedConverges(t *testing.T) {
 	metric := testMetric(t, 20)
 	rng := simrand.New(6).Rand()
 	m := GaussMarkov{MeanSpeed: 1.0, Alpha: 0.7, SpeedSigma: 0.2, DirSigma: 0.3, Tick: 0.2}
-	states, err := m.Init(200, metric, rng)
+	p, err := m.Init(200, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sum float64
 	samples := 0
 	for step := 0; step < 3000; step++ {
-		m.Step(states, metric, 0.05, rng)
+		m.Step(p, metric, 0.05, rng)
 		if step > 500 && step%50 == 0 {
-			for _, s := range states {
-				sum += s.Speed
+			for _, v := range p.Speed {
+				sum += v
 				samples++
 			}
 		}
@@ -180,26 +178,24 @@ func TestGaussMarkovAlphaOneIsStraightLine(t *testing.T) {
 	metric := testMetric(t, 1000)
 	rng := simrand.New(7).Rand()
 	m := GaussMarkov{MeanSpeed: 1, Alpha: 1, SpeedSigma: 0.5, DirSigma: 0.5, Tick: 0.1}
-	states, err := m.Init(20, metric, rng)
+	p, err := m.Init(20, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dirs := make([]float64, len(states))
-	for i, s := range states {
-		dirs[i] = s.Dir
-	}
+	dirs := make([]float64, p.Len())
+	copy(dirs, p.Dir)
 	for step := 0; step < 100; step++ {
-		m.Step(states, metric, 0.05, rng)
+		m.Step(p, metric, 0.05, rng)
 	}
-	for i, s := range states {
+	for i := range p.Pos {
 		// α=1 keeps direction and speed unless a border reflection
 		// occurred; in a 1000-unit region over 5 units of travel nobody
 		// reflects with overwhelming probability.
-		if s.Dir != dirs[i] {
+		if p.Dir[i] != dirs[i] {
 			t.Errorf("node %d direction drifted with α=1", i)
 		}
-		if s.Speed != 1 {
-			t.Errorf("node %d speed drifted with α=1: %v", i, s.Speed)
+		if p.Speed[i] != 1 {
+			t.Errorf("node %d speed drifted with α=1: %v", i, p.Speed[i])
 		}
 	}
 }

@@ -15,6 +15,11 @@
 //
 // All models draw exclusively from the *rand.Rand handed to them, keeping
 // simulations reproducible from a single seed.
+//
+// Node state lives in a Population: a struct-of-arrays layout where each
+// per-node attribute is a flat parallel slice. The hot consumers — the
+// spatial index streaming Pos, the engine reading Wrapped — walk
+// contiguous memory instead of striding over per-node structs.
 package mobility
 
 import (
@@ -26,19 +31,56 @@ import (
 	"repro/internal/simrand"
 )
 
-// State is the per-node mobility state advanced by a Model. Fields beyond
-// Pos are model-owned scratch space; the simulator reads Pos and Wrapped
-// only.
-type State struct {
-	Pos     geom.Vec2
-	Dir     float64 // heading, radians
-	Speed   float64 // current speed, distance per unit time
-	Wrapped bool    // whether the node wrapped a border during the last Step
+// Population is the struct-of-arrays mobility state for n nodes: slice k
+// of each array belongs to node k. Pos and Wrapped are the simulator's
+// read surface; the remaining arrays are model-owned scratch. All slices
+// share the same length.
+type Population struct {
+	Pos     []geom.Vec2
+	Dir     []float64 // heading, radians
+	Speed   []float64 // current speed, distance per unit time
+	Wrapped []bool    // whether the node wrapped a border during the last Step
 
 	// scratch for waypoint/epoch models
-	target    geom.Vec2
-	remaining float64 // time left in the current epoch or pause
-	paused    bool
+	Target    []geom.Vec2
+	Remaining []float64 // time left in the current epoch or pause
+	Paused    []bool
+}
+
+// NewPopulation allocates state for n nodes, all zero.
+func NewPopulation(n int) *Population {
+	return &Population{
+		Pos:       make([]geom.Vec2, n),
+		Dir:       make([]float64, n),
+		Speed:     make([]float64, n),
+		Wrapped:   make([]bool, n),
+		Target:    make([]geom.Vec2, n),
+		Remaining: make([]float64, n),
+		Paused:    make([]bool, n),
+	}
+}
+
+// Len reports the number of nodes.
+func (p *Population) Len() int { return len(p.Pos) }
+
+// Permute relabels the nodes: node i takes the state previously held by
+// node perm[i]. Used by metamorphic relabeling tests.
+func (p *Population) Permute(perm []int) {
+	permuteSlice(p.Pos, perm)
+	permuteSlice(p.Dir, perm)
+	permuteSlice(p.Speed, perm)
+	permuteSlice(p.Wrapped, perm)
+	permuteSlice(p.Target, perm)
+	permuteSlice(p.Remaining, perm)
+	permuteSlice(p.Paused, perm)
+}
+
+func permuteSlice[T any](s []T, perm []int) {
+	tmp := make([]T, len(s))
+	for i := range tmp {
+		tmp[i] = s[perm[i]]
+	}
+	copy(s, tmp)
 }
 
 // Model advances a population of node states through time.
@@ -47,49 +89,49 @@ type Model interface {
 	Name() string
 	// Init places n nodes uniformly in the region and initializes
 	// model-specific state.
-	Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error)
-	// Step advances every state by dt time units. Implementations must
-	// set each State's Wrapped flag to whether that node wrapped a border
+	Init(n int, metric geom.Metric, rng *rand.Rand) (*Population, error)
+	// Step advances every node by dt time units. Implementations must
+	// set each node's Wrapped flag to whether that node wrapped a border
 	// during this step.
-	Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand)
+	Step(p *Population, metric geom.Metric, dt float64, rng *rand.Rand)
 }
 
 // uniformInit places n nodes uniformly at random in the region.
-func uniformInit(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+func uniformInit(n int, metric geom.Metric, rng *rand.Rand) (*Population, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("mobility: need a positive node count, got %d", n)
 	}
-	states := make([]State, n)
-	for i := range states {
+	p := NewPopulation(n)
+	for i := range p.Pos {
 		x, y := simrand.UniformIn(rng, metric.Side())
-		states[i].Pos = geom.Vec2{X: x, Y: y}
+		p.Pos[i] = geom.Vec2{X: x, Y: y}
 	}
-	return states, nil
+	return p, nil
 }
 
-// advanceWrap moves a state along its heading for dt, wrapping at borders.
-func advanceWrap(s *State, metric geom.Metric, dt float64) {
-	p := s.Pos.Add(geom.Heading(s.Dir).Scale(s.Speed * dt))
-	s.Pos, s.Wrapped = metric.Wrap(p)
+// advanceWrap moves node i along its heading for dt, wrapping at borders.
+func advanceWrap(p *Population, i int, metric geom.Metric, dt float64) {
+	np := p.Pos[i].Add(geom.Heading(p.Dir[i]).Scale(p.Speed[i] * dt))
+	p.Pos[i], p.Wrapped[i] = metric.Wrap(np)
 }
 
-// advanceReflect moves a state along its heading for dt, reflecting at
+// advanceReflect moves node i along its heading for dt, reflecting at
 // borders (classic random-walk boundary handling). Reflection never wraps.
-func advanceReflect(s *State, metric geom.Metric, dt float64) {
+func advanceReflect(p *Population, i int, metric geom.Metric, dt float64) {
 	side := metric.Side()
-	p := s.Pos.Add(geom.Heading(s.Dir).Scale(s.Speed * dt))
-	dir := geom.Heading(s.Dir)
+	np := p.Pos[i].Add(geom.Heading(p.Dir[i]).Scale(p.Speed[i] * dt))
+	dir := geom.Heading(p.Dir[i])
 	var rx, ry bool
-	p.X, dir.X, rx = reflectCoord(p.X, dir.X, side)
-	p.Y, dir.Y, ry = reflectCoord(p.Y, dir.Y, side)
-	s.Pos = p
+	np.X, dir.X, rx = reflectCoord(np.X, dir.X, side)
+	np.Y, dir.Y, ry = reflectCoord(np.Y, dir.Y, side)
+	p.Pos[i] = np
 	if rx || ry {
 		// Only recompute the heading when a reflection happened: the
 		// Heading→Angle round trip is not bit-exact and would otherwise
 		// drift straight-line trajectories.
-		s.Dir = dir.Angle()
+		p.Dir[i] = dir.Angle()
 	}
-	s.Wrapped = false
+	p.Wrapped[i] = false
 }
 
 // reflectCoord folds x back into [0, side] and flips the velocity
@@ -130,25 +172,25 @@ var _ Model = BCV{}
 func (BCV) Name() string { return "bcv" }
 
 // Init implements Model.
-func (m BCV) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+func (m BCV) Init(n int, metric geom.Metric, rng *rand.Rand) (*Population, error) {
 	if m.Speed < 0 {
 		return nil, fmt.Errorf("mobility: BCV speed must be non-negative, got %g", m.Speed)
 	}
-	states, err := uniformInit(n, metric, rng)
+	p, err := uniformInit(n, metric, rng)
 	if err != nil {
 		return nil, err
 	}
-	for i := range states {
-		states[i].Dir = simrand.Direction(rng)
-		states[i].Speed = m.Speed
+	for i := range p.Dir {
+		p.Dir[i] = simrand.Direction(rng)
+		p.Speed[i] = m.Speed
 	}
-	return states, nil
+	return p, nil
 }
 
 // Step implements Model.
-func (m BCV) Step(states []State, metric geom.Metric, dt float64, _ *rand.Rand) {
-	for i := range states {
-		advanceWrap(&states[i], metric, dt)
+func (m BCV) Step(p *Population, metric geom.Metric, dt float64, _ *rand.Rand) {
+	for i := range p.Pos {
+		advanceWrap(p, i, metric, dt)
 	}
 }
 
@@ -171,35 +213,34 @@ var _ Model = EpochRWP{}
 func (EpochRWP) Name() string { return "epoch-rwp" }
 
 // Init implements Model.
-func (m EpochRWP) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+func (m EpochRWP) Init(n int, metric geom.Metric, rng *rand.Rand) (*Population, error) {
 	if m.Speed < 0 {
 		return nil, fmt.Errorf("mobility: EpochRWP speed must be non-negative, got %g", m.Speed)
 	}
 	if m.Epoch <= 0 {
 		return nil, fmt.Errorf("mobility: EpochRWP epoch must be positive, got %g", m.Epoch)
 	}
-	states, err := uniformInit(n, metric, rng)
+	p, err := uniformInit(n, metric, rng)
 	if err != nil {
 		return nil, err
 	}
-	for i := range states {
-		states[i].Dir = simrand.Direction(rng)
-		states[i].Speed = m.Speed
-		states[i].remaining = m.Epoch
+	for i := range p.Dir {
+		p.Dir[i] = simrand.Direction(rng)
+		p.Speed[i] = m.Speed
+		p.Remaining[i] = m.Epoch
 	}
-	return states, nil
+	return p, nil
 }
 
 // Step implements Model.
-func (m EpochRWP) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
-	for i := range states {
-		s := &states[i]
-		s.remaining -= dt
-		if s.remaining <= 0 {
-			s.Dir = simrand.Direction(rng)
-			s.remaining += m.Epoch
+func (m EpochRWP) Step(p *Population, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for i := range p.Pos {
+		p.Remaining[i] -= dt
+		if p.Remaining[i] <= 0 {
+			p.Dir[i] = simrand.Direction(rng)
+			p.Remaining[i] += m.Epoch
 		}
-		advanceWrap(s, metric, dt)
+		advanceWrap(p, i, metric, dt)
 	}
 }
 
@@ -222,7 +263,7 @@ var _ Model = RandomWaypoint{}
 func (RandomWaypoint) Name() string { return "rwp" }
 
 // Init implements Model.
-func (m RandomWaypoint) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+func (m RandomWaypoint) Init(n int, metric geom.Metric, rng *rand.Rand) (*Population, error) {
 	if m.MinSpeed <= 0 || m.MaxSpeed < m.MinSpeed {
 		return nil, fmt.Errorf("mobility: RWP needs 0 < MinSpeed ≤ MaxSpeed, got [%g, %g]",
 			m.MinSpeed, m.MaxSpeed)
@@ -230,55 +271,54 @@ func (m RandomWaypoint) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State
 	if m.Pause < 0 {
 		return nil, fmt.Errorf("mobility: RWP pause must be non-negative, got %g", m.Pause)
 	}
-	states, err := uniformInit(n, metric, rng)
+	p, err := uniformInit(n, metric, rng)
 	if err != nil {
 		return nil, err
 	}
-	for i := range states {
-		m.pickLeg(&states[i], metric, rng)
+	for i := range p.Pos {
+		m.pickLeg(p, i, metric, rng)
 	}
-	return states, nil
+	return p, nil
 }
 
-func (m RandomWaypoint) pickLeg(s *State, metric geom.Metric, rng *rand.Rand) {
+func (m RandomWaypoint) pickLeg(p *Population, i int, metric geom.Metric, rng *rand.Rand) {
 	x, y := simrand.UniformIn(rng, metric.Side())
-	s.target = geom.Vec2{X: x, Y: y}
-	s.Speed = m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
-	s.Dir = s.target.Sub(s.Pos).Angle()
-	s.paused = false
+	p.Target[i] = geom.Vec2{X: x, Y: y}
+	p.Speed[i] = m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+	p.Dir[i] = p.Target[i].Sub(p.Pos[i]).Angle()
+	p.Paused[i] = false
 }
 
 // Step implements Model.
-func (m RandomWaypoint) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
-	for i := range states {
-		s := &states[i]
-		s.Wrapped = false
+func (m RandomWaypoint) Step(p *Population, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for i := range p.Pos {
+		p.Wrapped[i] = false
 		left := dt
 		for left > 0 {
-			if s.paused {
-				if s.remaining > left {
-					s.remaining -= left
+			if p.Paused[i] {
+				if p.Remaining[i] > left {
+					p.Remaining[i] -= left
 					break
 				}
-				left -= s.remaining
-				m.pickLeg(s, metric, rng)
+				left -= p.Remaining[i]
+				m.pickLeg(p, i, metric, rng)
 				continue
 			}
-			dist := s.target.Sub(s.Pos).Norm()
-			travel := s.Speed * left
+			dist := p.Target[i].Sub(p.Pos[i]).Norm()
+			travel := p.Speed[i] * left
 			if travel < dist {
-				s.Pos = s.Pos.Add(s.target.Sub(s.Pos).Unit().Scale(travel))
+				p.Pos[i] = p.Pos[i].Add(p.Target[i].Sub(p.Pos[i]).Unit().Scale(travel))
 				break
 			}
 			// Arrive at the waypoint and start pausing.
-			if s.Speed > 0 {
-				left -= dist / s.Speed
+			if p.Speed[i] > 0 {
+				left -= dist / p.Speed[i]
 			}
-			s.Pos = s.target
-			s.paused = true
-			s.remaining = m.Pause
+			p.Pos[i] = p.Target[i]
+			p.Paused[i] = true
+			p.Remaining[i] = m.Pause
 			if m.Pause == 0 {
-				m.pickLeg(s, metric, rng)
+				m.pickLeg(p, i, metric, rng)
 			}
 		}
 	}
@@ -302,7 +342,7 @@ var _ Model = RandomWalk{}
 func (RandomWalk) Name() string { return "random-walk" }
 
 // Init implements Model.
-func (m RandomWalk) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+func (m RandomWalk) Init(n int, metric geom.Metric, rng *rand.Rand) (*Population, error) {
 	if m.MinSpeed < 0 || m.MaxSpeed < m.MinSpeed {
 		return nil, fmt.Errorf("mobility: RandomWalk needs 0 ≤ MinSpeed ≤ MaxSpeed, got [%g, %g]",
 			m.MinSpeed, m.MaxSpeed)
@@ -310,31 +350,30 @@ func (m RandomWalk) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, er
 	if m.Epoch <= 0 {
 		return nil, fmt.Errorf("mobility: RandomWalk epoch must be positive, got %g", m.Epoch)
 	}
-	states, err := uniformInit(n, metric, rng)
+	p, err := uniformInit(n, metric, rng)
 	if err != nil {
 		return nil, err
 	}
-	for i := range states {
-		m.pickEpoch(&states[i], rng)
+	for i := range p.Pos {
+		m.pickEpoch(p, i, rng)
 	}
-	return states, nil
+	return p, nil
 }
 
-func (m RandomWalk) pickEpoch(s *State, rng *rand.Rand) {
-	s.Dir = simrand.Direction(rng)
-	s.Speed = m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
-	s.remaining = m.Epoch
+func (m RandomWalk) pickEpoch(p *Population, i int, rng *rand.Rand) {
+	p.Dir[i] = simrand.Direction(rng)
+	p.Speed[i] = m.MinSpeed + rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+	p.Remaining[i] = m.Epoch
 }
 
 // Step implements Model.
-func (m RandomWalk) Step(states []State, metric geom.Metric, dt float64, rng *rand.Rand) {
-	for i := range states {
-		s := &states[i]
-		s.remaining -= dt
-		if s.remaining <= 0 {
-			m.pickEpoch(s, rng)
+func (m RandomWalk) Step(p *Population, metric geom.Metric, dt float64, rng *rand.Rand) {
+	for i := range p.Pos {
+		p.Remaining[i] -= dt
+		if p.Remaining[i] <= 0 {
+			m.pickEpoch(p, i, rng)
 		}
-		advanceReflect(s, metric, dt)
+		advanceReflect(p, i, metric, dt)
 	}
 }
 
@@ -350,13 +389,13 @@ var _ Model = Static{}
 func (Static) Name() string { return "static" }
 
 // Init implements Model.
-func (Static) Init(n int, metric geom.Metric, rng *rand.Rand) ([]State, error) {
+func (Static) Init(n int, metric geom.Metric, rng *rand.Rand) (*Population, error) {
 	return uniformInit(n, metric, rng)
 }
 
 // Step implements Model.
-func (Static) Step(states []State, _ geom.Metric, _ float64, _ *rand.Rand) {
-	for i := range states {
-		states[i].Wrapped = false
+func (Static) Step(p *Population, _ geom.Metric, _ float64, _ *rand.Rand) {
+	for i := range p.Wrapped {
+		p.Wrapped[i] = false
 	}
 }

@@ -58,19 +58,19 @@ func TestInitValidation(t *testing.T) {
 func TestInitUniformPlacement(t *testing.T) {
 	metric := testMetric(t, 20)
 	rng := simrand.New(5).Rand()
-	states, err := BCV{Speed: 1}.Init(4000, metric, rng)
+	p, err := BCV{Speed: 1}.Init(4000, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sumX, sumY float64
-	for _, s := range states {
-		if !metric.Contains(s.Pos) {
-			t.Fatalf("initial position outside region: %v", s.Pos)
+	for _, pos := range p.Pos {
+		if !metric.Contains(pos) {
+			t.Fatalf("initial position outside region: %v", pos)
 		}
-		sumX += s.Pos.X
-		sumY += s.Pos.Y
+		sumX += pos.X
+		sumY += pos.Y
 	}
-	n := float64(len(states))
+	n := float64(p.Len())
 	if math.Abs(sumX/n-10) > 0.4 || math.Abs(sumY/n-10) > 0.4 {
 		t.Errorf("placement means %v %v, want ≈10", sumX/n, sumY/n)
 	}
@@ -80,26 +80,24 @@ func TestBCVConstantSpeedAndDirection(t *testing.T) {
 	metric := testMetric(t, 100)
 	rng := simrand.New(2).Rand()
 	m := BCV{Speed: 2}
-	states, err := m.Init(50, metric, rng)
+	p, err := m.Init(50, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dirs := make([]float64, len(states))
-	for i, s := range states {
-		dirs[i] = s.Dir
-	}
+	dirs := make([]float64, p.Len())
+	copy(dirs, p.Dir)
 	for step := 0; step < 100; step++ {
-		m.Step(states, metric, 0.1, rng)
+		m.Step(p, metric, 0.1, rng)
 	}
-	for i, s := range states {
-		if s.Dir != dirs[i] {
+	for i := range p.Pos {
+		if p.Dir[i] != dirs[i] {
 			t.Fatalf("BCV direction changed for node %d", i)
 		}
-		if s.Speed != 2 {
-			t.Fatalf("BCV speed changed for node %d: %v", i, s.Speed)
+		if p.Speed[i] != 2 {
+			t.Fatalf("BCV speed changed for node %d: %v", i, p.Speed[i])
 		}
-		if !metric.Contains(s.Pos) {
-			t.Fatalf("node %d left region: %v", i, s.Pos)
+		if !metric.Contains(p.Pos[i]) {
+			t.Fatalf("node %d left region: %v", i, p.Pos[i])
 		}
 	}
 }
@@ -108,27 +106,25 @@ func TestBCVDisplacementMatchesSpeed(t *testing.T) {
 	metric := testMetric(t, 1000) // huge region so nobody wraps
 	rng := simrand.New(3).Rand()
 	m := BCV{Speed: 1.5}
-	states, err := m.Init(20, metric, rng)
+	p, err := m.Init(20, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Recentre nodes so a 10-unit trip cannot hit a border.
-	for i := range states {
-		states[i].Pos = geom.Vec2{X: 500, Y: 500}
+	for i := range p.Pos {
+		p.Pos[i] = geom.Vec2{X: 500, Y: 500}
 	}
-	start := make([]geom.Vec2, len(states))
-	for i, s := range states {
-		start[i] = s.Pos
-	}
+	start := make([]geom.Vec2, p.Len())
+	copy(start, p.Pos)
 	for step := 0; step < 100; step++ {
-		m.Step(states, metric, 0.05, rng)
+		m.Step(p, metric, 0.05, rng)
 	}
-	for i, s := range states {
-		moved := s.Pos.Dist(start[i])
+	for i := range p.Pos {
+		moved := p.Pos[i].Dist(start[i])
 		if math.Abs(moved-1.5*5) > 1e-9 {
 			t.Fatalf("node %d moved %v, want 7.5", i, moved)
 		}
-		if s.Wrapped {
+		if p.Wrapped[i] {
 			t.Fatalf("node %d reported wrap in open space", i)
 		}
 	}
@@ -138,21 +134,21 @@ func TestBCVWrapFlags(t *testing.T) {
 	metric := testMetric(t, 10)
 	rng := simrand.New(4).Rand()
 	m := BCV{Speed: 1}
-	states, err := m.Init(1, metric, rng)
+	p, err := m.Init(1, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	states[0].Pos = geom.Vec2{X: 9.95, Y: 5}
-	states[0].Dir = 0 // heading +X, will cross the border
-	m.Step(states, metric, 0.1, rng)
-	if !states[0].Wrapped {
+	p.Pos[0] = geom.Vec2{X: 9.95, Y: 5}
+	p.Dir[0] = 0 // heading +X, will cross the border
+	m.Step(p, metric, 0.1, rng)
+	if !p.Wrapped[0] {
 		t.Error("border crossing not flagged as wrap")
 	}
-	if !almostEq(states[0].Pos.X, 0.05, 1e-9) {
-		t.Errorf("wrapped X = %v, want 0.05", states[0].Pos.X)
+	if !almostEq(p.Pos[0].X, 0.05, 1e-9) {
+		t.Errorf("wrapped X = %v, want 0.05", p.Pos[0].X)
 	}
-	m.Step(states, metric, 0.1, rng)
-	if states[0].Wrapped {
+	m.Step(p, metric, 0.1, rng)
+	if p.Wrapped[0] {
 		t.Error("wrap flag not cleared on a non-wrapping step")
 	}
 }
@@ -161,26 +157,24 @@ func TestEpochRWPRedrawsDirection(t *testing.T) {
 	metric := testMetric(t, 100)
 	rng := simrand.New(6).Rand()
 	m := EpochRWP{Speed: 1, Epoch: 1}
-	states, err := m.Init(200, metric, rng)
+	p, err := m.Init(200, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := make([]float64, len(states))
-	for i, s := range states {
-		before[i] = s.Dir
-	}
+	before := make([]float64, p.Len())
+	copy(before, p.Dir)
 	// One epoch passes: directions must be redrawn.
 	for step := 0; step < 11; step++ {
-		m.Step(states, metric, 0.1, rng)
+		m.Step(p, metric, 0.1, rng)
 	}
 	changed := 0
-	for i, s := range states {
-		if s.Dir != before[i] {
+	for i := range p.Dir {
+		if p.Dir[i] != before[i] {
 			changed++
 		}
 	}
-	if changed < len(states)*9/10 {
-		t.Errorf("only %d/%d directions changed after an epoch", changed, len(states))
+	if changed < p.Len()*9/10 {
+		t.Errorf("only %d/%d directions changed after an epoch", changed, p.Len())
 	}
 }
 
@@ -191,26 +185,26 @@ func TestEpochRWPPreservesUniformity(t *testing.T) {
 	metric := testMetric(t, 10)
 	rng := simrand.New(7).Rand()
 	m := EpochRWP{Speed: 0.5, Epoch: 2}
-	states, err := m.Init(2000, metric, rng)
+	p, err := m.Init(2000, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for step := 0; step < 500; step++ {
-		m.Step(states, metric, 0.1, rng)
+		m.Step(p, metric, 0.1, rng)
 	}
 	var q [4]int
-	for _, s := range states {
+	for _, pos := range p.Pos {
 		idx := 0
-		if s.Pos.X >= 5 {
+		if pos.X >= 5 {
 			idx++
 		}
-		if s.Pos.Y >= 5 {
+		if pos.Y >= 5 {
 			idx += 2
 		}
 		q[idx]++
 	}
 	for i, c := range q {
-		frac := float64(c) / float64(len(states))
+		frac := float64(c) / float64(p.Len())
 		if math.Abs(frac-0.25) > 0.04 {
 			t.Errorf("quadrant %d occupancy %v, want ≈0.25", i, frac)
 		}
@@ -221,21 +215,21 @@ func TestRandomWaypointStaysInRegionAndPauses(t *testing.T) {
 	metric := testMetric(t, 10)
 	rng := simrand.New(8).Rand()
 	m := RandomWaypoint{MinSpeed: 0.5, MaxSpeed: 2, Pause: 0.5}
-	states, err := m.Init(100, metric, rng)
+	p, err := m.Init(100, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sawPause := false
 	for step := 0; step < 2000; step++ {
-		m.Step(states, metric, 0.05, rng)
-		for i, s := range states {
-			if !metric.Contains(s.Pos) {
-				t.Fatalf("step %d: node %d left region: %v", step, i, s.Pos)
+		m.Step(p, metric, 0.05, rng)
+		for i := range p.Pos {
+			if !metric.Contains(p.Pos[i]) {
+				t.Fatalf("step %d: node %d left region: %v", step, i, p.Pos[i])
 			}
-			if s.Wrapped {
+			if p.Wrapped[i] {
 				t.Fatalf("RWP must never wrap, node %d", i)
 			}
-			if s.paused {
+			if p.Paused[i] {
 				sawPause = true
 			}
 		}
@@ -249,27 +243,25 @@ func TestRandomWaypointZeroPause(t *testing.T) {
 	metric := testMetric(t, 10)
 	rng := simrand.New(9).Rand()
 	m := RandomWaypoint{MinSpeed: 1, MaxSpeed: 1, Pause: 0}
-	states, err := m.Init(20, metric, rng)
+	p, err := m.Init(20, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for step := 0; step < 1000; step++ {
-		m.Step(states, metric, 0.1, rng)
+		m.Step(p, metric, 0.1, rng)
 	}
 	// With zero pause nodes must still be moving (not stuck at targets).
 	moving := 0
-	before := make([]geom.Vec2, len(states))
-	for i, s := range states {
-		before[i] = s.Pos
-	}
-	m.Step(states, metric, 0.1, rng)
-	for i, s := range states {
-		if s.Pos != before[i] {
+	before := make([]geom.Vec2, p.Len())
+	copy(before, p.Pos)
+	m.Step(p, metric, 0.1, rng)
+	for i := range p.Pos {
+		if p.Pos[i] != before[i] {
 			moving++
 		}
 	}
-	if moving < len(states)/2 {
-		t.Errorf("only %d/%d nodes moving with zero pause", moving, len(states))
+	if moving < p.Len()/2 {
+		t.Errorf("only %d/%d nodes moving with zero pause", moving, p.Len())
 	}
 }
 
@@ -277,17 +269,17 @@ func TestRandomWalkReflectsAtBorders(t *testing.T) {
 	metric := testMetric(t, 10)
 	rng := simrand.New(10).Rand()
 	m := RandomWalk{MinSpeed: 1, MaxSpeed: 3, Epoch: 5}
-	states, err := m.Init(100, metric, rng)
+	p, err := m.Init(100, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for step := 0; step < 1000; step++ {
-		m.Step(states, metric, 0.05, rng)
-		for i, s := range states {
-			if !metric.Contains(s.Pos) {
-				t.Fatalf("node %d escaped: %v", i, s.Pos)
+		m.Step(p, metric, 0.05, rng)
+		for i := range p.Pos {
+			if !metric.Contains(p.Pos[i]) {
+				t.Fatalf("node %d escaped: %v", i, p.Pos[i])
 			}
-			if s.Wrapped {
+			if p.Wrapped[i] {
 				t.Fatalf("random walk must reflect, not wrap (node %d)", i)
 			}
 		}
@@ -297,18 +289,36 @@ func TestRandomWalkReflectsAtBorders(t *testing.T) {
 func TestStaticNeverMoves(t *testing.T) {
 	metric := testMetric(t, 10)
 	rng := simrand.New(11).Rand()
-	states, err := Static{}.Init(50, metric, rng)
+	p, err := Static{}.Init(50, metric, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := make([]geom.Vec2, len(states))
-	for i, s := range states {
-		before[i] = s.Pos
-	}
-	Static{}.Step(states, metric, 10, rng)
-	for i, s := range states {
-		if s.Pos != before[i] {
+	before := make([]geom.Vec2, p.Len())
+	copy(before, p.Pos)
+	Static{}.Step(p, metric, 10, rng)
+	for i := range p.Pos {
+		if p.Pos[i] != before[i] {
 			t.Fatalf("static node %d moved", i)
+		}
+	}
+}
+
+func TestPopulationPermute(t *testing.T) {
+	metric := testMetric(t, 10)
+	rng := simrand.New(12).Rand()
+	m := RandomWaypoint{MinSpeed: 1, MaxSpeed: 2, Pause: 1}
+	p, err := m.Init(5, metric, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := m.Init(5, metric, simrand.New(12).Rand())
+	perm := []int{3, 0, 4, 1, 2}
+	p.Permute(perm)
+	for i, src := range perm {
+		if p.Pos[i] != before.Pos[src] || p.Dir[i] != before.Dir[src] ||
+			p.Speed[i] != before.Speed[src] || p.Target[i] != before.Target[src] ||
+			p.Remaining[i] != before.Remaining[src] || p.Paused[i] != before.Paused[src] {
+			t.Fatalf("Permute: node %d does not carry node %d's state", i, src)
 		}
 	}
 }

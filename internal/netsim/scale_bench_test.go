@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+)
+
+// BenchmarkStep times the steady-state tick loop at constant density
+// (side grows as √N) for the canonical bench mobility and a low-mobility
+// variant (1/10 speed). The spread between the two shows the margin
+// mechanism at work: per-tick cost is dominated by the fraction of rows
+// whose drift budget is exhausted, not by N itself.
+func BenchmarkStep(b *testing.B) {
+	for _, bc := range []struct {
+		n     int
+		speed float64
+		name  string
+	}{
+		{400, 0.05, "n400/canonical"},
+		{400, 0.005, "n400/low"},
+		{10000, 0.05, "n10k/canonical"},
+		{10000, 0.005, "n10k/low"},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s, err := New(Config{
+				N: bc.n, Side: 10 * math.Sqrt(float64(bc.n)/400), Range: 1.5, Dt: 0.05, Seed: 1,
+				Metric: geom.MetricSquare,
+				Model:  mobility.EpochRWP{Speed: bc.speed, Epoch: 10},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := s.IndexStats()
+			b.ReportMetric(float64(st.RequeriedRows)/float64(st.Ticks)/float64(bc.n), "requery/row/tick")
+		})
+	}
+}

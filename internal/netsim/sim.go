@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/mobility"
@@ -30,28 +31,51 @@ type csrAdj struct {
 // row returns node i's neighbor list, sorted ascending.
 func (a *csrAdj) row(i NodeID) []NodeID { return a.flat[a.off[i]:a.off[i+1]] }
 
+// mediumFilter adapts the fault medium to the spatial index's pair
+// filter. It lives on the Sim so handing it to RowFiltered never
+// allocates a closure.
+type mediumFilter struct{ s *Sim }
+
+// Allow reports whether the pair (i, j) may link: j's radio is up and
+// no partition cut severs the pair. Row-owner liveness (i) is checked
+// by the gather loop before the row is queried at all.
+func (f *mediumFilter) Allow(i, j int32) bool {
+	return f.s.alive[j] && !f.s.medium.Cut(NodeID(i), NodeID(j))
+}
+
 // Sim is the simulation engine. Construct with New, register protocols,
 // then Start and Step (or Run). Sim is not safe for concurrent use.
 type Sim struct {
 	cfg    Config
 	metric geom.Metric
-	grid   *space.Grid
+	index  *space.Index
 	model  mobility.Model
 	rngMob *rand.Rand
 	medium Medium      // nil = ideal medium
 	stop   func() bool // nil = never cancelled
 
-	states []mobility.State
-	pos    []geom.Vec2
+	// pop holds all node kinematic state in struct-of-arrays layout.
+	// pop.Pos is shared with (retained by) the spatial index, so
+	// mobility updates are visible to it without a copy pass.
+	pop *mobility.Population
+
+	// alive caches Medium.Alive for the current tick (the medium's
+	// determinism contract fixes liveness between Advance calls), so the
+	// hot paths index a []bool instead of calling through an interface.
+	// nil when medium == nil.
+	alive []bool
+	filt  mediumFilter
 
 	adj     csrAdj // current topology
 	prevAdj csrAdj // previous tick's topology
 
-	// Scratch buffers reused every tick by recomputeAdjacency.
-	pairBuf []uint64 // packed pairs (i<<32 | j), i < j, grid emission order
-	edgeTmp []uint64 // directed edges (from<<32 | to) bucketed by `to`
-	deg     []int32  // per-node degree counts
-	cursor  []int32  // per-node fill cursors
+	// Scratch reused every tick by the incremental CSR rebuild.
+	deg      []int32   // per-node degree this tick
+	rowStart []int32   // requeried row's offset inside its tile arena
+	changed  []bool    // row requeried this tick (may still be identical)
+	arenas   [][]int32 // per-tile gather buffers (disjoint writers)
+	tiles    int       // effective tile count, ≥ 1
+	tileWG   sync.WaitGroup
 
 	protocols []Protocol
 	started   bool
@@ -87,38 +111,51 @@ func New(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netsim: %w", err)
 	}
-	grid, err := space.NewGrid(metric, cfg.Range)
-	if err != nil {
-		return nil, fmt.Errorf("netsim: %w", err)
-	}
 	src := simrand.New(cfg.Seed)
-	states, err := cfg.Model.Init(cfg.N, metric, src.Split("placement").Rand())
+	pop, err := cfg.Model.Init(cfg.N, metric, src.Split("placement").Rand())
 	if err != nil {
 		return nil, fmt.Errorf("netsim: init mobility: %w", err)
 	}
-	s := &Sim{
-		cfg:     cfg,
-		metric:  metric,
-		grid:    grid,
-		model:   cfg.Model,
-		rngMob:  src.Split("mobility").Rand(),
-		medium:  cfg.Medium,
-		stop:    cfg.Stop,
-		states:  states,
-		pos:     make([]geom.Vec2, cfg.N),
-		adj:     csrAdj{off: make([]int32, cfg.N+1)},
-		prevAdj: csrAdj{off: make([]int32, cfg.N+1)},
-		deg:     make([]int32, cfg.N),
-		cursor:  make([]int32, cfg.N),
+	index, err := space.NewIndex(metric, cfg.Range, pop.Pos)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
 	}
+	tiles := cfg.Tiles
+	if tiles < 1 {
+		tiles = 1
+	}
+	if tiles > cfg.N {
+		tiles = cfg.N
+	}
+	s := &Sim{
+		cfg:      cfg,
+		metric:   metric,
+		index:    index,
+		model:    cfg.Model,
+		rngMob:   src.Split("mobility").Rand(),
+		medium:   cfg.Medium,
+		stop:     cfg.Stop,
+		pop:      pop,
+		adj:      csrAdj{off: make([]int32, cfg.N+1)},
+		prevAdj:  csrAdj{off: make([]int32, cfg.N+1)},
+		deg:      make([]int32, cfg.N),
+		rowStart: make([]int32, cfg.N),
+		changed:  make([]bool, cfg.N),
+		arenas:   make([][]int32, tiles),
+		tiles:    tiles,
+	}
+	s.filt.s = s
 	if s.medium != nil {
 		// Faults draw from a dedicated stream family: registering a
 		// medium never perturbs placement or mobility draws.
 		s.medium.Reset(cfg.N, src.Split("faults"))
 		s.medium.Advance(0)
+		s.alive = make([]bool, cfg.N)
+		s.refreshAlive()
 	}
-	s.syncPositions()
-	s.recomputeAdjacency()
+	// Initial topology: NewIndex flags every row for requery, so the
+	// ordinary incremental rebuild produces the full adjacency.
+	s.rebuildRows()
 	return s, nil
 }
 
@@ -162,17 +199,26 @@ func (s *Sim) Step() error {
 	s.tick++
 	s.now = float64(s.tick) * s.cfg.Dt
 
-	// 1. Mobility, then fault-state advancement (churn schedules).
-	s.model.Step(s.states, s.metric, s.cfg.Dt, s.rngMob)
-	s.syncPositions()
+	// 1. Mobility, then fault-state advancement (churn schedules). The
+	// index shares pop.Pos, so mobility writes need no copy pass.
+	s.model.Step(s.pop, s.metric, s.cfg.Dt, s.rngMob)
 	if s.medium != nil {
 		s.medium.Advance(s.tick)
+		s.refreshAlive()
 	}
 
-	// 2. Topology recomputation and diffing.
-	s.adj, s.prevAdj = s.prevAdj, s.adj
-	s.recomputeAdjacency()
-	s.diffAdjacency()
+	// 2. Topology maintenance. Begin patches the cell buckets and flags
+	// the rows whose drift budget is spent (all rows when a medium is
+	// active: fault flips are not motion-driven, so margins cannot see
+	// them). Zero flagged rows proves the adjacency is unchanged — the
+	// stationary fast path skips the rebuild and the diff outright.
+	if dirty := s.index.Begin(s.medium != nil); dirty == 0 {
+		s.events = s.events[:0]
+	} else {
+		s.adj, s.prevAdj = s.prevAdj, s.adj
+		s.rebuildRows()
+		s.diffAdjacency()
+	}
 
 	// 3. Protocols observe link events.
 	for _, ev := range s.events {
@@ -242,7 +288,7 @@ func (s *Sim) IsNeighbor(a, b NodeID) bool {
 }
 
 // Position returns the current position of a node.
-func (s *Sim) Position(id NodeID) geom.Vec2 { return s.pos[id] }
+func (s *Sim) Position(id NodeID) geom.Vec2 { return s.pop.Pos[id] }
 
 // Tallies returns a snapshot of all counters.
 func (s *Sim) Tallies() Tallies { return s.tallies }
@@ -260,6 +306,10 @@ func (s *Sim) MeanDegree() float64 {
 	return float64(len(s.adj.flat)) / float64(s.cfg.N)
 }
 
+// IndexStats exposes the spatial index's requery counters, for
+// benchmarks and diagnostics.
+func (s *Sim) IndexStats() space.IndexStats { return s.index.Stats() }
+
 // Broadcast implements Env. Messages with an out-of-range sender or an
 // unknown kind indicate a protocol bug; they are dropped and counted in
 // Tallies().Invalid so tests can assert none occurred. Broadcasts from a
@@ -275,7 +325,7 @@ func (s *Sim) Broadcast(msg Message) {
 		s.tallies.Invalid++
 		return
 	}
-	if s.medium != nil && !s.medium.Alive(msg.From) {
+	if s.medium != nil && !s.alive[msg.From] {
 		s.tallies.Suppressed++
 		return
 	}
@@ -379,7 +429,7 @@ func (s *Sim) releasePending() {
 		if p.dead {
 			continue
 		}
-		if !s.medium.Alive(p.rcv) {
+		if !s.alive[p.rcv] {
 			s.dropped++
 			s.tallies.Dropped++
 			continue
@@ -388,94 +438,112 @@ func (s *Sim) releasePending() {
 	}
 }
 
-// syncPositions copies mobility positions into the flat slice the grid
-// indexes.
-func (s *Sim) syncPositions() {
-	for i := range s.states {
-		s.pos[i] = s.states[i].Pos
+// refreshAlive snapshots Medium.Alive into the per-tick cache. Liveness
+// is constant between Advance calls (the medium determinism contract),
+// so one pass per tick replaces every interface call on the hot paths.
+func (s *Sim) refreshAlive() {
+	for i := range s.alive {
+		s.alive[i] = s.medium.Alive(NodeID(i))
 	}
 }
 
-// recomputeAdjacency rebuilds the CSR neighbor lists from the grid with
-// two counting-sort passes instead of per-node comparison sorts: pairs
-// are collected in grid emission order, expanded to directed edges
-// bucketed by receiver (`to`), then distributed stably by sender
-// (`from`). Stability makes every row come out sorted ascending, in
-// O(E + N) with zero allocations at steady state.
-func (s *Sim) recomputeAdjacency() {
-	s.grid.Rebuild(s.pos)
+// rebuildRows reconstructs the CSR adjacency for the current tick,
+// re-querying only the rows the index flagged and splicing every other
+// row over from prevAdj unchanged. Three phases: gather (per-tile, rows
+// land in per-tile arenas), prefix-sum (serial, O(N)), fill (per-tile,
+// rows copied into their final flat segments). With cfg.Tiles ≥ 2 the
+// gather and fill phases run on the shared worker pool; tiles are
+// contiguous node-ID ranges, so all writes are tile-disjoint and the
+// result is byte-identical for every tile count.
+func (s *Sim) rebuildRows() {
 	n := s.cfg.N
-	deg := s.deg
-	for i := range deg {
-		deg[i] = 0
-	}
-	s.pairBuf = s.pairBuf[:0]
-	if s.medium == nil {
-		s.grid.ForEachPair(func(i, j int) {
-			s.pairBuf = append(s.pairBuf, uint64(i)<<32|uint64(j))
-			deg[i]++
-			deg[j]++
-		})
+	if s.tiles == 1 {
+		s.gatherRange(0, 0, n)
 	} else {
-		// A crashed node has no links, and a partition cut severs pairs on
-		// opposite sides: both filter out here, so the adjacency diff
-		// reports crashes, recoveries, partition onsets and heals as
-		// ordinary link-break/link-generation events.
-		s.grid.ForEachPair(func(i, j int) {
-			if !s.medium.Alive(NodeID(i)) || !s.medium.Alive(NodeID(j)) ||
-				s.medium.Cut(NodeID(i), NodeID(j)) {
-				return
-			}
-			s.pairBuf = append(s.pairBuf, uint64(i)<<32|uint64(j))
-			deg[i]++
-			deg[j]++
-		})
+		s.runTiled(phaseGather)
 	}
 
-	// Prefix-sum degrees into CSR offsets.
 	off := s.adj.off
 	off[0] = 0
 	for i := 0; i < n; i++ {
-		off[i+1] = off[i] + deg[i]
+		off[i+1] = off[i] + s.deg[i]
 	}
-	e2 := 2 * len(s.pairBuf)
-	if cap(s.edgeTmp) < e2 {
-		s.edgeTmp = make([]uint64, e2)
+	e := int(off[n])
+	if cap(s.adj.flat) < e {
+		s.adj.flat = make([]NodeID, e, e+e/4)
 	}
-	s.edgeTmp = s.edgeTmp[:e2]
-	if cap(s.adj.flat) < e2 {
-		s.adj.flat = make([]NodeID, e2)
-	}
-	s.adj.flat = s.adj.flat[:e2]
+	s.adj.flat = s.adj.flat[:e]
 
-	// Pass 1: bucket directed edges by `to`. A node's in-degree equals
-	// its degree, so the CSR offsets double as the bucket boundaries.
-	cur := s.cursor
-	copy(cur, off[:n])
-	for _, p := range s.pairBuf {
-		i, j := p>>32, p&0xffffffff
-		s.edgeTmp[cur[j]] = p // edge i→j in bucket j
-		cur[j]++
-		s.edgeTmp[cur[i]] = j<<32 | i // edge j→i in bucket i
-		cur[i]++
-	}
-
-	// Pass 2: distribute stably by `from`. Buckets were scanned in
-	// ascending `to` order, so each row fills sorted ascending.
-	copy(cur, off[:n])
-	for _, e := range s.edgeTmp {
-		from := e >> 32
-		s.adj.flat[cur[from]] = NodeID(e & 0xffffffff)
-		cur[from]++
+	if s.tiles == 1 {
+		s.fillRange(0, 0, n)
+	} else {
+		s.runTiled(phaseFill)
 	}
 }
 
-// diffAdjacency emits LinkEvents comparing prevAdj to adj. Each unordered
-// pair yields at most one event; ordering is by (A, B) within ups after
-// downs per node scan order, which is deterministic.
+// gatherRange runs the gather phase for rows [lo, hi) into tile t's
+// arena. Requeried rows are recomputed from the index (already sorted
+// ascending — the canonical CSR representation); clean rows only record
+// their previous degree. With a medium active every row is requeried,
+// dead rows become empty, and live pairs pass through the fault filter.
+func (s *Sim) gatherRange(t, lo, hi int) {
+	arena := s.arenas[t][:0]
+	if s.medium == nil {
+		for i := lo; i < hi; i++ {
+			if s.index.Requery(i) {
+				start := int32(len(arena))
+				arena = s.index.Row(i, arena)
+				s.rowStart[i] = start
+				s.deg[i] = int32(len(arena)) - start
+				s.changed[i] = true
+			} else {
+				s.deg[i] = s.prevAdj.off[i+1] - s.prevAdj.off[i]
+				s.changed[i] = false
+			}
+		}
+	} else {
+		for i := lo; i < hi; i++ {
+			start := int32(len(arena))
+			if s.alive[i] {
+				arena = s.index.RowFiltered(i, arena, &s.filt)
+			}
+			s.rowStart[i] = start
+			s.deg[i] = int32(len(arena)) - start
+			s.changed[i] = true
+		}
+	}
+	s.arenas[t] = arena
+}
+
+// fillRange runs the fill phase for rows [lo, hi): requeried rows copy
+// out of tile t's arena, clean rows copy straight from prevAdj.
+func (s *Sim) fillRange(t, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst := s.adj.flat[s.adj.off[i]:s.adj.off[i+1]]
+		if s.changed[i] {
+			src := s.arenas[t][s.rowStart[i] : int(s.rowStart[i])+len(dst)]
+			for k, v := range src {
+				dst[k] = NodeID(v)
+			}
+		} else {
+			copy(dst, s.prevAdj.row(NodeID(i)))
+		}
+	}
+}
+
+// diffAdjacency emits LinkEvents comparing prevAdj to adj. Only rows
+// that were requeried this tick can differ — an unflagged row was
+// spliced over verbatim, and any pair flip flags both endpoint rows —
+// so clean rows are skipped without scanning. Each unordered pair
+// yields at most one event; ordering is by (A, B) within ups after
+// downs per node scan order, which is deterministic and identical to a
+// full-scan diff.
 func (s *Sim) diffAdjacency() {
 	s.events = s.events[:0]
 	for i := 0; i < s.cfg.N; i++ {
+		if !s.changed[i] {
+			continue
+		}
 		oldL, newL := s.prevAdj.row(NodeID(i)), s.adj.row(NodeID(i))
 		oi, ni := 0, 0
 		for oi < len(oldL) || ni < len(newL) {
@@ -503,7 +571,7 @@ func (s *Sim) makeEvent(a, b NodeID, up bool) LinkEvent {
 		A:      a,
 		B:      b,
 		Up:     up,
-		Border: s.states[a].Wrapped || s.states[b].Wrapped,
+		Border: s.pop.Wrapped[a] || s.pop.Wrapped[b],
 		Time:   s.now,
 	}
 }

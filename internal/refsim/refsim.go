@@ -41,7 +41,7 @@ type Sim struct {
 	medium netsim.Medium
 	stop   func() bool
 
-	states []mobility.State
+	pop *mobility.Population
 
 	adj  [][]netsim.NodeID // current topology, row i sorted ascending
 	prev [][]netsim.NodeID // previous tick's topology
@@ -96,7 +96,7 @@ func New(cfg netsim.Config) (*Sim, error) {
 		return nil, fmt.Errorf("refsim: %w", err)
 	}
 	src := simrand.New(cfg.Seed)
-	states, err := cfg.Model.Init(cfg.N, metric, src.Split("placement").Rand())
+	pop, err := cfg.Model.Init(cfg.N, metric, src.Split("placement").Rand())
 	if err != nil {
 		return nil, fmt.Errorf("refsim: init mobility: %w", err)
 	}
@@ -107,7 +107,7 @@ func New(cfg netsim.Config) (*Sim, error) {
 		rngMob: src.Split("mobility").Rand(),
 		medium: cfg.Medium,
 		stop:   cfg.Stop,
-		states: states,
+		pop:    pop,
 		prev:   make([][]netsim.NodeID, cfg.N),
 	}
 	if s.medium != nil {
@@ -159,7 +159,7 @@ func (s *Sim) Step() error {
 	s.tick++
 	s.now = float64(s.tick) * s.cfg.Dt
 
-	s.model.Step(s.states, s.metric, s.cfg.Dt, s.rngMob)
+	s.model.Step(s.pop, s.metric, s.cfg.Dt, s.rngMob)
 	if s.medium != nil {
 		s.medium.Advance(s.tick)
 	}
@@ -234,7 +234,7 @@ func (s *Sim) IsNeighbor(a, b netsim.NodeID) bool {
 }
 
 // Position returns the current position of a node.
-func (s *Sim) Position(id netsim.NodeID) geom.Vec2 { return s.states[id].Pos }
+func (s *Sim) Position(id netsim.NodeID) geom.Vec2 { return s.pop.Pos[id] }
 
 // Tallies returns a snapshot of all counters.
 func (s *Sim) Tallies() netsim.Tallies { return s.tallies }
@@ -413,7 +413,7 @@ func (s *Sim) computeAdjacency() [][]netsim.NodeID {
 				s.medium.Cut(netsim.NodeID(i), netsim.NodeID(j))) {
 				continue
 			}
-			if s.metric.Dist2(s.states[i].Pos, s.states[j].Pos) <= r2 {
+			if s.metric.Dist2(s.pop.Pos[i], s.pop.Pos[j]) <= r2 {
 				adj[i] = append(adj[i], netsim.NodeID(j))
 				adj[j] = append(adj[j], netsim.NodeID(i))
 			}
@@ -448,7 +448,7 @@ func (s *Sim) diffEvents() []netsim.LinkEvent {
 				A:      netsim.NodeID(i),
 				B:      j,
 				Up:     is,
-				Border: s.states[i].Wrapped || s.states[j].Wrapped,
+				Border: s.pop.Wrapped[i] || s.pop.Wrapped[j],
 				Time:   s.now,
 			})
 		}
