@@ -1,6 +1,6 @@
 # Development targets for the MANET overhead reproduction.
 
-.PHONY: build test vet race check check-full chaos difftest bench bench-smoke
+.PHONY: build test vet race check check-full chaos difftest bench bench-smoke serve-smoke crash-harness
 
 build:
 	go build ./...
@@ -18,14 +18,15 @@ race:
 # mode under the race detector (this includes the 24-scenario
 # differential lockstep matrix and the metamorphic/conformance gates of
 # internal/difftest), and short fuzz smokes over the checkpoint journal
-# decoder, the netsim config validator, the pending-delivery queue and
-# the faults config validator.
+# decoder, the netsim config validator, the pending-delivery queue, the
+# faults config validator and the daemon's HTTP job-spec decoder.
 check:
 	go vet ./... && go test -race -short -count=1 ./...
 	go test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint
 	go test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 5s ./internal/netsim
 	go test -run '^$$' -fuzz FuzzPendingQueue -fuzztime 5s ./internal/netsim
 	go test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 5s ./internal/faults
+	go test -run '^$$' -fuzz FuzzJobSpecDecode -fuzztime 5s ./internal/service
 
 # check-full is the CI deep gate: the whole suite — 48 lockstep
 # scenarios, full-length statistical conformance — with caching off.
@@ -64,3 +65,18 @@ bench:
 # timing source.
 bench-smoke:
 	go run -race ./cmd/bench -step-only -step-ticks 120 -n 1000 -tiles 4 -out /tmp/bench-smoke.json
+
+# serve-smoke is the daemon's end-to-end gate, race-enabled: build the
+# real manetsimd binary, start it, verify liveness, submit a job,
+# provoke one 429 shed under admission control, then SIGTERM it and
+# require a graceful drain with exit code 0 and the standardized drain
+# message.
+serve-smoke:
+	go test -race -tags servesmoke -run TestServeSmoke -count=1 -v ./cmd/manetsimd
+
+# crash-harness is the crash-safety acceptance check: a real daemon
+# process is SIGKILLed mid-sweep, then a restart over the same state
+# directory must resume the job and produce an artifact byte-identical
+# to an uninterrupted run, for sweep worker counts 1 and 2.
+crash-harness:
+	go test -race -tags crashharness -run TestCrashKillRecovery -count=1 -v ./internal/service

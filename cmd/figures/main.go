@@ -31,22 +31,20 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"syscall"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
-	}
+	// Signal handling, drain messaging and exit codes are standardized
+	// across all binaries by internal/cli: a SIGINT/SIGTERM drains
+	// cooperatively (journal flushed, partial CSVs written) and exits
+	// 128+signal.
+	cli.Main("figures", cli.OneShot, run)
 }
 
 // fingerprintConfig is the configuration bound into a checkpoint

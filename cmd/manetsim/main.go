@@ -27,11 +27,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -46,12 +45,11 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "manetsim:", err)
-		os.Exit(1)
-	}
+	// Signal handling, drain messaging and exit codes are standardized
+	// across all binaries by internal/cli: a SIGINT/SIGTERM drains
+	// cooperatively (journal flushed, partial artifacts valid) and
+	// exits 128+signal.
+	cli.Main("manetsim", cli.OneShot, run)
 }
 
 // scenarioFingerprint binds every flag that shapes a measurement into
@@ -338,15 +336,11 @@ func writeTrace(path string, net core.Network, opts experiments.Options) error {
 	if err != nil {
 		return err
 	}
-	var stop func() bool
-	if ctx := opts.Ctx; ctx != nil && ctx.Done() != nil {
-		stop = func() bool { return ctx.Err() != nil }
-	}
 	sim, err := netsim.New(netsim.Config{
 		N: net.N, Side: net.Side(), Range: net.R, Metric: opts.Metric,
 		Model: mobility.EpochRWP{Speed: net.V, Epoch: net.Side() / 4 / maxf(net.V, 1e-9)},
 		Dt:    net.R / 30 / maxf(net.V, 1e-9), Seed: opts.Seed,
-		Stop: stop,
+		Stop: netsim.StopFromContext(opts.Ctx),
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,124 @@
+// Command manetsimd is the simulation-as-a-service daemon: a
+// long-lived HTTP/JSON job server over the deterministic sweep engine.
+//
+// Usage:
+//
+//	manetsimd -addr :8347 -state ./manetsimd-state
+//
+// Submit, poll, fetch:
+//
+//	curl -s -X POST localhost:8347/v1/jobs \
+//	     -d '{"kind":"measure","tenant":"alice","n":400,"r":1.5,"v":0.05}'
+//	curl -s localhost:8347/v1/jobs/<id>
+//	curl -s localhost:8347/v1/jobs/<id>/result
+//
+// The daemon applies per-tenant token-bucket admission control (429 +
+// Retry-After with decorrelated-jitter backoff hints), bounds its job
+// queue (503 when full — overload is shed, never buffered without
+// bound), enforces per-job wall-clock deadlines through the engine's
+// cooperative stop seam, caches results by scenario fingerprint, and
+// journals every job-state transition plus every completed sweep point
+// through internal/checkpoint. Kill it at any instant — SIGKILL
+// included — and a restart over the same -state directory re-queues the
+// in-flight jobs and resumes their sweeps to byte-identical artifacts.
+// SIGINT/SIGTERM trigger a graceful drain (stop admitting, checkpoint
+// in-flight work, exit 0); a second signal forces immediate exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/service"
+)
+
+func main() {
+	cli.Main("manetsimd", cli.Server, run)
+}
+
+// run parses flags, opens the job manager (recovering any jobs the
+// previous process life left in flight) and serves until the context —
+// cancelled by the first SIGINT/SIGTERM — asks for a drain.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("manetsimd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8347", "listen address")
+		state        = fs.String("state", "manetsimd-state", "state directory (job log, sweep journals, artifacts)")
+		rate         = fs.Float64("rate", 1, "admitted jobs per second per tenant")
+		burst        = fs.Float64("burst", 4, "admission burst per tenant")
+		queueDepth   = fs.Int("queue", 64, "bounded job queue depth (beyond it submissions are shed)")
+		jobWorkers   = fs.Int("job-workers", 2, "jobs executed concurrently")
+		sweepWorkers = fs.Int("sweep-workers", 0, "sweep workers per job (0 = GOMAXPROCS; results are identical for any value)")
+		cacheBytes   = fs.Int64("cache-bytes", 32<<20, "result cache budget in bytes")
+		defDeadline  = fs.Duration("default-deadline", 10*time.Minute, "deadline for jobs that request none")
+		maxDeadline  = fs.Duration("max-deadline", time.Hour, "ceiling for requested deadlines")
+		drainGrace   = fs.Duration("drain-grace", 30*time.Second, "how long a drain waits for running jobs before checkpointing them for restart")
+		maxSpecBytes = fs.Int64("max-spec-bytes", service.DefaultMaxSpecBytes, "largest accepted job spec")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	m, err := service.Open(service.Config{
+		StateDir:        *state,
+		QueueDepth:      *queueDepth,
+		JobWorkers:      *jobWorkers,
+		SweepWorkers:    *sweepWorkers,
+		Admission:       service.AdmissionPolicy{Rate: *rate, Burst: *burst},
+		CacheBytes:      *cacheBytes,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		m.Close()
+		return err
+	}
+	srv := &http.Server{Handler: service.NewServer(m, *maxSpecBytes).Handler()}
+	fmt.Fprintf(out, "manetsimd: listening on %s (state %s)\n", ln.Addr(), *state)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		m.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: readiness flips immediately (Drain stops
+	// admitting), running jobs get drainGrace to finish, then are
+	// checkpointed for the next start. The HTTP server stays up through
+	// the drain so status polls and result fetches keep working.
+	fmt.Fprintf(out, "manetsimd: drain started: admissions stopped, waiting up to %v for running jobs\n", *drainGrace)
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainGrace)
+	m.Drain(dctx)
+	dcancel()
+
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := srv.Shutdown(hctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		m.Close()
+		return err
+	}
+	if err := m.Close(); err != nil {
+		return err
+	}
+	return ctx.Err() // the cooperative-cancel signature: exits 0 for a server
+}

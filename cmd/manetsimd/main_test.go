@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+)
+
+// syncBuffer is a goroutine-safe output sink for the daemon under test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startDaemon runs the daemon's run() in-process on an ephemeral port
+// and returns its base URL plus a shutdown function that cancels the
+// context (the same path a SIGTERM takes) and returns run's error.
+func startDaemon(t *testing.T, extraArgs ...string) (string, *syncBuffer, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-state", t.TempDir(),
+		"-job-workers", "1",
+		"-sweep-workers", "1",
+		"-drain-grace", "100ms",
+	}, extraArgs...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, out) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], out, func() error {
+				cancel()
+				select {
+				case err := <-errc:
+					return err
+				case <-time.After(30 * time.Second):
+					t.Fatal("daemon did not shut down")
+					return nil
+				}
+			}
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited at startup: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never listened:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd drives the full quickstart against an in-process
+// daemon: health, submit, poll, fetch, then a context-cancel drain
+// whose error must classify as a clean drain (exit 0 for a server).
+func TestDaemonEndToEnd(t *testing.T) {
+	base, out, shutdown := startDaemon(t, "-rate", "1000", "-burst", "1000")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"kind":"measure","tenant":"e2e","n":60,"r":2,"events":300,"seed":7}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for st.State != "done" && st.State != "failed" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err = http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.State != "done" {
+		t.Fatalf("job failed: %s", data)
+	}
+
+	resp, err = http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.HasPrefix(csv, []byte("duration,")) {
+		t.Fatalf("result: %d %q", resp.StatusCode, csv)
+	}
+
+	err = shutdown()
+	if err != nil && !cli.DrainClean(err) {
+		t.Fatalf("shutdown error does not classify as a clean drain: %v", err)
+	}
+	if !strings.Contains(out.String(), "drain started") {
+		t.Fatalf("no drain message:\n%s", out.String())
+	}
+}
+
+// TestDaemonThrottles: a zero-refill tenant bucket turns the second
+// submission into a 429 with a Retry-After hint.
+func TestDaemonThrottles(t *testing.T) {
+	base, _, shutdown := startDaemon(t, "-rate", "0", "-burst", "1")
+	defer shutdown()
+
+	post := func() *http.Response {
+		resp, err := http.Post(base+"/v1/jobs", "application/json",
+			strings.NewReader(`{"kind":"measure","tenant":"greedy","n":60,"r":2,"events":300}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(); resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestDaemonRejectsExtraArgs: positional arguments are a usage error,
+// not silently ignored.
+func TestDaemonRejectsExtraArgs(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "stray"}, io.Discard)
+	if err == nil {
+		t.Fatal("stray argument accepted")
+	}
+}

@@ -1,0 +1,137 @@
+//go:build servesmoke
+
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the daemon's end-to-end smoke: build the real
+// binary, start it, verify liveness, submit a job, provoke one 429
+// shed, then SIGTERM it and require a graceful drain with exit code 0
+// and the standardized drain message. `make serve-smoke` runs this with
+// the race detector on.
+//
+// Build-tagged (servesmoke) because it compiles and execs a binary —
+// too heavy for the tier-1 loop, load-bearing for release confidence.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "manetsimd")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building daemon: %v", err)
+	}
+
+	var outMu sync.Mutex
+	var out bytes.Buffer
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-state", filepath.Join(dir, "state"),
+		"-rate", "0", "-burst", "1", // one admission, then shed
+		"-job-workers", "1", "-sweep-workers", "1",
+		"-drain-grace", "5s",
+	)
+	cmd.Stdout = writerFunc(func(p []byte) (int, error) {
+		outMu.Lock()
+		defer outMu.Unlock()
+		return out.Write(p)
+	})
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	output := func() string {
+		outMu.Lock()
+		defer outMu.Unlock()
+		return out.String()
+	}
+
+	listenRE := regexp.MustCompile(`listening on (\S+)`)
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(output()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened:\n%s", output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	get := func(path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz: %d", code)
+	}
+
+	post := func(body string) int {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	spec := `{"kind":"measure","tenant":"smoke","n":60,"r":2,"events":300}`
+	if code := post(spec); code != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202", code)
+	}
+	// The tenant's only token is spent: the next submission is shed.
+	if code := post(spec); code != http.StatusTooManyRequests {
+		t.Fatalf("overload submit: got %d, want 429", code)
+	}
+	// Liveness survives the shed.
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz after shed: %d", code)
+	}
+
+	// Graceful drain: SIGTERM, exit 0, standardized message.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, output())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM:\n%s", output())
+	}
+	if !strings.Contains(output(), "drained after SIGTERM") {
+		t.Fatalf("drain message missing:\n%s", output())
+	}
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -1,0 +1,230 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Job-state records for the simulation service daemon.
+//
+// The sweep Journal above answers "which points of this sweep already
+// ran"; the JobLog answers the question one level up: "which jobs did
+// the daemon accept, and which of them reached a terminal state". A
+// daemon killed at any instant leaves a log whose accepted-but-not-
+// terminal jobs are exactly the ones to recover on restart — each of
+// which then resumes its own per-job sweep Journal, so the recovered
+// run's artifact is byte-identical to an uninterrupted one.
+//
+// The format mirrors the sweep journal deliberately: JSONL, a magic
+// header line, CRC-32C per record, fsync per append, and tolerant
+// decoding that salvages the intact prefix of a torn tail.
+
+// Job-state names recorded in the log. Only terminal states other than
+// JobAccepted appear as non-first records for an id; a job whose last
+// record is JobAccepted was in flight when the process died.
+const (
+	JobAccepted = "accepted"
+	JobDone     = "done"
+	JobFailed   = "failed"
+)
+
+// JobRecord is one job-state transition in the service job log.
+type JobRecord struct {
+	// Seq is the log-wide monotonic sequence number; it fixes the
+	// recovery order of in-flight jobs (first accepted, first resumed).
+	Seq int `json:"seq"`
+	// ID is the job's stable identifier.
+	ID string `json:"id"`
+	// State is JobAccepted, JobDone or JobFailed.
+	State string `json:"state"`
+	// Fingerprint is the job's scenario fingerprint (result cache key).
+	Fingerprint string `json:"fp,omitempty"`
+	// Spec is the JSON-encoded job specification; present on JobAccepted
+	// records so recovery can rebuild the job without any other state.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Note carries the human-readable reason of a terminal state
+	// (failure cause, "cache" for a cache-served job, ...).
+	Note string `json:"note,omitempty"`
+	// Sum is a CRC-32C over every other field; it rejects records
+	// garbled in place, which a JSON parse alone would accept.
+	Sum uint32 `json:"crc"`
+}
+
+// checksum computes the record's CRC over everything but Sum itself.
+func (r JobRecord) checksum() uint32 {
+	h := crc32.New(castagnoli)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(r.Seq)))
+	h.Write(b[:])
+	for _, s := range []string{r.ID, r.State, r.Fingerprint, r.Note} {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(s)))
+		h.Write(b[:])
+		h.Write([]byte(s))
+	}
+	h.Write(r.Spec)
+	return h.Sum32()
+}
+
+const jobLogMagic = "manet-jobs"
+
+// encodeJobLogHeader renders the log's first line. Unlike a sweep
+// journal, a job log carries no config fingerprint: the daemon must be
+// able to recover jobs across restarts even when its own serving
+// configuration (queue depth, rates) changed; each job's scenario
+// fingerprint lives in its records instead.
+func encodeJobLogHeader() ([]byte, error) {
+	b, err := json.Marshal(header{Magic: jobLogMagic, Version: journalVersion})
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// JobLog is the crash-safe append-only job-state log of a service
+// daemon. Appends are fsynced before they return, so an acknowledged
+// state transition survives any subsequent crash; a crash mid-append
+// damages at most the unacknowledged tail record, which OpenJobLog
+// silently truncates away. A JobLog is safe for concurrent use.
+type JobLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	next int // next sequence number
+}
+
+// OpenJobLog creates the log at path, or reopens an existing one,
+// returning the salvaged records in append order. A damaged tail is
+// truncated off; only an unusable header fails the open.
+func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
+	l := &JobLog{path: path, next: 1}
+	var records []JobRecord
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		hdr, err := encodeJobLogHeader()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := WriteFileAtomic(path, hdr, 0o644); err != nil {
+			return nil, nil, err
+		}
+	case err != nil:
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	default:
+		var valid int
+		records, valid, err = DecodeJobLog(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if salvaged := len(data) - valid; salvaged > 0 {
+			if err := truncateTo(path, valid); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, r := range records {
+			if r.Seq >= l.next {
+				l.next = r.Seq + 1
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	l.f = f
+	return l, records, nil
+}
+
+// DecodeJobLog parses job-log bytes tolerantly, returning every intact
+// record and the byte length of the valid prefix. Decoding stops at the
+// first damaged line — a torn tail from a crash mid-append, a flipped
+// byte caught by the CRC — and everything before it is salvaged; such
+// damage is not an error. Only an unusable header is.
+func DecodeJobLog(data []byte) (records []JobRecord, valid int, err error) {
+	line, rest, ok := cutLine(data)
+	if !ok {
+		return nil, 0, fmt.Errorf("checkpoint: job log header missing or truncated")
+	}
+	var h header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: job log header: %w", err)
+	}
+	if h.Magic != jobLogMagic || h.Version != journalVersion {
+		return nil, 0, fmt.Errorf("checkpoint: not a v%d %s log header: %q", journalVersion, jobLogMagic, line)
+	}
+	valid = len(data) - len(rest)
+	for {
+		line, next, ok := cutLine(rest)
+		if !ok {
+			return records, valid, nil
+		}
+		var r JobRecord
+		if err := json.Unmarshal(line, &r); err != nil ||
+			r.Seq <= 0 || r.ID == "" || r.State == "" || r.Sum != r.checksum() {
+			return records, valid, nil
+		}
+		records = append(records, r)
+		rest = next
+		valid = len(data) - len(rest)
+	}
+}
+
+// Append journals one job-state transition and fsyncs it. The record's
+// Seq and Sum are assigned by the log; the passed record's values for
+// them are ignored.
+func (l *JobLog) Append(rec JobRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errClosed
+	}
+	rec.Seq = l.next
+	rec.Sum = rec.checksum()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode job %s %s: %w", rec.ID, rec.State, err)
+	}
+	line = append(line, '\n')
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: append job %s %s: %w", rec.ID, rec.State, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync job %s %s: %w", rec.ID, rec.State, err)
+	}
+	l.next++
+	return nil
+}
+
+// NextSeq returns the sequence number the next Append will record.
+func (l *JobLog) NextSeq() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Path returns the log's file path.
+func (l *JobLog) Path() string { return l.path }
+
+// Close syncs and closes the log. It is idempotent.
+func (l *JobLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: close job log: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJobLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	l, recs, err := OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log returned %d records", len(recs))
+	}
+	spec := json.RawMessage(`{"kind":"measure","n":60}`)
+	appends := []JobRecord{
+		{ID: "j1", State: JobAccepted, Fingerprint: "aaaa", Spec: spec},
+		{ID: "j2", State: JobAccepted, Fingerprint: "bbbb", Spec: spec},
+		{ID: "j1", State: JobDone, Fingerprint: "aaaa"},
+		{ID: "j2", State: JobFailed, Note: "deadline"},
+	}
+	for _, r := range appends {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs, err := OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != len(appends) {
+		t.Fatalf("reopened log returned %d records, want %d", len(recs), len(appends))
+	}
+	for i, r := range recs {
+		if r.Seq != i+1 {
+			t.Errorf("record %d has seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.ID != appends[i].ID || r.State != appends[i].State || r.Note != appends[i].Note {
+			t.Errorf("record %d = %+v, want %+v", i, r, appends[i])
+		}
+	}
+	if l2.NextSeq() != len(appends)+1 {
+		t.Errorf("NextSeq = %d, want %d", l2.NextSeq(), len(appends)+1)
+	}
+}
+
+func TestJobLogSalvagesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	l, _, err := OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(JobRecord{ID: "j1", State: JobAccepted}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(JobRecord{ID: "j1", State: JobDone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a torn, newline-less tail record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"id":"j2","state":"acce`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs, err := OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("salvaged %d records, want 2", len(recs))
+	}
+	// The torn tail must be truncated so the next append starts clean.
+	if err := l2.Append(JobRecord{ID: "j3", State: JobAccepted}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, recs, err := OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if len(recs) != 3 || recs[2].ID != "j3" || recs[2].Seq != 3 {
+		t.Fatalf("after salvage+append got %+v", recs)
+	}
+}
+
+func TestJobLogRejectsGarbledRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	l, _, err := OpenJobLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(JobRecord{ID: "j1", State: JobAccepted, Note: "keep"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(JobRecord{ID: "j2", State: JobAccepted, Note: "garble"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the second record's note in place: valid JSON, wrong CRC.
+	garbled := strings.Replace(string(data), "garble", "gArble", 1)
+	if garbled == string(data) {
+		t.Fatal("substitution did not apply")
+	}
+	recs, _, err := DecodeJobLog([]byte(garbled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "j1" {
+		t.Fatalf("CRC did not stop decoding at the garbled record: %+v", recs)
+	}
+}
+
+func TestJobLogRejectsForeignHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.log")
+	// A sweep journal is not a job log: the magic must differ.
+	if err := WriteFileAtomic(path, []byte(`{"journal":"manet-sweep","v":1,"fp":"x"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJobLog(path); err == nil {
+		t.Fatal("sweep journal accepted as a job log")
+	}
+}

@@ -1,0 +1,148 @@
+// Package cli standardizes process-level behavior across the
+// repository's binaries: signal handling, graceful-drain messaging and
+// exit codes. Before it existed each command hand-rolled its own
+// SIGINT/SIGTERM handling with subtly different outcomes; now every
+// binary shares one contract:
+//
+//   - Exit 0: the run completed. For a server (Server kind) this
+//     includes a signal-triggered graceful drain — shutting down on
+//     request is a server doing its job, so operators and process
+//     supervisors see success.
+//   - Exit 1: the run failed for a reason unrelated to signals.
+//   - Exit 128+signal (130 for SIGINT, 143 for SIGTERM): a one-shot run
+//     (OneShot kind) was interrupted and drained cleanly — in-flight
+//     work stopped cooperatively, completed work is journaled, partial
+//     artifacts on disk are valid. The non-zero code tells callers the
+//     requested work is incomplete; the reserved 128+n form tells them
+//     why.
+//
+// A second signal skips the drain and forces an immediate exit with
+// code 128+signal, so a wedged drain can always be escalated.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/netsim"
+)
+
+// Standardized exit codes (beyond 128+signal for interrupted one-shots).
+const (
+	ExitOK      = 0
+	ExitFailure = 1
+)
+
+// Kind selects the drain semantics of a binary.
+type Kind int
+
+const (
+	// OneShot marks a run-to-completion command (manetsim, figures): a
+	// signal drains cleanly but exits 128+signal, because the requested
+	// work is incomplete.
+	OneShot Kind = iota
+	// Server marks a long-lived daemon (manetsimd): a signal-triggered
+	// graceful drain is the intended way to stop it, so it exits 0.
+	Server
+)
+
+// Main runs body with the standardized signal contract and exits the
+// process with the resulting code. It is the one-line main() of every
+// binary in this repository.
+func Main(name string, kind Kind, body func(ctx context.Context, args []string, out io.Writer) error) {
+	os.Exit(Run(name, kind, os.Args[1:], os.Stdout, os.Stderr, body))
+}
+
+// Run executes body under a context that is cancelled by the first
+// SIGINT/SIGTERM, classifies the outcome and emits the standardized
+// drain or error message on errw. It returns the process exit code;
+// Main passes it to os.Exit. Split from Main so tests can drive the
+// whole contract in-process.
+func Run(name string, kind Kind, args []string, out, errw io.Writer, body func(ctx context.Context, args []string, out io.Writer) error) int {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	var got atomic.Value // os.Signal received first, if any
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case s := <-sigc:
+			got.Store(s)
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case s := <-sigc:
+			// Second signal: the drain is taking too long for the
+			// operator; stop immediately. Journals are fsync-per-append,
+			// so even a forced exit loses no acknowledged work.
+			fmt.Fprintf(errw, "%s: second %s: forcing exit without drain\n", name, signame(s))
+			os.Exit(exitCode(s))
+		case <-done:
+		}
+	}()
+
+	err := body(ctx, args, out)
+	sig, _ := got.Load().(os.Signal)
+
+	switch {
+	case sig == nil && err == nil:
+		return ExitOK
+	case sig == nil:
+		fmt.Fprintf(errw, "%s: %v\n", name, err)
+		return ExitFailure
+	case err == nil || DrainClean(err):
+		fmt.Fprintf(errw, "%s: drained after %s: in-flight work stopped cooperatively; completed work is journaled and partial artifacts are valid\n",
+			name, signame(sig))
+		if kind == Server {
+			return ExitOK
+		}
+		return exitCode(sig)
+	default:
+		// Interrupted, but the error is not the interruption's own
+		// signature: report it as a real failure.
+		fmt.Fprintf(errw, "%s: interrupted by %s with error: %v\n", name, signame(sig), err)
+		return ExitFailure
+	}
+}
+
+// DrainClean reports whether an error is the expected signature of a
+// cooperative cancellation rather than a real failure: context
+// cancellation, a deadline racing the cancel, or the engine's
+// ErrStopped — anywhere in a wrapped or joined chain.
+func DrainClean(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, netsim.ErrStopped)
+}
+
+// exitCode maps a terminating signal to the conventional 128+n code.
+func exitCode(s os.Signal) int {
+	if n, ok := s.(syscall.Signal); ok {
+		return 128 + int(n)
+	}
+	return ExitFailure
+}
+
+// signame renders a signal for drain messages (SIGINT, SIGTERM).
+func signame(s os.Signal) string {
+	switch s {
+	case os.Interrupt:
+		return "SIGINT"
+	case syscall.SIGTERM:
+		return "SIGTERM"
+	default:
+		return s.String()
+	}
+}

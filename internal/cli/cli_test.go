@@ -1,0 +1,131 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestRunSuccess(t *testing.T) {
+	var out, errw strings.Builder
+	code := Run("demo", OneShot, []string{"a"}, &out, &errw,
+		func(ctx context.Context, args []string, w io.Writer) error {
+			fmt.Fprintf(w, "args=%v", args)
+			return nil
+		})
+	if code != ExitOK {
+		t.Errorf("exit code %d, want %d", code, ExitOK)
+	}
+	if out.String() != "args=[a]" {
+		t.Errorf("out = %q", out.String())
+	}
+	if errw.Len() != 0 {
+		t.Errorf("unexpected stderr: %q", errw.String())
+	}
+}
+
+func TestRunFailure(t *testing.T) {
+	var out, errw strings.Builder
+	code := Run("demo", OneShot, nil, &out, &errw,
+		func(context.Context, []string, io.Writer) error {
+			return errors.New("boom")
+		})
+	if code != ExitFailure {
+		t.Errorf("exit code %d, want %d", code, ExitFailure)
+	}
+	if !strings.Contains(errw.String(), "demo: boom") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+// signalBody blocks until the run context is cancelled, then returns
+// the interruption's own signature, like a drained sweep does.
+func signalBody(ctx context.Context, _ []string, _ io.Writer) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("sweep interrupted: %w", ctx.Err())
+	case <-time.After(10 * time.Second):
+		return errors.New("signal never arrived")
+	}
+}
+
+func TestRunDrainOneShot(t *testing.T) {
+	var out, errw strings.Builder
+	code := Run("demo", OneShot, nil, &out, &errw,
+		func(ctx context.Context, args []string, w io.Writer) error {
+			if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+				return err
+			}
+			return signalBody(ctx, args, w)
+		})
+	if code != 130 {
+		t.Errorf("exit code %d, want 130 (128+SIGINT)", code)
+	}
+	if !strings.Contains(errw.String(), "drained after SIGINT") {
+		t.Errorf("stderr missing standardized drain message: %q", errw.String())
+	}
+}
+
+func TestRunDrainServerExitsZero(t *testing.T) {
+	var out, errw strings.Builder
+	code := Run("demod", Server, nil, &out, &errw,
+		func(ctx context.Context, args []string, w io.Writer) error {
+			if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+				return err
+			}
+			<-ctx.Done()
+			return nil
+		})
+	if code != ExitOK {
+		t.Errorf("exit code %d, want %d (server drain is success)", code, ExitOK)
+	}
+	if !strings.Contains(errw.String(), "drained after SIGTERM") {
+		t.Errorf("stderr missing standardized drain message: %q", errw.String())
+	}
+}
+
+func TestRunInterruptedWithRealFailure(t *testing.T) {
+	var out, errw strings.Builder
+	code := Run("demo", OneShot, nil, &out, &errw,
+		func(ctx context.Context, _ []string, _ io.Writer) error {
+			if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+				return err
+			}
+			<-ctx.Done()
+			return errors.New("disk on fire")
+		})
+	if code != ExitFailure {
+		t.Errorf("exit code %d, want %d", code, ExitFailure)
+	}
+	if !strings.Contains(errw.String(), "disk on fire") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+func TestDrainClean(t *testing.T) {
+	clean := []error{
+		context.Canceled,
+		fmt.Errorf("wrap: %w", context.Canceled),
+		errors.Join(errors.New("point 3 failed"), fmt.Errorf("interrupted: %w", context.Canceled)),
+		netsim.ErrStopped,
+		context.DeadlineExceeded,
+	}
+	for _, err := range clean {
+		if !DrainClean(err) {
+			t.Errorf("DrainClean(%v) = false", err)
+		}
+	}
+	if DrainClean(errors.New("boom")) {
+		t.Error("DrainClean accepted an unrelated error")
+	}
+	if DrainClean(nil) {
+		t.Error("DrainClean accepted nil")
+	}
+}

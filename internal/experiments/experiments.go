@@ -107,14 +107,13 @@ func (o Options) sweep(name string) SweepOptions {
 	return s
 }
 
-// stopCheck adapts a context to the engine's cooperative stop-check.
-// Background-like contexts (nil, or never cancellable) map to nil so
-// the engine keeps its exact zero-overhead historical path.
+// stopCheck adapts a context to the engine's cooperative stop-check;
+// the mapping (background-like contexts keep the nil zero-overhead
+// path) lives in netsim.StopFromContext so every caller — sweeps, CLI
+// drains, the service daemon's per-job deadline watchdogs — shares one
+// seam.
 func stopCheck(ctx context.Context) func() bool {
-	if ctx == nil || ctx.Done() == nil {
-		return nil
-	}
-	return func() bool { return ctx.Err() != nil }
+	return netsim.StopFromContext(ctx)
 }
 
 // MobilityKind names the mobility model family used in measurements.

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// This file holds the job-shaped entry points the service daemon
+// (cmd/manetsimd) executes: parameters in, deterministic artifact bytes
+// out. Both entry points run through RunSweepCtx, so a job inherits the
+// sweep engine's whole robustness contract — per-point checkpoint
+// journaling and byte-identical resume (Options.Journal), cooperative
+// cancellation and deadline watchdogs (Options.Ctx, through
+// netsim.StopFromContext), and panic isolation. Because the rendered
+// bytes are a pure function of the replayed point results, a job
+// interrupted at any instant and resumed from its journal produces an
+// artifact byte-identical to an uninterrupted run — which is also what
+// makes the fingerprint-keyed result cache sound.
+
+// FigureJobSupported reports whether a figure id names a sweep-shaped,
+// journal-resumable driver that FigureCSV can execute. Figures 4 and 5
+// are excluded: 4 is closed-form (two panels, no sweep to resume) and 5
+// renders paired panels that do not reduce to one CSV artifact.
+func FigureJobSupported(id int) bool {
+	switch id {
+	case 1, 2, 3, 8, 9:
+		return true
+	}
+	return false
+}
+
+// FigureCSV runs one figure driver and renders its CSV artifact.
+// Supported ids: 1, 2, 3 (frequency validations), 8 (loss degradation),
+// 9 (partition recovery). When the sweep is cut short (cancellation,
+// deadline, point failure) the bytes of the valid partial figure are
+// returned alongside the error, so callers can persist a partial
+// artifact that is a strict prefix-subset of the complete one.
+func FigureCSV(id int, opts Options) ([]byte, error) {
+	var f *metrics.Figure
+	var err error
+	switch id {
+	case 1:
+		f, err = Figure1(opts)
+	case 2:
+		f, err = Figure2(opts)
+	case 3:
+		f, err = Figure3(opts)
+	case 8:
+		f, err = Figure8(opts)
+	case 9:
+		f, err = Figure9(opts)
+	default:
+		return nil, fmt.Errorf("experiments: figure %d has no job-shaped driver (supported: 1, 2, 3, 8, 9)", id)
+	}
+	if f == nil || !figureHasPoints(f) {
+		return nil, err
+	}
+	return []byte(f.CSV()), err
+}
+
+// figureHasPoints reports whether any series of the figure holds data.
+func figureHasPoints(f *metrics.Figure) bool {
+	for _, s := range f.Series {
+		if len(s.Points) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// measurePoint is one measured scenario with its analytic predictions.
+// Fields are exported so the point survives a JSON round trip through
+// the checkpoint journal bit-exactly.
+type measurePoint struct {
+	Meas  Measured
+	Rates core.Rates
+}
+
+// MeasureCSV measures one scenario (MeasureRates plus the paper's
+// analytic predictions at the measured head ratio) and renders it as a
+// one-row CSV artifact. The measurement runs as a single-point
+// orchestrated sweep under the name "measure", so it is journaled,
+// resumable, deadline-bounded and panic-isolated exactly like the
+// figure sweeps.
+func MeasureCSV(net core.Network, opts Options) ([]byte, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := RunSweepCtx(opts.context(), opts.sweep("measure"), 1,
+		func(ctx context.Context, _ int) (measurePoint, error) {
+			o := opts
+			o.Ctx = ctx
+			meas, err := MeasureRates(net, o)
+			if err != nil {
+				return measurePoint{}, err
+			}
+			rates, err := net.ControlRates(meas.HeadRatio)
+			if err != nil {
+				return measurePoint{}, err
+			}
+			return measurePoint{Meas: meas, Rates: rates}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	p := res.Results[0]
+	var b strings.Builder
+	b.WriteString("duration,mean_degree,mean_degree_analysis,link_change_rate,link_change_rate_analysis,head_ratio,f_hello,f_hello_analysis,f_cluster,f_cluster_analysis,f_route,f_route_analysis\n")
+	fmt.Fprintf(&b, "%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g\n",
+		p.Meas.Duration,
+		p.Meas.MeanDegree, net.ExpectedNeighbors(),
+		p.Meas.LinkChangeRate, net.LinkChangeRate(),
+		p.Meas.HeadRatio,
+		p.Meas.FHello, p.Rates.Hello,
+		p.Meas.FCluster, p.Rates.Cluster,
+		p.Meas.FRoute, p.Rates.Route)
+	return []byte(b.String()), nil
+}

@@ -1,0 +1,22 @@
+package netsim
+
+import "context"
+
+// StopFromContext adapts a context to the engine's cooperative
+// stop-check (Config.Stop): the returned func reports true once the
+// context is cancelled or its deadline passes, so Step halts on the
+// next tick boundary with ErrStopped and all counters consistent. This
+// is the single seam through which every cancellation source — SIGINT
+// drains, per-point sweep deadlines, the service daemon's per-job
+// watchdogs — reaches the hot loop.
+//
+// Background-like contexts (nil, or never cancellable) map to nil, so
+// the engine keeps its exact zero-overhead historical code path: a nil
+// Stop is byte-for-byte and allocation-for-allocation identical to a
+// build without cancellation support.
+func StopFromContext(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}

@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/mobility"
 )
@@ -69,5 +71,36 @@ func TestStopCheckAbortsStep(t *testing.T) {
 	}
 	if sim.Now() != now {
 		t.Error("clock advanced past a firing stop-check")
+	}
+}
+
+// TestStopFromContext verifies the context adapter: background-like
+// contexts keep the engine's nil-Stop fast path, cancellation and
+// expired deadlines trip the check.
+func TestStopFromContext(t *testing.T) {
+	if StopFromContext(nil) != nil {
+		t.Error("nil context should map to a nil stop-check")
+	}
+	if StopFromContext(context.Background()) != nil {
+		t.Error("background context should map to a nil stop-check")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := StopFromContext(ctx)
+	if stop == nil {
+		t.Fatal("cancellable context mapped to nil stop-check")
+	}
+	if stop() {
+		t.Error("stop-check fired before cancellation")
+	}
+	cancel()
+	if !stop() {
+		t.Error("stop-check did not fire after cancellation")
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if stop := StopFromContext(dctx); stop == nil || !stop() {
+		t.Error("expired deadline should trip the stop-check immediately")
 	}
 }

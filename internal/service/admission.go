@@ -1,0 +1,117 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// AdmissionPolicy shapes per-tenant token-bucket admission control:
+// every accepted job spends one token; tokens refill at Rate per second
+// up to Burst. A tenant that burns its burst is throttled (HTTP 429)
+// until tokens accrue — overload never reaches the job queue, let
+// alone a simulation worker.
+type AdmissionPolicy struct {
+	// Rate is the sustained admission rate in jobs per second.
+	Rate float64
+	// Burst is the bucket capacity: how many jobs a quiet tenant may
+	// submit back-to-back.
+	Burst float64
+	// MaxTenants bounds the number of tracked buckets so a tenant-name
+	// flood cannot grow memory without bound; 0 selects
+	// DefaultMaxTenants.
+	MaxTenants int
+}
+
+// DefaultMaxTenants bounds the admission table when the policy leaves
+// MaxTenants zero.
+const DefaultMaxTenants = 4096
+
+// bucket is one tenant's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Admitter applies an AdmissionPolicy across tenants. It is safe for
+// concurrent use.
+type Admitter struct {
+	mu      sync.Mutex
+	pol     AdmissionPolicy
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+// NewAdmitter builds an admitter; now == nil selects time.Now.
+func NewAdmitter(pol AdmissionPolicy, now func() time.Time) *Admitter {
+	if pol.MaxTenants <= 0 {
+		pol.MaxTenants = DefaultMaxTenants
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Admitter{pol: pol, now: now, buckets: map[string]*bucket{}}
+}
+
+// Admit spends one token from the tenant's bucket. When the bucket is
+// empty it reports ok == false and the duration until the next token
+// accrues — the floor of the client's Retry-After hint.
+func (a *Admitter) Admit(tenant string) (ok bool, wait time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	b := a.buckets[tenant]
+	if b == nil {
+		a.evictIfFull()
+		b = &bucket{tokens: a.pol.Burst, last: now}
+		a.buckets[tenant] = b
+	} else {
+		dt := now.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens += dt * a.pol.Rate
+			if b.tokens > a.pol.Burst {
+				b.tokens = a.pol.Burst
+			}
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if a.pol.Rate <= 0 {
+		return false, time.Hour // no refill configured: effectively never
+	}
+	return false, time.Duration((1 - b.tokens) / a.pol.Rate * float64(time.Second))
+}
+
+// evictIfFull keeps the bucket table under MaxTenants. Full buckets are
+// indistinguishable from fresh ones, so they are evicted first; if none
+// is full, the fullest bucket goes — the small grace its owner gains
+// (a reset to Burst tokens) is the price of bounded memory, and the
+// linear scan only runs when a new tenant arrives at a full table.
+func (a *Admitter) evictIfFull() {
+	if len(a.buckets) < a.pol.MaxTenants {
+		return
+	}
+	victim := ""
+	best := -1.0
+	now := a.now()
+	for name, b := range a.buckets {
+		tokens := b.tokens + now.Sub(b.last).Seconds()*a.pol.Rate
+		if tokens >= a.pol.Burst {
+			victim = name
+			break
+		}
+		if tokens > best {
+			best, victim = tokens, name
+		}
+	}
+	delete(a.buckets, victim)
+}
+
+// Tenants reports how many buckets are currently tracked.
+func (a *Admitter) Tenants() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buckets)
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for admission tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func TestAdmitterBurstThenThrottle(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	a := NewAdmitter(AdmissionPolicy{Rate: 1, Burst: 2}, clk.Now)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.Admit("alice"); !ok {
+			t.Fatalf("admit %d within burst rejected", i)
+		}
+	}
+	ok, wait := a.Admit("alice")
+	if ok {
+		t.Fatal("admit beyond burst accepted")
+	}
+	if wait != time.Second {
+		t.Fatalf("wait hint: got %v, want 1s (1 token at 1/s)", wait)
+	}
+
+	// Tenants are isolated: bob still has his burst.
+	if ok, _ := a.Admit("bob"); !ok {
+		t.Fatal("fresh tenant rejected")
+	}
+
+	// Tokens refill at Rate.
+	clk.Advance(1500 * time.Millisecond)
+	if ok, _ := a.Admit("alice"); !ok {
+		t.Fatal("refilled token not granted")
+	}
+	if ok, _ := a.Admit("alice"); ok {
+		t.Fatal("second token granted after only 1.5s at 1/s")
+	}
+}
+
+func TestAdmitterZeroRateNeverRefills(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	a := NewAdmitter(AdmissionPolicy{Rate: 0, Burst: 1}, clk.Now)
+	if ok, _ := a.Admit("x"); !ok {
+		t.Fatal("burst token rejected")
+	}
+	clk.Advance(24 * time.Hour)
+	ok, wait := a.Admit("x")
+	if ok {
+		t.Fatal("zero-rate bucket refilled")
+	}
+	if wait != time.Hour {
+		t.Fatalf("zero-rate wait hint: got %v, want 1h sentinel", wait)
+	}
+}
+
+func TestAdmitterBoundsTenantTable(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	a := NewAdmitter(AdmissionPolicy{Rate: 1, Burst: 4, MaxTenants: 8}, clk.Now)
+	for i := 0; i < 100; i++ {
+		a.Admit(fmt.Sprintf("tenant-%03d", i))
+	}
+	if n := a.Tenants(); n > 8 {
+		t.Fatalf("tenant table grew to %d, bound is 8", n)
+	}
+}
+
+func TestAdmitterEvictsFullBucketFirst(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	a := NewAdmitter(AdmissionPolicy{Rate: 1, Burst: 2, MaxTenants: 2}, clk.Now)
+	// drained has 0 tokens; idle refills back to Burst and is the
+	// reasonable victim when a third tenant arrives.
+	a.Admit("drained")
+	a.Admit("drained")
+	a.Admit("idle")
+	clk.Advance(10 * time.Second) // both buckets refill to full
+	a.Admit("drained")            // spend one so drained is NOT full
+	a.Admit("newcomer")
+	if n := a.Tenants(); n != 2 {
+		t.Fatalf("tenant table has %d entries, want 2", n)
+	}
+	// drained must have survived (it was not full); its next admit
+	// sees its partially-drained bucket, not a fresh one.
+	a.Admit("drained")
+	if ok, _ := a.Admit("drained"); ok {
+		t.Fatal("drained tenant got a fresh bucket: the non-full bucket was evicted")
+	}
+}

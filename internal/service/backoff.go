@@ -1,0 +1,94 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is the client-visible retry policy for transient rejections
+// (throttle, full queue, draining): exponential growth with
+// decorrelated jitter. The daemon does not sleep on anyone's behalf —
+// it computes the hint, sends it as Retry-After, and forgets the tenant
+// the moment a request is admitted again.
+type Backoff struct {
+	// Base is the first retry hint.
+	Base time.Duration
+	// Cap bounds the hint growth.
+	Cap time.Duration
+}
+
+// Next returns the decorrelated-jitter successor of prev: uniform in
+// [Base, 3·prev], capped at Cap (the "decorrelated jitter" variant of
+// exponential backoff — successive hints grow exponentially in
+// expectation while desynchronizing retry storms, because each hint is
+// drawn afresh rather than doubled deterministically).
+func (b Backoff) Next(prev time.Duration, rng *rand.Rand) time.Duration {
+	if b.Base <= 0 {
+		b.Base = 500 * time.Millisecond
+	}
+	if b.Cap < b.Base {
+		b.Cap = 30 * time.Second
+	}
+	if prev < b.Base {
+		prev = b.Base
+	}
+	d := b.Base
+	if span := int64(3*prev - b.Base); span > 0 {
+		d += time.Duration(rng.Int63n(span + 1))
+	}
+	if d > b.Cap {
+		d = b.Cap
+	}
+	return d
+}
+
+// RetryAdvisor tracks each tenant's current backoff position. Hints
+// grow while a tenant keeps being rejected and reset on the next
+// admission. The table is bounded: when full, an arbitrary entry is
+// dropped — hints are advisory, so losing one only shortens somebody's
+// next suggested wait.
+type RetryAdvisor struct {
+	mu   sync.Mutex
+	b    Backoff
+	rng  *rand.Rand
+	prev map[string]time.Duration
+	max  int
+}
+
+// NewRetryAdvisor builds an advisor seeded deterministically (tests pin
+// the seed; the daemon uses wall-clock entropy from its caller).
+func NewRetryAdvisor(b Backoff, seed int64, maxTenants int) *RetryAdvisor {
+	if maxTenants <= 0 {
+		maxTenants = DefaultMaxTenants
+	}
+	return &RetryAdvisor{
+		b:    b,
+		rng:  rand.New(rand.NewSource(seed)),
+		prev: map[string]time.Duration{},
+		max:  maxTenants,
+	}
+}
+
+// Advise records one rejection for the tenant and returns the next
+// retry hint.
+func (r *RetryAdvisor) Advise(tenant string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.prev[tenant]; !ok && len(r.prev) >= r.max {
+		for k := range r.prev {
+			delete(r.prev, k)
+			break
+		}
+	}
+	d := r.b.Next(r.prev[tenant], r.rng)
+	r.prev[tenant] = d
+	return d
+}
+
+// Reset clears the tenant's backoff position after an admission.
+func (r *RetryAdvisor) Reset(tenant string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.prev, tenant)
+}

@@ -1,0 +1,86 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffNextBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+	prev := time.Duration(0)
+	maxSeen := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		d := b.Next(prev, rng)
+		if d < b.Base {
+			t.Fatalf("hint %v below base %v", d, b.Base)
+		}
+		if d > b.Cap {
+			t.Fatalf("hint %v above cap %v", d, b.Cap)
+		}
+		lo := prev
+		if lo < b.Base {
+			lo = b.Base
+		}
+		if hi := 3 * lo; d > hi {
+			t.Fatalf("hint %v above 3*prev=%v", d, hi)
+		}
+		prev = d
+		if d > maxSeen {
+			maxSeen = d
+		}
+	}
+	if maxSeen != b.Cap {
+		// 1000 draws of 3x-expected growth must saturate the cap at
+		// least once; if not, growth is broken.
+		t.Fatalf("backoff never reached cap: max hint %v", maxSeen)
+	}
+}
+
+func TestBackoffDefaultsWhenUnset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Backoff{}.Next(0, rng)
+	if d < 500*time.Millisecond || d > 30*time.Second {
+		t.Fatalf("zero-value backoff hint %v outside [500ms, 30s]", d)
+	}
+}
+
+func TestRetryAdvisorGrowsAndResets(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 10 * time.Second}
+	adv := NewRetryAdvisor(b, 42, 0)
+
+	first := adv.Advise("alice")
+	if first < b.Base || first > 3*b.Base {
+		t.Fatalf("first hint %v outside [base, 3*base]", first)
+	}
+	grown := first
+	for i := 0; i < 50; i++ {
+		if d := adv.Advise("alice"); d > grown {
+			grown = d
+		}
+	}
+	if grown <= 3*b.Base {
+		t.Fatalf("hints did not grow: first %v, max after 50 rejections %v", first, grown)
+	}
+
+	adv.Reset("alice")
+	again := adv.Advise("alice")
+	if again > 3*b.Base {
+		t.Fatalf("hint after reset %v did not restart near base", again)
+	}
+}
+
+func TestRetryAdvisorBoundsTable(t *testing.T) {
+	adv := NewRetryAdvisor(Backoff{Base: time.Millisecond, Cap: time.Second}, 1, 4)
+	for i := 0; i < 100; i++ {
+		adv.Advise(fmt.Sprintf("tenant-%03d", i))
+	}
+	adv.mu.Lock()
+	n := len(adv.prev)
+	adv.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("advisor table grew to %d, bound is 4", n)
+	}
+}

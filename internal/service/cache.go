@@ -1,0 +1,103 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the fingerprint-keyed result cache: identical deterministic
+// runs are free. It holds artifact bytes under a strict byte budget
+// with least-recently-used eviction, so a daemon serving many distinct
+// scenarios keeps bounded memory no matter how long it runs. Stored
+// byte slices are treated as immutable by both sides.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+// centry is one cached artifact.
+type centry struct {
+	key  string
+	data []byte
+}
+
+// NewCache builds a cache holding at most budget bytes of artifact
+// data; budget <= 0 disables caching (every Get misses).
+func NewCache(budget int64) *Cache {
+	return &Cache{budget: budget, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached artifact for a fingerprint.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	c.hits++
+	return e.Value.(*centry).data, true
+}
+
+// Put stores an artifact, evicting least-recently-used entries until
+// the budget holds. Artifacts larger than the whole budget are not
+// cached at all (they would only evict everything else and then miss
+// next time anyway).
+func (c *Cache) Put(key string, data []byte) {
+	if int64(len(data)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.used += int64(len(data)) - int64(len(e.Value.(*centry).data))
+		e.Value.(*centry).data = data
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&centry{key: key, data: data})
+		c.used += int64(len(data))
+	}
+	for c.used > c.budget {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*centry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.key)
+		c.used -= int64(len(ent.data))
+		c.evicted++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache behavior.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	UsedBytes int64 `json:"used_bytes"`
+	Budget    int64 `json:"budget_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.items),
+		UsedBytes: c.used,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evicted,
+	}
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1024)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("artifact-a"))
+	got, ok := c.Get("a")
+	if !ok || !bytes.Equal(got, []byte("artifact-a")) {
+		t.Fatalf("get after put: ok=%v data=%q", ok, got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.UsedBytes != 10 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheReplaceAdjustsBudget(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", make([]byte, 60))
+	c.Put("a", make([]byte, 20))
+	if st := c.Stats(); st.UsedBytes != 20 || st.Entries != 1 {
+		t.Fatalf("replace did not adjust usage: %+v", st)
+	}
+}
+
+func TestCacheEvictsLRUUnderByteBudget(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40))
+	c.Get("a") // a is now more recently used than b
+	c.Put("c", make([]byte, 40))
+
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %q wrongly evicted", k)
+		}
+	}
+	st := c.Stats()
+	if st.UsedBytes > 100 {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+	if st.Evictions != 1 {
+		t.Fatalf("evictions: got %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheNeverExceedsBudget(t *testing.T) {
+	c := NewCache(256)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 10+i%50))
+		if st := c.Stats(); st.UsedBytes > st.Budget {
+			t.Fatalf("over budget after put %d: %+v", i, st)
+		}
+	}
+}
+
+func TestCacheSkipsOversizedArtifacts(t *testing.T) {
+	c := NewCache(64)
+	c.Put("small", make([]byte, 32))
+	c.Put("huge", make([]byte, 65))
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("artifact over the whole budget was cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversized put evicted existing entries")
+	}
+}

@@ -1,0 +1,151 @@
+//go:build crashharness
+
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// crashSpec is the sweep-shaped job the harness interrupts: a figure
+// sweep with several points, so the kill lands between journaled
+// points and the restart has real progress to resume.
+func crashSpec() JobSpec {
+	return JobSpec{Kind: KindFigure, Fig: 1, Tenant: "crash", Events: 400}.Normalized()
+}
+
+// TestCrashKillRecovery is the full crash-safety acceptance check: a
+// real daemon process is killed with SIGKILL mid-sweep — no defer, no
+// signal handler, no flush — then a fresh manager over the same state
+// dir must finish the job and produce an artifact byte-identical to an
+// uninterrupted run, for more than one sweep worker count.
+//
+// Build-tagged (crashharness) because it re-execs the test binary and
+// burns a few seconds per worker count; `make crash-harness` runs it.
+func TestCrashKillRecovery(t *testing.T) {
+	if dir := os.Getenv("MANET_CRASH_CHILD_DIR"); dir != "" {
+		crashChild(t, dir)
+		return
+	}
+
+	spec := crashSpec()
+	ref := reference(t, spec)
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashKillRecovery$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"MANET_CRASH_CHILD_DIR="+dir,
+				"MANET_CRASH_CHILD_WORKERS="+strconv.Itoa(workers))
+			cmd.Stdout = os.Stderr
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Kill only once the sweep journal holds at least one
+			// completed point beyond its header — a mid-sweep snapshot.
+			ckpt := filepath.Join(dir, "jobs", fp+".ckpt")
+			result := filepath.Join(dir, "results")
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				if data, err := os.ReadFile(ckpt); err == nil && bytes.Count(data, []byte("\n")) >= 2 {
+					break
+				}
+				if ents, err := os.ReadDir(result); err == nil && len(ents) > 0 {
+					break // job outran us; the kill is still a valid crash
+				}
+				if time.Now().After(deadline) {
+					cmd.Process.Kill()
+					cmd.Wait()
+					t.Fatal("child never journaled a sweep point")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+				t.Fatal(err)
+			}
+			cmd.Wait()
+
+			// Restart over the crashed state and let recovery finish
+			// the job.
+			cfg := Config{
+				StateDir:     dir,
+				JobWorkers:   1,
+				SweepWorkers: workers,
+				Admission:    AdmissionPolicy{Rate: 1000, Burst: 1000},
+				BackoffSeed:  1,
+			}
+			m, err := Open(cfg)
+			if err != nil {
+				t.Fatalf("reopening crashed state dir: %v", err)
+			}
+			defer m.Close()
+
+			st, ok := findJob(m, fp)
+			if !ok {
+				t.Fatal("crashed job not found after restart")
+			}
+			final := waitTerminal(t, m, st.ID)
+			if final.State != StateDone {
+				t.Fatalf("recovered job ended %s (%s)", final.State, final.Reason)
+			}
+			data, err := m.Result(st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, ref) {
+				t.Fatalf("artifact after SIGKILL+restart differs from uninterrupted run:\n got %d bytes\nwant %d bytes", len(data), len(ref))
+			}
+		})
+	}
+}
+
+// crashChild is the process that gets killed: it opens a daemon-shaped
+// manager over the shared state dir, submits the crash spec, and parks
+// until the parent's SIGKILL lands.
+func crashChild(t *testing.T, dir string) {
+	workers, _ := strconv.Atoi(os.Getenv("MANET_CRASH_CHILD_WORKERS"))
+	if workers <= 0 {
+		workers = 1
+	}
+	cfg := Config{
+		StateDir:     dir,
+		JobWorkers:   1,
+		SweepWorkers: workers,
+		Admission:    AdmissionPolicy{Rate: 1000, Burst: 1000},
+		BackoffSeed:  1,
+	}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	if _, err := m.Submit(crashSpec()); err != nil {
+		t.Fatalf("child submit: %v", err)
+	}
+	select {} // parked: only SIGKILL ends this process
+}
+
+// findJob locates the job bound to a fingerprint after a restart.
+func findJob(m *Manager, fp string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		if j.fingerprint == fp {
+			return m.snapshot(j), true
+		}
+	}
+	return JobStatus{}, false
+}

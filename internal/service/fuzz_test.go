@@ -1,0 +1,52 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzJobSpecDecode drives arbitrary bytes through the HTTP job-spec
+// decoder. The invariant: DecodeJobSpec either rejects the input with
+// an error, or returns a spec that is normalized, valid, and
+// fingerprintable — malformed JSON, NaN/Inf smuggled as huge literals,
+// unknown fields and oversized payloads must all be stopped here,
+// before admission control or a simulation worker ever sees them.
+func FuzzJobSpecDecode(f *testing.F) {
+	f.Add(`{"kind":"measure"}`, int64(0))
+	f.Add(`{"kind":"figure","fig":1}`, int64(0))
+	f.Add(`{"kind":"measure","n":100,"r":2.5,"v":0.1,"density":6,"policy":"hcc","mobility":"bcv","metric":"torus","seed":7,"events":500}`, int64(0))
+	f.Add(`{"kind":"measure","events":1e999}`, int64(0))
+	f.Add(`{"kind":"measure","bogus":true}`, int64(0))
+	f.Add(`{"kind":"measure"} trailing`, int64(0))
+	f.Add(`{"kind":"measure","tenant":"`+strings.Repeat("a", 100)+`"}`, int64(32))
+	f.Add(``, int64(0))
+	f.Add(`null`, int64(0))
+	f.Add(`[1,2,3]`, int64(0))
+	f.Add("\x00\xff\xfe", int64(16))
+
+	f.Fuzz(func(t *testing.T, body string, limit int64) {
+		if limit > 1<<20 {
+			limit = 1 << 20
+		}
+		s, err := DecodeJobSpec(strings.NewReader(body), limit)
+		if err != nil {
+			return // rejection is always a legal outcome
+		}
+		eff := limit
+		if eff <= 0 {
+			eff = DefaultMaxSpecBytes
+		}
+		if int64(len(body)) > eff {
+			t.Fatalf("accepted %d-byte spec over limit %d", len(body), eff)
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("decoder returned invalid spec %+v: %v", s, verr)
+		}
+		if s != s.Normalized() {
+			t.Fatalf("decoder returned non-normalized spec %+v", s)
+		}
+		if _, ferr := s.Fingerprint(); ferr != nil {
+			t.Fatalf("accepted spec cannot be fingerprinted: %v", ferr)
+		}
+	})
+}

@@ -1,0 +1,754 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/experiments"
+)
+
+// State is a job's lifecycle position. Transitions are append-only and
+// observable: queued → running → done/failed, or → evicted when the
+// daemon drains before the job finishes (an evicted job's accepted
+// record survives in the job log, so a restarted daemon re-queues it).
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+	StateEvicted State = "evicted"
+)
+
+// Transition is one recorded job-state change, with its reason.
+type Transition struct {
+	From   State     `json:"from"`
+	To     State     `json:"to"`
+	Reason string    `json:"reason,omitempty"`
+	At     time.Time `json:"at"`
+}
+
+// JobStatus is the client-visible snapshot of one job.
+type JobStatus struct {
+	ID          string       `json:"id"`
+	State       State        `json:"state"`
+	Reason      string       `json:"reason,omitempty"`
+	Fingerprint string       `json:"fingerprint"`
+	Cached      bool         `json:"cached,omitempty"`
+	Transitions []Transition `json:"transitions"`
+}
+
+// job is the manager's mutable job record; m.mu guards every field
+// after construction.
+type job struct {
+	id          string
+	spec        JobSpec
+	fingerprint string
+	state       State
+	reason      string
+	cached      bool
+	transitions []Transition
+	resultPath  string
+}
+
+// Unavailable is the transient-rejection error of Submit: the request
+// was well-formed but the daemon cannot take it right now. RetryAfter
+// carries the client-visible backoff hint (exponential with
+// decorrelated jitter, growing while the tenant keeps being rejected).
+type Unavailable struct {
+	// Reason is "throttled", "queue-full", "draining" or "closed".
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *Unavailable) Error() string {
+	return fmt.Sprintf("service: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// Throttled reports whether the rejection is the tenant's own doing
+// (rate limit, HTTP 429) rather than server-wide pressure (HTTP 503).
+func (e *Unavailable) Throttled() bool { return e.Reason == "throttled" }
+
+// ErrNotFound marks an unknown (or retention-evicted) job id.
+var ErrNotFound = errors.New("service: unknown job")
+
+// NotDoneError is returned by Result for a job that has not produced an
+// artifact (yet, or ever).
+type NotDoneError struct {
+	State  State
+	Reason string
+}
+
+func (e *NotDoneError) Error() string {
+	return fmt.Sprintf("service: job is %s, not done", e.State)
+}
+
+// Config shapes a Manager.
+type Config struct {
+	// StateDir roots all durable state: the job log, per-job sweep
+	// journals and result artifacts.
+	StateDir string
+	// QueueDepth bounds the number of queued jobs; submissions beyond
+	// it are shed with 503 + Retry-After, never buffered without bound.
+	QueueDepth int
+	// JobWorkers is the number of jobs executed concurrently.
+	JobWorkers int
+	// SweepWorkers bounds each job's internal sweep fan-out; 0 selects
+	// GOMAXPROCS. Results are byte-identical for any value.
+	SweepWorkers int
+	// Admission is the per-tenant token-bucket policy.
+	Admission AdmissionPolicy
+	// Backoff shapes the Retry-After hints on transient rejections.
+	Backoff Backoff
+	// CacheBytes is the result cache budget.
+	CacheBytes int64
+	// DefaultDeadline bounds jobs that do not request a deadline;
+	// MaxDeadline clamps jobs that do.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// RetainJobs bounds in-memory job metadata: beyond it the oldest
+	// terminal jobs are forgotten (their artifacts stay on disk).
+	RetainJobs int
+	// BackoffSeed seeds the jitter stream; 0 derives from wall clock.
+	BackoffSeed int64
+	// Clock overrides time.Now, for tests.
+	Clock func() time.Time
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.Admission.Rate == 0 && c.Admission.Burst == 0 {
+		c.Admission = AdmissionPolicy{Rate: 1, Burst: 4}
+	}
+	if c.Backoff.Base <= 0 {
+		c.Backoff.Base = 500 * time.Millisecond
+	}
+	if c.Backoff.Cap <= 0 {
+		c.Backoff.Cap = 30 * time.Second
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 32 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Minute
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = time.Hour
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 4096
+	}
+	if c.BackoffSeed == 0 {
+		c.BackoffSeed = time.Now().UnixNano()
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the manager.
+type Stats struct {
+	Accepted  int64 `json:"accepted"`
+	Coalesced int64 `json:"coalesced"`
+	CacheHits int64 `json:"cache_hits"`
+	Throttled int64 `json:"throttled"`
+	Shed      int64 `json:"shed"`
+	Draining  int64 `json:"rejected_draining"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Evicted   int64 `json:"evicted"`
+	Recovered int64 `json:"recovered"`
+
+	Queued     int        `json:"queued"`
+	Running    int        `json:"running"`
+	IsDraining bool       `json:"is_draining"`
+	Tenants    int        `json:"tenants"`
+	Cache      CacheStats `json:"cache"`
+}
+
+// Manager owns the daemon's job machinery: admission, the bounded
+// queue, the worker pool, deadline watchdogs, the result cache, and the
+// crash-safe job log. One Manager serves many concurrent HTTP requests.
+type Manager struct {
+	cfg     Config
+	log     *checkpoint.JobLog
+	cache   *Cache
+	adm     *Admitter
+	advisor *RetryAdvisor
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*job
+	jobs     map[string]*job
+	order    []string        // job ids in acceptance order, for retention
+	active   map[string]*job // fingerprint → queued/running job (coalescing)
+	doneByFP map[string]string
+	draining bool
+	closed   bool
+	running  int
+	stats    Stats
+}
+
+// Open builds the manager, recovers in-flight jobs from the job log and
+// starts the worker pool.
+func Open(cfg Config) (*Manager, error) {
+	m, err := open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.start()
+	return m, nil
+}
+
+// open is Open without the worker pool, so tests can stage queue and
+// admission states deterministically before execution begins.
+func open(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("service: StateDir is required")
+	}
+	for _, dir := range []string{cfg.StateDir, filepath.Join(cfg.StateDir, "jobs"), filepath.Join(cfg.StateDir, "results")} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	log, records, err := checkpoint.OpenJobLog(filepath.Join(cfg.StateDir, "jobs.log"))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		log:        log,
+		cache:      NewCache(cfg.CacheBytes),
+		adm:        NewAdmitter(cfg.Admission, cfg.Clock),
+		advisor:    NewRetryAdvisor(cfg.Backoff, cfg.BackoffSeed, cfg.Admission.MaxTenants),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		jobs:       map[string]*job{},
+		active:     map[string]*job{},
+		doneByFP:   map[string]string{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.recover(records)
+	return m, nil
+}
+
+// recover replays the job log: terminal jobs become queryable metadata
+// (and their artifacts become cache-servable), accepted-but-not-
+// terminal jobs — the ones in flight when the previous process died —
+// are re-queued in their original acceptance order. Each re-queued job
+// resumes its per-job sweep journal, so its artifact is byte-identical
+// to an uninterrupted run.
+func (m *Manager) recover(records []checkpoint.JobRecord) {
+	type last struct {
+		state string
+		fp    string
+		note  string
+		spec  json.RawMessage
+		seq   int
+	}
+	byID := map[string]*last{}
+	var ids []string
+	for _, r := range records {
+		l := byID[r.ID]
+		if l == nil {
+			l = &last{seq: r.Seq}
+			byID[r.ID] = l
+			ids = append(ids, r.ID)
+		}
+		l.state = r.State
+		if r.Fingerprint != "" {
+			l.fp = r.Fingerprint
+		}
+		if r.Spec != nil {
+			l.spec = r.Spec
+		}
+		if r.Note != "" {
+			l.note = r.Note
+		}
+	}
+	for _, id := range ids {
+		l := byID[id]
+		j := &job{id: id, fingerprint: l.fp, resultPath: m.resultPath(id)}
+		switch l.state {
+		case checkpoint.JobDone:
+			j.state = StateDone
+			j.reason = l.note
+			j.cached = l.note == "cache"
+			m.doneByFP[l.fp] = id
+		case checkpoint.JobFailed:
+			j.state = StateFailed
+			j.reason = l.note
+		case checkpoint.JobAccepted:
+			var spec JobSpec
+			if err := json.Unmarshal(l.spec, &spec); err != nil || spec.Validate() != nil {
+				// An unrecoverable spec (format drift across versions):
+				// close it out rather than wedging recovery forever.
+				j.state = StateFailed
+				j.reason = "recovery: journaled spec no longer decodes"
+				_ = m.log.Append(checkpoint.JobRecord{ID: id, State: checkpoint.JobFailed, Fingerprint: l.fp, Note: j.reason})
+			} else {
+				j.spec = spec
+				j.state = StateQueued
+				j.transitions = append(j.transitions, Transition{From: StateEvicted, To: StateQueued,
+					Reason: "recovered from journal after restart", At: m.cfg.Clock()})
+				m.queue = append(m.queue, j)
+				m.active[l.fp] = j
+				m.stats.Recovered++
+			}
+		default:
+			continue
+		}
+		m.jobs[id] = j
+		m.order = append(m.order, id)
+	}
+}
+
+// start launches the worker pool.
+func (m *Manager) start() {
+	for i := 0; i < m.cfg.JobWorkers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+}
+
+// resultPath is the job's artifact location; partialPath holds the
+// valid partial artifact of a job evicted mid-sweep.
+func (m *Manager) resultPath(id string) string {
+	return filepath.Join(m.cfg.StateDir, "results", id+".csv")
+}
+func (m *Manager) partialPath(id string) string {
+	return filepath.Join(m.cfg.StateDir, "results", id+".partial.csv")
+}
+
+// journalPath is the job's per-sweep checkpoint journal, keyed by
+// fingerprint: a recovered (or re-submitted) identical job resumes the
+// completed points instead of re-simulating them. Coalescing guarantees
+// at most one active job per fingerprint, so the file has one writer.
+func (m *Manager) journalPath(fp string) string {
+	return filepath.Join(m.cfg.StateDir, "jobs", fp+".ckpt")
+}
+
+// Submit validates nothing (the spec must already be normalized and
+// valid — DecodeJobSpec's contract), applies admission control and
+// queue bounds, and either coalesces onto an active identical job,
+// serves the result from cache, or queues a new job. It returns the
+// job's status snapshot.
+func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobStatus{}, &Unavailable{Reason: "closed", RetryAfter: m.advisor.Advise(spec.Tenant)}
+	}
+	if m.draining {
+		m.stats.Draining++
+		return JobStatus{}, &Unavailable{Reason: "draining", RetryAfter: m.advisor.Advise(spec.Tenant)}
+	}
+	ok, wait := m.adm.Admit(spec.Tenant)
+	if !ok {
+		m.stats.Throttled++
+		hint := m.advisor.Advise(spec.Tenant)
+		if wait > hint {
+			hint = wait
+		}
+		return JobStatus{}, &Unavailable{Reason: "throttled", RetryAfter: hint}
+	}
+	m.advisor.Reset(spec.Tenant)
+
+	// Identical active job: coalesce instead of running it twice (this
+	// also keeps the fingerprint-keyed sweep journal single-writer).
+	if j, ok := m.active[fp]; ok {
+		m.stats.Coalesced++
+		return m.snapshot(j), nil
+	}
+	// Identical completed job: free.
+	if data, ok := m.lookupResultLocked(fp); ok {
+		m.stats.CacheHits++
+		j, err := m.acceptLocked(spec, fp)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if err := m.completeCachedLocked(j, data); err != nil {
+			return JobStatus{}, err
+		}
+		return m.snapshot(j), nil
+	}
+	if len(m.queue) >= m.cfg.QueueDepth {
+		m.stats.Shed++
+		return JobStatus{}, &Unavailable{Reason: "queue-full", RetryAfter: m.advisor.Advise(spec.Tenant)}
+	}
+
+	j, err := m.acceptLocked(spec, fp)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	m.queue = append(m.queue, j)
+	m.active[fp] = j
+	m.cond.Signal()
+	return m.snapshot(j), nil
+}
+
+// acceptLocked journals the job's accepted record (fsynced before the
+// submission is acknowledged) and registers its metadata.
+func (m *Manager) acceptLocked(spec JobSpec, fp string) (*job, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding spec: %w", err)
+	}
+	id := fmt.Sprintf("j%06d-%s", m.log.NextSeq(), fp[:8])
+	if err := m.log.Append(checkpoint.JobRecord{ID: id, State: checkpoint.JobAccepted, Fingerprint: fp, Spec: raw}); err != nil {
+		return nil, err
+	}
+	j := &job{
+		id: id, spec: spec, fingerprint: fp,
+		state: StateQueued, resultPath: m.resultPath(id),
+		transitions: []Transition{{From: "", To: StateQueued, Reason: "accepted", At: m.cfg.Clock()}},
+	}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.stats.Accepted++
+	m.retainLocked()
+	return j, nil
+}
+
+// completeCachedLocked finishes a cache-served job without touching a
+// worker: the artifact is persisted under the new job id (so the result
+// endpoint works after a restart) and the terminal record is journaled.
+func (m *Manager) completeCachedLocked(j *job, data []byte) error {
+	if err := checkpoint.WriteFileAtomic(j.resultPath, data, 0o644); err != nil {
+		return err
+	}
+	if err := m.log.Append(checkpoint.JobRecord{ID: j.id, State: checkpoint.JobDone, Fingerprint: j.fingerprint, Note: "cache"}); err != nil {
+		return err
+	}
+	j.cached = true
+	m.transitionLocked(j, StateDone, "served from result cache")
+	m.cache.Put(j.fingerprint, data)
+	m.doneByFP[j.fingerprint] = j.id
+	m.stats.Done++
+	return nil
+}
+
+// lookupResultLocked finds an artifact by fingerprint: the in-memory
+// cache first, then the artifact file of a completed job from a
+// previous process life.
+func (m *Manager) lookupResultLocked(fp string) ([]byte, bool) {
+	if data, ok := m.cache.Get(fp); ok {
+		return data, true
+	}
+	id, ok := m.doneByFP[fp]
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(m.resultPath(id))
+	if err != nil {
+		return nil, false
+	}
+	m.cache.Put(fp, data)
+	return data, true
+}
+
+// retainLocked bounds in-memory job metadata: the oldest terminal jobs
+// are forgotten first; active jobs are never evicted.
+func (m *Manager) retainLocked() {
+	for len(m.jobs) > m.cfg.RetainJobs {
+		evicted := false
+		for i, id := range m.order {
+			j, ok := m.jobs[id]
+			if !ok {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+			if j.state == StateDone || j.state == StateFailed {
+				delete(m.jobs, id)
+				if m.doneByFP[j.fingerprint] == id {
+					delete(m.doneByFP, j.fingerprint)
+				}
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live is active; nothing to forget
+		}
+	}
+}
+
+// transitionLocked appends one observable state change.
+func (m *Manager) transitionLocked(j *job, to State, reason string) {
+	j.transitions = append(j.transitions, Transition{From: j.state, To: to, Reason: reason, At: m.cfg.Clock()})
+	j.state = to
+	j.reason = reason
+}
+
+// snapshot renders a job's client-visible status; callers hold m.mu.
+func (m *Manager) snapshot(j *job) JobStatus {
+	st := JobStatus{
+		ID: j.id, State: j.state, Reason: j.reason,
+		Fingerprint: j.fingerprint, Cached: j.cached,
+		Transitions: append([]Transition(nil), j.transitions...),
+	}
+	return st
+}
+
+// Status returns a job's status snapshot.
+func (m *Manager) Status(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return m.snapshot(j), true
+}
+
+// Result returns a done job's artifact bytes.
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	state, reason, fp, path := j.state, j.reason, j.fingerprint, j.resultPath
+	m.mu.Unlock()
+	if state != StateDone {
+		return nil, &NotDoneError{State: state, Reason: reason}
+	}
+	if data, ok := m.cache.Get(fp); ok {
+		return data, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: reading artifact: %w", err)
+	}
+	m.cache.Put(fp, data)
+	return data, nil
+}
+
+// Ready reports whether the daemon is accepting work (readiness probe).
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.draining && !m.closed
+}
+
+// StatsSnapshot returns the manager's counters and gauges.
+func (m *Manager) StatsSnapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Queued = len(m.queue)
+	s.Running = m.running
+	s.IsDraining = m.draining || m.closed
+	s.Tenants = m.adm.Tenants()
+	s.Cache = m.cache.Stats()
+	return s
+}
+
+// worker executes queued jobs until drain or close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		j := m.next()
+		if j == nil {
+			return
+		}
+		m.runJob(j)
+	}
+}
+
+// next claims the oldest queued job, blocking until one exists. It
+// returns nil when the manager stops handing out work (drain/close);
+// jobs already running are finished by their own workers.
+func (m *Manager) next() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.draining || m.closed {
+			return nil
+		}
+		if len(m.queue) > 0 {
+			j := m.queue[0]
+			m.queue = m.queue[1:]
+			m.running++
+			m.transitionLocked(j, StateRunning, "claimed by worker")
+			return j
+		}
+		m.cond.Wait()
+	}
+}
+
+// runJob executes one job under its deadline watchdog, journals the
+// outcome, and persists the artifact. A panic inside the simulation is
+// converted to a per-point error by the sweep engine (RunSweepCtx's
+// recover path), so a poisoned scenario fails its own job and nothing
+// else.
+func (m *Manager) runJob(j *job) {
+	deadline := j.spec.Deadline(m.cfg.DefaultDeadline, m.cfg.MaxDeadline)
+	ctx, cancel := context.WithTimeout(m.rootCtx, deadline)
+	defer cancel()
+
+	var data []byte
+	jr, err := checkpoint.Open(m.journalPath(j.fingerprint), j.fingerprint)
+	if err == nil {
+		base := experiments.Options{Workers: m.cfg.SweepWorkers, Ctx: ctx, Journal: jr}
+		data, err = j.spec.Run(base)
+		if cerr := jr.Close(); err == nil {
+			err = cerr
+		}
+	}
+
+	switch {
+	case err == nil:
+		if werr := checkpoint.WriteFileAtomic(j.resultPath, data, 0o644); werr != nil {
+			m.finish(j, StateFailed, fmt.Sprintf("persisting artifact: %v", werr), checkpoint.JobFailed)
+			return
+		}
+		m.cache.Put(j.fingerprint, data)
+		m.finish(j, StateDone, "", checkpoint.JobDone)
+		// The sweep journal of a completed job is dead weight: the
+		// artifact and cache entry carry the result from here on.
+		_ = os.Remove(m.journalPath(j.fingerprint))
+	case m.rootCtx.Err() != nil:
+		// Shutdown, not failure: no terminal record is journaled, so a
+		// restarted daemon re-queues the job and resumes its sweep
+		// journal. Completed points were fsynced as they finished; the
+		// partial artifact (when any points completed) is persisted as
+		// a valid CSV under a distinct name.
+		if len(data) > 0 {
+			_ = checkpoint.WriteFileAtomic(m.partialPath(j.id), data, 0o644)
+		}
+		m.finish(j, StateEvicted, "shutdown: checkpointed for restart", "")
+	case ctx.Err() == context.DeadlineExceeded || errors.Is(err, experiments.ErrPointDeadline):
+		m.finish(j, StateFailed, fmt.Sprintf("deadline exceeded after %v", deadline), checkpoint.JobFailed)
+	default:
+		m.finish(j, StateFailed, fmt.Sprintf("job failed: %v", err), checkpoint.JobFailed)
+	}
+}
+
+// finish records a job's terminal state (journal first, then memory)
+// and releases its fingerprint for future submissions.
+func (m *Manager) finish(j *job, state State, reason string, logState string) {
+	if logState != "" {
+		note := reason
+		if state == StateDone {
+			note = ""
+		}
+		_ = m.log.Append(checkpoint.JobRecord{ID: j.id, State: logState, Fingerprint: j.fingerprint, Note: note})
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case StateDone:
+		m.transitionLocked(j, StateDone, "artifact written")
+		m.doneByFP[j.fingerprint] = j.id
+		m.stats.Done++
+	case StateFailed:
+		m.transitionLocked(j, StateFailed, reason)
+		m.stats.Failed++
+	case StateEvicted:
+		m.transitionLocked(j, StateEvicted, reason)
+		m.stats.Evicted++
+	}
+	delete(m.active, j.fingerprint)
+	m.running--
+	m.cond.Broadcast()
+}
+
+// Drain performs the graceful-shutdown contract: stop admitting, let
+// running jobs finish until ctx expires, then cancel them cooperatively
+// (they checkpoint and become recoverable), and return once no job is
+// running. Queued jobs are evicted immediately — their accepted records
+// make them re-queue on the next start.
+func (m *Manager) Drain(ctx context.Context) {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	for _, j := range m.queue {
+		m.transitionLocked(j, StateEvicted, "draining: re-queued on next start")
+		delete(m.active, j.fingerprint)
+		m.stats.Evicted++
+	}
+	m.queue = nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	graceful := m.waitIdle(ctx.Done())
+	if !graceful {
+		// Out of patience: abort in-flight jobs cooperatively. They
+		// stop within one simulation tick, checkpoint, and recover on
+		// the next start.
+		m.rootCancel()
+		m.waitIdle(nil)
+	}
+}
+
+// waitIdle blocks until no job is running, or until stop fires; it
+// reports whether idleness was reached.
+func (m *Manager) waitIdle(stop <-chan struct{}) bool {
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		m.mu.Lock()
+		idle := m.running == 0
+		m.mu.Unlock()
+		if idle {
+			return true
+		}
+		select {
+		case <-stop:
+			return false
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close hard-stops the manager: cancels every in-flight job
+// cooperatively, waits for the workers, and closes the job log. Unlike
+// Drain it does not wait for jobs to finish naturally — in-flight jobs
+// are checkpointed and recoverable, which is exactly the contract a
+// crash gets, minus the torn tail.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.rootCancel()
+	m.wg.Wait()
+	return m.log.Close()
+}

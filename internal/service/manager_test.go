@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// testConfig is a fast, deterministic manager configuration over a
+// fresh state dir.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		StateDir:     t.TempDir(),
+		QueueDepth:   8,
+		JobWorkers:   1,
+		SweepWorkers: 1,
+		Admission:    AdmissionPolicy{Rate: 1000, Burst: 1000},
+		BackoffSeed:  1,
+	}
+}
+
+// testMeasureSpec is a sub-second measure job (sized like the sweep
+// engine's own resume tests).
+func testMeasureSpec(tenant string, seed uint64) JobSpec {
+	return JobSpec{Kind: KindMeasure, Tenant: tenant, Seed: seed, N: 60, R: 2, Events: 300}.Normalized()
+}
+
+// mustSubmit submits or fails the test.
+func mustSubmit(t *testing.T, m *Manager, spec JobSpec) JobStatus {
+	t.Helper()
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	return st
+}
+
+// waitState polls until the job reaches a terminal state and returns
+// its final status.
+func waitTerminal(t *testing.T, m *Manager, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := m.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateEvicted:
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobStatus{}
+}
+
+// reference computes the expected artifact bytes of a spec directly
+// through the experiment layer, bypassing the daemon machinery.
+func reference(t *testing.T, spec JobSpec) []byte {
+	t.Helper()
+	data, err := spec.Run(experiments.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return data
+}
+
+func TestManagerRunsJobToDone(t *testing.T) {
+	m, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := testMeasureSpec("alice", 7)
+	st := mustSubmit(t, m, spec)
+	if st.State != StateQueued {
+		t.Fatalf("fresh job state: %v", st.State)
+	}
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (%s), want done", final.State, final.Reason)
+	}
+
+	// Transitions are observable and ordered.
+	var states []State
+	for _, tr := range final.Transitions {
+		states = append(states, tr.To)
+	}
+	want := []State{StateQueued, StateRunning, StateDone}
+	if len(states) != len(want) {
+		t.Fatalf("transitions: %v", final.Transitions)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("transition %d: got %s, want %s", i, states[i], want[i])
+		}
+	}
+
+	data, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if ref := reference(t, spec); !bytes.Equal(data, ref) {
+		t.Fatalf("artifact differs from direct run:\n got %q\nwant %q", data, ref)
+	}
+	// The artifact is durable, and the dead sweep journal is gone.
+	if _, err := os.Stat(m.resultPath(st.ID)); err != nil {
+		t.Fatalf("artifact file missing: %v", err)
+	}
+	fp, _ := spec.Fingerprint()
+	if _, err := os.Stat(m.journalPath(fp)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("completed job's sweep journal not removed: %v", err)
+	}
+}
+
+// TestManagerCacheHitByteIdentical is the regression for the result
+// cache contract: a cache-served job must return bytes identical to the
+// fresh simulation, instantly, without touching a worker.
+func TestManagerCacheHitByteIdentical(t *testing.T) {
+	m, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := testMeasureSpec("alice", 7)
+	first := mustSubmit(t, m, spec)
+	fresh, err := m.Result(waitTerminal(t, m, first.ID).ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same scenario, different tenant and deadline: same fingerprint.
+	dup := spec
+	dup.Tenant = "bob"
+	dup.DeadlineMS = 5000
+	st := mustSubmit(t, m, dup)
+	if st.State != StateDone || !st.Cached {
+		t.Fatalf("duplicate submit not cache-served: %+v", st)
+	}
+	if st.ID == first.ID {
+		t.Fatal("cache hit reused the original job id")
+	}
+	cached, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cached, fresh) {
+		t.Fatalf("cache hit returned different bytes:\n got %q\nwant %q", cached, fresh)
+	}
+	if s := m.StatsSnapshot(); s.CacheHits != 1 {
+		t.Fatalf("cache hits: got %d, want 1 (%+v)", s.CacheHits, s)
+	}
+}
+
+func TestManagerCoalescesActiveDuplicates(t *testing.T) {
+	m, err := open(testConfig(t)) // no workers: jobs stay queued
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := testMeasureSpec("alice", 7)
+	a := mustSubmit(t, m, spec)
+	b := mustSubmit(t, m, spec)
+	if a.ID != b.ID {
+		t.Fatalf("identical active submissions got distinct jobs: %s vs %s", a.ID, b.ID)
+	}
+	if s := m.StatsSnapshot(); s.Coalesced != 1 || s.Accepted != 1 || s.Queued != 1 {
+		t.Fatalf("stats after coalesce: %+v", s)
+	}
+}
+
+func TestManagerShedsWhenQueueFull(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueDepth = 2
+	m, err := open(cfg) // no workers: the queue only fills
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	mustSubmit(t, m, testMeasureSpec("alice", 1))
+	mustSubmit(t, m, testMeasureSpec("alice", 2))
+	_, err = m.Submit(testMeasureSpec("alice", 3))
+	var un *Unavailable
+	if !errors.As(err, &un) || un.Reason != "queue-full" {
+		t.Fatalf("overfull queue: got %v, want queue-full", err)
+	}
+	if un.Throttled() {
+		t.Fatal("queue-full misclassified as tenant throttle")
+	}
+	if un.RetryAfter <= 0 {
+		t.Fatal("shed response carries no retry hint")
+	}
+	if s := m.StatsSnapshot(); s.Shed != 1 || s.Queued != 2 {
+		t.Fatalf("stats after shed: %+v", s)
+	}
+}
+
+func TestManagerThrottlesPerTenant(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Admission = AdmissionPolicy{Rate: 0, Burst: 1} // one job, no refill
+	m, err := open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	mustSubmit(t, m, testMeasureSpec("alice", 1))
+	_, err = m.Submit(testMeasureSpec("alice", 2))
+	var un *Unavailable
+	if !errors.As(err, &un) || !un.Throttled() {
+		t.Fatalf("over-rate submit: got %v, want throttled", err)
+	}
+	if un.RetryAfter <= 0 {
+		t.Fatal("throttle carries no retry hint")
+	}
+	// Hints grow while the tenant keeps hammering.
+	_, err2 := m.Submit(testMeasureSpec("alice", 2))
+	var un2 *Unavailable
+	if !errors.As(err2, &un2) {
+		t.Fatalf("second over-rate submit: %v", err2)
+	}
+
+	// Other tenants are unaffected.
+	if _, err := m.Submit(testMeasureSpec("bob", 3)); err != nil {
+		t.Fatalf("isolated tenant throttled too: %v", err)
+	}
+	if s := m.StatsSnapshot(); s.Throttled != 2 || s.Accepted != 2 {
+		t.Fatalf("stats after throttle: %+v", s)
+	}
+}
+
+func TestManagerDeadlineEvictsRunawayJob(t *testing.T) {
+	m, err := Open(testConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// A job far too heavy for a 1ms budget: the watchdog must stop it
+	// cooperatively and fail the job, not let it run for minutes.
+	spec := JobSpec{Kind: KindMeasure, Tenant: "alice", N: 1500, V: 0.5, Events: 1000000, DeadlineMS: 1}.Normalized()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	st := mustSubmit(t, m, spec)
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("runaway job ended %s, want failed", final.State)
+	}
+	if !strings.Contains(final.Reason, "deadline") {
+		t.Fatalf("failure reason %q does not mention the deadline", final.Reason)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("deadline enforcement took %v", elapsed)
+	}
+	if _, err := m.Result(st.ID); err == nil {
+		t.Fatal("failed job served a result")
+	}
+}
+
+func TestManagerDrainStopsAdmittingAndEvicts(t *testing.T) {
+	cfg := testConfig(t)
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// One long-running job (mobile, so the window is genuinely long)
+	// plus one queued behind it.
+	long := JobSpec{Kind: KindMeasure, Tenant: "alice", N: 2000, V: 0.5, Events: 1000000}.Normalized()
+	running := mustSubmit(t, m, long)
+	queued := mustSubmit(t, m, testMeasureSpec("alice", 9))
+
+	waitRunning := time.Now().Add(30 * time.Second)
+	for {
+		st, _ := m.Status(running.ID)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(waitRunning) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if !m.Ready() {
+		t.Fatal("manager not ready before drain")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	m.Drain(ctx) // patience expires; in-flight work is aborted cooperatively
+
+	if m.Ready() {
+		t.Fatal("manager still ready after drain")
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		st, _ := m.Status(id)
+		if st.State != StateEvicted {
+			t.Fatalf("job %s ended %s after drain, want evicted", id, st.State)
+		}
+	}
+	_, err = m.Submit(testMeasureSpec("alice", 10))
+	var un *Unavailable
+	if !errors.As(err, &un) || un.Reason != "draining" {
+		t.Fatalf("submit during drain: got %v, want draining", err)
+	}
+	if s := m.StatsSnapshot(); s.Evicted != 2 || !s.IsDraining || s.Running != 0 {
+		t.Fatalf("stats after drain: %+v", s)
+	}
+}
+
+func TestManagerRetentionBoundsMetadata(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RetainJobs = 3
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := testMeasureSpec("alice", 7)
+	first := mustSubmit(t, m, spec)
+	waitTerminal(t, m, first.ID)
+
+	// Cache-served resubmissions mint new terminal jobs; metadata must
+	// stay bounded while artifacts stay on disk.
+	var last JobStatus
+	for i := 0; i < 6; i++ {
+		dup := spec
+		dup.Tenant = fmt.Sprintf("tenant-%d", i)
+		last = mustSubmit(t, m, dup)
+	}
+	if _, ok := m.Status(first.ID); ok {
+		t.Fatal("oldest terminal job still tracked past the retention bound")
+	}
+	if _, ok := m.Status(last.ID); !ok {
+		t.Fatal("newest job evicted from metadata")
+	}
+	if _, err := os.Stat(m.resultPath(first.ID)); err != nil {
+		t.Fatalf("retention deleted a durable artifact: %v", err)
+	}
+}

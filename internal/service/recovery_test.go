@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestManagerRecoversQueuedJobs proves the crash-recovery contract on
+// the journal level: a job accepted (and fsynced) but never run is
+// re-queued by a fresh manager over the same state dir and produces an
+// artifact byte-identical to a direct run — for more than one sweep
+// worker count, since results must not depend on parallelism.
+func TestManagerRecoversQueuedJobs(t *testing.T) {
+	spec := testMeasureSpec("alice", 7)
+	ref := reference(t, spec)
+
+	for _, workers := range []int{1, 2} {
+		cfg := testConfig(t)
+		cfg.SweepWorkers = workers
+
+		// Life 1: accept the job, never start a worker, shut down. The
+		// fsync-per-append job log makes this state equivalent to a
+		// process killed right after acknowledging the submission.
+		m1, err := open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := mustSubmit(t, m1, spec)
+		if err := m1.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Life 2: the job must come back with its original id and run
+		// to the exact same bytes.
+		m2, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := m2.StatsSnapshot(); s.Recovered != 1 {
+			t.Fatalf("workers=%d: recovered %d jobs, want 1", workers, s.Recovered)
+		}
+		final := waitTerminal(t, m2, st.ID)
+		if final.State != StateDone {
+			t.Fatalf("workers=%d: recovered job ended %s (%s)", workers, final.State, final.Reason)
+		}
+		data, err := m2.Result(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, ref) {
+			t.Fatalf("workers=%d: recovered artifact differs from direct run:\n got %q\nwant %q", workers, data, ref)
+		}
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestManagerRecoversMidRunJob interrupts a multi-point figure sweep
+// mid-flight (Close cancels the root context — for journal state this
+// is SIGKILL minus the torn tail, since every record is fsynced as it
+// is appended) and proves the restarted manager resumes the job to a
+// byte-identical artifact.
+func TestManagerRecoversMidRunJob(t *testing.T) {
+	spec := JobSpec{Kind: KindFigure, Fig: 1, Tenant: "alice", Events: 200}.Normalized()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ref := reference(t, spec)
+
+	cfg := testConfig(t)
+	m1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mustSubmit(t, m1, spec)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cur, _ := m1.Status(st.ID)
+		if cur.State == StateRunning || cur.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m1.Close(); err != nil { // cancels the sweep cooperatively
+		t.Fatal(err)
+	}
+
+	m2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	// The interruption races job completion; both outcomes must leave a
+	// byte-identical artifact behind, recovery or not.
+	if s := m2.StatsSnapshot(); s.Recovered == 0 {
+		t.Log("job completed before the interruption landed; checking the artifact anyway")
+	}
+	final := waitTerminal(t, m2, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s (%s) after restart, want done", final.State, final.Reason)
+	}
+	data, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, ref) {
+		t.Fatalf("resumed artifact differs from uninterrupted run:\n got %q\nwant %q", data, ref)
+	}
+}
+
+// TestManagerRecoveryPreservesTerminalHistory: done and failed jobs
+// survive a restart as queryable metadata, and a completed job's
+// artifact remains servable (including by fingerprint, for the cache).
+func TestManagerRecoveryPreservesTerminalHistory(t *testing.T) {
+	cfg := testConfig(t)
+	spec := testMeasureSpec("alice", 7)
+
+	m1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mustSubmit(t, m1, spec)
+	waitTerminal(t, m1, st.ID)
+	data1, err := m1.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	got, ok := m2.Status(st.ID)
+	if !ok || got.State != StateDone {
+		t.Fatalf("done job lost across restart: ok=%v %+v", ok, got)
+	}
+	data2, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("artifact changed across restart")
+	}
+
+	// And the restarted daemon serves the same scenario from disk
+	// without re-simulating: submitting the identical spec is a cache
+	// hit even though the in-memory cache started cold.
+	dup := mustSubmit(t, m2, spec)
+	if dup.State != StateDone || !dup.Cached {
+		t.Fatalf("restart lost the result cache: %+v", dup)
+	}
+}
