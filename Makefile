@@ -1,6 +1,6 @@
 # Development targets for the MANET overhead reproduction.
 
-.PHONY: build test vet race check check-full chaos difftest bench bench-smoke serve-smoke crash-harness
+.PHONY: build test vet race check check-full chaos difftest bench bench-smoke serve-smoke crash-harness worker-chaos
 
 build:
 	go build ./...
@@ -19,7 +19,9 @@ race:
 # differential lockstep matrix and the metamorphic/conformance gates of
 # internal/difftest), and short fuzz smokes over the checkpoint journal
 # decoder, the netsim config validator, the pending-delivery queue, the
-# faults config validator and the daemon's HTTP job-spec decoder.
+# faults config validator, the daemon's HTTP job-spec decoder, and the
+# distributed-sweep wire protocol (lease grants plus the coordinator's
+# claim/heartbeat/result/done decoders).
 check:
 	go vet ./... && go test -race -short -count=1 ./...
 	go test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint
@@ -27,6 +29,8 @@ check:
 	go test -run '^$$' -fuzz FuzzPendingQueue -fuzztime 5s ./internal/netsim
 	go test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 5s ./internal/faults
 	go test -run '^$$' -fuzz FuzzJobSpecDecode -fuzztime 5s ./internal/service
+	go test -run '^$$' -fuzz FuzzLeaseDecode -fuzztime 5s ./internal/service
+	go test -run '^$$' -fuzz FuzzWireDecode -fuzztime 5s ./internal/service
 
 # check-full is the CI deep gate: the whole suite — 48 lockstep
 # scenarios, full-length statistical conformance — with caching off.
@@ -56,7 +60,7 @@ difftest:
 # of previous revisions.
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x .
-	go run ./cmd/bench -out BENCH_4.json
+	go run ./cmd/bench -out BENCH_5.json
 
 # bench-smoke is the CI-sized benchmark gate: the N=1k step loop with
 # tile-parallel topology maintenance enabled, under the race detector,
@@ -80,3 +84,14 @@ serve-smoke:
 # to an uninterrupted run, for sweep worker counts 1 and 2.
 crash-harness:
 	go test -race -tags crashharness -run TestCrashKillRecovery -count=1 -v ./internal/service
+
+# worker-chaos is the distributed-sweep acceptance check: a real
+# coordinator process and four real worker processes run a scripted
+# kill/hang/partition schedule — one worker SIGKILLed provably
+# mid-point, one SIGSTOPped (partition) and later resumed to stream a
+# stale duplicate, one hung inside a point with live heartbeats, plus
+# two coordinator SIGKILL+restarts over the same state directory. The
+# merged artifact must be byte-identical to an uninterrupted
+# single-process run; any diff fails the gate.
+worker-chaos:
+	go test -race -tags workerchaos -run TestWorkerChaos -count=1 -v ./internal/service

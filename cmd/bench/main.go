@@ -1,5 +1,5 @@
 // Command bench measures the performance envelope of the simulator and
-// the sweep engine and writes a machine-readable artifact (BENCH_4.json
+// the sweep engine and writes a machine-readable artifact (BENCH_5.json
 // by default):
 //
 //   - wall-clock time of Figures 1–3 at each requested worker count
@@ -17,24 +17,36 @@
 //     fraction of adjacency rows the incremental index re-queried, the
 //     naive full-rescan extrapolation from the BENCH_3 engine
 //     (283220 ns × N/400) and the speedup against it, plus a
-//     serial-vs-tiled equivalence check.
+//     serial-vs-tiled equivalence check;
+//   - a distributed-sweep speedup row per worker count (-dist-workers):
+//     the same figure sweep executed by lease-based manetsimw-style
+//     workers against an in-process coordinator, recording wall clock,
+//     speedup over one worker, and efficiency — speedup divided by
+//     min(workers, host CPUs), so a single-core runner reports the
+//     protocol's overhead honestly instead of faking a parallel
+//     speedup it cannot physically measure. Every distributed run must
+//     merge to an artifact byte-identical to the local serial run.
 //
 // Usage:
 //
-//	bench -out BENCH_4.json -events 4000 -n 1000,10000,100000 -tiles 2
+//	bench -out BENCH_5.json -events 4000 -n 1000,10000,100000 -tiles 2
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -44,6 +56,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/netsim"
+	"repro/internal/service"
 )
 
 // seedStep records the engine-throughput measurements taken on the
@@ -107,6 +120,34 @@ type StepResult struct {
 	TilesBitIdentical bool `json:"tiles_bit_identical,omitempty"`
 }
 
+// DistResult is one distributed-sweep row: the bench figure sweep
+// executed end to end by k lease-based workers claiming points from an
+// in-process coordinator over HTTP, exactly as cmd/manetsimw does
+// against cmd/manetsimd -distributed.
+type DistResult struct {
+	Workers int     `json:"workers"`
+	Ms      float64 `json:"ms"`
+	// SpeedupVsOneWorker is the one-worker distributed row's wall clock
+	// over this row's.
+	SpeedupVsOneWorker float64 `json:"speedup_vs_one_worker"`
+	// Efficiency is SpeedupVsOneWorker / min(Workers, HostCPUs): the
+	// fraction of the physically available parallelism the lease
+	// protocol delivered. On a single-core host min(workers, cpus) is 1,
+	// so efficiency ≈ 1 means the protocol adds little overhead — the
+	// honest statement a core-starved runner can make, where a raw
+	// "speedup at 4 workers" would be measuring the scheduler, not the
+	// executor.
+	Efficiency float64 `json:"efficiency"`
+	// BitIdentical reports whether the merged artifact is byte-identical
+	// to the local serial run of the same spec. Anything but true is a
+	// bug.
+	BitIdentical bool  `json:"bit_identical"`
+	PointsMerged int64 `json:"points_merged"`
+	// LeasesExpired counts mid-run lease re-dispatches; nonzero under an
+	// unperturbed bench run means the TTL is too tight for the host.
+	LeasesExpired int64 `json:"leases_expired"`
+}
+
 // Report is the whole artifact document.
 type Report struct {
 	GoVersion string `json:"go_version"`
@@ -137,7 +178,10 @@ type Report struct {
 	// StepScaling sweeps the node count at constant density (side grows
 	// as √N), two rows per N: the canonical mobility and the low-mobility
 	// (1/10 speed) variant.
-	StepScaling    []StepResult `json:"step_scaling,omitempty"`
+	StepScaling []StepResult `json:"step_scaling,omitempty"`
+	// Distributed holds one row per -dist-workers entry: the lease-based
+	// executor's wall clock, speedup and efficiency at that worker count.
+	Distributed    []DistResult `json:"distributed,omitempty"`
 	SeedStep       StepResult   `json:"seed_step"`
 	StepSpeedup    float64      `json:"step_speedup_vs_seed"`
 	AllocReduction float64      `json:"step_alloc_reduction_vs_seed"`
@@ -156,14 +200,15 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	outPath := fs.String("out", "BENCH_4.json", "artifact path")
+	outPath := fs.String("out", "BENCH_5.json", "artifact path")
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 4_000, "target link events per measured point")
 	stepTicks := fs.Int("step-ticks", 2000, "ticks measured per engine-throughput loop at N=400 (scaled down for larger N)")
 	nList := fs.String("n", "1000,10000,100000", "comma-separated node counts for the scaling sweep (empty skips it)")
 	tiles := fs.Int("tiles", 1, "tile count for the scaling sweep rows")
 	workersList := fs.String("workers", "1,2", "comma-separated worker counts for the figure drivers")
-	maxprocs := fs.Int("maxprocs", 0, "pin GOMAXPROCS to this value (0 keeps the runtime default)")
+	distList := fs.String("dist-workers", "1,2,4", "comma-separated worker counts for the distributed-sweep rows (empty skips them)")
+	maxprocs := fs.Int("maxprocs", 0, "pin GOMAXPROCS to this value (0 pins to the host CPU count)")
 	stepOnly := fs.Bool("step-only", false, "skip the figure drivers, measure only the tick loops")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -187,9 +232,21 @@ func run(args []string, out io.Writer) error {
 		// (and bit-checked) against; it must run first.
 		workers = append([]int{1}, workers...)
 	}
-	if *maxprocs > 0 {
-		runtime.GOMAXPROCS(*maxprocs)
+	distWorkers, err := parseIntList(*distList)
+	if err != nil {
+		return fmt.Errorf("-dist-workers: %w", err)
 	}
+	if !*stepOnly && len(distWorkers) > 0 && distWorkers[0] != 1 {
+		// One worker is the baseline the speedup rows divide by.
+		distWorkers = append([]int{1}, distWorkers...)
+	}
+	// Pin GOMAXPROCS to the host CPU count unless overridden: a shrunken
+	// inherited setting (cgroup quota, GOMAXPROCS env) must never
+	// masquerade as the host's parallel capacity in the artifact.
+	if *maxprocs <= 0 {
+		*maxprocs = runtime.NumCPU()
+	}
+	runtime.GOMAXPROCS(*maxprocs)
 
 	sha, dirty := gitRevision()
 	rep := Report{
@@ -206,6 +263,9 @@ func run(args []string, out io.Writer) error {
 
 	if !*stepOnly {
 		if err := measureFigures(&rep, workers, *seed, *events, out); err != nil {
+			return err
+		}
+		if err := measureDistributed(&rep, distWorkers, *seed, *events, out); err != nil {
 			return err
 		}
 	}
@@ -341,6 +401,144 @@ func measureFigures(rep *Report, workers []int, seed uint64, events float64, out
 		}
 	}
 	return nil
+}
+
+// measureDistributed runs the bench figure sweep through the real
+// distributed executor — an in-process coordinator serving the lease
+// HTTP API and k in-process workers claiming points over it, the same
+// code paths cmd/manetsimd -distributed and cmd/manetsimw run — and
+// records one row per worker count. Each run starts from a cold state
+// directory (no journal reuse between rows) and is bit-checked against
+// a local serial run of the same spec.
+func measureDistributed(rep *Report, distWorkers []int, seed uint64, events float64, out io.Writer) error {
+	if len(distWorkers) == 0 {
+		return nil
+	}
+	spec := service.JobSpec{Kind: service.KindFigure, Tenant: "bench", Fig: 1, Seed: seed, Events: events}.Normalized()
+	refBytes, err := spec.Run(experiments.Options{Workers: 1})
+	if err != nil {
+		return fmt.Errorf("distributed reference run: %w", err)
+	}
+
+	var oneWorkerMs float64
+	for _, k := range distWorkers {
+		ms, stats, got, err := runDistributedSweep(spec, k)
+		if err != nil {
+			return fmt.Errorf("distributed workers=%d: %w", k, err)
+		}
+		row := DistResult{
+			Workers:       k,
+			Ms:            ms,
+			BitIdentical:  string(got) == string(refBytes),
+			PointsMerged:  stats.PointsMerged,
+			LeasesExpired: stats.LeasesExpired,
+		}
+		if k == distWorkers[0] {
+			oneWorkerMs = ms
+			row.SpeedupVsOneWorker = 1
+		} else {
+			row.SpeedupVsOneWorker = oneWorkerMs / ms
+		}
+		avail := k
+		if rep.HostCPUs < avail {
+			avail = rep.HostCPUs
+		}
+		row.Efficiency = row.SpeedupVsOneWorker / float64(avail)
+		rep.Distributed = append(rep.Distributed, row)
+		fmt.Fprintf(out, "distributed workers=%d: %.0f ms (%.2fx one worker, efficiency %.2f), %d points merged, %d leases expired, bit-identical %v\n",
+			k, row.Ms, row.SpeedupVsOneWorker, row.Efficiency, row.PointsMerged, row.LeasesExpired, row.BitIdentical)
+		if !row.BitIdentical {
+			return fmt.Errorf("distributed workers=%d: merged artifact diverged from the local serial run — determinism contract broken", k)
+		}
+	}
+	return nil
+}
+
+// runDistributedSweep executes spec once through a coordinator and k
+// workers, all in-process, and reports wall-clock ms, the coordinator's
+// stats and the merged artifact bytes.
+func runDistributedSweep(spec service.JobSpec, k int) (float64, service.Stats, []byte, error) {
+	state, err := os.MkdirTemp("", "bench-dist-*")
+	if err != nil {
+		return 0, service.Stats{}, nil, err
+	}
+	defer os.RemoveAll(state)
+	m, err := service.Open(service.Config{
+		StateDir:     state,
+		QueueDepth:   4,
+		JobWorkers:   1,
+		SweepWorkers: 1,
+		Admission:    service.AdmissionPolicy{Rate: 1000, Burst: 1000},
+		Distributed:  true,
+		// Generous deadlines: the bench perturbs nothing, so any expiry
+		// is a finding (reported in the artifact), not a recovery test.
+		LeaseTTL:    10 * time.Second,
+		LeaseMaxAge: time.Hour,
+	})
+	if err != nil {
+		return 0, service.Stats{}, nil, err
+	}
+	defer m.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, service.Stats{}, nil, err
+	}
+	srv := &http.Server{Handler: service.NewServer(m, 0).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		w, err := service.NewWorker(service.WorkerConfig{
+			Coordinator:  base,
+			Name:         fmt.Sprintf("bench-w%d", i),
+			SweepWorkers: 1,
+			Poll:         5 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, service.Stats{}, nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	t0 := time.Now()
+	st, err := m.Submit(spec)
+	if err != nil {
+		return 0, service.Stats{}, nil, err
+	}
+	deadline := time.Now().Add(30 * time.Minute)
+	for {
+		cur, ok := m.Status(st.ID)
+		if !ok {
+			return 0, service.Stats{}, nil, fmt.Errorf("job %s vanished", st.ID)
+		}
+		if cur.State == service.StateDone {
+			break
+		}
+		if cur.State == service.StateFailed || cur.State == service.StateEvicted {
+			return 0, service.Stats{}, nil, fmt.Errorf("job %s ended %s (%s)", st.ID, cur.State, cur.Reason)
+		}
+		if time.Now().After(deadline) {
+			return 0, service.Stats{}, nil, fmt.Errorf("job %s did not finish in time", st.ID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+	got, err := m.Result(st.ID)
+	if err != nil {
+		return 0, service.Stats{}, nil, err
+	}
+	return ms, m.StatsSnapshot(), got, nil
 }
 
 // gitRevision reports the current commit hash and whether the working

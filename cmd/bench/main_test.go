@@ -27,7 +27,10 @@ func TestRunWritesArtifact(t *testing.T) {
 	}
 
 	var log bytes.Buffer
-	args := []string{"-out", out, "-events", "150", "-step-ticks", "50", "-n", "600", "-tiles", "2", "-workers", "1,2"}
+	// -events 1000 is the smallest window where every fig1 point yields
+	// finite (and therefore wire-encodable) measurements; the distributed
+	// rows need that, and the figure rows stay cheap at this size.
+	args := []string{"-out", out, "-events", "1000", "-step-ticks", "50", "-n", "600", "-tiles", "2", "-workers", "1,2", "-dist-workers", "1,2"}
 	if err := run(args, &log); err != nil {
 		t.Fatalf("run: %v\nlog:\n%s", err, log.String())
 	}
@@ -64,11 +67,18 @@ func TestRunWritesArtifact(t *testing.T) {
 	if rep.GoMaxProcs < 1 || rep.HostCPUs < 1 {
 		t.Errorf("go_maxprocs = %d, host_cpus = %d", rep.GoMaxProcs, rep.HostCPUs)
 	}
+	// Without -maxprocs the bench pins GOMAXPROCS to the host CPU count:
+	// the artifact must never record a shrunken inherited setting as if
+	// it were the machine's parallel capacity.
+	if rep.GoMaxProcs != runtime.NumCPU() || rep.HostCPUs != runtime.NumCPU() {
+		t.Errorf("go_maxprocs = %d, host_cpus = %d, want both pinned to NumCPU = %d",
+			rep.GoMaxProcs, rep.HostCPUs, runtime.NumCPU())
+	}
 	if rep.Seed != 42 {
 		t.Errorf("seed = %d, want the default 42", rep.Seed)
 	}
-	if rep.TargetEvents != 150 {
-		t.Errorf("target_events = %g, want 150", rep.TargetEvents)
+	if rep.TargetEvents != 1000 {
+		t.Errorf("target_events = %g, want 1000", rep.TargetEvents)
 	}
 
 	// The test binary runs inside the repository checkout, so the
@@ -145,6 +155,39 @@ func TestRunWritesArtifact(t *testing.T) {
 		t.Errorf("extrapolated baselines differ between mobility rows: %g vs %g", a, b)
 	}
 
+	// One distributed row per -dist-workers entry, all bit-identical,
+	// the first the speedup baseline, every efficiency normalized by the
+	// host's real parallelism (so it is meaningful on any runner).
+	if len(rep.Distributed) != 2 {
+		t.Fatalf("got %d distributed rows, want 2", len(rep.Distributed))
+	}
+	for k, row := range rep.Distributed {
+		if row.Workers != k+1 {
+			t.Errorf("distributed row %d: workers = %d, want %d", k, row.Workers, k+1)
+		}
+		if row.Ms <= 0 || row.SpeedupVsOneWorker <= 0 || row.Efficiency <= 0 {
+			t.Errorf("distributed row %d has non-positive measurements: %+v", k, row)
+		}
+		if !row.BitIdentical {
+			t.Errorf("distributed row %d not bit-identical (run should have failed)", k)
+		}
+		if row.PointsMerged < 1 {
+			t.Errorf("distributed row %d merged no points: %+v", k, row)
+		}
+		avail := row.Workers
+		if rep.HostCPUs < avail {
+			avail = rep.HostCPUs
+		}
+		if want := row.SpeedupVsOneWorker / float64(avail); row.Efficiency != want {
+			t.Errorf("distributed row %d: efficiency = %g, want speedup/min(workers, host cpus) = %g",
+				k, row.Efficiency, want)
+		}
+	}
+	if rep.Distributed[0].SpeedupVsOneWorker != 1 {
+		t.Errorf("first distributed row is the baseline, speedup = %g, want 1",
+			rep.Distributed[0].SpeedupVsOneWorker)
+	}
+
 	if rep.SeedStep != seedStep {
 		t.Errorf("seed_step = %+v, want the baked-in baseline %+v", rep.SeedStep, seedStep)
 	}
@@ -176,6 +219,9 @@ func TestRunStepOnlySkipsFigures(t *testing.T) {
 	}
 	if len(rep.Figures) != 0 {
 		t.Errorf("-step-only still produced %d figure rows", len(rep.Figures))
+	}
+	if len(rep.Distributed) != 0 {
+		t.Errorf("-step-only still produced %d distributed rows", len(rep.Distributed))
 	}
 	if rep.Step.NsPerTick <= 0 || len(rep.StepScaling) != 2 {
 		t.Errorf("step rows missing: %+v", rep)

@@ -61,6 +61,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxDeadline  = fs.Duration("max-deadline", time.Hour, "ceiling for requested deadlines")
 		drainGrace   = fs.Duration("drain-grace", 30*time.Second, "how long a drain waits for running jobs before checkpointing them for restart")
 		maxSpecBytes = fs.Int64("max-spec-bytes", service.DefaultMaxSpecBytes, "largest accepted job spec")
+
+		distributed    = fs.Bool("distributed", false, "coordinator mode: shard jobs into point leases for remote workers (manetsimw) instead of computing in-process")
+		leaseTTL       = fs.Duration("lease-ttl", 10*time.Second, "worker heartbeat deadline; a silent lease is re-dispatched")
+		leaseMaxAge    = fs.Duration("lease-max-age", 0, "straggler cap: revoke a lease this old even if it heartbeats (0 = 10×lease-ttl)")
+		pointsPerLease = fs.Int("points-per-lease", 1, "sweep points per lease grant")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +84,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheBytes:      *cacheBytes,
 		DefaultDeadline: *defDeadline,
 		MaxDeadline:     *maxDeadline,
+		Distributed:     *distributed,
+		LeaseTTL:        *leaseTTL,
+		LeaseMaxAge:     *leaseMaxAge,
+		PointsPerLease:  *pointsPerLease,
 	})
 	if err != nil {
 		return err
@@ -90,7 +99,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	srv := &http.Server{Handler: service.NewServer(m, *maxSpecBytes).Handler()}
-	fmt.Fprintf(out, "manetsimd: listening on %s (state %s)\n", ln.Addr(), *state)
+	mode := ""
+	if *distributed {
+		mode = ", distributed coordinator"
+	}
+	fmt.Fprintf(out, "manetsimd: listening on %s (state %s%s)\n", ln.Addr(), *state, mode)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -1,0 +1,79 @@
+// Command manetsimw is the distributed-sweep worker: it claims point
+// leases from a manetsimd coordinator (-distributed), re-runs the job's
+// deterministic driver restricted to the leased points, streams each
+// completed point back as a CRC-checksummed record, and heartbeats
+// while computing.
+//
+// Usage:
+//
+//	manetsimw -coordinator http://127.0.0.1:8347 -name w1
+//
+// The worker is stateless and disposable: kill it at any instant —
+// SIGKILL mid-point included — and the coordinator re-dispatches its
+// lease once the heartbeat deadline lapses; the merged artifact stays
+// byte-identical to a single-process run. SIGINT/SIGTERM exit cleanly
+// (in-flight work is simply abandoned to the lease machinery).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/service"
+)
+
+func main() {
+	cli.Main("manetsimw", cli.Server, run)
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("manetsimw", flag.ContinueOnError)
+	var (
+		coordinator  = fs.String("coordinator", "http://127.0.0.1:8347", "coordinator base URL")
+		name         = fs.String("name", "", "worker name (default: host-pid)")
+		sweepWorkers = fs.Int("sweep-workers", 0, "in-process fan-out across a lease's points (0 = GOMAXPROCS)")
+		poll         = fs.Duration("poll", 200*time.Millisecond, "claim retry pace when the coordinator has no work")
+		quiet        = fs.Bool("quiet", false, "suppress per-lease progress lines")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(out, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	w, err := service.NewWorker(service.WorkerConfig{
+		Coordinator:  *coordinator,
+		Name:         *name,
+		SweepWorkers: *sweepWorkers,
+		Poll:         *poll,
+		Logf:         logf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "manetsimw: worker %s polling %s\n", *name, *coordinator)
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	return ctx.Err() // drained by signal: exits 0 for a server
+}

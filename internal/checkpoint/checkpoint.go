@@ -54,6 +54,19 @@ type Record struct {
 // castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// NewRecord builds a checksummed record from a point's raw JSON result.
+// Records travel beyond the journal file: the distributed sweep executor
+// uses them as its wire format, so a worker's computed point carries the
+// same CRC on the network that it would carry on disk.
+func NewRecord(sweep string, point int, seed uint64, result json.RawMessage) Record {
+	r := Record{Sweep: sweep, Point: point, Seed: seed, Result: result}
+	r.Sum = r.checksum()
+	return r
+}
+
+// Verify reports whether the record's CRC matches its contents.
+func (r Record) Verify() bool { return r.Sum == r.checksum() }
+
 // checksum computes the record's CRC over everything but Sum itself.
 func (r Record) checksum() uint32 {
 	h := crc32.New(castagnoli)

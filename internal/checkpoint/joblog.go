@@ -27,11 +27,18 @@ import (
 
 // Job-state names recorded in the log. Only terminal states other than
 // JobAccepted appear as non-first records for an id; a job whose last
-// record is JobAccepted was in flight when the process died.
+// record is JobAccepted (or JobLeased, the distributed executor's
+// dispatch audit trail) was in flight when the process died.
 const (
 	JobAccepted = "accepted"
-	JobDone     = "done"
-	JobFailed   = "failed"
+	// JobLeased records one lease grant of the distributed sweep
+	// executor: which worker was dispatched which points, and which
+	// attempt it was. It is an audit record, not a state change — the
+	// job stays in flight, and a restart re-queues it exactly like a
+	// job whose last record is JobAccepted.
+	JobLeased = "leased"
+	JobDone   = "done"
+	JobFailed = "failed"
 )
 
 // JobRecord is one job-state transition in the service job log.

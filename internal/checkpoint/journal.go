@@ -82,7 +82,12 @@ func Open(path, fingerprint string) (*Journal, error) {
 				ErrFingerprintMismatch, path, fp, fingerprint)
 		}
 		for _, r := range records {
-			j.completed[journalKey{r.Sweep, r.Point}] = Entry{Seed: r.Seed, Result: r.Result}
+			// First-committed-wins, matching Ingest: should duplicate
+			// records ever reach the file, replay keeps the first.
+			k := journalKey{r.Sweep, r.Point}
+			if _, ok := j.completed[k]; !ok {
+				j.completed[k] = Entry{Seed: r.Seed, Result: r.Result}
+			}
 		}
 		j.salvaged = len(data) - valid
 		if j.salvaged > 0 {
@@ -127,16 +132,28 @@ func (j *Journal) Append(sweep string, point int, seed uint64, result any) error
 	if err != nil {
 		return fmt.Errorf("%w: %s point %d: %v", ErrUnencodableResult, sweep, point, err)
 	}
-	rec := Record{Sweep: sweep, Point: point, Seed: seed, Result: raw}
-	rec.Sum = rec.checksum()
+	return j.AppendRaw(sweep, point, seed, raw)
+}
+
+// AppendRaw journals one completed sweep point whose result is already
+// JSON-encoded, and fsyncs it. It is the transport-level twin of Append:
+// a coordinator merging records computed by remote workers appends the
+// worker's exact result bytes, so the merged journal replays the same
+// values a local run would have journaled.
+func (j *Journal) AppendRaw(sweep string, point int, seed uint64, raw json.RawMessage) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendRawLocked(sweep, point, seed, raw)
+}
+
+// appendRawLocked writes and fsyncs one record; callers hold j.mu.
+func (j *Journal) appendRawLocked(sweep string, point int, seed uint64, raw json.RawMessage) error {
+	rec := NewRecord(sweep, point, seed, raw)
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("checkpoint: encode %s point %d: %w", sweep, point, err)
 	}
 	line = append(line, '\n')
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.f == nil {
 		return errClosed
 	}
@@ -148,6 +165,36 @@ func (j *Journal) Append(sweep string, point int, seed uint64, result any) error
 	}
 	j.completed[journalKey{sweep, point}] = Entry{Seed: seed, Result: raw}
 	return nil
+}
+
+// Ingest merges one externally produced record (a remote worker's
+// result) into the journal with first-committed-wins semantics: a point
+// already present — whatever process computed it — is left untouched and
+// the duplicate is reported, not an error. The record's CRC is verified
+// before anything is written, so a record garbled in transit never
+// reaches the journal. The duplicate check and the append are one
+// critical section, so two racing ingests of the same point commit
+// exactly one record. It returns whether the record was appended.
+func (j *Journal) Ingest(rec Record) (bool, error) {
+	if !rec.Verify() {
+		return false, fmt.Errorf("checkpoint: ingest %s point %d: CRC mismatch", rec.Sweep, rec.Point)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.completed[journalKey{rec.Sweep, rec.Point}]; dup {
+		return false, nil
+	}
+	if err := j.appendRawLocked(rec.Sweep, rec.Point, rec.Seed, rec.Result); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Has reports whether the journal holds a result for the point under
+// the given seed.
+func (j *Journal) Has(sweep string, point int, seed uint64) bool {
+	_, ok := j.Lookup(sweep, point, seed)
+	return ok
 }
 
 // Lookup returns the cached result of a journaled point, if present and

@@ -78,6 +78,16 @@ type Options struct {
 	// OnProgress, when non-nil, observes every settled sweep point; it
 	// may be called concurrently from worker goroutines.
 	OnProgress func(Progress)
+	// PointFilter, when non-nil, restricts every sweep these options
+	// drive to the (sweep, point) pairs for which it returns true —
+	// the distributed executor's sharding seam: a worker runs the
+	// whole figure driver with a filter that admits only its leased
+	// points. Filtered-out points are skipped silently (no error, not
+	// Done); partial-tolerant renderers omit them.
+	PointFilter func(sweep string, point int) bool
+	// OnRecord, when non-nil, observes every successful sweep point as
+	// its checksummed checkpoint record — see SweepOptions.OnRecord.
+	OnRecord func(rec checkpoint.Record)
 }
 
 // context returns the options' context, never nil.
@@ -100,6 +110,11 @@ func (o Options) sweep(name string) SweepOptions {
 		Journal:       o.Journal,
 		PointDeadline: o.PointDeadline,
 		OnProgress:    o.OnProgress,
+		OnRecord:      o.OnRecord,
+	}
+	if o.PointFilter != nil {
+		filter := o.PointFilter
+		s.PointSet = func(i int) bool { return filter(name, i) }
 	}
 	if name == "" {
 		s.Journal = nil

@@ -83,6 +83,22 @@ func RateFigure(spec RateFigureSpec, opts Options) (*metrics.Figure, error) {
 	return fig, err
 }
 
+// The figure grids are package values (rather than literals inside the
+// drivers) so the distributed executor's sweep plans — which shard the
+// point index space into leases — are derived from the same slice the
+// driver sweeps, and can never disagree with it about how many points a
+// figure has.
+var (
+	// Figure1Xs is Figure 1's transmission-range grid (r as a fraction
+	// of the border length a).
+	Figure1Xs = []float64{0.06, 0.09, 0.12, 0.15, 0.18, 0.22, 0.26, 0.30}
+	// Figure2Xs is Figure 2's node-speed grid (v as a fraction of a
+	// per unit time).
+	Figure2Xs = []float64{0.002, 0.004, 0.006, 0.008, 0.011, 0.014, 0.017, 0.020}
+	// Figure3Xs is Figure 3's density grid (nodes per unit area).
+	Figure3Xs = []float64{0.5, 0.75, 1.0, 1.5, 2.0, 2.75, 3.5, 4.0}
+)
+
 // Figure1 reproduces Figure 1: control message frequencies versus
 // transmission range r (expressed as a fraction of the border length a),
 // with N = 400 nodes and v = 0.005·a per unit time.
@@ -94,7 +110,7 @@ func Figure1(opts Options) (*metrics.Figure, error) {
 		Title:  "Figure 1: control message frequencies vs transmission range",
 		XLabel: "r/a",
 		Base:   base,
-		Xs:     []float64{0.06, 0.09, 0.12, 0.15, 0.18, 0.22, 0.26, 0.30},
+		Xs:     Figure1Xs,
 		Apply: func(net core.Network, x float64) core.Network {
 			net.R = x * a
 			net.V = 0.005 * a
@@ -115,7 +131,7 @@ func Figure2(opts Options) (*metrics.Figure, error) {
 		Title:  "Figure 2: control message frequencies vs node speed",
 		XLabel: "v/a",
 		Base:   base,
-		Xs:     []float64{0.002, 0.004, 0.006, 0.008, 0.011, 0.014, 0.017, 0.020},
+		Xs:     Figure2Xs,
 		Apply: func(net core.Network, x float64) core.Network {
 			net.R = 0.075 * a
 			net.V = x * a
@@ -134,7 +150,7 @@ func Figure3(opts Options) (*metrics.Figure, error) {
 		Title:  "Figure 3: control message frequencies vs network density",
 		XLabel: "density (nodes per unit area)",
 		Base:   core.Network{N: 400},
-		Xs:     []float64{0.5, 0.75, 1.0, 1.5, 2.0, 2.75, 3.5, 4.0},
+		Xs:     Figure3Xs,
 		Apply: func(net core.Network, x float64) core.Network {
 			net.Density = x
 			net.R = 3

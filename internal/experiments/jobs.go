@@ -21,6 +21,38 @@ import (
 // artifact byte-identical to an uninterrupted run — which is also what
 // makes the fingerprint-keyed result cache sound.
 
+// SweepPlan describes the point-space of one job-shaped driver: the
+// sweep name its journal records are filed under and how many points it
+// has. The distributed executor shards this space into leases; because
+// the plan is derived from the same grids the drivers sweep, plan and
+// driver cannot disagree.
+type SweepPlan struct {
+	// Sweep is the journal namespace ("fig1", "degradation", ...).
+	Sweep string
+	// Points is the number of sweep points, indexed 0..Points-1.
+	Points int
+}
+
+// FigurePlan returns the sweep plan of a job-shaped figure driver.
+func FigurePlan(id int) (SweepPlan, error) {
+	switch id {
+	case 1:
+		return SweepPlan{Sweep: "fig1", Points: len(Figure1Xs)}, nil
+	case 2:
+		return SweepPlan{Sweep: "fig2", Points: len(Figure2Xs)}, nil
+	case 3:
+		return SweepPlan{Sweep: "fig3", Points: len(Figure3Xs)}, nil
+	case 8:
+		return SweepPlan{Sweep: "degradation", Points: len(DegradationLosses)}, nil
+	case 9:
+		return SweepPlan{Sweep: "recovery", Points: len(RecoveryDurations)}, nil
+	}
+	return SweepPlan{}, fmt.Errorf("experiments: figure %d has no job-shaped driver (supported: 1, 2, 3, 8, 9)", id)
+}
+
+// MeasurePlan returns the sweep plan of the single-point measure job.
+func MeasurePlan() SweepPlan { return SweepPlan{Sweep: "measure", Points: 1} }
+
 // FigureJobSupported reports whether a figure id names a sweep-shaped,
 // journal-resumable driver that FigureCSV can execute. Figures 4 and 5
 // are excluded: 4 is closed-form (two panels, no sweep to resume) and 5

@@ -49,6 +49,23 @@ type SweepOptions struct {
 	// replayed from the journal, or failed). It may be called
 	// concurrently from worker goroutines.
 	OnProgress func(Progress)
+	// PointSet, when non-nil, restricts the sweep to the points for
+	// which it returns true. Filtered-out points are never executed or
+	// replayed; they stay not-Done and are counted in
+	// SweepResult.Skipped, with no error — the caller asked for a
+	// shard, and got one. This is the point-sharding seam the
+	// distributed executor's workers use: each worker runs the same
+	// deterministic driver with a PointSet covering only its lease.
+	PointSet func(i int) bool
+	// OnRecord, when non-nil, observes every successful point as the
+	// checksummed journal record that represents it — freshly computed
+	// points and journal replays alike — carrying the point's exact
+	// result bytes. Distributed workers stream these records back to
+	// the coordinator, which ingests them into the job's journal; the
+	// record CRC then guards the result end to end, from the worker's
+	// encoder to the merged journal on disk. It may be called
+	// concurrently from worker goroutines.
+	OnRecord func(rec checkpoint.Record)
 }
 
 // Progress reports one settled sweep point to SweepOptions.OnProgress.
@@ -82,8 +99,9 @@ type SweepResult[T any] struct {
 	Done []bool
 	// Cached counts points replayed from the journal, Executed points
 	// computed this run, Interrupted points cut short or skipped by
-	// context cancellation.
-	Cached, Executed, Interrupted int
+	// context cancellation, Skipped points excluded by
+	// SweepOptions.PointSet (a sharded run's out-of-shard points).
+	Cached, Executed, Interrupted, Skipped int
 }
 
 // Complete reports whether every point finished.
@@ -157,13 +175,23 @@ func RunSweepCtx[T any](ctx context.Context, opt SweepOptions, n int, point func
 	errs := make([]error, n)
 
 	// Resume pass: replay journaled points before any execution.
+	// Out-of-shard points (opt.PointSet) are dropped first, before the
+	// journal is even consulted: a sharded worker neither computes nor
+	// re-announces points it was not leased.
 	var todo []int
 	for i := 0; i < n; i++ {
+		if opt.PointSet != nil && !opt.PointSet(i) {
+			res.Skipped++
+			continue
+		}
 		if opt.Journal != nil {
 			if raw, ok := opt.Journal.Lookup(opt.Name, i, opt.Seed); ok {
 				if err := json.Unmarshal(raw, &res.Results[i]); err == nil {
 					res.Done[i] = true
 					res.Cached++
+					if opt.OnRecord != nil {
+						opt.OnRecord(checkpoint.NewRecord(opt.Name, i, opt.Seed, raw))
+					}
 					opt.progress(Progress{Sweep: opt.Name, Point: i, Total: n, Cached: true})
 					continue
 				}
@@ -197,16 +225,33 @@ func RunSweepCtx[T any](ctx context.Context, opt SweepOptions, n int, point func
 			res.Results[i] = r
 			res.Done[i] = true
 			executed.Add(1)
-			if opt.Journal != nil {
-				// An I/O failure keeps the in-memory result — the run's
+			if opt.Journal != nil || opt.OnRecord != nil {
+				// The result is encoded once and the same bytes feed both
+				// sinks, so a streamed record carries exactly what a local
+				// journal append would have written. An unencodable result
+				// (NaN in a degenerate measurement) splits by sink: for a
+				// local journal it is benign — nothing is checkpointed and
+				// a resume re-runs the point deterministically — but for a
+				// streaming run it is a hard point error, because OnRecord
+				// is the only way the result ever leaves this process; a
+				// silent skip would strand the point's lease until the
+				// coordinator gave up with no diagnosis at all. A journal
+				// I/O failure keeps the in-memory result — the run's
 				// output is unaffected — but surfaces in the joined error
-				// so the operator knows resume coverage is incomplete. An
-				// unencodable result (NaN in a degenerate measurement) is
-				// benign: the journal skips it and a resume re-runs the
-				// point deterministically, so it is not an error at all.
-				jerr := opt.Journal.Append(opt.Name, i, opt.Seed, r)
-				if jerr != nil && !errors.Is(jerr, checkpoint.ErrUnencodableResult) {
-					errs[i] = fmt.Errorf("sweep point %d: %w", i, jerr)
+				// so the operator knows resume coverage is incomplete.
+				raw, merr := json.Marshal(r)
+				switch {
+				case merr != nil && opt.OnRecord != nil:
+					errs[i] = fmt.Errorf("sweep point %d: result not encodable for streaming: %w", i, merr)
+				case merr == nil:
+					if opt.Journal != nil {
+						if jerr := opt.Journal.AppendRaw(opt.Name, i, opt.Seed, raw); jerr != nil {
+							errs[i] = fmt.Errorf("sweep point %d: %w", i, jerr)
+						}
+					}
+					if opt.OnRecord != nil {
+						opt.OnRecord(checkpoint.NewRecord(opt.Name, i, opt.Seed, raw))
+					}
 				}
 			}
 			opt.progress(Progress{Sweep: opt.Name, Point: i, Total: n, Err: errs[i]})

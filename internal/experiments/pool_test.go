@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"math"
+
 	"errors"
 	"fmt"
+	"repro/internal/checkpoint"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -132,5 +136,56 @@ func TestSweepSeedDeterministicAndDistinct(t *testing.T) {
 	}
 	if SweepSeed(1, "x", 0) == SweepSeed(2, "x", 0) {
 		t.Error("base seed ignored")
+	}
+}
+
+// TestRunSweepPointSetAndOnRecord pins the distributed sharding seam:
+// PointSet restricts execution to the shard (others counted Skipped, no
+// error), OnRecord observes exactly the shard's records, and a result
+// that cannot be encoded is a hard point error when streaming (OnRecord
+// set) but a benign checkpoint gap otherwise.
+func TestRunSweepPointSetAndOnRecord(t *testing.T) {
+	ctx := context.Background()
+	shard := map[int]bool{1: true, 3: true}
+	var recs []string
+	res, err := RunSweepCtx(ctx, SweepOptions{
+		Name:     "s",
+		Seed:     7,
+		PointSet: func(i int) bool { return shard[i] },
+		OnRecord: func(rec checkpoint.Record) {
+			if !rec.Verify() {
+				t.Errorf("point %d: record CRC invalid", rec.Point)
+			}
+			recs = append(recs, fmt.Sprintf("%s/%d/%d", rec.Sweep, rec.Point, rec.Seed))
+		},
+	}, 5, func(_ context.Context, i int) (int, error) { return 10 * i, nil })
+	if err != nil {
+		t.Fatalf("sharded sweep errored: %v", err)
+	}
+	if res.Skipped != 3 || res.Executed != 2 {
+		t.Fatalf("skipped=%d executed=%d, want 3/2", res.Skipped, res.Executed)
+	}
+	for i, want := range []bool{false, true, false, true, false} {
+		if res.Done[i] != want {
+			t.Errorf("Done[%d] = %v, want %v", i, res.Done[i], want)
+		}
+	}
+	if got, want := fmt.Sprint(recs), "[s/1/7 s/3/7]"; got != want {
+		t.Errorf("records = %s, want %s", got, want)
+	}
+
+	// NaN result: hard error when streaming...
+	_, err = RunSweepCtx(ctx, SweepOptions{
+		Name:     "s",
+		OnRecord: func(checkpoint.Record) { t.Error("unencodable result streamed") },
+	}, 1, func(_ context.Context, i int) (float64, error) { return math.NaN(), nil })
+	if err == nil || !strings.Contains(err.Error(), "not encodable") {
+		t.Errorf("streaming NaN result: err = %v, want a not-encodable point error", err)
+	}
+	// ...benign without OnRecord (the historical local-journal gap).
+	res2, err := RunSweepCtx(ctx, SweepOptions{Name: "s"}, 1,
+		func(_ context.Context, i int) (float64, error) { return math.NaN(), nil })
+	if err != nil || !res2.Done[0] {
+		t.Errorf("local NaN result: err = %v, done = %v, want benign success", err, res2.Done)
 	}
 }

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// distConfig is testConfig tuned for distributed mode: short lease TTL
+// so crash/straggler recovery happens inside test time.
+func distConfig(t *testing.T) Config {
+	cfg := testConfig(t)
+	cfg.Distributed = true
+	cfg.LeaseTTL = 250 * time.Millisecond
+	// Generous straggler cap: on a loaded single-CPU CI host a figure
+	// point can legitimately take tens of seconds; only the straggler
+	// test tightens this.
+	cfg.LeaseMaxAge = 10 * time.Minute
+	cfg.Backoff = Backoff{Base: 20 * time.Millisecond, Cap: 100 * time.Millisecond}
+	return cfg
+}
+
+// startCoordinator opens a distributed manager and its HTTP face.
+func startCoordinator(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(m, 0).Handler())
+	return m, srv
+}
+
+// startWorker launches one in-process worker against the coordinator
+// URL and returns its stop function.
+func startWorker(t *testing.T, url, name string, hook func(sweep string, point int)) context.CancelFunc {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{
+		Coordinator:       url,
+		Name:              name,
+		SweepWorkers:      1,
+		Poll:              10 * time.Millisecond,
+		Logf:              t.Logf,
+		BlockBeforeResult: hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return cancel
+}
+
+// TestDistributedMeasureByteIdentical is the basic contract: one
+// worker, one measure job, artifact bytes identical to a direct local
+// run of the same spec.
+func TestDistributedMeasureByteIdentical(t *testing.T) {
+	m, srv := startCoordinator(t, distConfig(t))
+	defer srv.Close()
+	defer m.Close()
+	startWorker(t, srv.URL, "w1", nil)
+
+	spec := testMeasureSpec("alice", 7)
+	st := mustSubmit(t, m, spec)
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job ended %s (%s), want done", fin.State, fin.Reason)
+	}
+	got, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reference(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("distributed artifact differs from local run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// testFigureSpec is a small multi-point figure job: figure 9 has three
+// recovery points on a 60-node network.
+func testFigureSpec(tenant string, seed uint64) JobSpec {
+	return JobSpec{Kind: KindFigure, Tenant: tenant, Fig: 9, Seed: seed, Events: 300}.Normalized()
+}
+
+// TestDistributedFigureManyWorkers fans a multi-point figure across
+// several workers and checks the merged artifact byte-identically.
+func TestDistributedFigureManyWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker figure sweep is not short")
+	}
+	m, srv := startCoordinator(t, distConfig(t))
+	defer srv.Close()
+	defer m.Close()
+	for _, name := range []string{"w1", "w2", "w3"} {
+		startWorker(t, srv.URL, name, nil)
+	}
+
+	spec := testFigureSpec("bob", 11)
+	st := mustSubmit(t, m, spec)
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job ended %s (%s), want done", fin.State, fin.Reason)
+	}
+	got, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reference(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("distributed artifact differs from local run")
+	}
+	stats := m.StatsSnapshot()
+	if stats.PointsMerged == 0 || stats.LeasesGranted == 0 {
+		t.Fatalf("expected distributed execution, stats: %+v", stats)
+	}
+}
+
+// TestDistributedWorkerDeathRecovers kills the only worker mid-lease
+// (before it can stream its first point), then brings up a replacement;
+// the lease must expire and re-dispatch, and the artifact must still be
+// byte-identical.
+func TestDistributedWorkerDeathRecovers(t *testing.T) {
+	m, srv := startCoordinator(t, distConfig(t))
+	defer srv.Close()
+	defer m.Close()
+
+	// The victim blocks before streaming its first point; we cancel its
+	// context while it is blocked — the in-process analogue of SIGKILL
+	// mid-point (the true-SIGKILL version lives in the chaos harness).
+	blocked := make(chan struct{})
+	var once sync.Once
+	release := make(chan struct{})
+	victimStop := startWorker(t, srv.URL, "victim", func(sweep string, point int) {
+		once.Do(func() { close(blocked) })
+		<-release
+	})
+
+	spec := testMeasureSpec("carol", 13)
+	st := mustSubmit(t, m, spec)
+
+	select {
+	case <-blocked:
+	case <-time.After(30 * time.Second):
+		t.Fatal("victim never reached its first point")
+	}
+	victimStop()   // "SIGKILL": heartbeats stop, the stream never happens
+	close(release) // let the worker goroutine unwind
+
+	startWorker(t, srv.URL, "relief", nil)
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job ended %s (%s), want done", fin.State, fin.Reason)
+	}
+	got, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reference(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("artifact after worker death differs from local run")
+	}
+	if s := m.StatsSnapshot(); s.LeasesExpired == 0 {
+		t.Fatalf("expected at least one expired lease, stats: %+v", s)
+	}
+}
+
+// TestDistributedStragglerRevokedAndDuplicateDropped freezes a worker
+// mid-point while its heartbeats keep flowing: only the MaxAge
+// straggler cap can break the stall. The relief worker finishes the
+// job; the frozen worker is then released and streams its late result,
+// which must be dropped as a duplicate (first-committed-wins), leaving
+// the artifact byte-identical.
+func TestDistributedStragglerRevokedAndDuplicateDropped(t *testing.T) {
+	cfg := distConfig(t)
+	cfg.LeaseTTL = 300 * time.Millisecond
+	cfg.LeaseMaxAge = 700 * time.Millisecond // straggler cap < test patience
+	m, srv := startCoordinator(t, cfg)
+	defer srv.Close()
+	defer m.Close()
+
+	frozen := make(chan struct{})
+	var once sync.Once
+	release := make(chan struct{})
+	startWorker(t, srv.URL, "straggler", func(sweep string, point int) {
+		once.Do(func() { close(frozen) })
+		select {
+		case <-release:
+		case <-time.After(60 * time.Second):
+		}
+	})
+
+	spec := testMeasureSpec("dave", 17)
+	st := mustSubmit(t, m, spec)
+	select {
+	case <-frozen:
+	case <-time.After(30 * time.Second):
+		t.Fatal("straggler never froze on a point")
+	}
+
+	startWorker(t, srv.URL, "relief", nil)
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("job ended %s (%s), want done", fin.State, fin.Reason)
+	}
+	close(release) // the straggler now streams its stale point
+
+	got, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reference(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("artifact after straggler revocation differs from local run")
+	}
+	if s := m.StatsSnapshot(); s.LeasesExpired == 0 {
+		t.Fatalf("expected the straggler's lease to be revoked, stats: %+v", s)
+	}
+}
+
+// TestDistributedCoordinatorRestart stops the coordinator mid-job
+// (after at least one point merged) and restarts it over the same state
+// dir and address; the job must re-queue, only missing points may be
+// re-dispatched, and the artifact must stay byte-identical.
+func TestDistributedCoordinatorRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coordinator restart over a figure sweep is not short")
+	}
+	cfg := distConfig(t)
+	stateDir := cfg.StateDir
+
+	m1, srv1 := startCoordinator(t, cfg)
+	// Workers target srv1; after the restart they are replaced by
+	// workers targeting srv2 (the chaos harness additionally proves the
+	// fixed-address reconnect path with real processes).
+	stop1 := startWorker(t, srv1.URL, "w1", nil)
+
+	spec := testFigureSpec("erin", 23)
+	st := mustSubmit(t, m1, spec)
+
+	// Wait until at least one point is merged, then kill the
+	// coordinator without drain (Close cancels in-flight work; merged
+	// points are already fsynced in the journal).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if s := m1.StatsSnapshot(); s.PointsMerged >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no points merged before restart")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop1()
+	srv1.Close()
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mergedBefore := m1.StatsSnapshot().PointsMerged
+
+	cfg2 := distConfig(t)
+	cfg2.StateDir = stateDir
+	m2, srv2 := startCoordinator(t, cfg2)
+	defer srv2.Close()
+	defer m2.Close()
+	startWorker(t, srv2.URL, "w2", nil)
+
+	// The restarted manager re-queued the job under the same id.
+	fin := waitTerminal(t, m2, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("recovered job ended %s (%s), want done", fin.State, fin.Reason)
+	}
+	got, err := m2.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := reference(t, spec); !bytes.Equal(got, want) {
+		t.Fatalf("artifact after coordinator restart differs from local run")
+	}
+	// Resume really resumed: the second life merged fewer points than
+	// the whole plan (the first life's points were replayed from the
+	// journal, not recomputed).
+	plan, err := spec.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m2.StatsSnapshot(); mergedBefore > 0 && s.PointsMerged >= int64(plan.Points) {
+		t.Fatalf("restart re-dispatched every point (merged %d of %d plan points after restart)",
+			s.PointsMerged, plan.Points)
+	}
+}

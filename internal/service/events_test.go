@@ -1,0 +1,189 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// readEvents consumes a /v1/jobs/{id}/events stream to its terminal
+// state event and returns every decoded line.
+func readEvents(t *testing.T, url, id string) []JobEvent {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream answered %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+		if e.Type == "state" {
+			return events
+		}
+	}
+	t.Fatalf("stream ended without a state event after %d events (scan err %v)", len(events), sc.Err())
+	return nil
+}
+
+// checkPointOrder asserts the stream shape: every point of the plan in
+// strict index order, then exactly one terminal state event.
+func checkPointOrder(t *testing.T, events []JobEvent, sweep string, points int, state State) {
+	t.Helper()
+	if len(events) != points+1 {
+		t.Fatalf("got %d events, want %d points + 1 state: %+v", len(events), points, events)
+	}
+	for i := 0; i < points; i++ {
+		e := events[i]
+		if e.Type != "point" || e.Sweep != sweep || e.Point != i {
+			t.Fatalf("event %d = %+v, want point %d of sweep %q in order", i, e, i, sweep)
+		}
+		if e.Done != i+1 || e.Total != points {
+			t.Fatalf("event %d progress %d/%d, want %d/%d", i, e.Done, e.Total, i+1, points)
+		}
+	}
+	last := events[points]
+	if last.Type != "state" || last.State != state {
+		t.Fatalf("terminal event = %+v, want state %q", last, state)
+	}
+}
+
+// TestEventsStreamHoldsGaps forces out-of-order point completion (the
+// point-0 worker is frozen while points 1 and 2 finish) and asserts the
+// stream still emits points in strict index order, holding the gap
+// until point 0 lands.
+func TestEventsStreamHoldsGaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is not short")
+	}
+	m, srv := startCoordinator(t, distConfig(t))
+	defer srv.Close()
+	defer m.Close()
+
+	// Both workers share one hook: whichever of them wins the claim race
+	// for point 0 freezes in it (heartbeats still flowing) until
+	// released, while the other computes points 1 and 2. The journal
+	// then holds the later points before point 0 exists.
+	var mu sync.Mutex
+	frozen := false
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	hook := func(sweep string, point int) {
+		if point != 0 {
+			return
+		}
+		mu.Lock()
+		frozen = true
+		mu.Unlock()
+		<-release
+	}
+	startWorker(t, srv.URL, "w1", hook)
+	startWorker(t, srv.URL, "w2", hook)
+	// Registered after the workers so it runs before their cleanups
+	// (LIFO): no failure path may strand a worker inside the hook, or
+	// the cleanup would deadlock waiting for its goroutine.
+	t.Cleanup(unblock)
+
+	spec := testFigureSpec("frank", 29)
+	st := mustSubmit(t, m, spec)
+
+	// Wait until the later points are journaled while point 0 is frozen,
+	// then watch the stream: it must not have emitted anything yet.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		s := m.StatsSnapshot()
+		mu.Lock()
+		f := frozen
+		mu.Unlock()
+		if f && s.PointsMerged >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached frozen-point-0 + 2 merged points (stats %+v)", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	done := make(chan []JobEvent, 1)
+	go func() { done <- readEvents(t, srv.URL, st.ID) }()
+	select {
+	case evs := <-done:
+		t.Fatalf("stream finished while point 0 was still frozen: %+v", evs)
+	case <-time.After(300 * time.Millisecond):
+		// Held, as required: points 1 and 2 are journaled but unemitted.
+	}
+	unblock()
+	checkPointOrder(t, <-done, "recovery", 3, StateDone)
+	waitTerminal(t, m, st.ID)
+}
+
+// TestEventsStreamSurvivesRestart kills the coordinator after at least
+// one merged point and reconnects the stream to the restarted process:
+// the stream replays from point 0 (the journal is the durable event
+// log) and runs through to the terminal state, in order.
+func TestEventsStreamSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coordinator restart over a figure sweep is not short")
+	}
+	cfg := distConfig(t)
+	stateDir := cfg.StateDir
+	m1, srv1 := startCoordinator(t, cfg)
+	stop1 := startWorker(t, srv1.URL, "w1", nil)
+
+	spec := testFigureSpec("grace", 31)
+	st := mustSubmit(t, m1, spec)
+	deadline := time.Now().Add(60 * time.Second)
+	for m1.StatsSnapshot().PointsMerged < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no points merged before restart")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop1()
+	srv1.Close()
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := distConfig(t)
+	cfg2.StateDir = stateDir
+	m2, srv2 := startCoordinator(t, cfg2)
+	defer srv2.Close()
+	defer m2.Close()
+	startWorker(t, srv2.URL, "w2", nil)
+
+	events := readEvents(t, srv2.URL, st.ID)
+	checkPointOrder(t, events, "recovery", 3, StateDone)
+	if fin := waitTerminal(t, m2, st.ID); fin.State != StateDone {
+		t.Fatalf("job ended %s (%s)", fin.State, fin.Reason)
+	}
+}
+
+// TestEventsUnknownJob pins the 404 path.
+func TestEventsUnknownJob(t *testing.T) {
+	m, srv := startCoordinator(t, distConfig(t))
+	defer srv.Close()
+	defer m.Close()
+	resp, err := http.Get(srv.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job events = %s, want 404", resp.Status)
+	}
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+)
+
+// fuzzLimit clamps a fuzzed size limit the way the HTTP layer would
+// never exceed, so the fuzzer can probe the limit logic without
+// allocating absurd buffers.
+func fuzzLimit(limit int64) int64 {
+	if limit > 1<<20 {
+		return 1 << 20
+	}
+	return limit
+}
+
+// validWireLease returns a well-formed lease JSON body for seeding.
+func validWireLease() string {
+	l := Lease{
+		ID: "j1-L0001", Job: "j1", Fingerprint: "abcd", Sweep: "fig1",
+		Points: []int{3}, Seed: 42,
+		Spec:  JobSpec{Kind: KindFigure, Tenant: "t", Fig: 1}.Normalized(),
+		TTLMS: 10_000, Attempt: 1,
+	}
+	b, _ := json.Marshal(l)
+	return string(b)
+}
+
+// FuzzLeaseDecode drives arbitrary bytes through the worker's lease
+// decoder. The invariant: DecodeLease either rejects the input, or
+// returns a lease that validates — with in-range point indices, a
+// bounded TTL, and a spec the worker could actually run. A worker must
+// never start computing from a malformed grant.
+func FuzzLeaseDecode(f *testing.F) {
+	f.Add(validWireLease(), int64(0))
+	f.Add(`{"id":"x","job":"j","fp":"f","sweep":"s","points":[0],"seed":1,"spec":{"kind":"measure"},"ttl_ms":1000,"attempt":1}`, int64(0))
+	f.Add(`{"id":"","points":[]}`, int64(0))
+	f.Add(`{"id":"x","points":[-1]}`, int64(0))
+	f.Add(`{"id":"x","ttl_ms":1e999}`, int64(0))
+	f.Add(`{"id":"x","bogus":true}`, int64(0))
+	f.Add(validWireLease()+" trailing", int64(0))
+	f.Add(``, int64(0))
+	f.Add(`null`, int64(0))
+	f.Add("\x00\xff\xfe", int64(16))
+
+	f.Fuzz(func(t *testing.T, body string, limit int64) {
+		limit = fuzzLimit(limit)
+		l, err := DecodeLease(strings.NewReader(body), limit)
+		if err != nil {
+			return // rejection is always a legal outcome
+		}
+		eff := limit
+		if eff <= 0 {
+			eff = DefaultMaxWireBytes
+		}
+		if int64(len(body)) > eff {
+			t.Fatalf("accepted %d-byte lease over limit %d", len(body), eff)
+		}
+		if verr := l.Validate(); verr != nil {
+			t.Fatalf("decoder returned invalid lease %+v: %v", l, verr)
+		}
+		if verr := l.Spec.Validate(); verr != nil {
+			t.Fatalf("decoder accepted lease with invalid spec: %v", verr)
+		}
+	})
+}
+
+// FuzzWireDecode drives arbitrary bytes through every coordinator-side
+// worker-protocol decoder (claim, heartbeat, result, done). The
+// invariant mirrors FuzzJobSpecDecode: reject, or return a message that
+// holds the documented bounds — and for results, a record whose CRC
+// verifies, so nothing unverified can ever reach the journal.
+func FuzzWireDecode(f *testing.F) {
+	rec := checkpoint.NewRecord("fig1", 3, 42, json.RawMessage(`{"v":1.5}`))
+	res, _ := json.Marshal(ResultRequest{Worker: "w1", Fingerprint: "abcd", Record: rec})
+	f.Add(`{"worker":"w1"}`, int64(0), int64(0))
+	f.Add(string(res), int64(2), int64(0))
+	f.Add(`{"worker":"w1","failed":[1,2],"error":"boom"}`, int64(3), int64(0))
+	f.Add(`{"worker":""}`, int64(0), int64(0))
+	f.Add(`{"worker":"`+strings.Repeat("a", 200)+`"}`, int64(1), int64(0))
+	f.Add(`{"worker":"w","record":{"sweep":"s","point":0,"seed":1,"result":{},"sum":12345}}`, int64(2), int64(0))
+	f.Add(`{"worker":"w"} trailing`, int64(3), int64(0))
+	f.Add(``, int64(0), int64(8))
+	f.Add("\x00\xff\xfe", int64(2), int64(16))
+
+	f.Fuzz(func(t *testing.T, body string, kind, limit int64) {
+		limit = fuzzLimit(limit)
+		eff := limit
+		if eff <= 0 {
+			eff = DefaultMaxWireBytes
+		}
+		overLimit := int64(len(body)) > eff
+		switch kind % 4 {
+		case 0:
+			c, err := DecodeClaim(strings.NewReader(body), limit)
+			if err != nil {
+				return
+			}
+			if overLimit {
+				t.Fatalf("accepted %d-byte claim over limit %d", len(body), eff)
+			}
+			if c.Worker == "" || len(c.Worker) > 128 {
+				t.Fatalf("accepted claim with bad worker %q", c.Worker)
+			}
+		case 1:
+			h, err := DecodeHeartbeat(strings.NewReader(body), limit)
+			if err != nil {
+				return
+			}
+			if overLimit {
+				t.Fatalf("accepted %d-byte heartbeat over limit %d", len(body), eff)
+			}
+			if h.Worker == "" || len(h.Worker) > 128 {
+				t.Fatalf("accepted heartbeat with bad worker %q", h.Worker)
+			}
+		case 2:
+			r, err := DecodeResult(strings.NewReader(body), limit)
+			if err != nil {
+				return
+			}
+			if overLimit {
+				t.Fatalf("accepted %d-byte result over limit %d", len(body), eff)
+			}
+			if r.Worker == "" || len(r.Worker) > 128 || r.Fingerprint == "" || len(r.Fingerprint) > 64 {
+				t.Fatalf("accepted result with bad envelope %+v", r)
+			}
+			if !r.Record.Verify() {
+				t.Fatal("accepted result whose record CRC does not verify")
+			}
+		case 3:
+			d, err := DecodeDone(strings.NewReader(body), limit)
+			if err != nil {
+				return
+			}
+			if overLimit {
+				t.Fatalf("accepted %d-byte done over limit %d", len(body), eff)
+			}
+			if d.Worker == "" || len(d.Worker) > 128 {
+				t.Fatalf("accepted done with bad worker %q", d.Worker)
+			}
+			for _, p := range d.Failed {
+				if p < 0 || p > 1<<20 {
+					t.Fatalf("accepted done with out-of-range failed point %d", p)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// TestLeaseTableSingleHolderProperty drives the lease state machine
+// through long random schedules of claims, heartbeats, revocations,
+// completions and failure reports under a fake clock, checking after
+// every step that no sweep point is ever held by two live leases at
+// once, that done points are never re-granted, and that every schedule
+// eventually drains to Done.
+func TestLeaseTableSingleHolderProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const points = 12
+			now := time.Unix(1_000_000, 0)
+			clock := func() time.Time { return now }
+
+			// holder models who holds each point; live models the leases
+			// the protocol still honors. OnExpire is the only push-style
+			// revocation signal, exactly as the Manager consumes it.
+			holder := map[int]string{}
+			live := map[string][]int{}
+			table := NewLeaseTable(LeaseTableConfig{
+				Job: "j", Fingerprint: "fp", Sweep: "s", Seed: 9,
+				TTL: 10 * time.Second, MaxAge: 120 * time.Second,
+				PointsPerLease: 1 + rng.Intn(3),
+				MaxAttempts:    1 << 30, // this property never fails the job
+				Backoff:        Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second},
+				Rng:            rand.New(rand.NewSource(seed + 1)),
+				Clock:          clock,
+				OnExpire: func(leaseID, worker string) {
+					for _, p := range live[leaseID] {
+						if holder[p] == leaseID {
+							delete(holder, p)
+						}
+					}
+					delete(live, leaseID)
+				},
+			}, seqPoints(points))
+
+			done := map[int]bool{}
+			check := func(step string) {
+				t.Helper()
+				for p := 0; p < points; p++ {
+					h := table.Holder(p)
+					if h != "" {
+						if _, ok := live[h]; !ok {
+							t.Fatalf("%s: point %d held by %s, which is not live", step, p, h)
+						}
+					}
+					if want := holder[p]; h != want {
+						t.Fatalf("%s: point %d holder = %q, model says %q", step, p, h, want)
+					}
+					if done[p] && h != "" {
+						t.Fatalf("%s: done point %d re-held by %s", step, p, h)
+					}
+				}
+			}
+
+			for step := 0; step < 600 && !table.Done(); step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // claim
+					worker := fmt.Sprintf("w%d", rng.Intn(4))
+					lease, _ := table.Claim(worker, now)
+					if lease != nil {
+						for _, p := range lease.Points {
+							if prev, held := holder[p]; held {
+								t.Fatalf("step %d: point %d granted to %s while held by live lease %s",
+									step, p, lease.ID, prev)
+							}
+							if done[p] {
+								t.Fatalf("step %d: done point %d re-granted to %s", step, p, lease.ID)
+							}
+							holder[p] = lease.ID
+						}
+						live[lease.ID] = lease.Points
+					}
+				case op < 6: // heartbeat a random live lease
+					for id := range live {
+						if err := table.Heartbeat(id, now); err != nil {
+							t.Fatalf("step %d: live lease %s heartbeat rejected: %v", step, id, err)
+						}
+						break
+					}
+				case op < 7: // a held point completes (result ingested)
+					for p, id := range holder {
+						table.MarkDone(p)
+						done[p] = true
+						delete(holder, p)
+						// MarkDone retires leases whose points all finished.
+						rest := live[id][:0:0]
+						for _, q := range live[id] {
+							if !done[q] {
+								rest = append(rest, q)
+							}
+						}
+						if len(rest) == 0 {
+							delete(live, id)
+						} else {
+							live[id] = rest
+						}
+						break
+					}
+				case op < 8: // a lease reports, some points failed
+					for id, pts := range live {
+						var failed []int
+						for _, p := range pts {
+							if !done[p] && rng.Intn(2) == 0 {
+								failed = append(failed, p)
+							}
+						}
+						if err := table.Report(id, failed, "synthetic", now); err != nil {
+							t.Fatalf("step %d: live lease %s report rejected: %v", step, id, err)
+						}
+						for _, p := range pts {
+							if holder[p] == id {
+								delete(holder, p)
+							}
+						}
+						delete(live, id)
+						break
+					}
+				case op < 9: // time passes inside the TTL
+					now = now.Add(time.Duration(rng.Intn(5000)) * time.Millisecond)
+					table.Expire(now)
+				default: // time jumps past the TTL: live leases die
+					now = now.Add(11 * time.Second)
+					table.Expire(now)
+				}
+				check(fmt.Sprintf("step %d", step))
+				if table.Failed() != nil {
+					t.Fatalf("step %d: table failed unexpectedly: %v", step, table.Failed())
+				}
+			}
+
+			// Drain: whatever the schedule left behind must complete.
+			for i := 0; i < 10_000 && !table.Done(); i++ {
+				now = now.Add(500 * time.Millisecond)
+				lease, _ := table.Claim("drain", now)
+				if lease == nil {
+					continue
+				}
+				for _, p := range lease.Points {
+					if prev, held := holder[p]; held {
+						t.Fatalf("drain: point %d granted while held by %s", p, prev)
+					}
+					table.MarkDone(p)
+					done[p] = true
+				}
+				delete(live, lease.ID)
+			}
+			if !table.Done() {
+				t.Fatalf("schedule did not drain: %d points remaining", table.Remaining())
+			}
+		})
+	}
+}
+
+// seqPoints returns [0, 1, ..., n).
+func seqPoints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestJournalIngestExactlyOnceProperty models the merge race the
+// coordinator faces when a re-dispatched point finishes while the slow
+// original worker is still streaming: both stream the same record (and
+// a corrupted duplicate tries too), in random interleavings. The
+// journal must end up with every point exactly once, holding the first
+// committed bytes, across a reopen.
+func TestJournalIngestExactlyOnceProperty(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const points = 8
+			path := filepath.Join(t.TempDir(), "merge.journal")
+			jr, err := checkpoint.Open(path, "fp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer jr.Close()
+
+			result := func(p int) json.RawMessage {
+				return json.RawMessage(fmt.Sprintf(`{"point":%d,"v":%d}`, p, p*p))
+			}
+			// Two workers' worth of records for every point, shuffled: the
+			// deterministic driver guarantees identical bytes, so dedup
+			// order must not matter.
+			var stream []checkpoint.Record
+			for p := 0; p < points; p++ {
+				stream = append(stream, checkpoint.NewRecord("s", p, 7, result(p)))
+				stream = append(stream, checkpoint.NewRecord("s", p, 7, result(p)))
+			}
+			rng.Shuffle(len(stream), func(i, k int) { stream[i], stream[k] = stream[k], stream[i] })
+
+			merged := 0
+			for _, rec := range stream {
+				ok, err := jr.Ingest(rec)
+				if err != nil {
+					t.Fatalf("ingest point %d: %v", rec.Point, err)
+				}
+				if ok {
+					merged++
+				}
+			}
+			if merged != points {
+				t.Fatalf("merged %d records, want exactly %d (one per point)", merged, points)
+			}
+
+			// A corrupted record must never merge.
+			bad := checkpoint.NewRecord("s", 0, 7, result(0))
+			bad.Sum ^= 1
+			if ok, err := jr.Ingest(bad); ok || err == nil {
+				t.Fatalf("corrupted record ingested: ok=%v err=%v", ok, err)
+			}
+
+			// Reopen and verify: every point exactly once, first bytes won.
+			if err := jr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			jr2, err := checkpoint.Open(path, "fp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer jr2.Close()
+			for p := 0; p < points; p++ {
+				raw, ok := jr2.Lookup("s", p, 7)
+				if !ok {
+					t.Fatalf("point %d missing after reopen", p)
+				}
+				if string(raw) != string(result(p)) {
+					t.Fatalf("point %d holds %s, want %s", p, raw, result(p))
+				}
+			}
+		})
+	}
+}

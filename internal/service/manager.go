@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
@@ -121,6 +122,25 @@ type Config struct {
 	BackoffSeed int64
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
+
+	// Distributed switches job execution from the local worker pool to
+	// the lease-based coordinator: jobs are sharded into point leases
+	// that remote workers (cmd/manetsimw) claim over the job API, and
+	// the artifact is rendered by replaying the merged journal — byte-
+	// identical to a local run. Admission, caching, the job log and
+	// recovery are unchanged.
+	Distributed bool
+	// LeaseTTL is the worker heartbeat deadline: a lease silent for
+	// longer is considered dead and re-dispatched.
+	LeaseTTL time.Duration
+	// LeaseMaxAge is the straggler cap: a lease older than this is
+	// revoked even while heartbeats keep arriving.
+	LeaseMaxAge time.Duration
+	// PointsPerLease bounds the shard size of one lease grant.
+	PointsPerLease int
+	// MaxPointAttempts bounds re-dispatches of one sweep point before
+	// the job is failed.
+	MaxPointAttempts int
 }
 
 // withDefaults fills unset fields.
@@ -158,6 +178,18 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.LeaseMaxAge <= 0 {
+		c.LeaseMaxAge = 10 * c.LeaseTTL
+	}
+	if c.PointsPerLease <= 0 {
+		c.PointsPerLease = 1
+	}
+	if c.MaxPointAttempts <= 0 {
+		c.MaxPointAttempts = 5
+	}
 	return c
 }
 
@@ -174,10 +206,19 @@ type Stats struct {
 	Evicted   int64 `json:"evicted"`
 	Recovered int64 `json:"recovered"`
 
+	// Distributed-mode counters: lease grants and revocations, and
+	// worker-streamed points merged into job journals (duplicates are
+	// raced or late re-sends that first-committed-wins dropped).
+	LeasesGranted   int64 `json:"leases_granted,omitempty"`
+	LeasesExpired   int64 `json:"leases_expired,omitempty"`
+	PointsMerged    int64 `json:"points_merged,omitempty"`
+	PointsDuplicate int64 `json:"points_duplicate,omitempty"`
+
 	Queued     int        `json:"queued"`
 	Running    int        `json:"running"`
 	IsDraining bool       `json:"is_draining"`
 	Tenants    int        `json:"tenants"`
+	Workers    int        `json:"workers,omitempty"`
 	Cache      CacheStats `json:"cache"`
 }
 
@@ -206,6 +247,26 @@ type Manager struct {
 	closed   bool
 	running  int
 	stats    Stats
+
+	// Distributed-mode state (nil maps stay empty in local mode).
+	leaseRng    *rand.Rand          // backoff jitter for lease re-dispatch
+	distByFP    map[string]*distJob // fingerprint → coordinating job
+	distOrder   []string            // fingerprints in dispatch order
+	distByLease map[string]*distJob // lease id → coordinating job
+	workers     map[string]time.Time
+}
+
+// distJob is one job being executed by remote workers: its lease table
+// plus the journal handle worker results are merged into. The Manager's
+// lock guards both (the journal additionally has its own lock, so the
+// coordinator goroutine can close it without racing ingests).
+type distJob struct {
+	job     *job
+	table   *LeaseTable
+	journal *checkpoint.Journal
+	sweep   string
+	seed    uint64
+	total   int
 }
 
 // Open builds the manager, recovers in-flight jobs from the job log and
@@ -237,16 +298,20 @@ func open(cfg Config) (*Manager, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:        cfg,
-		log:        log,
-		cache:      NewCache(cfg.CacheBytes),
-		adm:        NewAdmitter(cfg.Admission, cfg.Clock),
-		advisor:    NewRetryAdvisor(cfg.Backoff, cfg.BackoffSeed, cfg.Admission.MaxTenants),
-		rootCtx:    ctx,
-		rootCancel: cancel,
-		jobs:       map[string]*job{},
-		active:     map[string]*job{},
-		doneByFP:   map[string]string{},
+		cfg:         cfg,
+		log:         log,
+		cache:       NewCache(cfg.CacheBytes),
+		adm:         NewAdmitter(cfg.Admission, cfg.Clock),
+		advisor:     NewRetryAdvisor(cfg.Backoff, cfg.BackoffSeed, cfg.Admission.MaxTenants),
+		rootCtx:     ctx,
+		rootCancel:  cancel,
+		jobs:        map[string]*job{},
+		active:      map[string]*job{},
+		doneByFP:    map[string]string{},
+		leaseRng:    rand.New(rand.NewSource(cfg.BackoffSeed + 1)),
+		distByFP:    map[string]*distJob{},
+		distByLease: map[string]*distJob{},
+		workers:     map[string]time.Time{},
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.recover(records)
@@ -299,7 +364,14 @@ func (m *Manager) recover(records []checkpoint.JobRecord) {
 		case checkpoint.JobFailed:
 			j.state = StateFailed
 			j.reason = l.note
-		case checkpoint.JobAccepted:
+		case checkpoint.JobAccepted, checkpoint.JobLeased:
+			// JobLeased is the distributed executor's dispatch audit
+			// trail; a job whose last record is a lease grant was in
+			// flight when the process died, exactly like one still on
+			// its accepted record, and re-queues the same way (its spec
+			// rides on the accepted record). The restarted coordinator
+			// issues fresh leases; results streamed against old ones are
+			// still mergeable because routing is by fingerprint.
 			var spec JobSpec
 			if err := json.Unmarshal(l.spec, &spec); err != nil || spec.Validate() != nil {
 				// An unrecoverable spec (format drift across versions):
@@ -553,6 +625,23 @@ func (m *Manager) Result(id string) ([]byte, error) {
 	return data, nil
 }
 
+// JobInfo returns a job's spec and fingerprint. A job recovered from a
+// terminal log record has a zero spec (only its outcome was retained).
+func (m *Manager) JobInfo(id string) (JobSpec, string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobSpec{}, "", false
+	}
+	return j.spec, j.fingerprint, true
+}
+
+// JournalPath exposes a job journal's location by fingerprint, for the
+// event stream (which reads the durable journal rather than any
+// in-memory state, so it survives coordinator restarts).
+func (m *Manager) JournalPath(fp string) string { return m.journalPath(fp) }
+
 // Ready reports whether the daemon is accepting work (readiness probe).
 func (m *Manager) Ready() bool {
 	m.mu.Lock()
@@ -569,6 +658,7 @@ func (m *Manager) StatsSnapshot() Stats {
 	s.Running = m.running
 	s.IsDraining = m.draining || m.closed
 	s.Tenants = m.adm.Tenants()
+	s.Workers = len(m.workers)
 	s.Cache = m.cache.Stats()
 	return s
 }
@@ -610,8 +700,13 @@ func (m *Manager) next() *job {
 // outcome, and persists the artifact. A panic inside the simulation is
 // converted to a per-point error by the sweep engine (RunSweepCtx's
 // recover path), so a poisoned scenario fails its own job and nothing
-// else.
+// else. In distributed mode the computation is delegated to remote
+// lease workers instead of run in-process.
 func (m *Manager) runJob(j *job) {
+	if m.cfg.Distributed {
+		m.runDistributedJob(j)
+		return
+	}
 	deadline := j.spec.Deadline(m.cfg.DefaultDeadline, m.cfg.MaxDeadline)
 	ctx, cancel := context.WithTimeout(m.rootCtx, deadline)
 	defer cancel()

@@ -36,6 +36,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("POST /v1/leases/claim", s.leaseClaim)
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.leaseHeartbeat)
+	mux.HandleFunc("POST /v1/leases/{id}/results", s.leaseResult)
+	mux.HandleFunc("POST /v1/leases/{id}/done", s.leaseDone)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /readyz", s.readyz)
@@ -124,6 +129,91 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
+}
+
+// leaseClaim is POST /v1/leases/claim: a worker asks for a shard. 200
+// carries a lease; 204 means no work right now (Retry-After hints when
+// to ask again); 503 while draining.
+func (s *Server) leaseClaim(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxWireBytes)
+	req, err := DecodeClaim(r.Body, DefaultMaxWireBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-claim", err.Error(), 0)
+		return
+	}
+	lease, retry, err := s.m.ClaimLease(req.Worker)
+	if err != nil {
+		var un *Unavailable
+		if errors.As(err, &un) {
+			writeError(w, http.StatusServiceUnavailable, un.Reason, un.Error(), un.RetryAfter)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), 0)
+		return
+	}
+	if lease == nil {
+		if retry > 0 {
+			secs := int64((retry + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+// leaseHeartbeat is POST /v1/leases/{id}/heartbeat. 410 Gone tells the
+// worker its lease was expired or revoked: abandon the shard (streamed
+// points are already safe).
+func (s *Server) leaseHeartbeat(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxWireBytes)
+	req, err := DecodeHeartbeat(r.Body, DefaultMaxWireBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-heartbeat", err.Error(), 0)
+		return
+	}
+	if err := s.m.LeaseHeartbeat(r.PathValue("id"), req.Worker); err != nil {
+		writeError(w, http.StatusGone, "lease-gone", err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// leaseResult is POST /v1/leases/{id}/results: one streamed point.
+// Routing is by the record's fingerprint, so a result outlives its
+// lease; 410 means no coordinating job wants the fingerprint at all.
+func (s *Server) leaseResult(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxWireBytes)
+	req, err := DecodeResult(r.Body, DefaultMaxWireBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-result", err.Error(), 0)
+		return
+	}
+	added, err := s.m.LeaseResult(req)
+	switch {
+	case errors.Is(err, ErrLeaseGone):
+		writeError(w, http.StatusGone, "lease-gone", err.Error(), 0)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "bad-result", err.Error(), 0)
+	default:
+		writeJSON(w, http.StatusOK, map[string]bool{"merged": added})
+	}
+}
+
+// leaseDone is POST /v1/leases/{id}/done: the worker's end-of-lease
+// report (failed points, if any).
+func (s *Server) leaseDone(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, DefaultMaxWireBytes)
+	req, err := DecodeDone(r.Body, DefaultMaxWireBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-done", err.Error(), 0)
+		return
+	}
+	if err := s.m.LeaseDone(r.PathValue("id"), req); err != nil {
+		writeError(w, http.StatusGone, "lease-gone", err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // stats is GET /v1/stats.

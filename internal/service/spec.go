@@ -250,9 +250,23 @@ func (s JobSpec) Fingerprint() (string, error) {
 	})
 }
 
+// Plan returns the spec's sweep plan: which journal namespace its
+// points live under and how many there are. This is the unit the
+// distributed executor shards into leases. It expects a Normalized,
+// valid spec.
+func (s JobSpec) Plan() (experiments.SweepPlan, error) {
+	switch s.Kind {
+	case KindMeasure:
+		return experiments.MeasurePlan(), nil
+	case KindFigure:
+		return experiments.FigurePlan(s.Fig)
+	}
+	return experiments.SweepPlan{}, fmt.Errorf("service: unknown job kind %q", s.Kind)
+}
+
 // options assembles the experiment options of one job run. The caller
-// supplies orchestration state (context, journal, workers); the spec
-// supplies everything scenario-shaped.
+// supplies orchestration state (context, journal, workers, point
+// sharding); the spec supplies everything scenario-shaped.
 func (s JobSpec) options(base experiments.Options) (experiments.Options, error) {
 	opts := experiments.DefaultOptions()
 	opts.Seed = s.Seed
@@ -260,6 +274,8 @@ func (s JobSpec) options(base experiments.Options) (experiments.Options, error) 
 	opts.Workers = base.Workers
 	opts.Ctx = base.Ctx
 	opts.Journal = base.Journal
+	opts.PointFilter = base.PointFilter
+	opts.OnRecord = base.OnRecord
 	if s.Kind != KindMeasure {
 		return opts, nil
 	}

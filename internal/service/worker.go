@@ -1,0 +1,332 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/experiments"
+)
+
+// Worker is the remote half of distributed sweep execution
+// (cmd/manetsimw): it claims leases from a coordinator, re-runs the
+// job's ordinary deterministic driver restricted to the leased points,
+// streams every completed point back as a CRC-checksummed record, and
+// heartbeats while computing. Determinism needs nothing from the
+// worker beyond running the same code: a point's result depends only on
+// (spec, sweep, point index, seed), never on which process computed it.
+//
+// The worker is deliberately stateless: it holds no journal and no
+// queue. Crash-safety lives entirely with the coordinator — a worker
+// killed mid-point simply stops heartbeating and its lease re-enters
+// the pool.
+
+// WorkerConfig shapes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name identifies this worker in leases, stats and logs; required.
+	Name string
+	// SweepWorkers bounds the in-process fan-out across the points of
+	// one lease; 0 selects GOMAXPROCS.
+	SweepWorkers int
+	// Poll paces claim retries when the coordinator has no work and
+	// sends no hint; 0 selects 200ms.
+	Poll time.Duration
+	// Client overrides the HTTP client (tests inject the coordinator's
+	// test server client); nil selects a client with sane timeouts.
+	Client *http.Client
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+
+	// BlockBeforeResult, when non-nil, runs before each computed point
+	// is streamed. It exists for the chaos harness: blocking here
+	// freezes the worker mid-point while its heartbeats keep flowing,
+	// which is exactly the straggler case the coordinator's MaxAge
+	// revocation must catch.
+	BlockBeforeResult func(sweep string, point int)
+}
+
+// Worker runs the claim → compute → stream loop against one
+// coordinator.
+type Worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+}
+
+// NewWorker builds a worker; it validates nothing against the network.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("service: worker needs a coordinator URL")
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("service: worker needs a name")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Worker{cfg: cfg, client: client}, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run claims and executes leases until ctx is cancelled. Transient
+// coordinator trouble (refused connections, 5xx) backs off and retries
+// forever: workers outliving coordinator restarts is the whole point.
+func (w *Worker) Run(ctx context.Context) error {
+	backoff := w.cfg.Poll
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		lease, retry, err := w.claim(ctx)
+		switch {
+		case err != nil:
+			// Coordinator unreachable or unhappy: decorrelated growth
+			// is overkill for one worker's poll; double up to 2s.
+			w.sleep(ctx, backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+		case lease == nil:
+			if retry <= 0 {
+				retry = w.cfg.Poll
+			}
+			w.sleep(ctx, retry)
+			backoff = w.cfg.Poll
+		default:
+			backoff = w.cfg.Poll
+			w.execute(ctx, lease)
+		}
+	}
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// claim asks for one lease. (nil, hint, nil) means no work right now.
+func (w *Worker) claim(ctx context.Context) (*Lease, time.Duration, error) {
+	body, _ := json.Marshal(ClaimRequest{Worker: w.cfg.Name})
+	resp, err := w.post(ctx, "/v1/leases/claim", body)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		lease, err := DecodeLease(io.LimitReader(resp.Body, DefaultMaxWireBytes+1), DefaultMaxWireBytes)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &lease, 0, nil
+	case http.StatusNoContent:
+		var retry time.Duration
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			var secs int64
+			if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, retry, nil
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, 0, fmt.Errorf("service: claim: coordinator answered %s", resp.Status)
+	}
+}
+
+// execute runs one lease: heartbeats in the background, drives the
+// job's driver over the leased points, streams each completed point,
+// and reports the outcome. A lost lease (410 on heartbeat or result)
+// cancels the computation cooperatively — the coordinator has already
+// re-dispatched the shard.
+func (w *Worker) execute(ctx context.Context, lease *Lease) {
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// lost distinguishes "the lease was revoked / the coordinator is
+	// gone" from our own post-run cancel of the heartbeat goroutine.
+	var lost atomic.Bool
+	abandon := func() { lost.Store(true); cancel() }
+
+	ttl := time.Duration(lease.TTLMS) * time.Millisecond
+	beat := ttl / 3
+	if beat < 5*time.Millisecond {
+		beat = 5 * time.Millisecond
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(beat)
+		defer ticker.Stop()
+		misses := 0
+		for {
+			select {
+			case <-lctx.Done():
+				return
+			case <-ticker.C:
+			}
+			code, err := w.postStatus(lctx, "/v1/leases/"+lease.ID+"/heartbeat",
+				HeartbeatRequest{Worker: w.cfg.Name})
+			switch {
+			case lctx.Err() != nil:
+				return
+			case err != nil:
+				// Partitioned from the coordinator: keep computing for a
+				// few beats (the partition may heal inside the TTL), then
+				// abandon — the lease is expiring on the other side.
+				if misses++; misses*int(beat) > int(ttl) {
+					w.logf("worker %s: lease %s: coordinator unreachable, abandoning", w.cfg.Name, lease.ID)
+					abandon()
+					return
+				}
+			case code == http.StatusGone:
+				w.logf("worker %s: lease %s revoked", w.cfg.Name, lease.ID)
+				abandon()
+				return
+			default:
+				misses = 0
+			}
+		}
+	}()
+
+	leased := map[int]bool{}
+	for _, p := range lease.Points {
+		leased[p] = true
+	}
+	var mu sync.Mutex
+	streamed := map[int]bool{}
+	base := experiments.Options{
+		Workers: w.cfg.SweepWorkers,
+		Ctx:     lctx,
+		PointFilter: func(sweep string, point int) bool {
+			return sweep == lease.Sweep && leased[point]
+		},
+		OnRecord: func(rec checkpoint.Record) {
+			if w.cfg.BlockBeforeResult != nil {
+				w.cfg.BlockBeforeResult(rec.Sweep, rec.Point)
+			}
+			if err := w.streamResult(lctx, lease, rec); err != nil {
+				w.logf("worker %s: lease %s point %d: %v", w.cfg.Name, lease.ID, rec.Point, err)
+				abandon() // lease gone or coordinator lost: stop the shard
+				return
+			}
+			mu.Lock()
+			streamed[rec.Point] = true
+			mu.Unlock()
+		},
+	}
+	_, runErr := lease.Spec.Run(base)
+	cancel()
+	wg.Wait()
+
+	if ctx.Err() != nil || lost.Load() {
+		return // shutdown or lost lease: nothing to report
+	}
+	// Driver finished under a live lease: report any points that failed
+	// (deterministically) rather than streamed, so the coordinator can
+	// re-dispatch or fail the job instead of waiting out the TTL.
+	var failed []int
+	mu.Lock()
+	for _, p := range lease.Points {
+		if !streamed[p] {
+			failed = append(failed, p)
+		}
+	}
+	mu.Unlock()
+	msg := ""
+	if runErr != nil {
+		msg = runErr.Error()
+		if len(msg) > 2048 {
+			msg = msg[:2048]
+		}
+	}
+	if len(failed) > 0 || msg != "" {
+		w.logf("worker %s: lease %s: %d failed points: %s", w.cfg.Name, lease.ID, len(failed), msg)
+	}
+	_, _ = w.postStatus(ctx, "/v1/leases/"+lease.ID+"/done",
+		DoneRequest{Worker: w.cfg.Name, Failed: failed, Error: msg})
+}
+
+// streamResult posts one record, retrying transient transport failures
+// a few times. A 410 (lease gone, fingerprint unwanted) is terminal for
+// the shard; a 200 duplicate is success — someone else got there first.
+func (w *Worker) streamResult(ctx context.Context, lease *Lease, rec checkpoint.Record) error {
+	req := ResultRequest{Worker: w.cfg.Name, Fingerprint: lease.Fingerprint, Record: rec}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		resp, err := w.post(ctx, "/v1/leases/"+lease.ID+"/results", body)
+		if err != nil {
+			last = err
+			w.sleep(ctx, time.Duration(attempt+1)*100*time.Millisecond)
+			continue
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		switch {
+		case code == http.StatusOK:
+			return nil
+		case code == http.StatusGone:
+			return fmt.Errorf("service: result rejected: lease gone")
+		case code >= 500:
+			last = fmt.Errorf("service: result: coordinator answered %d", code)
+			w.sleep(ctx, time.Duration(attempt+1)*100*time.Millisecond)
+		default:
+			return fmt.Errorf("service: result rejected with %d", code)
+		}
+	}
+	return last
+}
+
+// post sends one JSON body.
+func (w *Worker) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.client.Do(req)
+}
+
+// postStatus sends one JSON body and reports only the status code.
+func (w *Worker) postStatus(ctx context.Context, path string, v any) (int, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.post(ctx, path, body)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,416 @@
+//go:build workerchaos
+
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The worker-chaos harness: real coordinator and worker processes under
+// a scripted kill/hang/partition schedule. Four workers total take part;
+// three of them are casualties — one SIGKILLed provably mid-point, one
+// SIGSTOPped (a network partition: heartbeats go silent while the
+// process lives) and later resumed to stream a stale duplicate, one hung
+// forever inside a point with its heartbeats still flowing. The
+// coordinator itself is SIGKILLed and restarted over the same state
+// directory twice, mid-job. The acceptance bar is byte-equality: the
+// artifact merged out of all that churn must be identical to an
+// uninterrupted single-process run of the same spec.
+//
+// Build-tagged (workerchaos) because it re-execs the test binary into
+// seven child processes and burns tens of seconds; `make worker-chaos`
+// runs it.
+
+// Child-role plumbing. The parent re-execs os.Args[0] with these set.
+const (
+	wchaosRole = "MANET_WCHAOS_ROLE" // "coordinator" or "worker"
+	wchaosDir  = "MANET_WCHAOS_DIR"  // coordinator: state directory
+	wchaosAddr = "MANET_WCHAOS_ADDR" // coordinator: fixed listen address
+	wchaosURL  = "MANET_WCHAOS_URL"  // worker: coordinator base URL
+	wchaosName = "MANET_WCHAOS_NAME" // worker: worker name
+	// wchaosTouch names a file the worker (re)writes on every entry into
+	// a point's pre-stream hook. Its appearance tells the parent the
+	// worker is *right now* inside a point — the computed result exists
+	// but has not been streamed — which is what makes the SIGKILL and
+	// SIGSTOP injections provably mid-point rather than probably.
+	wchaosTouch = "MANET_WCHAOS_TOUCH"
+	// wchaosSlowMS stretches every point by sleeping in the hook, so the
+	// mid-point window is wide enough for the parent to act inside it.
+	wchaosSlowMS = "MANET_WCHAOS_SLOW_MS"
+	// wchaosHang makes the worker hang forever in its first point's hook
+	// while heartbeats keep flowing: the live-but-stuck straggler.
+	wchaosHang = "MANET_WCHAOS_HANG"
+)
+
+// wchaosSpec is the job the schedule batters: a figure-1 sweep (8
+// points). Events stays at 1000 — the smallest window where every fig1
+// point is finite, hence wire-encodable for streaming workers.
+func wchaosSpec() JobSpec {
+	return JobSpec{Kind: KindFigure, Fig: 1, Tenant: "wchaos", Events: 1000}.Normalized()
+}
+
+func TestWorkerChaos(t *testing.T) {
+	switch os.Getenv(wchaosRole) {
+	case "coordinator":
+		wchaosCoordinator(t)
+		return
+	case "worker":
+		wchaosWorker(t)
+		return
+	}
+
+	spec := wchaosSpec()
+	ref := reference(t, spec)
+
+	dir := t.TempDir()
+	addr := wchaosFreeAddr(t)
+	url := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	// Coordinator life 1.
+	c1 := wchaosSpawn(t, "c1",
+		wchaosRole+"=coordinator", wchaosDir+"="+dir, wchaosAddr+"="+addr)
+	wchaosWaitHealthy(t, client, url)
+
+	st := wchaosSubmit(t, client, url, spec)
+	ckpt := filepath.Join(dir, "jobs", st.Fingerprint+".ckpt")
+
+	touch := func(name string) string { return filepath.Join(dir, name+".inpoint") }
+	worker := func(name string, extra ...string) *exec.Cmd {
+		env := append([]string{
+			wchaosRole + "=worker", wchaosURL + "=" + url,
+			wchaosName + "=" + name, wchaosTouch + "=" + touch(name),
+		}, extra...)
+		return wchaosSpawn(t, name, env...)
+	}
+	w1 := worker("chaos-w1", wchaosSlowMS+"=750")
+	w2 := worker("chaos-w2", wchaosSlowMS+"=750")
+	_ = worker("chaos-w3", wchaosHang+"=1")
+
+	// Injection 1 — SIGKILL mid-point: the moment w1 enters a point's
+	// hook it has ~750ms of sleep ahead; the kill lands inside it, so a
+	// computed-but-unstreamed point dies with the process.
+	wchaosWaitFile(t, touch("chaos-w1"))
+	t.Log("chaos: SIGKILL worker chaos-w1 mid-point")
+	w1.Process.Kill()
+
+	// Injection 2 — hang: w3 is wedged inside its first point, lease
+	// held, heartbeats flowing. Nothing recovers it under this
+	// coordinator life short of the straggler cap; restart #1 will.
+	wchaosWaitFile(t, touch("chaos-w3"))
+
+	// Let the surviving worker merge at least one point, so restart #1
+	// demonstrably resumes a mid-flight journal rather than a blank one.
+	wchaosWaitJournal(t, ckpt, 2)
+
+	// Injection 3 — partition: wait for w2 to enter a *fresh* point,
+	// then SIGSTOP it. Its heartbeats stop mid-lease; the TTL expires
+	// the lease on the coordinator side while the process sleeps on.
+	os.Remove(touch("chaos-w2"))
+	wchaosWaitFile(t, touch("chaos-w2"))
+	t.Log("chaos: SIGSTOP worker chaos-w2 mid-point (partition)")
+	if err := w2.Process.Signal(syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+
+	// Injection 4 — coordinator SIGKILL #1. Every live lease (including
+	// the hung w3's) dies with the in-memory table; the journal and job
+	// log on disk are the only survivors.
+	t.Log("chaos: SIGKILL coordinator (restart 1)")
+	c1.Process.Kill()
+	c1.Wait()
+	c2 := wchaosSpawn(t, "c2",
+		wchaosRole+"=coordinator", wchaosDir+"="+dir, wchaosAddr+"="+addr)
+	wchaosWaitHealthy(t, client, url)
+
+	// Relief worker for the recovered job; slow enough that the job is
+	// still mid-flight when restart #2 lands.
+	worker("chaos-w4", wchaosSlowMS+"=400")
+
+	// Recovery must make progress under life 2 — including the point the
+	// hung w3 was holding hostage — before the next blow.
+	wchaosWaitJournal(t, ckpt, 4)
+
+	// Heal the partition: w2 resumes mid-sleep, streams a point whose
+	// lease is long gone, takes the 410/duplicate path, and rejoins.
+	t.Log("chaos: SIGCONT worker chaos-w2 (partition heals)")
+	if err := w2.Process.Signal(syscall.SIGCONT); err != nil {
+		t.Fatal(err)
+	}
+
+	// Injection 5 — coordinator SIGKILL #2.
+	t.Log("chaos: SIGKILL coordinator (restart 2)")
+	c2.Process.Kill()
+	c2.Wait()
+	wchaosSpawn(t, "c3",
+		wchaosRole+"=coordinator", wchaosDir+"="+dir, wchaosAddr+"="+addr)
+	wchaosWaitHealthy(t, client, url)
+
+	// The job must still run to completion — same ID, third process life.
+	wchaosWaitDone(t, client, url, st.ID)
+
+	// The acceptance bar: merged artifact bytes identical to the
+	// uninterrupted single-process run.
+	got := wchaosResult(t, client, url, st.ID)
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("artifact after chaos schedule differs from uninterrupted run:\n got %d bytes\nwant %d bytes\n got: %.200q\nwant: %.200q",
+			len(got), len(ref), got, ref)
+	}
+
+	// And the final life must actually have recovered a mid-flight job,
+	// not served a cached artifact from a completed one.
+	stats := wchaosStats(t, client, url)
+	if stats.Recovered < 1 {
+		t.Fatalf("final coordinator life recovered %d jobs, want >= 1", stats.Recovered)
+	}
+	t.Logf("chaos survived: job %s done after 2 coordinator restarts; life-3 stats %+v", st.ID, stats)
+}
+
+// wchaosCoordinator is a coordinator child process life: open the
+// manager over the shared state directory (recovering whatever the
+// previous life left mid-flight), serve the fixed address, and park
+// until the parent's SIGKILL.
+func wchaosCoordinator(t *testing.T) {
+	m, err := Open(Config{
+		StateDir:     os.Getenv(wchaosDir),
+		QueueDepth:   8,
+		JobWorkers:   1,
+		SweepWorkers: 1,
+		Admission:    AdmissionPolicy{Rate: 1000, Burst: 1000},
+		BackoffSeed:  1,
+		Distributed:  true,
+		LeaseTTL:     500 * time.Millisecond,
+		// Generous straggler cap: restart-driven recovery, not MaxAge,
+		// is what frees the hung worker's point in this schedule.
+		LeaseMaxAge:    time.Minute,
+		PointsPerLease: 1,
+		Backoff:        Backoff{Base: 50 * time.Millisecond, Cap: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("coordinator child: %v", err)
+	}
+	ln, err := net.Listen("tcp", os.Getenv(wchaosAddr))
+	if err != nil {
+		t.Fatalf("coordinator child: %v", err)
+	}
+	go http.Serve(ln, NewServer(m, 0).Handler())
+	select {} // parked: only SIGKILL ends this life
+}
+
+// wchaosWorker is a worker child process: an ordinary service.Worker
+// with the chaos hook installed. It never exits on its own.
+func wchaosWorker(t *testing.T) {
+	slow, _ := strconv.Atoi(os.Getenv(wchaosSlowMS))
+	hang := os.Getenv(wchaosHang) != ""
+	touch := os.Getenv(wchaosTouch)
+	name := os.Getenv(wchaosName)
+	w, err := NewWorker(WorkerConfig{
+		Coordinator:  os.Getenv(wchaosURL),
+		Name:         name,
+		SweepWorkers: 1,
+		Poll:         50 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%s] "+format+"\n", append([]any{name}, args...)...)
+		},
+		BlockBeforeResult: func(sweep string, point int) {
+			if touch != "" {
+				os.WriteFile(touch, []byte(strconv.Itoa(point)), 0o644)
+			}
+			if hang {
+				select {} // wedged forever; heartbeats keep flowing
+			}
+			if slow > 0 {
+				time.Sleep(time.Duration(slow) * time.Millisecond)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("worker child: %v", err)
+	}
+	w.Run(context.Background())
+	select {} // parked: only SIGKILL ends this process
+}
+
+// wchaosSpawn re-execs the test binary as a chaos child. Cleanup kills
+// whatever is still alive (SIGCONT first, so a stopped child dies too).
+func wchaosSpawn(t *testing.T, label string, env ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestWorkerChaos$", "-test.v")
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn %s: %v", label, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGCONT)
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+// wchaosFreeAddr reserves a loopback port and releases it for the
+// coordinator lives to share across restarts.
+func wchaosFreeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// wchaosWaitHealthy polls /healthz until the current coordinator life
+// answers.
+func wchaosWaitHealthy(t *testing.T, client *http.Client, url string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never became healthy: %v", err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// wchaosSubmit posts the spec and returns the accepted job snapshot.
+func wchaosSubmit(t *testing.T, client *http.Client, url string, spec JobSpec) JobStatus {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		t.Fatalf("submit answered %s: %s", resp.Status, msg)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Fingerprint == "" {
+		t.Fatalf("submit returned incomplete snapshot %+v", st)
+	}
+	return st
+}
+
+// wchaosWaitFile waits for a worker's in-point marker to appear.
+func wchaosWaitFile(t *testing.T, path string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("marker %s never appeared", path)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// wchaosWaitJournal waits for the job's sweep journal to hold at least
+// n lines (header + n-1 merged points).
+func wchaosWaitJournal(t *testing.T, path string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if data, err := os.ReadFile(path); err == nil &&
+			bytes.Count(data, []byte("\n")) >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal %s never reached %d lines", path, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// wchaosWaitDone polls the job over HTTP until it is done, tolerating
+// the connection errors of coordinator downtime.
+func wchaosWaitDone(t *testing.T, client *http.Client, url, id string) {
+	t.Helper()
+	deadline := time.Now().Add(180 * time.Second)
+	for {
+		resp, err := client.Get(url + "/v1/jobs/" + id)
+		if err == nil {
+			var st JobStatus
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if derr == nil && resp.StatusCode == http.StatusOK {
+				switch st.State {
+				case StateDone:
+					return
+				case StateFailed, StateEvicted:
+					t.Fatalf("job ended %s (%s)", st.State, st.Reason)
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (last poll err %v)", id, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// wchaosResult fetches the done job's artifact bytes.
+func wchaosResult(t *testing.T, client *http.Client, url, id string) []byte {
+	t.Helper()
+	resp, err := client.Get(url + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		t.Fatalf("result answered %s: %s", resp.Status, msg)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// wchaosStats fetches the current coordinator life's counters.
+func wchaosStats(t *testing.T, client *http.Client, url string) Stats {
+	t.Helper()
+	resp, err := client.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
