@@ -1,19 +1,24 @@
-// Package difftest runs the optimized netsim engine and the brute-force
-// refsim oracle in lockstep over one scenario and reports the first
-// divergence. Both engines are built from the same netsim.Config with
-// identical protocol stacks (HELLO discovery, LID cluster maintenance,
-// hybrid routing), so after every tick the harness can demand exact
-// equality of positions, neighbor lists, link events, message
-// deliveries, tallies, and cluster state. Any mismatch points at a bug
-// in the optimized data structures (CSR adjacency, merge-walk diffing,
-// ring queue) the reference engine deliberately avoids.
+// Package difftest runs three independently built engines in lockstep
+// over one scenario and reports the first divergence: the brute-force
+// refsim oracle, the optimized tick engine (netsim), and the
+// event-driven core (eventsim). All three are built from the same
+// netsim.Config with identical protocol stacks (HELLO discovery, LID
+// cluster maintenance, hybrid routing), so after every tick the harness
+// can demand exact equality of positions, neighbor lists, link events,
+// message deliveries, tallies, and cluster state. A mismatch between
+// refsim and netsim points at a bug in the optimized data structures
+// (CSR adjacency, merge-walk diffing, ring queue); a mismatch between
+// netsim and eventsim points at an unsound skip certificate (crossing
+// prediction, Waker schedule, phase promotion).
 package difftest
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"repro/internal/cluster"
+	"repro/internal/eventsim"
 	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/mobility"
@@ -63,7 +68,29 @@ type engine interface {
 var (
 	_ engine = (*netsim.Sim)(nil)
 	_ engine = (*refsim.Sim)(nil)
+	_ engine = (*eventsim.Sim)(nil)
 )
+
+// engineKind selects which of the three engines a stack wraps.
+type engineKind int
+
+const (
+	engineRef engineKind = iota
+	engineTick
+	engineEvent
+)
+
+// label names the engine in divergence reports.
+func (k engineKind) label() string {
+	switch k {
+	case engineRef:
+		return "reference"
+	case engineTick:
+		return "optimized"
+	default:
+		return "event"
+	}
+}
 
 // delivery is one point delivery observed by the recorder: message ×
 // receiving node, in delivery order.
@@ -95,6 +122,12 @@ func (r *recorder) OnMessage(rcv netsim.NodeID, msg netsim.Message) {
 }
 func (r *recorder) OnTick(float64) {}
 
+// NextWake implements netsim.Waker: OnTick is empty, so the recorder
+// never needs a timer wake. Without this the event core would have to
+// run the protocol phase every tick and the lockstep would stop
+// exercising the skip paths it exists to validate.
+func (r *recorder) NextWake(float64) float64 { return math.Inf(1) }
+
 func (r *recorder) reset() {
 	r.events = r.events[:0]
 	r.deliveries = r.deliveries[:0]
@@ -102,7 +135,9 @@ func (r *recorder) reset() {
 
 // stack is one engine with its protocol instances.
 type stack struct {
+	kind  engineKind
 	eng   engine
+	ev    *eventsim.Sim // set when kind == engineEvent
 	inj   *faults.Injector
 	rec   *recorder
 	hello *routing.Hello
@@ -110,16 +145,16 @@ type stack struct {
 	route *routing.Hybrid
 }
 
-// build assembles one engine (optimized or reference) with a fresh
-// protocol stack for the scenario.
-func build(s Scenario, optimized bool) (*stack, error) {
+// build assembles one engine with a fresh protocol stack for the
+// scenario.
+func build(s Scenario, kind engineKind) (*stack, error) {
 	cfg := s.Cfg
 	if s.NewModel != nil {
 		cfg.Model = s.NewModel()
 	} else {
 		cfg.Model = mobility.Static{}
 	}
-	st := &stack{rec: &recorder{}}
+	st := &stack{kind: kind, rec: &recorder{}}
 	if s.Faults != nil {
 		inj, err := faults.New(*s.Faults)
 		if err != nil {
@@ -148,9 +183,13 @@ func build(s Scenario, optimized bool) (*stack, error) {
 	if st.route, err = routing.NewHybrid(st.maint, routing.DefaultSizes); err != nil {
 		return nil, err
 	}
-	if optimized {
+	switch kind {
+	case engineTick:
 		st.eng, err = netsim.New(cfg)
-	} else {
+	case engineEvent:
+		st.ev, err = eventsim.New(cfg)
+		st.eng = st.ev
+	default:
 		st.eng, err = refsim.New(cfg)
 	}
 	if err != nil {
@@ -165,47 +204,66 @@ func build(s Scenario, optimized bool) (*stack, error) {
 	return st, nil
 }
 
-// Lockstep builds both engines for the scenario, steps them together
-// for Scenario.Ticks ticks and returns a descriptive error at the first
-// divergence (nil when the engines agree throughout).
+// Lockstep builds all three engines for the scenario, steps them
+// together for Scenario.Ticks ticks and returns a descriptive error at
+// the first divergence (nil when the engines agree throughout).
 func Lockstep(s Scenario) error {
+	_, err := LockstepObserved(s)
+	return err
+}
+
+// LockstepObserved is Lockstep plus the event core's execution
+// counters, so callers can assert the run actually exercised the skip
+// fast paths (a lockstep that never skips proves nothing about the
+// event schedule).
+func LockstepObserved(s Scenario) (eventsim.Stats, error) {
+	var none eventsim.Stats
 	if s.Ticks <= 0 {
-		return fmt.Errorf("difftest %q: Ticks must be positive, got %d", s.Name, s.Ticks)
+		return none, fmt.Errorf("difftest %q: Ticks must be positive, got %d", s.Name, s.Ticks)
 	}
-	ref, err := build(s, false)
-	if err != nil {
-		return fmt.Errorf("difftest %q: build reference: %w", s.Name, err)
-	}
-	opt, err := build(s, true)
-	if err != nil {
-		return fmt.Errorf("difftest %q: build optimized: %w", s.Name, err)
-	}
-	if err := ref.eng.Start(); err != nil {
-		return fmt.Errorf("difftest %q: start reference: %w", s.Name, err)
-	}
-	if err := opt.eng.Start(); err != nil {
-		return fmt.Errorf("difftest %q: start optimized: %w", s.Name, err)
-	}
-	if err := compare(s, 0, ref, opt); err != nil {
-		return err
-	}
-	for tick := 1; tick <= s.Ticks; tick++ {
-		ref.rec.reset()
-		opt.rec.reset()
-		errRef := ref.eng.Step()
-		errOpt := opt.eng.Step()
-		if (errRef == nil) != (errOpt == nil) {
-			return fmt.Errorf("difftest %q: tick %d: step outcome diverged: reference=%v optimized=%v",
-				s.Name, tick, errRef, errOpt)
+	stacks := make([]*stack, 3)
+	for i, kind := range []engineKind{engineRef, engineTick, engineEvent} {
+		st, err := build(s, kind)
+		if err != nil {
+			return none, fmt.Errorf("difftest %q: build %s: %w", s.Name, kind.label(), err)
 		}
-		if errRef != nil {
-			return fmt.Errorf("difftest %q: tick %d: both engines failed: %w", s.Name, tick, errRef)
+		stacks[i] = st
+	}
+	ref, tickSt, evSt := stacks[0], stacks[1], stacks[2]
+	for _, st := range stacks {
+		if err := st.eng.Start(); err != nil {
+			return none, fmt.Errorf("difftest %q: start %s: %w", s.Name, st.kind.label(), err)
 		}
-		if err := compare(s, tick, ref, opt); err != nil {
+	}
+	compareAll := func(tick int) error {
+		if err := compare(s, tick, ref, tickSt); err != nil {
 			return err
 		}
+		return compare(s, tick, tickSt, evSt)
 	}
-	return nil
+	if err := compareAll(0); err != nil {
+		return none, err
+	}
+	for tick := 1; tick <= s.Ticks; tick++ {
+		var errs [3]error
+		for i, st := range stacks {
+			st.rec.reset()
+			errs[i] = st.eng.Step()
+		}
+		for i := 1; i < 3; i++ {
+			if (errs[0] == nil) != (errs[i] == nil) {
+				return none, fmt.Errorf("difftest %q: tick %d: step outcome diverged: %s=%v %s=%v",
+					s.Name, tick, stacks[0].kind.label(), errs[0], stacks[i].kind.label(), errs[i])
+			}
+		}
+		if errs[0] != nil {
+			return none, fmt.Errorf("difftest %q: tick %d: all engines failed: %w", s.Name, tick, errs[0])
+		}
+		if err := compareAll(tick); err != nil {
+			return none, err
+		}
+	}
+	return evSt.ev.Stats(), nil
 }
 
 // compare demands exact equality of every observable the two stacks
@@ -214,6 +272,7 @@ func Lockstep(s Scenario) error {
 // the reported divergence names the earliest broken layer, not a
 // downstream symptom.
 func compare(s Scenario, tick int, ref, opt *stack) error {
+	la, lb := ref.kind.label(), opt.kind.label()
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("difftest %q: tick %d: %s", s.Name, tick, fmt.Sprintf(format, args...))
 	}
@@ -221,49 +280,49 @@ func compare(s Scenario, tick int, ref, opt *stack) error {
 	for i := 0; i < n; i++ {
 		id := netsim.NodeID(i)
 		if ref.eng.Position(id) != opt.eng.Position(id) {
-			return fail("position of node %d: reference %v, optimized %v",
-				i, ref.eng.Position(id), opt.eng.Position(id))
+			return fail("position of node %d: %s %v, %s %v",
+				i, la, ref.eng.Position(id), lb, opt.eng.Position(id))
 		}
 	}
 	for i := 0; i < n; i++ {
 		id := netsim.NodeID(i)
 		if !slices.Equal(ref.eng.Neighbors(id), opt.eng.Neighbors(id)) {
-			return fail("neighbors of node %d: reference %v, optimized %v",
-				i, ref.eng.Neighbors(id), opt.eng.Neighbors(id))
+			return fail("neighbors of node %d: %s %v, %s %v",
+				i, la, ref.eng.Neighbors(id), lb, opt.eng.Neighbors(id))
 		}
 	}
 	if !slices.Equal(ref.rec.events, opt.rec.events) {
-		return fail("link events: reference %v, optimized %v", ref.rec.events, opt.rec.events)
+		return fail("link events: %s %v, %s %v", la, ref.rec.events, lb, opt.rec.events)
 	}
 	if !slices.Equal(ref.rec.deliveries, opt.rec.deliveries) {
-		return fail("delivery stream: reference has %d deliveries, optimized %d; reference %v, optimized %v",
-			len(ref.rec.deliveries), len(opt.rec.deliveries), ref.rec.deliveries, opt.rec.deliveries)
+		return fail("delivery stream: %s has %d deliveries, %s %d; %s %v, %s %v",
+			la, len(ref.rec.deliveries), lb, len(opt.rec.deliveries), la, ref.rec.deliveries, lb, opt.rec.deliveries)
 	}
 	if ref.eng.Tallies() != opt.eng.Tallies() {
-		return fail("tallies: reference %+v, optimized %+v", ref.eng.Tallies(), opt.eng.Tallies())
+		return fail("tallies: %s %+v, %s %+v", la, ref.eng.Tallies(), lb, opt.eng.Tallies())
 	}
 	if ref.eng.Delivered() != opt.eng.Delivered() || ref.eng.Dropped() != opt.eng.Dropped() {
-		return fail("delivery counters: reference %d/%d, optimized %d/%d",
-			ref.eng.Delivered(), ref.eng.Dropped(), opt.eng.Delivered(), opt.eng.Dropped())
+		return fail("delivery counters: %s %d/%d, %s %d/%d",
+			la, ref.eng.Delivered(), ref.eng.Dropped(), lb, opt.eng.Delivered(), opt.eng.Dropped())
 	}
 	for i := 0; i < n; i++ {
 		id := netsim.NodeID(i)
 		if ref.maint.RoleOf(id) != opt.maint.RoleOf(id) || ref.maint.HeadOf(id) != opt.maint.HeadOf(id) {
-			return fail("cluster state of node %d: reference %v/head %d, optimized %v/head %d",
-				i, ref.maint.RoleOf(id), ref.maint.HeadOf(id), opt.maint.RoleOf(id), opt.maint.HeadOf(id))
+			return fail("cluster state of node %d: %s %v/head %d, %s %v/head %d",
+				i, la, ref.maint.RoleOf(id), ref.maint.HeadOf(id), lb, opt.maint.RoleOf(id), opt.maint.HeadOf(id))
 		}
 	}
 	if ref.maint.Stats() != opt.maint.Stats() {
-		return fail("cluster cause stats: reference %+v, optimized %+v", ref.maint.Stats(), opt.maint.Stats())
+		return fail("cluster cause stats: %s %+v, %s %+v", la, ref.maint.Stats(), lb, opt.maint.Stats())
 	}
 	if ref.route.Stats() != opt.route.Stats() {
-		return fail("routing stats: reference %+v, optimized %+v", ref.route.Stats(), opt.route.Stats())
+		return fail("routing stats: %s %+v, %s %+v", la, ref.route.Stats(), lb, opt.route.Stats())
 	}
 	for i := 0; i < n; i++ {
 		id := netsim.NodeID(i)
 		if ref.hello.TableSize(id) != opt.hello.TableSize(id) {
-			return fail("hello table of node %d: reference %d entries, optimized %d",
-				i, ref.hello.TableSize(id), opt.hello.TableSize(id))
+			return fail("hello table of node %d: %s %d entries, %s %d",
+				i, la, ref.hello.TableSize(id), lb, opt.hello.TableSize(id))
 		}
 	}
 	return checkClusterOracle(s, ref, opt, fail)

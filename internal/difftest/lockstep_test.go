@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"repro/internal/eventsim"
 	"repro/internal/faults"
 	"repro/internal/geom"
 	"repro/internal/mobility"
@@ -139,51 +141,140 @@ func name(i int, s Scenario) string {
 	return fmt.Sprintf("%s/%s/%s/%s-hello/n%d/t%d#%d", lbl, mode, maint, hello, s.Cfg.N, s.Cfg.Tiles, i)
 }
 
+// staticExtras appends deterministic static scenarios the randomized
+// matrix never generates: they are where the event core's deepest fast
+// paths live (frozen topology certificates, timer-only epochs, fully
+// quiescent windows), so the lockstep must cover them explicitly.
+func staticExtras(ticks int) []Scenario {
+	base := netsim.Config{N: 40, Side: 8, Range: 2, Dt: 0.5, Seed: 20060425}
+	return []Scenario{
+		{Name: "static/ideal/oracle/periodic-hello/extra", Cfg: base, PeriodicHello: true, Ticks: ticks},
+		{Name: "static/ideal/oracle/event-hello/extra", Cfg: base, Ticks: ticks},
+		{Name: "static/ideal/handshake/periodic-hello/extra", Cfg: base, Handshake: true, PeriodicHello: true, Ticks: ticks},
+	}
+}
+
 // TestLockstepMatrix is the differential gate: ≥ 20 randomized configs
 // (24 in -short mode, 48 with more ticks otherwise) covering square and
 // torus metrics, four mobility families, five media regimes (ideal,
 // lossy, bursty+churn, delayed/reordered+duplicated, partitioned with
-// delay) and oracle/handshake maintenance, each run in lockstep against
-// the brute-force oracle with zero tolerated divergence.
+// delay) and oracle/handshake maintenance, plus deterministic static
+// extras, each run in three-way lockstep (brute-force oracle, tick
+// engine, event core) with zero tolerated divergence. The aggregated
+// event-core counters must show every fast path actually fired across
+// the matrix — a lockstep that never skips proves nothing about the
+// event schedule.
 func TestLockstepMatrix(t *testing.T) {
 	count, ticks := 48, 120
 	if testing.Short() {
 		count, ticks = 24, 60
 	}
 	covered := map[string]bool{}
-	for _, s := range scenarios(count, ticks) {
-		s := s
-		t.Run(s.Name, func(t *testing.T) {
-			t.Parallel()
-			if err := Lockstep(s); err != nil {
-				t.Fatal(err)
+	var (
+		mu  sync.Mutex
+		agg eventsim.Stats
+	)
+	t.Run("matrix", func(t *testing.T) {
+		for _, s := range append(scenarios(count, ticks), staticExtras(ticks)...) {
+			s := s
+			t.Run(s.Name, func(t *testing.T) {
+				t.Parallel()
+				st, err := LockstepObserved(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mu.Lock()
+				agg.Ticks += st.Ticks
+				agg.TopoEvals += st.TopoEvals
+				agg.SkippedTopo += st.SkippedTopo
+				agg.PhaseRuns += st.PhaseRuns
+				agg.SkippedPhases += st.SkippedPhases
+				agg.TimerWakes += st.TimerWakes
+				agg.ForcedPhases += st.ForcedPhases
+				agg.PendingWakes += st.PendingWakes
+				mu.Unlock()
+			})
+			if s.Cfg.Metric == geom.MetricTorus {
+				covered["torus"] = true
+			} else {
+				covered["square"] = true
 			}
-		})
-		if s.Cfg.Metric == geom.MetricTorus {
-			covered["torus"] = true
-		} else {
-			covered["square"] = true
+			if s.Faults != nil {
+				covered["faults"] = true
+				if s.Faults.Delay.BaseTicks > 0 || s.Faults.Delay.JitterTicks > 0 {
+					covered["delay"] = true
+				}
+				if s.Faults.DupProb > 0 {
+					covered["dup"] = true
+				}
+				if s.Faults.Partition.PeriodTicks > 0 {
+					covered["partition"] = true
+				}
+			}
+			if s.Handshake {
+				covered["handshake"] = true
+			}
 		}
-		if s.Faults != nil {
-			covered["faults"] = true
-			if s.Faults.Delay.BaseTicks > 0 || s.Faults.Delay.JitterTicks > 0 {
-				covered["delay"] = true
-			}
-			if s.Faults.DupProb > 0 {
-				covered["dup"] = true
-			}
-			if s.Faults.Partition.PeriodTicks > 0 {
-				covered["partition"] = true
-			}
-		}
-		if s.Handshake {
-			covered["handshake"] = true
-		}
-	}
+	})
 	for _, want := range []string{"square", "torus", "faults", "handshake", "delay", "dup", "partition"} {
 		if !covered[want] {
 			t.Errorf("scenario matrix lost %s coverage", want)
 		}
+	}
+	for _, c := range []struct {
+		name string
+		got  int64
+	}{
+		{"topology evaluations", agg.TopoEvals},
+		{"topology skips (quiescent windows)", agg.SkippedTopo},
+		{"phase runs", agg.PhaseRuns},
+		{"phase skips (idle protocol epochs)", agg.SkippedPhases},
+		{"timer wakes (timer-only epochs)", agg.TimerWakes},
+		{"forced post-activity phases", agg.ForcedPhases},
+		{"pending-delivery wakes", agg.PendingWakes},
+	} {
+		if c.got == 0 {
+			t.Errorf("event core never exercised %s across the matrix; stats: %+v", c.name, agg)
+		}
+	}
+}
+
+// TestStaticExtrasExerciseFastPaths pins per-scenario expectations on
+// the deterministic static scenarios: the frozen-topology certificate
+// must hold for the whole run, and the event-hello variant must be
+// almost entirely quiescent.
+func TestStaticExtrasExerciseFastPaths(t *testing.T) {
+	const ticks = 100
+	for _, s := range staticExtras(ticks) {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			st, err := LockstepObserved(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The first tick always evaluates topology to arm the
+			// schedule; a static population must never re-evaluate.
+			if st.TopoEvals != 1 || st.SkippedTopo != int64(ticks)-1 {
+				t.Errorf("static run: want exactly 1 topology evaluation, got %+v", st)
+			}
+			switch {
+			case s.Handshake:
+				// Handshake maintenance ticks its retry clock every tick.
+				if st.PhaseRuns != int64(ticks) {
+					t.Errorf("handshake run: every phase must run, got %+v", st)
+				}
+			case s.PeriodicHello:
+				// Beacons every 10·dt → ~1 phase per 10 ticks.
+				if st.TimerWakes == 0 || st.SkippedPhases < int64(ticks)/2 {
+					t.Errorf("timer-only run: want mostly skipped phases with timer wakes, got %+v", st)
+				}
+			default:
+				if st.SkippedPhases < int64(ticks)-2 {
+					t.Errorf("quiescent run: want nearly all phases skipped, got %+v", st)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,428 @@
+package eventsim_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/eventsim"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+)
+
+// mustRPGM builds the group mobility model used by the fallback case.
+func mustRPGM(groups int, speed, epoch, radius, jitter float64) mobility.Model {
+	m, err := mobility.NewRPGM(groups, speed, epoch, radius, jitter)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// stack bundles one engine with its protocol instances so observable
+// protocol state can be compared across engines.
+type stack struct {
+	step  func() error
+	now   func() float64
+	pos   func(netsim.NodeID) geom.Vec2
+	tal   func() netsim.Tallies
+	deliv func() int64
+	deg   func() float64
+	hello *routing.Hello
+	maint *cluster.Maintainer
+	route *routing.Hybrid
+}
+
+type stackOpts struct {
+	periodicHello bool
+	handshake     bool
+}
+
+// buildTick and buildEvent construct identical protocol stacks over the
+// two cores.
+func buildStack(t *testing.T, cfg netsim.Config, o stackOpts) (st stack) {
+	t.Helper()
+	var (
+		reg  func(...netsim.Protocol) error
+		errs []error
+	)
+	if cfg.Core == netsim.CoreEvent {
+		eng, err := eventsim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg = eng.Register
+		st.step, st.now, st.pos = eng.Step, eng.Now, eng.Position
+		st.tal, st.deliv, st.deg = eng.Tallies, eng.Delivered, eng.MeanDegree
+	} else {
+		eng, err := netsim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg = eng.Register
+		st.step, st.now, st.pos = eng.Step, eng.Now, eng.Position
+		st.tal, st.deliv, st.deg = eng.Tallies, eng.Delivered, eng.MeanDegree
+	}
+	var err error
+	if o.periodicHello {
+		st.hello, err = routing.NewPeriodicHello(64, 10*cfg.Dt)
+	} else {
+		st.hello, err = routing.NewHello(64)
+	}
+	errs = append(errs, err)
+	st.maint, err = cluster.NewMaintainer(cluster.LID{}, 128)
+	errs = append(errs, err)
+	if o.handshake {
+		errs = append(errs, st.maint.EnableHandshake(3))
+	}
+	st.route, err = routing.NewHybrid(st.maint, routing.DefaultSizes)
+	errs = append(errs, err)
+	for _, e := range errs {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	if err := reg(st.hello, st.maint, st.route); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// compareStacks fails on the first observable difference between the
+// two engines at the current tick.
+func compareStacks(t *testing.T, tick int, a, b stack, n int) {
+	t.Helper()
+	if at, bt := a.tal(), b.tal(); at != bt {
+		t.Fatalf("tick %d: tallies diverged:\ntick : %+v\nevent: %+v", tick, at, bt)
+	}
+	if a.deliv() != b.deliv() {
+		t.Fatalf("tick %d: delivered diverged: %d vs %d", tick, a.deliv(), b.deliv())
+	}
+	if a.deg() != b.deg() {
+		t.Fatalf("tick %d: mean degree diverged: %g vs %g", tick, a.deg(), b.deg())
+	}
+	for i := 0; i < n; i++ {
+		id := netsim.NodeID(i)
+		if a.pos(id) != b.pos(id) {
+			t.Fatalf("tick %d node %d: position diverged: %v vs %v", tick, i, a.pos(id), b.pos(id))
+		}
+		if a.maint.RoleOf(id) != b.maint.RoleOf(id) || a.maint.HeadOf(id) != b.maint.HeadOf(id) {
+			t.Fatalf("tick %d node %d: cluster state diverged", tick, i)
+		}
+		if a.hello.TableSize(id) != b.hello.TableSize(id) {
+			t.Fatalf("tick %d node %d: hello table diverged: %d vs %d",
+				tick, i, a.hello.TableSize(id), b.hello.TableSize(id))
+		}
+	}
+}
+
+type lockCase struct {
+	name string
+	cfg  netsim.Config
+	// newModel supplies a fresh model per engine; stateful models (RPGM)
+	// must not be shared between the two cores. nil keeps cfg.Model.
+	newModel func() mobility.Model
+	opts     stackOpts
+	ticks    int
+	// wantSkips asserts the event core actually exercised its fast
+	// paths on this scenario, not just matched the oracle.
+	wantTopoSkips, wantPhaseSkips bool
+}
+
+func lockCases() []lockCase {
+	return []lockCase{
+		{
+			name:          "bcv-square-periodic",
+			cfg:           netsim.Config{N: 40, Side: 10, Range: 2, Model: mobility.BCV{Speed: 0.05}, Dt: 0.2, Seed: 1},
+			opts:          stackOpts{periodicHello: true},
+			ticks:         300,
+			wantTopoSkips: true,
+		},
+		{
+			name:          "bcv-torus-event-hello",
+			cfg:           netsim.Config{N: 40, Side: 10, Range: 2, Metric: geom.MetricTorus, Model: mobility.BCV{Speed: 0.04}, Dt: 0.2, Seed: 2},
+			ticks:         300,
+			wantTopoSkips: true, wantPhaseSkips: true,
+		},
+		{
+			name:          "epochrwp-square-handshake",
+			cfg:           netsim.Config{N: 36, Side: 9, Range: 2, Model: mobility.EpochRWP{Speed: 0.05, Epoch: 1.6}, Dt: 0.2, Seed: 3},
+			opts:          stackOpts{periodicHello: true, handshake: true},
+			ticks:         300,
+			wantTopoSkips: true,
+		},
+		{
+			name:          "waypoint-lipschitz",
+			cfg:           netsim.Config{N: 32, Side: 9, Range: 2, Model: mobility.RandomWaypoint{MinSpeed: 0.005, MaxSpeed: 0.015}, Dt: 0.2, Seed: 4},
+			ticks:         300,
+			wantTopoSkips: true, wantPhaseSkips: true,
+		},
+		{
+			name:          "static-periodic-timer-only",
+			cfg:           netsim.Config{N: 40, Side: 8, Range: 2, Dt: 0.2, Seed: 5},
+			opts:          stackOpts{periodicHello: true},
+			ticks:         200,
+			wantTopoSkips: true, wantPhaseSkips: true,
+		},
+		{
+			name:          "static-event-hello-quiescent",
+			cfg:           netsim.Config{N: 40, Side: 8, Range: 2, Dt: 0.2, Seed: 6},
+			ticks:         200,
+			wantTopoSkips: true, wantPhaseSkips: true,
+		},
+		{
+			name:     "rpgm-unpredictable-fallback",
+			cfg:      netsim.Config{N: 30, Side: 9, Range: 2, Dt: 0.2, Seed: 7},
+			newModel: func() mobility.Model { return mustRPGM(4, 0.05, 2.0, 1.0, 0.0125) },
+			opts:     stackOpts{periodicHello: true},
+			ticks:    150,
+		},
+	}
+}
+
+// TestEventCoreLockstep steps the tick and event cores tick-for-tick on
+// a mix of scenarios and requires every observable — tallies, positions,
+// deliveries, cluster and hello state — to match exactly, while the
+// event core demonstrably skips work where the scenario allows it.
+func TestEventCoreLockstep(t *testing.T) {
+	for _, tc := range lockCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tickCfg, evCfg := tc.cfg, tc.cfg
+			evCfg.Core = netsim.CoreEvent
+			if tc.newModel != nil {
+				tickCfg.Model = tc.newModel()
+				evCfg.Model = tc.newModel()
+			}
+			ref := buildStack(t, tickCfg, tc.opts)
+			ev, evEng := buildEventStack(t, evCfg, tc.opts)
+
+			for k := 1; k <= tc.ticks; k++ {
+				if err := ref.step(); err != nil {
+					t.Fatal(err)
+				}
+				if err := ev.step(); err != nil {
+					t.Fatal(err)
+				}
+				compareStacks(t, k, ref, ev, tc.cfg.N)
+			}
+			st := evEng.Stats()
+			if st.Ticks != int64(tc.ticks) {
+				t.Fatalf("stats.Ticks = %d, want %d", st.Ticks, tc.ticks)
+			}
+			if tc.wantTopoSkips && st.SkippedTopo == 0 {
+				t.Errorf("expected topology skips, stats: %+v", st)
+			}
+			if tc.wantPhaseSkips && st.SkippedPhases == 0 {
+				t.Errorf("expected phase skips, stats: %+v", st)
+			}
+			if !tc.wantTopoSkips && tc.name == "rpgm-unpredictable-fallback" && st.SkippedTopo != 0 {
+				t.Errorf("unpredictable model must not skip topology, stats: %+v", st)
+			}
+		})
+	}
+}
+
+// buildEventStack is buildStack specialized to return the event engine
+// for stats and no-op injection.
+func buildEventStack(t *testing.T, cfg netsim.Config, o stackOpts) (stack, *eventsim.Sim) {
+	t.Helper()
+	eng, err := eventsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st stack
+	st.step, st.now, st.pos = eng.Step, eng.Now, eng.Position
+	st.tal, st.deliv, st.deg = eng.Tallies, eng.Delivered, eng.MeanDegree
+	if o.periodicHello {
+		st.hello, err = routing.NewPeriodicHello(64, 10*cfg.Dt)
+	} else {
+		st.hello, err = routing.NewHello(64)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.maint, err = cluster.NewMaintainer(cluster.LID{}, 128); err != nil {
+		t.Fatal(err)
+	}
+	if o.handshake {
+		if err := st.maint.EnableHandshake(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.route, err = routing.NewHybrid(st.maint, routing.DefaultSizes); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(st.hello, st.maint, st.route); err != nil {
+		t.Fatal(err)
+	}
+	return st, eng
+}
+
+// TestEventCoreDeterminism runs the same event-core scenario twice and
+// across tile counts; every observable must be bit-identical.
+func TestEventCoreDeterminism(t *testing.T) {
+	base := netsim.Config{N: 48, Side: 10, Range: 2, Model: mobility.BCV{Speed: 0.05}, Dt: 0.2, Seed: 42, Core: netsim.CoreEvent}
+	opts := stackOpts{periodicHello: true}
+	run := func(tiles int) (netsim.Tallies, []geom.Vec2) {
+		cfg := base
+		cfg.Tiles = tiles
+		st, _ := buildEventStack(t, cfg, opts)
+		for k := 0; k < 250; k++ {
+			if err := st.step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pos := make([]geom.Vec2, cfg.N)
+		for i := range pos {
+			pos[i] = st.pos(netsim.NodeID(i))
+		}
+		return st.tal(), pos
+	}
+	t1, p1 := run(1)
+	t2, p2 := run(1)
+	t4, p4 := run(4)
+	if t1 != t2 {
+		t.Fatalf("same-seed reruns diverged:\n%+v\n%+v", t1, t2)
+	}
+	if t1 != t4 {
+		t.Fatalf("tile counts diverged:\n%+v\n%+v", t1, t4)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] || p1[i] != p4[i] {
+			t.Fatalf("node %d positions diverged: %v %v %v", i, p1[i], p2[i], p4[i])
+		}
+	}
+}
+
+// TestMetamorphicNoopInjection injects no-op events — which force both a
+// topology evaluation and a full protocol phase, the maximum possible
+// perturbation of the event schedule — at arbitrary ticks of quiescent
+// scenarios and requires every observable stream to stay identical to
+// the uninjected run.
+func TestMetamorphicNoopInjection(t *testing.T) {
+	cases := []lockCase{
+		{
+			name: "static-periodic",
+			cfg:  netsim.Config{N: 40, Side: 8, Range: 2, Dt: 0.2, Seed: 11, Core: netsim.CoreEvent},
+			opts: stackOpts{periodicHello: true},
+		},
+		{
+			name: "bcv-slow",
+			cfg:  netsim.Config{N: 36, Side: 10, Range: 2, Model: mobility.BCV{Speed: 0.01}, Dt: 0.2, Seed: 12, Core: netsim.CoreEvent},
+			opts: stackOpts{periodicHello: true},
+		},
+	}
+	const ticks = 240
+	noopTicks := []int64{1, 7, 13, 14, 15, 97, 98, 150, 239}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			plain, _ := buildEventStack(t, tc.cfg, tc.opts)
+			perturbed, pertEng := buildEventStack(t, tc.cfg, tc.opts)
+			for _, n := range noopTicks {
+				pertEng.InjectNoop(n)
+			}
+			for k := 1; k <= ticks; k++ {
+				if err := plain.step(); err != nil {
+					t.Fatal(err)
+				}
+				if err := perturbed.step(); err != nil {
+					t.Fatal(err)
+				}
+				compareStacks(t, k, plain, perturbed, tc.cfg.N)
+			}
+			st := pertEng.Stats()
+			if st.Noops != int64(len(noopTicks)) {
+				t.Fatalf("stats.Noops = %d, want %d", st.Noops, len(noopTicks))
+			}
+			if st.SkippedPhases == 0 || st.SkippedTopo == 0 {
+				t.Fatalf("perturbed run must still skip work between no-ops, stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestEventCoreNoLateLinkEvents drives fast BCV pairs near the radius
+// and checks, against a per-tick brute-force oracle, that the event core
+// reports every link flip at exactly the tick the oracle sees it — the
+// "no late events" half of the predictor contract, end to end.
+func TestEventCoreNoLateLinkEvents(t *testing.T) {
+	for _, metric := range []geom.MetricKind{geom.MetricSquare, geom.MetricTorus} {
+		cfg := netsim.Config{
+			N: 24, Side: 6, Range: 1.5,
+			Metric: metric,
+			Model:  mobility.BCV{Speed: 0.12}, // fast: ~1.6% of range per tick
+			Dt:     0.2, Seed: 99, Core: netsim.CoreEvent,
+		}
+		eng, err := eventsim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := geom.NewMetric(metric, cfg.Side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adj := func() map[[2]int]bool {
+			links := map[[2]int]bool{}
+			for i := 0; i < cfg.N; i++ {
+				for j := i + 1; j < cfg.N; j++ {
+					if m.Dist2(eng.Position(netsim.NodeID(i)), eng.Position(netsim.NodeID(j))) <= cfg.Range*cfg.Range {
+						links[[2]int{i, j}] = true
+					}
+				}
+			}
+			return links
+		}
+		prevLinks := adj()
+		prevGen, prevBrk := 0.0, 0.0
+		for k := 1; k <= 400; k++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+			links := adj()
+			gen, brk := 0, 0
+			for p := range links {
+				if !prevLinks[p] {
+					gen++
+				}
+			}
+			for p := range prevLinks {
+				if !links[p] {
+					brk++
+				}
+			}
+			tal := eng.Tallies()
+			dGen := tal.LinkGen + tal.BorderGen - prevGen
+			dBrk := tal.LinkBrk + tal.BorderBrk - prevBrk
+			if int(dGen) != gen || int(dBrk) != brk {
+				t.Fatalf("%v tick %d: engine saw %g gen %g brk, oracle %d gen %d brk (late or spurious events)",
+					metric, k, dGen, dBrk, gen, brk)
+			}
+			prevGen, prevBrk = prevGen+float64(gen), prevBrk+float64(brk)
+			prevLinks = links
+		}
+	}
+}
+
+// TestRunMatchesStep pins Run's tick arithmetic to the tick engine's.
+func TestRunMatchesStep(t *testing.T) {
+	cfg := netsim.Config{N: 20, Side: 8, Range: 2, Model: mobility.BCV{Speed: 0.05}, Dt: 0.25, Seed: 8, Core: netsim.CoreEvent}
+	a, engA := buildEventStack(t, cfg, stackOpts{periodicHello: true})
+	b, _ := buildEventStack(t, cfg, stackOpts{periodicHello: true})
+	if err := engA.Run(25); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		if err := b.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.tal() != b.tal() || math.Abs(a.now()-b.now()) > 0 {
+		t.Fatal("Run(25) must equal 100 Steps at dt=0.25")
+	}
+}

@@ -1,0 +1,240 @@
+package eventsim
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/space"
+)
+
+// safeCap is the tick horizon returned for "provably never" (frozen
+// populations, +Inf crossing times). Far below int64 overflow even after
+// adding the current tick, far above any run length.
+const safeCap = int64(1) << 40
+
+// predictor computes, from the population's current state, a number of
+// ticks g such that the adjacency at every one of the next g ticks is
+// provably identical to the current one — no pair's distance crosses the
+// link radius and (under the square metric) no node wraps across a
+// border. The event core then skips topology maintenance outright for g
+// ticks.
+//
+// Two certificate tiers per candidate pair, combined by max:
+//
+//   - Lipschitz: relative speed is bounded by 2·SpeedBound, so a pair
+//     with distance gap |d−r| cannot flip for (|d−r|−eps)/(2·vmax) time.
+//     Valid for any Predictable model; the only tier for models without
+//     closed-form kinematics (waypoint, random walk — both non-wrapping,
+//     which the constructor enforces).
+//   - Kinematic: with per-node constant velocities (BCV, epoch-RWP
+//     legs), the earliest radius crossing is the closed-form
+//     NextCrossing root, valid up to the pair's velocity hold time (and,
+//     on the torus, up to the first minimum-image flip).
+//
+// Candidate pairs come from a coarse grid with radius rexp chosen so
+// any pair it misses is too far apart to flip within kcap ticks; kcap
+// caps the returned horizon accordingly. The eps band absorbs the
+// floating-point daylight between the engine's iterated per-tick
+// positions and the predictor's closed-form extrapolation.
+type predictor struct {
+	model  mobility.Predictable
+	pop    *mobility.Population
+	metric geom.Metric
+	r      float64 // link radius
+	dt     float64
+	vmax   float64 // SpeedBound; ≤ 0 means frozen
+	eps    float64
+	wraps  bool
+	kin    bool // model offers closed-form kinematics
+	kcap   int64
+	grid   *space.Grid
+	vel    []geom.Vec2
+	hold   []float64
+}
+
+// newPredictor builds a predictor for the model, or returns nil when the
+// model offers no usable certificate (it may wrap borders but has no
+// closed form to bound the first wrap). The event core then evaluates
+// topology every tick.
+func newPredictor(model mobility.Predictable, pop *mobility.Population, metric geom.Metric, r, dt float64) (*predictor, error) {
+	n := len(pop.Pos)
+	p := &predictor{
+		model:  model,
+		pop:    pop,
+		metric: metric,
+		r:      r,
+		dt:     dt,
+		vmax:   model.SpeedBound(),
+		eps:    metric.Side() * 1e-9,
+		wraps:  model.WrapsBorders(),
+		vel:    make([]geom.Vec2, n),
+		hold:   make([]float64, n),
+	}
+	p.kin = model.FillKinematics(pop, p.vel, p.hold)
+	if !p.kin && p.wraps {
+		return nil, nil
+	}
+	if p.vmax <= 0 {
+		return p, nil // frozen: SafeTicks is unconditional
+	}
+	p.kcap = int64(r / (2 * p.vmax * dt))
+	if p.kcap < 1 {
+		p.kcap = 1
+	}
+	if p.kcap > 4096 {
+		p.kcap = 4096
+	}
+	rexp := r + 2*p.vmax*dt*float64(p.kcap+2) + p.eps
+	grid, err := space.NewGrid(metric, rexp)
+	if err != nil {
+		return nil, err
+	}
+	p.grid = grid
+	return p, nil
+}
+
+// SafeTicks returns the certified horizon from the population's current
+// state: the adjacency at each of the next SafeTicks() ticks is provably
+// identical to the current one. Zero means topology must be evaluated
+// next tick.
+func (p *predictor) SafeTicks() int64 {
+	if p.vmax <= 0 {
+		return safeCap
+	}
+	p.kin = p.model.FillKinematics(p.pop, p.vel, p.hold)
+	g := p.kcap
+	if p.kin && p.wraps && p.metric.Kind() == geom.MetricSquare {
+		// A wrap is a teleport that can flip links with arbitrarily
+		// distant nodes, so the first possible wrap caps the horizon
+		// globally. Within the returned horizon no node wraps, which is
+		// also what makes the per-pair linear extrapolation sound.
+		for i := range p.pop.Pos {
+			if b := p.borderSafeTicks(i); b < g {
+				g = b
+			}
+			if g == 0 {
+				return 0
+			}
+		}
+	}
+	p.grid.Rebuild(p.pop.Pos)
+	p.grid.ForEachPair(func(i, j int) {
+		if g == 0 {
+			return
+		}
+		if b := p.pairSafeTicks(i, j); b < g {
+			g = b
+		}
+	})
+	return g
+}
+
+// pairSafeTicks bounds the first tick at which the pair (i, j) can flip
+// its link state.
+func (p *predictor) pairSafeTicks(i, j int) int64 {
+	delta := p.metric.Delta(p.pop.Pos[i], p.pop.Pos[j])
+	gap := math.Abs(math.Sqrt(delta.Norm2()) - p.r)
+	if gap <= p.eps {
+		return 0
+	}
+	best := p.toTicks((gap - p.eps) / (2 * p.vmax))
+	if !p.kin {
+		return best
+	}
+	w := p.vel[i].Sub(p.vel[j])
+	window := math.Min(p.hold[i], p.hold[j])
+	if p.metric.Kind() == geom.MetricTorus {
+		// The minimum-image delta evolves linearly only until a
+		// component reaches ±side/2 and the image representative flips.
+		window = math.Min(window, p.flipTime(delta, w))
+	}
+	if lim := float64(p.kcap+1) * p.dt; window > lim {
+		window = lim
+	}
+	if window <= 0 {
+		return best
+	}
+	// Earliest entry into the uncertainty band [r−eps, r+eps]: the pair
+	// must cross the nearer band edge before its link state can flip.
+	tc := window
+	if t, ok := mobility.NextCrossing(delta, w, p.r-p.eps, window); ok && t < tc {
+		tc = t
+	}
+	if t, ok := mobility.NextCrossing(delta, w, p.r+p.eps, window); ok && t < tc {
+		tc = t
+	}
+	if kt := p.toTicks(tc); kt > best {
+		best = kt
+	}
+	return best
+}
+
+// flipTime returns the earliest time any component of the minimum-image
+// delta (|component| ≤ side/2 now) can reach ±side/2 at relative
+// velocity w — conservatively assuming motion straight toward the
+// nearer boundary.
+func (p *predictor) flipTime(delta, w geom.Vec2) float64 {
+	side := p.metric.Side()
+	t := math.Inf(1)
+	if w.X != 0 {
+		t = math.Min(t, (side/2-math.Abs(delta.X))/math.Abs(w.X))
+	}
+	if w.Y != 0 {
+		t = math.Min(t, (side/2-math.Abs(delta.Y))/math.Abs(w.Y))
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// borderSafeTicks bounds the first tick at which node i can wrap across
+// the region border: exact linear flight time while the velocity holds,
+// then a SpeedBound bound on the remaining distance from wherever the
+// hold expires.
+func (p *predictor) borderSafeTicks(i int) int64 {
+	side := p.metric.Side()
+	pos, v, hold := p.pop.Pos[i], p.vel[i], p.hold[i]
+	tLin := math.Inf(1)
+	if v.X > 0 {
+		tLin = math.Min(tLin, (side-pos.X)/v.X)
+	} else if v.X < 0 {
+		tLin = math.Min(tLin, pos.X/-v.X)
+	}
+	if v.Y > 0 {
+		tLin = math.Min(tLin, (side-pos.Y)/v.Y)
+	} else if v.Y < 0 {
+		tLin = math.Min(tLin, pos.Y/-v.Y)
+	}
+	if tLin <= hold || math.IsInf(hold, 1) {
+		return p.toTicks(tLin)
+	}
+	// The velocity is re-drawn before the border is reached; from that
+	// point only the speed bound constrains the node.
+	q := pos.Add(v.Scale(hold))
+	d := math.Min(math.Min(q.X, side-q.X), math.Min(q.Y, side-q.Y))
+	if d < 0 {
+		d = 0
+	}
+	return p.toTicks(hold + d/p.vmax)
+}
+
+// toTicks converts a continuous safe-time bound into whole certified
+// ticks: every tick k with k·dt strictly before t is safe, and one more
+// tick of slack is surrendered to absorb the floating-point drift
+// between iterated and extrapolated positions.
+func (p *predictor) toTicks(t float64) int64 {
+	if math.IsInf(t, 1) {
+		return safeCap
+	}
+	ft := (t / p.dt) * (1 - 1e-9)
+	if ft >= float64(safeCap) {
+		return safeCap
+	}
+	k := int64(ft) - 1
+	if k < 0 {
+		return 0
+	}
+	return k
+}

@@ -1,0 +1,202 @@
+// Package eventsim is the event-driven execution core. It wraps the
+// fixed-tick engine (netsim.Sim) behind the same protocol and
+// measurement surface, but decides per tick — via a min-heap of
+// predicted link crossings, protocol timer wakes and pending-delivery
+// due times — whether mobility integration, topology maintenance and
+// the protocol phase need to run at all. Every skip is backed by a
+// certificate (closed-form next-crossing prediction for constant-
+// velocity kinematics, Lipschitz drift budgets otherwise, Waker
+// declarations for protocol timers), so the observable output —
+// link-event, delivery and tally streams — is bit-identical to the tick
+// engine's for the same Config. The three-way difftest lockstep
+// enforces that equivalence across the full scenario matrix.
+package eventsim
+
+import "fmt"
+
+// Lane is the priority tier of an event: events due at the same tick
+// are ordered by lane, then by insertion sequence. Lanes exist so the
+// pop order at one tick is a fixed total order, independent of the
+// heap's internal state history.
+type Lane int8
+
+const (
+	// LaneTopo schedules the next tick at which topology must be
+	// re-evaluated (the crossing predictor's certificate expires).
+	LaneTopo Lane = iota
+	// LanePending schedules the release of parked delayed deliveries.
+	LanePending
+	// LaneWake schedules a protocol timer wake (Waker.NextWake).
+	LaneWake
+	// LaneForce schedules the mandatory full phase on the tick after any
+	// observable activity, so per-tick hooks see the settled state.
+	LaneForce
+	// LaneNoop is an externally injected no-op event (metamorphic
+	// testing): it forces both topology evaluation and a protocol phase
+	// at its tick and must not change any observable stream.
+	LaneNoop
+)
+
+// String implements fmt.Stringer.
+func (l Lane) String() string {
+	switch l {
+	case LaneTopo:
+		return "topo"
+	case LanePending:
+		return "pending"
+	case LaneWake:
+		return "wake"
+	case LaneForce:
+		return "force"
+	case LaneNoop:
+		return "noop"
+	default:
+		return fmt.Sprintf("Lane(%d)", int(l))
+	}
+}
+
+// Event is one scheduled entry. The scheduler retains the *Event it
+// pushed as a handle for Reschedule and Cancel; the queue tracks each
+// event's heap position internally.
+type Event struct {
+	// Tick is the tick at which the event is due.
+	Tick int64
+	// Lane is the priority tier within the tick.
+	Lane Lane
+
+	seq uint64 // insertion order, breaks (Tick, Lane) ties
+	pos int    // index in the heap array; -1 when not queued
+}
+
+// Queue is an indexed binary min-heap of events ordered by the total
+// order (Tick, Lane, seq) — earliest tick first, then lane priority,
+// then insertion order. The index (Event.pos) makes Reschedule and
+// Cancel O(log n) without search. Not safe for concurrent use.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// less is the (Tick, Lane, seq) lexicographic order.
+func (q *Queue) less(a, b *Event) bool {
+	if a.Tick != b.Tick {
+		return a.Tick < b.Tick
+	}
+	if a.Lane != b.Lane {
+		return a.Lane < b.Lane
+	}
+	return a.seq < b.seq
+}
+
+// Push schedules an event at the given tick and lane and returns its
+// handle. The handle stays valid until the event is popped or
+// cancelled; Reschedule re-activates a spent handle.
+func (q *Queue) Push(tick int64, lane Lane) *Event {
+	ev := &Event{Tick: tick, Lane: lane, seq: q.seq, pos: len(q.heap)}
+	q.seq++
+	q.heap = append(q.heap, ev)
+	q.up(ev.pos)
+	return ev
+}
+
+// Peek returns the earliest event without removing it, or nil when the
+// queue is empty.
+func (q *Queue) Peek() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the earliest event, or nil when empty.
+func (q *Queue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	ev := q.heap[0]
+	q.removeAt(0)
+	ev.pos = -1
+	return ev
+}
+
+// Reschedule moves ev to a new tick (same lane), whether or not it is
+// currently queued: a popped or cancelled handle is simply re-inserted.
+// Its insertion sequence is refreshed, so among same-(tick, lane) peers
+// it orders after events already queued — matching a cancel+push pair.
+func (q *Queue) Reschedule(ev *Event, tick int64) {
+	if ev.pos >= 0 {
+		q.removeAt(ev.pos)
+	}
+	ev.Tick = tick
+	ev.seq = q.seq
+	q.seq++
+	ev.pos = len(q.heap)
+	q.heap = append(q.heap, ev)
+	q.up(ev.pos)
+}
+
+// Cancel removes ev from the queue; a no-op when it is not queued.
+func (q *Queue) Cancel(ev *Event) {
+	if ev.pos < 0 {
+		return
+	}
+	q.removeAt(ev.pos)
+	ev.pos = -1
+}
+
+// removeAt deletes the event at heap index i, restoring heap order.
+func (q *Queue) removeAt(i int) {
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	q.heap = q.heap[:last]
+	if i < last {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].pos = i
+	q.heap[j].pos = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves; reports whether it moved.
+func (q *Queue) down(i int) bool {
+	start := i
+	n := len(q.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(q.heap[r], q.heap[l]) {
+			m = r
+		}
+		if !q.less(q.heap[m], q.heap[i]) {
+			break
+		}
+		q.swap(i, m)
+		i = m
+	}
+	return i > start
+}

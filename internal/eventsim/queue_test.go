@@ -1,0 +1,206 @@
+package eventsim
+
+import (
+	"sort"
+	"testing"
+)
+
+// modelEntry mirrors one queued event in the reference model.
+type modelEntry struct {
+	tick int64
+	lane Lane
+	seq  uint64
+	ev   *Event
+}
+
+// modelQueue is the executable spec: a plain slice kept sorted by the
+// same (tick, lane, seq) total order, with O(n) operations.
+type modelQueue struct {
+	entries []modelEntry
+	seq     uint64
+}
+
+func (m *modelQueue) lessIdx(i, j int) bool {
+	a, b := m.entries[i], m.entries[j]
+	if a.tick != b.tick {
+		return a.tick < b.tick
+	}
+	if a.lane != b.lane {
+		return a.lane < b.lane
+	}
+	return a.seq < b.seq
+}
+
+func (m *modelQueue) push(tick int64, lane Lane, ev *Event) {
+	m.entries = append(m.entries, modelEntry{tick: tick, lane: lane, seq: m.seq, ev: ev})
+	m.seq++
+	sort.SliceStable(m.entries, m.lessIdx)
+}
+
+func (m *modelQueue) pop() *modelEntry {
+	if len(m.entries) == 0 {
+		return nil
+	}
+	e := m.entries[0]
+	m.entries = m.entries[1:]
+	return &e
+}
+
+func (m *modelQueue) remove(ev *Event) bool {
+	for i := range m.entries {
+		if m.entries[i].ev == ev {
+			m.entries = append(m.entries[:i], m.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (m *modelQueue) reschedule(ev *Event, tick int64, lane Lane) {
+	m.remove(ev)
+	m.push(tick, lane, ev)
+}
+
+// runQueueOps drives Queue and modelQueue with the same operation
+// stream decoded from data and fails on any behavioral divergence. The
+// byte stream encodes (op, tick) pairs; handles are addressed by index
+// into the set of all events ever pushed.
+func runQueueOps(t *testing.T, data []byte) {
+	t.Helper()
+	q := NewQueue()
+	model := &modelQueue{}
+	var handles []*Event
+
+	for i := 0; i+1 < len(data); i += 2 {
+		op, arg := data[i], data[i+1]
+		tick := int64(arg % 32)
+		lane := Lane(arg % 5)
+		switch op % 4 {
+		case 0: // push
+			ev := q.Push(tick, lane)
+			model.push(tick, lane, ev)
+			handles = append(handles, ev)
+		case 1: // pop
+			got := q.Pop()
+			want := model.pop()
+			if (got == nil) != (want == nil) {
+				t.Fatalf("op %d: pop mismatch: heap=%v model=%v", i, got, want)
+			}
+			if got != nil && got != want.ev {
+				t.Fatalf("op %d: pop order diverged: heap (tick=%d lane=%v) model (tick=%d lane=%v)",
+					i, got.Tick, got.Lane, want.tick, want.lane)
+			}
+		case 2: // reschedule
+			if len(handles) == 0 {
+				continue
+			}
+			ev := handles[int(arg)%len(handles)]
+			q.Reschedule(ev, tick)
+			model.reschedule(ev, tick, ev.Lane)
+		case 3: // cancel
+			if len(handles) == 0 {
+				continue
+			}
+			ev := handles[int(arg)%len(handles)]
+			inHeap := ev.pos >= 0
+			q.Cancel(ev)
+			if model.remove(ev) != inHeap {
+				t.Fatalf("op %d: cancel membership diverged", i)
+			}
+		}
+		if q.Len() != len(model.entries) {
+			t.Fatalf("op %d: len diverged: heap %d model %d", i, q.Len(), len(model.entries))
+		}
+		gotPeek, wantLen := q.Peek(), len(model.entries)
+		if (gotPeek == nil) != (wantLen == 0) {
+			t.Fatalf("op %d: peek emptiness diverged", i)
+		}
+		if gotPeek != nil && gotPeek != model.entries[0].ev {
+			t.Fatalf("op %d: peek diverged", i)
+		}
+	}
+	// Drain both; the full remaining order must agree.
+	for {
+		got := q.Pop()
+		want := model.pop()
+		if (got == nil) != (want == nil) {
+			t.Fatal("drain length diverged")
+		}
+		if got == nil {
+			return
+		}
+		if got != want.ev {
+			t.Fatalf("drain order diverged: heap (tick=%d lane=%v seq=%d) model (tick=%d lane=%v seq=%d)",
+				got.Tick, got.Lane, got.seq, want.tick, want.lane, want.seq)
+		}
+	}
+}
+
+// FuzzEventQueue is a model-based fuzz of the indexed min-heap against
+// the sorted-slice spec: push/pop/reschedule/cancel interleavings must
+// preserve the stable (tick, lane, seq) total order exactly.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 5, 1, 0, 0, 3, 2, 1, 3, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 2, 0, 2, 1, 2, 2, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 31, 0, 1, 0, 16, 3, 1, 0, 16, 1, 0, 2, 4, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip()
+		}
+		runQueueOps(t, data)
+	})
+}
+
+// TestQueueTotalOrder pins the documented order directly: ticks
+// ascending, lanes ascending within a tick, insertion order within a
+// (tick, lane) pair.
+func TestQueueTotalOrder(t *testing.T) {
+	q := NewQueue()
+	q.Push(3, LaneWake)
+	q.Push(1, LaneForce)
+	q.Push(1, LaneTopo)
+	first := q.Push(2, LanePending)
+	second := q.Push(2, LanePending)
+	q.Push(1, LaneNoop)
+
+	want := []struct {
+		tick int64
+		lane Lane
+	}{
+		{1, LaneTopo}, {1, LaneForce}, {1, LaneNoop},
+		{2, LanePending}, {2, LanePending},
+		{3, LaneWake},
+	}
+	var popped []*Event
+	for _, w := range want {
+		ev := q.Pop()
+		if ev == nil || ev.Tick != w.tick || ev.Lane != w.lane {
+			t.Fatalf("pop got %+v, want tick=%d lane=%v", ev, w.tick, w.lane)
+		}
+		popped = append(popped, ev)
+	}
+	if popped[3] != first || popped[4] != second {
+		t.Fatal("insertion order not preserved within same (tick, lane)")
+	}
+	if q.Pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestQueueRescheduleSpentHandle checks that a popped handle can be
+// re-armed, the core's steady-state pattern for topo/wake events.
+func TestQueueRescheduleSpentHandle(t *testing.T) {
+	q := NewQueue()
+	ev := q.Push(1, LaneTopo)
+	if q.Pop() != ev {
+		t.Fatal("expected the pushed event")
+	}
+	q.Reschedule(ev, 7)
+	if got := q.Pop(); got != ev || got.Tick != 7 {
+		t.Fatalf("reschedule of spent handle failed: %+v", got)
+	}
+	q.Cancel(ev) // no-op on unqueued handle
+	if q.Len() != 0 {
+		t.Fatal("expected empty queue")
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+)
+
+// TestMeasureRatesCoreIdentity is the engine-equivalence gate at the
+// measurement layer: the event core must reproduce the tick core's
+// Measured struct bit for bit, on both a closed-form-predictable model
+// (epoch-RWP) and a Lipschitz-fallback model (classic RWP). Anything
+// less would silently fork the figures by engine choice.
+func TestMeasureRatesCoreIdentity(t *testing.T) {
+	for _, kind := range []MobilityKind{MobilityEpochRWP, MobilityBCV, MobilityRandomWaypoint} {
+		kind := kind
+		t.Run(map[MobilityKind]string{
+			MobilityEpochRWP:       "epoch-rwp",
+			MobilityBCV:            "bcv",
+			MobilityRandomWaypoint: "random-waypoint",
+		}[kind], func(t *testing.T) {
+			t.Parallel()
+			net := core.Network{N: 120, R: 1.5, V: 0.05, Density: 4}
+			opts := fastOptions()
+			opts.Mobility = kind
+			opts.TargetEvents = 2000
+
+			opts.Core = netsim.CoreTick
+			tick, err := MeasureRates(net, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Core = netsim.CoreEvent
+			event, err := MeasureRates(net, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tick != event {
+				t.Errorf("cores diverged:\ntick:  %+v\nevent: %+v", tick, event)
+			}
+		})
+	}
+}
+
+// TestFigure1EventCoreIdentical extends the sweep determinism gate
+// across engines: Figure 1 rendered on the event core must be
+// byte-identical to the tick core's CSV, at any worker count.
+func TestFigure1EventCoreIdentical(t *testing.T) {
+	render := func(c netsim.Core, workers int) string {
+		opts := DefaultOptions()
+		opts.Seed = 42
+		opts.TargetEvents = 300 // small window: determinism, not accuracy
+		opts.Core = c
+		opts.Workers = workers
+		fig, err := Figure1(opts)
+		if err != nil {
+			t.Fatalf("core=%v workers=%d: %v", c, workers, err)
+		}
+		return fig.CSV()
+	}
+	tick := render(netsim.CoreTick, 1)
+	event := render(netsim.CoreEvent, 1)
+	eventPar := render(netsim.CoreEvent, 8)
+	if tick != event {
+		t.Fatalf("Figure 1 CSV differs between tick and event cores:\n--- tick ---\n%s\n--- event ---\n%s", tick, event)
+	}
+	if event != eventPar {
+		t.Fatalf("event-core Figure 1 CSV differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s", event, eventPar)
+	}
+}
