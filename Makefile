@@ -1,6 +1,6 @@
 # Development targets for the MANET overhead reproduction.
 
-.PHONY: build test vet race check check-full chaos difftest difftest-event bench bench-smoke serve-smoke crash-harness worker-chaos
+.PHONY: build test vet race check check-full chaos difftest difftest-event bench bench-smoke serve-smoke crash-harness worker-chaos storage-chaos
 
 build:
 	go build ./...
@@ -21,11 +21,13 @@ race:
 # decoder, the netsim config validator, the pending-delivery queue, the
 # faults config validator, the daemon's HTTP job-spec decoder, the
 # distributed-sweep wire protocol (lease grants plus the coordinator's
-# claim/heartbeat/result/done decoders), and the event core's priority
-# queue (model-checked against a sorted-slice specification).
+# claim/heartbeat/result/done decoders), the event core's priority
+# queue (model-checked against a sorted-slice specification), and the
+# storage fault-plan decoder.
 check:
 	go vet ./... && go test -race -short -count=1 ./...
 	go test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 5s ./internal/checkpoint
+	go test -run '^$$' -fuzz FuzzFaultPlanDecode -fuzztime 5s ./internal/vfs
 	go test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 5s ./internal/netsim
 	go test -run '^$$' -fuzz FuzzPendingQueue -fuzztime 5s ./internal/netsim
 	go test -run '^$$' -fuzz FuzzConfigValidate -fuzztime 5s ./internal/faults
@@ -62,17 +64,19 @@ difftest-event:
 	go test -count=1 -v ./internal/eventsim/ ./internal/mobility/
 
 # bench runs every benchmark once (the reproduction scoreboard) and then
-# regenerates the machine-readable performance artifact BENCH_6.json:
+# regenerates the machine-readable performance artifact BENCH_7.json:
 # Figure 1–3 wall-clock per worker count, the steady-state tick-loop
 # throughput vs the growth seed — on the ideal medium, with loss+churn
 # faults, and with the full delivery pipeline — the node-count scaling
 # sweep (1k/10k/100k at constant density) against the BENCH_3
-# full-rescan extrapolation, and the tick-vs-event core comparison rows
-# (bit-identity asserted before timing). BENCH_1–5.json are the
+# full-rescan extrapolation, the tick-vs-event core comparison rows
+# (bit-identity asserted before timing), and the storage-seam row (raw
+# *os.File vs the internal/vfs passthrough on the journal append+fsync
+# path; any allocation delta aborts the bench). BENCH_1–6.json are the
 # preserved artifacts of previous revisions.
 bench:
 	go test -run '^$$' -bench=. -benchtime=1x .
-	go run ./cmd/bench -out BENCH_6.json
+	go run ./cmd/bench -out BENCH_7.json
 
 # bench-smoke is the CI-sized benchmark gate: the N=1k step loop with
 # tile-parallel topology maintenance enabled, under the race detector,
@@ -108,3 +112,13 @@ crash-harness:
 # single-process run; any diff fails the gate.
 worker-chaos:
 	go test -race -tags workerchaos -run TestWorkerChaos -count=1 -v ./internal/service
+
+# storage-chaos is the storage-fault acceptance check: the daemon runs
+# over a deterministic fault-injecting filesystem under scripted and
+# randomized schedules of ENOSPC, I/O errors, short writes, fsync
+# failures and crash-point truncations. Every schedule must end either
+# in a loud failure with all previously acknowledged records intact, or
+# in a restart over the repaired filesystem whose artifact is
+# byte-identical to an uninterrupted run.
+storage-chaos:
+	go test -race -tags storagechaos -run TestStorageChaos -count=1 -v ./internal/service

@@ -1,5 +1,5 @@
 // Command bench measures the performance envelope of the simulator and
-// the sweep engine and writes a machine-readable artifact (BENCH_6.json
+// the sweep engine and writes a machine-readable artifact (BENCH_7.json
 // by default):
 //
 //   - wall-clock time of Figures 1–3 at each requested worker count
@@ -32,7 +32,12 @@
 //     min(workers, host CPUs), so a single-core runner reports the
 //     protocol's overhead honestly instead of faking a parallel
 //     speedup it cannot physically measure. Every distributed run must
-//     merge to an artifact byte-identical to the local serial run.
+//     merge to an artifact byte-identical to the local serial run;
+//   - a storage-seam row: the hot journal-append operation (write one
+//     record, fsync) timed through a raw *os.File and through the
+//     internal/vfs passthrough the daemon actually uses. The seam's
+//     contract is zero added allocations per append; any delta aborts
+//     the bench.
 //
 // Usage:
 //
@@ -50,10 +55,12 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"testing"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -65,6 +72,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/netsim"
 	"repro/internal/service"
+	"repro/internal/vfs"
 )
 
 // seedStep records the engine-throughput measurements taken on the
@@ -180,6 +188,25 @@ type DistResult struct {
 	LeasesExpired int64 `json:"leases_expired"`
 }
 
+// StorageRow compares the hot journal-append operation — write one
+// record, fsync — performed through a raw *os.File against the same
+// loop through the internal/vfs passthrough seam the daemon journals
+// through. The seam exists so storage faults can be injected in tests;
+// its production cost must be nothing, and AllocsDelta is the assertion
+// in artifact form: any nonzero value aborts the bench.
+type StorageRow struct {
+	Ops        int     `json:"ops"`
+	RawNsPerOp float64 `json:"raw_ns_per_op"`
+	VFSNsPerOp float64 `json:"vfs_ns_per_op"`
+	// Overhead is VFSNsPerOp / RawNsPerOp; fsync dominates both sides,
+	// so it hovers around 1 with disk noise.
+	Overhead  float64 `json:"overhead_vs_raw"`
+	RawAllocs float64 `json:"raw_allocs_per_op"`
+	VFSAllocs float64 `json:"vfs_allocs_per_op"`
+	// AllocsDelta is VFSAllocs - RawAllocs; the seam contract is 0.
+	AllocsDelta float64 `json:"allocs_per_op_delta"`
+}
+
 // Report is the whole artifact document.
 type Report struct {
 	GoVersion string `json:"go_version"`
@@ -216,10 +243,12 @@ type Report struct {
 	EventCore []EventResult `json:"event_core,omitempty"`
 	// Distributed holds one row per -dist-workers entry: the lease-based
 	// executor's wall clock, speedup and efficiency at that worker count.
-	Distributed    []DistResult `json:"distributed,omitempty"`
-	SeedStep       StepResult   `json:"seed_step"`
-	StepSpeedup    float64      `json:"step_speedup_vs_seed"`
-	AllocReduction float64      `json:"step_alloc_reduction_vs_seed"`
+	Distributed []DistResult `json:"distributed,omitempty"`
+	// Storage is the vfs-seam overhead row on the journal-append path.
+	Storage        StorageRow `json:"storage_vfs"`
+	SeedStep       StepResult `json:"seed_step"`
+	StepSpeedup    float64    `json:"step_speedup_vs_seed"`
+	AllocReduction float64    `json:"step_alloc_reduction_vs_seed"`
 	// FaultsOverhead is StepFaults.NsPerTick / Step.NsPerTick;
 	// PipelineOverhead is StepFaultsDelay.NsPerTick / Step.NsPerTick.
 	FaultsOverhead   float64 `json:"step_faults_overhead"`
@@ -235,7 +264,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	outPath := fs.String("out", "BENCH_6.json", "artifact path")
+	outPath := fs.String("out", "BENCH_7.json", "artifact path")
 	coreFlag := fs.String("core", "tick", "engine for the figure drivers: tick, event (lockstep-equivalent; results are identical)")
 	seed := fs.Uint64("seed", 42, "random seed")
 	events := fs.Float64("events", 4_000, "target link events per measured point")
@@ -380,6 +409,18 @@ func run(args []string, out io.Writer) error {
 
 	if err := measureEventRows(&rep, ns, *stepTicks, out); err != nil {
 		return err
+	}
+
+	storage, err := measureStorage(128)
+	if err != nil {
+		return err
+	}
+	rep.Storage = storage
+	fmt.Fprintf(out, "storage seam: raw %.0f ns/op (%.1f allocs), vfs %.0f ns/op (%.1f allocs) → %.2fx, allocs delta %.1f\n",
+		storage.RawNsPerOp, storage.RawAllocs, storage.VFSNsPerOp, storage.VFSAllocs,
+		storage.Overhead, storage.AllocsDelta)
+	if storage.AllocsDelta != 0 {
+		return fmt.Errorf("vfs passthrough adds %.1f allocs/op on the journal-append path — zero-overhead seam contract broken", storage.AllocsDelta)
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -584,6 +625,75 @@ func runDistributedSweep(spec service.JobSpec, k int) (float64, service.Stats, [
 		return 0, service.Stats{}, nil, err
 	}
 	return ms, m.StatsSnapshot(), got, nil
+}
+
+// measureStorage produces the vfs-seam overhead row: ops journal-shaped
+// append+fsync operations through a raw *os.File and through vfs.OS on
+// files in the same directory. Allocations are measured first (the
+// assertion that matters), then each loop is timed.
+func measureStorage(ops int) (StorageRow, error) {
+	dir, err := os.MkdirTemp("", "bench-vfs-*")
+	if err != nil {
+		return StorageRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	rec := []byte(`{"v":1,"sweep":"fig1","point":7,"seed":42,"csv":"0.10,12.375,11.930","sum":3735928559}` + "\n")
+
+	flags := os.O_WRONLY | os.O_CREATE | os.O_APPEND
+	raw, err := os.OpenFile(filepath.Join(dir, "raw.log"), flags, 0o644)
+	if err != nil {
+		return StorageRow{}, err
+	}
+	defer raw.Close()
+	seam, err := vfs.OS.OpenFile(filepath.Join(dir, "vfs.log"), flags, 0o644)
+	if err != nil {
+		return StorageRow{}, err
+	}
+	defer seam.Close()
+
+	var opErr error
+	rawOp := func() {
+		if _, err := raw.Write(rec); err != nil {
+			opErr = err
+		}
+		if err := raw.Sync(); err != nil {
+			opErr = err
+		}
+	}
+	seamOp := func() {
+		if _, err := seam.Write(rec); err != nil {
+			opErr = err
+		}
+		if err := seam.Sync(); err != nil {
+			opErr = err
+		}
+	}
+
+	rawAllocs := testing.AllocsPerRun(ops, rawOp)
+	vfsAllocs := testing.AllocsPerRun(ops, seamOp)
+
+	t0 := time.Now()
+	for i := 0; i < ops; i++ {
+		rawOp()
+	}
+	rawNs := float64(time.Since(t0).Nanoseconds()) / float64(ops)
+	t0 = time.Now()
+	for i := 0; i < ops; i++ {
+		seamOp()
+	}
+	vfsNs := float64(time.Since(t0).Nanoseconds()) / float64(ops)
+	if opErr != nil {
+		return StorageRow{}, opErr
+	}
+	return StorageRow{
+		Ops:         ops,
+		RawNsPerOp:  rawNs,
+		VFSNsPerOp:  vfsNs,
+		Overhead:    vfsNs / rawNs,
+		RawAllocs:   rawAllocs,
+		VFSAllocs:   vfsAllocs,
+		AllocsDelta: vfsAllocs - rawAllocs,
+	}, nil
 }
 
 // gitRevision reports the current commit hash and whether the working

@@ -33,10 +33,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/service"
+	"repro/internal/vfs"
 )
 
 func main() {
@@ -61,6 +63,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxDeadline  = fs.Duration("max-deadline", time.Hour, "ceiling for requested deadlines")
 		drainGrace   = fs.Duration("drain-grace", 30*time.Second, "how long a drain waits for running jobs before checkpointing them for restart")
 		maxSpecBytes = fs.Int64("max-spec-bytes", service.DefaultMaxSpecBytes, "largest accepted job spec")
+		minFreeBytes = fs.Int64("min-free-bytes", 0, "shed new jobs while the state volume has less free space than this (0 = no watermark)")
+		faultPlan    = fs.String("fault-plan", "", "storage-fault injection plan (JSON file); testing only — runs the state directory over a fault-injecting filesystem")
 
 		distributed    = fs.Bool("distributed", false, "coordinator mode: shard jobs into point leases for remote workers (manetsimw) instead of computing in-process")
 		leaseTTL       = fs.Duration("lease-ttl", 10*time.Second, "worker heartbeat deadline; a silent lease is re-dispatched")
@@ -75,8 +79,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	// A fault plan swaps the daemon's filesystem seam for a
+	// deterministic fault injector over the real one. This exists for
+	// storage-chaos testing of a real daemon process; production runs
+	// leave it empty and get the zero-overhead passthrough.
+	var fsys vfs.FS
+	if *faultPlan != "" {
+		f, err := os.Open(*faultPlan)
+		if err != nil {
+			return fmt.Errorf("fault plan: %w", err)
+		}
+		plan, err := vfs.DecodePlan(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("fault plan %s: %w", *faultPlan, err)
+		}
+		fmt.Fprintf(out, "manetsimd: INJECTING STORAGE FAULTS per %s (%d faults)\n", *faultPlan, len(plan.Faults))
+		fsys = vfs.NewFaulty(vfs.OS, plan)
+	}
+
 	m, err := service.Open(service.Config{
 		StateDir:        *state,
+		FS:              fsys,
+		MinFreeBytes:    *minFreeBytes,
 		QueueDepth:      *queueDepth,
 		JobWorkers:      *jobWorkers,
 		SweepWorkers:    *sweepWorkers,

@@ -13,6 +13,11 @@
 // lease once the heartbeat deadline lapses; the merged artifact stays
 // byte-identical to a single-process run. SIGINT/SIGTERM exit cleanly
 // (in-flight work is simply abandoned to the lease machinery).
+//
+// A coordinator whose storage has degraded answers result streams with
+// 503 + Retry-After; the worker honors the hint and re-sends at the
+// coordinator's pace rather than its own fixed backoff ladder, so valid
+// computed points survive a coordinator restart-and-recover cycle.
 package main
 
 import (

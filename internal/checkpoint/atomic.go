@@ -5,6 +5,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/vfs"
 )
 
 // WriteFileAtomic writes data to path with the temp-file + fsync +
@@ -14,7 +16,14 @@ import (
 // complete new one — never a torn write — and a crash mid-write leaves
 // the previous version intact.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
-	f, err := CreateAtomic(path)
+	return WriteFileAtomicFS(vfs.OS, path, data, perm)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem —
+// the seam fault-injection harnesses use to fail the write, the sync,
+// or the rename at any chosen point.
+func WriteFileAtomicFS(fsys vfs.FS, path string, data []byte, perm os.FileMode) error {
+	f, err := CreateAtomicFS(fsys, path)
 	if err != nil {
 		return err
 	}
@@ -34,7 +43,8 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 // untouched; Abort (safe to defer unconditionally) discards the temp
 // file.
 type AtomicFile struct {
-	f    *os.File
+	fsys vfs.FS
+	f    vfs.File
 	path string
 	done bool
 }
@@ -42,11 +52,17 @@ type AtomicFile struct {
 // CreateAtomic opens a temp file in path's directory that Commit will
 // rename over path.
 func CreateAtomic(path string) (*AtomicFile, error) {
-	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	return CreateAtomicFS(vfs.OS, path)
+}
+
+// CreateAtomicFS is CreateAtomic over an explicit filesystem.
+func CreateAtomicFS(fsys vfs.FS, path string) (*AtomicFile, error) {
+	fsys = vfs.Default(fsys)
+	f, err := fsys.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: create %s: %w", path, err)
 	}
-	return &AtomicFile{f: f, path: path}, nil
+	return &AtomicFile{fsys: fsys, f: f, path: path}, nil
 }
 
 // Write implements io.Writer.
@@ -63,7 +79,9 @@ func (a *AtomicFile) Chmod(perm os.FileMode) error {
 
 // Commit syncs the temp file, closes it, and atomically renames it over
 // the destination path, then syncs the directory so the rename itself
-// survives a crash.
+// survives a crash. Every step's error — the close and the directory
+// sync included — is propagated: a commit that returns nil has put the
+// complete bytes at the destination durably.
 func (a *AtomicFile) Commit() error {
 	if a.done {
 		return fmt.Errorf("checkpoint: %s already committed or aborted", a.path)
@@ -75,14 +93,17 @@ func (a *AtomicFile) Commit() error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		a.fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: commit %s: %w", a.path, err)
 	}
-	if err := os.Rename(tmp, a.path); err != nil {
-		os.Remove(tmp)
+	if err := a.fsys.Rename(tmp, a.path); err != nil {
+		a.fsys.Remove(tmp)
 		return fmt.Errorf("checkpoint: commit %s: %w", a.path, err)
 	}
-	return syncDir(filepath.Dir(a.path))
+	if err := a.fsys.SyncDir(filepath.Dir(a.path)); err != nil {
+		return fmt.Errorf("checkpoint: commit %s: sync dir: %w", a.path, err)
+	}
+	return nil
 }
 
 // Abort discards the temp file. It is a no-op after Commit, so it can
@@ -94,19 +115,7 @@ func (a *AtomicFile) Abort() {
 	a.done = true
 	tmp := a.f.Name()
 	a.f.Close()
-	os.Remove(tmp)
-}
-
-// syncDir fsyncs a directory to persist a rename. Filesystems that
-// cannot sync directories are tolerated: the rename is still atomic,
-// only its durability window widens.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil
-	}
-	d.Sync()
-	return d.Close()
+	a.fsys.Remove(tmp)
 }
 
 var _ io.Writer = (*AtomicFile)(nil)

@@ -1,0 +1,208 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// The durability property the storage-chaos harness leans on, in its
+// smallest form: under ANY single injected fault — every operation
+// class, every failure kind, every trigger index — a journal or job log
+// ends the run in a state where
+//
+//   1. the on-disk file (read back through the clean OS, as a restarted
+//      process would) decodes without error,
+//   2. every append that was ACKNOWLEDGED (returned nil) is in the
+//      decoded prefix, and
+//   3. every decoded record is one the workload actually wrote —
+//      never a silently truncated or mangled record accepted as
+//      complete.
+//
+// Faults must surface as loud errors; they may cost unacknowledged
+// records, never acknowledged ones.
+
+const propPoints = 6
+
+// journalOutcome is what one faulted workload left behind.
+type journalOutcome struct {
+	acked   map[int]bool // points whose Append returned nil
+	openErr error
+	path    string
+}
+
+func runJournalWorkload(t *testing.T, plan vfs.Plan) journalOutcome {
+	t.Helper()
+	out := journalOutcome{
+		acked: map[int]bool{},
+		path:  filepath.Join(t.TempDir(), "sweep.ckpt"),
+	}
+	fsys := vfs.NewFaulty(vfs.OS, plan)
+	j, err := OpenFS(fsys, out.path, "fp-prop")
+	if err != nil {
+		out.openErr = err
+		return out
+	}
+	for i := 0; i < propPoints; i++ {
+		if err := j.Append("fig1", i, uint64(100+i), []float64{float64(i), 0.5}); err == nil {
+			out.acked[i] = true
+		}
+	}
+	j.Close()
+	return out
+}
+
+func checkJournalOutcome(t *testing.T, out journalOutcome) {
+	t.Helper()
+	data, err := os.ReadFile(out.path)
+	if errors.Is(err, fs.ErrNotExist) {
+		// The header never landed; that is only legal if Open itself
+		// failed loudly.
+		if out.openErr == nil {
+			t.Fatalf("journal file missing but Open succeeded")
+		}
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property 1: whatever the fault did, the file decodes. The header
+	// is atomic (temp file + rename) and appends repair torn tails, so
+	// a decode error here would mean acknowledged state is unreadable.
+	fp, recs, _, derr := DecodeJournal(data)
+	if derr != nil {
+		t.Fatalf("on-disk journal does not decode: %v", derr)
+	}
+	if fp != "fp-prop" {
+		t.Fatalf("fingerprint %q", fp)
+	}
+	decoded := map[int]bool{}
+	for _, r := range recs {
+		// Property 3: only records the workload wrote, bit-exact.
+		if r.Sweep != "fig1" || r.Point < 0 || r.Point >= propPoints ||
+			r.Seed != uint64(100+r.Point) || !r.Verify() {
+			t.Fatalf("decoded record not among the appended ones: %+v", r)
+		}
+		decoded[r.Point] = true
+	}
+	// Property 2: acked ⊆ decoded.
+	for p := range out.acked {
+		if !decoded[p] {
+			t.Fatalf("acknowledged point %d missing from decoded journal (decoded %v)", p, decoded)
+		}
+	}
+	// And a restarted process resumes them: reopen through the clean OS.
+	j2, err := Open(out.path, "fp-prop")
+	if err != nil {
+		t.Fatalf("clean reopen after fault: %v", err)
+	}
+	defer j2.Close()
+	for p := range out.acked {
+		if !j2.Has("fig1", p, uint64(100+p)) {
+			t.Fatalf("acknowledged point %d not resumable", p)
+		}
+	}
+}
+
+func TestJournalSingleFaultProperty(t *testing.T) {
+	ops := []vfs.Op{vfs.OpOpen, vfs.OpCreate, vfs.OpRead, vfs.OpWrite, vfs.OpSync,
+		vfs.OpClose, vfs.OpRename, vfs.OpTruncate, vfs.OpSyncDir}
+	kinds := []vfs.Kind{vfs.KindENOSPC, vfs.KindEIO, vfs.KindShort, vfs.KindCrash}
+	for _, op := range ops {
+		for _, kind := range kinds {
+			if kind == vfs.KindShort && op != vfs.OpWrite {
+				continue
+			}
+			for nth := 1; nth <= 2*propPoints; nth++ {
+				for _, sticky := range []bool{false, true} {
+					if sticky && kind == vfs.KindCrash {
+						continue // crash is implicitly sticky
+					}
+					ft := vfs.Fault{Op: op, Kind: kind, Nth: nth, KeepBytes: 3 * nth, Sticky: sticky}
+					t.Run(fmt.Sprintf("%s-%s-n%d-sticky%v", op, kind, nth, sticky), func(t *testing.T) {
+						out := runJournalWorkload(t, vfs.Plan{Faults: []vfs.Fault{ft}})
+						checkJournalOutcome(t, out)
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestJournalRandomFaultProperty(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			out := runJournalWorkload(t, vfs.RandomPlan(seed, 2*propPoints))
+			checkJournalOutcome(t, out)
+		})
+	}
+}
+
+// The same property for the job log.
+func runJobLogWorkload(t *testing.T, plan vfs.Plan) (acked map[int]bool, openErr error, path string) {
+	t.Helper()
+	acked = map[int]bool{}
+	path = filepath.Join(t.TempDir(), "jobs.log")
+	fsys := vfs.NewFaulty(vfs.OS, plan)
+	l, _, err := OpenJobLogFS(fsys, path)
+	if err != nil {
+		return acked, err, path
+	}
+	for i := 0; i < propPoints; i++ {
+		rec := JobRecord{ID: fmt.Sprintf("j%03d", i), State: JobAccepted, Fingerprint: "fp", Note: "prop"}
+		if err := l.Append(rec); err == nil {
+			acked[i] = true
+		}
+	}
+	l.Close()
+	return acked, nil, path
+}
+
+func TestJobLogSingleFaultProperty(t *testing.T) {
+	ops := []vfs.Op{vfs.OpCreate, vfs.OpWrite, vfs.OpSync, vfs.OpClose, vfs.OpRename, vfs.OpTruncate}
+	kinds := []vfs.Kind{vfs.KindENOSPC, vfs.KindEIO, vfs.KindShort, vfs.KindCrash}
+	for _, op := range ops {
+		for _, kind := range kinds {
+			if kind == vfs.KindShort && op != vfs.OpWrite {
+				continue
+			}
+			for nth := 1; nth <= 2*propPoints; nth++ {
+				ft := vfs.Fault{Op: op, Kind: kind, Nth: nth, KeepBytes: 2 * nth}
+				t.Run(fmt.Sprintf("%s-%s-n%d", op, kind, nth), func(t *testing.T) {
+					acked, openErr, path := runJobLogWorkload(t, vfs.Plan{Faults: []vfs.Fault{ft}})
+					data, err := os.ReadFile(path)
+					if errors.Is(err, fs.ErrNotExist) {
+						if openErr == nil {
+							t.Fatalf("job log missing but OpenJobLog succeeded")
+						}
+						return
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					recs, _, derr := DecodeJobLog(data)
+					if derr != nil {
+						t.Fatalf("on-disk job log does not decode: %v", derr)
+					}
+					decoded := map[string]bool{}
+					for _, r := range recs {
+						if r.State != JobAccepted || r.Note != "prop" || r.Sum != r.checksum() {
+							t.Fatalf("decoded record not among the appended ones: %+v", r)
+						}
+						decoded[r.ID] = true
+					}
+					for i := range acked {
+						if !decoded[fmt.Sprintf("j%03d", i)] {
+							t.Fatalf("acknowledged job record %d missing from decoded log", i)
+						}
+					}
+				})
+			}
+		}
+	}
+}

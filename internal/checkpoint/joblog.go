@@ -9,6 +9,8 @@ import (
 	"io/fs"
 	"os"
 	"sync"
+
+	"repro/internal/vfs"
 )
 
 // Job-state records for the simulation service daemon.
@@ -98,29 +100,45 @@ func encodeJobLogHeader() ([]byte, error) {
 // state transition survives any subsequent crash; a crash mid-append
 // damages at most the unacknowledged tail record, which OpenJobLog
 // silently truncates away. A JobLog is safe for concurrent use.
+//
+// Failed appends follow the same repair-or-poison discipline as the
+// sweep Journal: a torn write is truncated back to the last
+// acknowledged byte, and an unrepairable file — or any fsync failure —
+// poisons the log so every further append fails with ErrPoisoned
+// instead of risking acknowledged records a reopen would drop.
 type JobLog struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	next int // next sequence number
+	mu     sync.Mutex
+	fsys   vfs.FS
+	f      vfs.File
+	path   string
+	next   int   // next sequence number
+	off    int64 // acknowledged (written + synced) byte length
+	failed error // poison: set on unrecoverable storage failure
 }
 
 // OpenJobLog creates the log at path, or reopens an existing one,
 // returning the salvaged records in append order. A damaged tail is
 // truncated off; only an unusable header fails the open.
 func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
-	l := &JobLog{path: path, next: 1}
+	return OpenJobLogFS(vfs.OS, path)
+}
+
+// OpenJobLogFS is OpenJobLog over an explicit filesystem.
+func OpenJobLogFS(fsys vfs.FS, path string) (*JobLog, []JobRecord, error) {
+	fsys = vfs.Default(fsys)
+	l := &JobLog{fsys: fsys, path: path, next: 1}
 	var records []JobRecord
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
 		hdr, err := encodeJobLogHeader()
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := WriteFileAtomic(path, hdr, 0o644); err != nil {
+		if err := WriteFileAtomicFS(fsys, path, hdr, 0o644); err != nil {
 			return nil, nil, err
 		}
+		l.off = int64(len(hdr))
 	case err != nil:
 		return nil, nil, fmt.Errorf("checkpoint: %w", err)
 	default:
@@ -130,7 +148,7 @@ func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
 			return nil, nil, err
 		}
 		if salvaged := len(data) - valid; salvaged > 0 {
-			if err := truncateTo(path, valid); err != nil {
+			if err := truncateTo(fsys, path, valid); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -139,8 +157,9 @@ func OpenJobLog(path string) (*JobLog, []JobRecord, error) {
 				l.next = r.Seq + 1
 			}
 		}
+		l.off = int64(valid)
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -191,6 +210,9 @@ func (l *JobLog) Append(rec JobRecord) error {
 	if l.f == nil {
 		return errClosed
 	}
+	if l.failed != nil {
+		return fmt.Errorf("%w (%v)", ErrPoisoned, l.failed)
+	}
 	rec.Seq = l.next
 	rec.Sum = rec.checksum()
 	line, err := json.Marshal(rec)
@@ -198,14 +220,31 @@ func (l *JobLog) Append(rec JobRecord) error {
 		return fmt.Errorf("checkpoint: encode job %s %s: %w", rec.ID, rec.State, err)
 	}
 	line = append(line, '\n')
-	if _, err := l.f.Write(line); err != nil {
-		return fmt.Errorf("checkpoint: append job %s %s: %w", rec.ID, rec.State, err)
+	if _, werr := l.f.Write(line); werr != nil {
+		l.repairLocked(werr)
+		return fmt.Errorf("checkpoint: append job %s %s: %w", rec.ID, rec.State, werr)
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("checkpoint: sync job %s %s: %w", rec.ID, rec.State, err)
+	if serr := l.f.Sync(); serr != nil {
+		// Durability of the record is unknowable after a failed fsync;
+		// poison rather than pretend (see Journal.appendRawLocked).
+		l.failed = fmt.Errorf("fsync failed: %w", serr)
+		return fmt.Errorf("checkpoint: sync job %s %s: %w", rec.ID, rec.State, serr)
 	}
+	l.off += int64(len(line))
 	l.next++
 	return nil
+}
+
+// repairLocked truncates the log back to the last acknowledged byte
+// after a failed write, poisoning the log if the repair fails.
+func (l *JobLog) repairLocked(cause error) {
+	terr := l.f.Truncate(l.off)
+	if terr == nil {
+		terr = l.f.Sync()
+	}
+	if terr != nil {
+		l.failed = fmt.Errorf("repair after %v failed: %w", cause, terr)
+	}
 }
 
 // NextSeq returns the sequence number the next Append will record.
@@ -215,14 +254,29 @@ func (l *JobLog) NextSeq() int {
 	return l.next
 }
 
+// Poisoned returns the storage failure that poisoned the log, or nil
+// while it is healthy.
+func (l *JobLog) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
 // Path returns the log's file path.
 func (l *JobLog) Path() string { return l.path }
 
-// Close syncs and closes the log. It is idempotent.
+// Close syncs and closes the log. It is idempotent. A poisoned log's
+// close releases the descriptor without syncing (durability was already
+// forfeit and reported) and returns nil.
 func (l *JobLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
+		return nil
+	}
+	if l.failed != nil {
+		l.f.Close()
+		l.f = nil
 		return nil
 	}
 	err := l.f.Sync()

@@ -8,6 +8,8 @@ import (
 	"io/fs"
 	"os"
 	"sync"
+
+	"repro/internal/vfs"
 )
 
 // ErrFingerprintMismatch is returned by Open when an existing journal
@@ -21,6 +23,20 @@ var ErrFingerprintMismatch = errors.New("checkpoint: journal fingerprint does no
 // this as a benign skip rather than a journaling failure.
 var ErrUnencodableResult = errors.New("checkpoint: result value is not JSON-encodable")
 
+// ErrCorruptRecord marks an Ingest whose record fails its CRC check:
+// the bytes were garbled in transit or by the producer. It is the
+// caller's cue that the record — not the journal's storage — is bad;
+// storage failures during ingest surface as other errors.
+var ErrCorruptRecord = errors.New("checkpoint: record CRC mismatch")
+
+// ErrPoisoned marks appends to a journal or job log that suffered an
+// unrecoverable storage failure earlier: a failed fsync (the kernel may
+// have dropped dirty pages — durability of anything not yet synced is
+// unknowable) or a torn write that could not be truncated away. Every
+// subsequent append fails loudly with it rather than risking
+// acknowledged records that a reopen would silently drop.
+var ErrPoisoned = errors.New("checkpoint: log poisoned by an earlier storage failure")
+
 // errClosed reports use after Close.
 var errClosed = errors.New("checkpoint: journal is closed")
 
@@ -29,13 +45,24 @@ var errClosed = errors.New("checkpoint: journal is closed")
 // survives any subsequent crash; a crash mid-append damages at most the
 // unacknowledged tail record, which Open silently truncates away. A
 // Journal is safe for concurrent use by sweep workers.
+//
+// Appends that fail are repaired or poisoned: a failed write truncates
+// the file back to the last acknowledged byte (so the torn bytes can
+// never shadow a later record), and if the repair — or any fsync —
+// fails, the journal is poisoned and every further append returns
+// ErrPoisoned. The invariant this buys: every record the journal ever
+// acknowledged is in the decoded prefix of the file, no matter which
+// single operation failed.
 type Journal struct {
 	mu          sync.Mutex
-	f           *os.File
+	fsys        vfs.FS
+	f           vfs.File
 	path        string
 	fingerprint string
 	completed   map[journalKey]Entry
-	salvaged    int // bytes of damaged tail discarded on Open
+	salvaged    int   // bytes of damaged tail discarded on Open
+	off         int64 // acknowledged (written + synced) byte length
+	failed      error // poison: set on unrecoverable storage failure
 }
 
 type journalKey struct {
@@ -56,20 +83,28 @@ type Entry struct {
 // records become available through Lookup. Resuming a journal written
 // under a different fingerprint fails with ErrFingerprintMismatch.
 func Open(path, fingerprint string) (*Journal, error) {
+	return OpenFS(vfs.OS, path, fingerprint)
+}
+
+// OpenFS is Open over an explicit filesystem — the seam fault-injection
+// harnesses use to fail any operation of the journal's life cycle.
+func OpenFS(fsys vfs.FS, path, fingerprint string) (*Journal, error) {
+	fsys = vfs.Default(fsys)
 	if fingerprint == "" {
 		return nil, fmt.Errorf("checkpoint: empty fingerprint")
 	}
-	j := &Journal{path: path, fingerprint: fingerprint, completed: map[journalKey]Entry{}}
-	data, err := os.ReadFile(path)
+	j := &Journal{fsys: fsys, path: path, fingerprint: fingerprint, completed: map[journalKey]Entry{}}
+	data, err := fsys.ReadFile(path)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
 		hdr, err := encodeHeader(fingerprint)
 		if err != nil {
 			return nil, err
 		}
-		if err := WriteFileAtomic(path, hdr, 0o644); err != nil {
+		if err := WriteFileAtomicFS(fsys, path, hdr, 0o644); err != nil {
 			return nil, err
 		}
+		j.off = int64(len(hdr))
 	case err != nil:
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	default:
@@ -91,12 +126,13 @@ func Open(path, fingerprint string) (*Journal, error) {
 		}
 		j.salvaged = len(data) - valid
 		if j.salvaged > 0 {
-			if err := truncateTo(path, valid); err != nil {
+			if err := truncateTo(fsys, path, valid); err != nil {
 				return nil, err
 			}
 		}
+		j.off = int64(valid)
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -105,19 +141,8 @@ func Open(path, fingerprint string) (*Journal, error) {
 }
 
 // truncateTo cuts the file to n bytes and syncs the truncation.
-func truncateTo(path string, n int) error {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	err = f.Truncate(int64(n))
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+func truncateTo(fsys vfs.FS, path string, n int) error {
+	if err := fsys.Truncate(path, int64(n)); err != nil {
 		return fmt.Errorf("checkpoint: truncating damaged tail: %w", err)
 	}
 	return nil
@@ -157,27 +182,52 @@ func (j *Journal) appendRawLocked(sweep string, point int, seed uint64, raw json
 	if j.f == nil {
 		return errClosed
 	}
-	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("checkpoint: append %s point %d: %w", sweep, point, err)
+	if j.failed != nil {
+		return fmt.Errorf("%w (%v)", ErrPoisoned, j.failed)
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("checkpoint: sync %s point %d: %w", sweep, point, err)
+	if _, werr := j.f.Write(line); werr != nil {
+		j.repairLocked(werr)
+		return fmt.Errorf("checkpoint: append %s point %d: %w", sweep, point, werr)
 	}
+	if serr := j.f.Sync(); serr != nil {
+		// A failed fsync leaves durability unknowable: the kernel may
+		// have dropped the dirty pages and will not report the failure
+		// again on a retried sync. Poison rather than pretend.
+		j.failed = fmt.Errorf("fsync failed: %w", serr)
+		return fmt.Errorf("checkpoint: sync %s point %d: %w", sweep, point, serr)
+	}
+	j.off += int64(len(line))
 	j.completed[journalKey{sweep, point}] = Entry{Seed: seed, Result: raw}
 	return nil
+}
+
+// repairLocked restores the file to the last acknowledged byte after a
+// failed or torn write, so the garbage tail can never sit between two
+// acknowledged records (where tolerant decoding would silently drop
+// everything after it). If the repair cannot be made durable, the log
+// is poisoned instead.
+func (j *Journal) repairLocked(cause error) {
+	terr := j.f.Truncate(j.off)
+	if terr == nil {
+		terr = j.f.Sync()
+	}
+	if terr != nil {
+		j.failed = fmt.Errorf("repair after %v failed: %w", cause, terr)
+	}
 }
 
 // Ingest merges one externally produced record (a remote worker's
 // result) into the journal with first-committed-wins semantics: a point
 // already present — whatever process computed it — is left untouched and
 // the duplicate is reported, not an error. The record's CRC is verified
-// before anything is written, so a record garbled in transit never
-// reaches the journal. The duplicate check and the append are one
-// critical section, so two racing ingests of the same point commit
-// exactly one record. It returns whether the record was appended.
+// before anything is written — a garbled record fails with
+// ErrCorruptRecord and never reaches the journal. The duplicate check
+// and the append are one critical section, so two racing ingests of the
+// same point commit exactly one record. It returns whether the record
+// was appended.
 func (j *Journal) Ingest(rec Record) (bool, error) {
 	if !rec.Verify() {
-		return false, fmt.Errorf("checkpoint: ingest %s point %d: CRC mismatch", rec.Sweep, rec.Point)
+		return false, fmt.Errorf("%w: ingest %s point %d", ErrCorruptRecord, rec.Sweep, rec.Point)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -224,14 +274,29 @@ func (j *Journal) SalvagedBytes() int {
 	return j.salvaged
 }
 
+// Poisoned returns the storage failure that poisoned the journal, or
+// nil while it is healthy.
+func (j *Journal) Poisoned() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.failed
+}
+
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
 
-// Close syncs and closes the journal. It is idempotent.
+// Close syncs and closes the journal. It is idempotent. A poisoned
+// journal's close releases the descriptor without syncing (durability
+// was already forfeit and reported) and returns nil.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
+		return nil
+	}
+	if j.failed != nil {
+		j.f.Close()
+		j.f = nil
 		return nil
 	}
 	err := j.f.Sync()

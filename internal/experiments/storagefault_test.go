@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/vfs"
+)
+
+// TestFigure1SurvivesJournalCrash is the sweep-engine half of the
+// storage-fault story: a Figure 1 run whose checkpoint journal dies at
+// a crash point mid-append must fail loudly (a journal that cannot
+// persist points is a failed sweep, not a silently unjournaled one) —
+// and a rerun over the repaired filesystem must resume the surviving
+// points and render CSV byte-identical to an uninterrupted run.
+func TestFigure1SurvivesJournalCrash(t *testing.T) {
+	base := func() Options {
+		opts := DefaultOptions()
+		opts.Seed = 42
+		opts.TargetEvents = 300 // small window: determinism, not accuracy
+		opts.Workers = 1
+		return opts
+	}
+
+	// Reference: one uninterrupted run, no journal.
+	ref, err := Figure1(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.CSV()
+
+	// Faulted run: the filesystem crashes on the third journal append,
+	// tearing that record at an arbitrary byte offset.
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fsys := vfs.NewFaulty(vfs.OS, vfs.Plan{Faults: []vfs.Fault{
+		{Op: vfs.OpWrite, Kind: vfs.KindCrash, Path: "journal.jsonl", Nth: 3, KeepBytes: 17},
+	}})
+	j, err := checkpoint.OpenFS(fsys, path, "test-fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := base()
+	opts.Journal = j
+	if _, err := Figure1(opts); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("faulted sweep error = %v, want loud injected failure", err)
+	}
+	j.Close()
+
+	// Reboot: rerun over the repaired (real) filesystem against the
+	// same journal file. The torn tail is salvaged away, the surviving
+	// points replay, the rest recompute — and the CSV matches the
+	// uninterrupted run byte for byte.
+	j2, err := checkpoint.Open(path, "test-fp")
+	if err != nil {
+		t.Fatalf("reopening journal after crash: %v", err)
+	}
+	defer j2.Close()
+	if j2.Completed() == 0 {
+		t.Fatal("no points survived the crash — appends before the fault were acknowledged")
+	}
+	opts = base()
+	opts.Journal = j2
+	res, err := Figure1(opts)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if got := res.CSV(); got != want {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -2,13 +2,20 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"os"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 )
+
+// ErrStorage marks a lease-protocol failure caused by the coordinator's
+// own storage, not by the worker's request: the result was valid but
+// could not be journaled durably. The server maps it to 503 with a
+// Retry-After hint — the worker's bytes are good and worth re-sending
+// once the coordinator is healthy again.
+var ErrStorage = errors.New("service: storage failure while recording result")
 
 // Coordinator side of distributed sweep execution: the Manager's lease
 // protocol entry points (claim / heartbeat / result / done, called by
@@ -20,15 +27,35 @@ import (
 // correctness).
 const maxWorkers = 1024
 
-// noteWorkerLocked records a worker sighting for /v1/stats.
-func (m *Manager) noteWorkerLocked(name string) {
-	if _, ok := m.workers[name]; !ok && len(m.workers) >= maxWorkers {
-		for k := range m.workers {
-			delete(m.workers, k)
-			break
+// noteWorkerLocked records a worker sighting for /v1/stats and returns
+// its row for counter updates.
+func (m *Manager) noteWorkerLocked(name string) *WorkerRow {
+	row, ok := m.workers[name]
+	if !ok {
+		if len(m.workers) >= maxWorkers {
+			for k := range m.workers {
+				delete(m.workers, k)
+				break
+			}
 		}
+		row = &WorkerRow{Name: name}
+		m.workers[name] = row
 	}
-	m.workers[name] = m.cfg.Clock()
+	row.LastSeenMS = m.cfg.Clock().UnixMilli()
+	return row
+}
+
+// releaseLeaseLocked drops a lease from the per-worker held count; it
+// is called on done reports, expirations, and coordinator teardown.
+func (m *Manager) releaseLeaseLocked(leaseID string) {
+	name, ok := m.leaseWorkers[leaseID]
+	if !ok {
+		return
+	}
+	delete(m.leaseWorkers, leaseID)
+	if row := m.workers[name]; row != nil && row.LeasesHeld > 0 {
+		row.LeasesHeld--
+	}
 }
 
 // runDistributedJob coordinates one job's execution by remote workers:
@@ -48,7 +75,7 @@ func (m *Manager) runDistributedJob(j *job) {
 		m.finish(j, StateFailed, err.Error(), checkpoint.JobFailed)
 		return
 	}
-	jr, err := checkpoint.Open(m.journalPath(j.fingerprint), j.fingerprint)
+	jr, err := checkpoint.OpenFS(m.fs, m.journalPath(j.fingerprint), j.fingerprint)
 	if err != nil {
 		m.finish(j, StateFailed, fmt.Sprintf("opening journal: %v", err), checkpoint.JobFailed)
 		return
@@ -81,6 +108,7 @@ func (m *Manager) runDistributedJob(j *job) {
 			OnExpire: func(id, worker string) {
 				m.stats.LeasesExpired++
 				delete(m.distByLease, id)
+				m.releaseLeaseLocked(id)
 			},
 		}, pending),
 	}
@@ -105,6 +133,12 @@ func (m *Manager) runDistributedJob(j *job) {
 		d.table.Expire(m.cfg.Clock())
 		done := d.table.Done()
 		tableErr = d.table.Failed()
+		if tableErr == nil && d.err != nil {
+			// A storage failure while merging this job's results: the
+			// journal cannot make further progress durable, so waiting
+			// out the deadline would only burn worker time.
+			tableErr = d.err
+		}
 		m.mu.Unlock()
 		if done || tableErr != nil || ctx.Err() != nil {
 			break
@@ -129,6 +163,7 @@ func (m *Manager) runDistributedJob(j *job) {
 	for id, dd := range m.distByLease {
 		if dd == d {
 			delete(m.distByLease, id)
+			m.releaseLeaseLocked(id)
 		}
 	}
 	m.mu.Unlock()
@@ -160,13 +195,13 @@ func (m *Manager) runDistributedJob(j *job) {
 			m.finish(j, StateFailed, fmt.Sprintf("rendering merged artifact: %v", err), checkpoint.JobFailed)
 			return
 		}
-		if werr := checkpoint.WriteFileAtomic(j.resultPath, data, 0o644); werr != nil {
+		if werr := checkpoint.WriteFileAtomicFS(m.fs, j.resultPath, data, 0o644); werr != nil {
 			m.finish(j, StateFailed, fmt.Sprintf("persisting artifact: %v", werr), checkpoint.JobFailed)
 			return
 		}
 		m.cache.Put(j.fingerprint, data)
 		m.finish(j, StateDone, "", checkpoint.JobDone)
-		_ = os.Remove(m.journalPath(j.fingerprint))
+		_ = m.fs.Remove(m.journalPath(j.fingerprint))
 	}
 }
 
@@ -193,11 +228,21 @@ func (m *Manager) ClaimLease(worker string) (*Lease, time.Duration, error) {
 		lease, wait := d.table.Claim(worker, now)
 		if lease != nil {
 			m.distByLease[lease.ID] = d
+			m.leaseWorkers[lease.ID] = worker
+			m.noteWorkerLocked(worker).LeasesHeld++
 			m.stats.LeasesGranted++
-			_ = m.log.Append(checkpoint.JobRecord{
+			if err := m.log.Append(checkpoint.JobRecord{
 				ID: d.job.id, State: checkpoint.JobLeased, Fingerprint: fp,
 				Note: fmt.Sprintf("lease %s worker %s attempt %d points %v", lease.ID, worker, lease.Attempt, lease.Points),
-			})
+			}); err != nil {
+				// The grant is an audit record, not a correctness
+				// dependency — recovery treats a job on its accepted
+				// record identically. Still grant the lease (the worker's
+				// compute is unaffected), but flip degraded: a log that
+				// cannot append audit records cannot append accepted
+				// records either.
+				m.enterDegradedLocked(fmt.Sprintf("job log append failed: %v", err))
+			}
 			return lease, 0, nil
 		}
 		if wait > 0 && (retry == 0 || wait < retry) {
@@ -229,13 +274,14 @@ func (m *Manager) LeaseHeartbeat(id, worker string) error {
 func (m *Manager) LeaseResult(req ResultRequest) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.noteWorkerLocked(req.Worker)
+	row := m.noteWorkerLocked(req.Worker)
 	d, ok := m.distByFP[req.Fingerprint]
 	if !ok {
 		return false, ErrLeaseGone
 	}
 	rec := req.Record
 	if rec.Sweep != d.sweep || rec.Seed != d.seed || rec.Point < 0 || rec.Point >= d.total {
+		row.StreamErrors++
 		return false, fmt.Errorf("service: result does not match job plan (sweep %q point %d seed %d)",
 			rec.Sweep, rec.Point, rec.Seed)
 	}
@@ -246,10 +292,23 @@ func (m *Manager) LeaseResult(req ResultRequest) (bool, error) {
 	// relative to the work that produced it.
 	added, err := d.journal.Ingest(rec)
 	if err != nil {
-		return false, err
+		if errors.Is(err, checkpoint.ErrCorruptRecord) {
+			// The worker's bytes failed their CRC: a worker-side bug or
+			// a corrupting transport. The journal is untouched; reject
+			// the record (400), not the daemon.
+			row.StreamErrors++
+			return false, err
+		}
+		// Anything else is OUR storage failing to persist a valid
+		// record: fail this job, flip the daemon read-only, and tell
+		// the worker to retry against a healthy coordinator (503).
+		d.err = fmt.Errorf("recording point %d: %w", rec.Point, err)
+		m.enterDegradedLocked(fmt.Sprintf("journal ingest failed: %v", err))
+		return false, fmt.Errorf("%w: %v", ErrStorage, err)
 	}
 	if added {
 		m.stats.PointsMerged++
+		row.PointsCommitted++
 	} else {
 		m.stats.PointsDuplicate++
 	}
@@ -268,5 +327,6 @@ func (m *Manager) LeaseDone(id string, req DoneRequest) error {
 		return ErrLeaseGone
 	}
 	delete(m.distByLease, id)
+	m.releaseLeaseLocked(id)
 	return d.table.Report(id, req.Failed, req.Error, m.cfg.Clock())
 }

@@ -1,0 +1,331 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/vfs"
+)
+
+// Degraded read-only mode: storage failures on the job log (or on a
+// distributed ingest) must flip the daemon into a state where running
+// jobs drain, results stay servable, and new submissions bounce with a
+// retryable 503 — never a state where jobs are acknowledged against a
+// log that cannot record them.
+
+// submitUnavailable asserts a submission is rejected with the given
+// Unavailable reason.
+func submitUnavailable(t *testing.T, m *Manager, spec JobSpec, reason string) {
+	t.Helper()
+	_, err := m.Submit(spec)
+	var un *Unavailable
+	if !errors.As(err, &un) {
+		t.Fatalf("Submit err = %v, want Unavailable %q", err, reason)
+	}
+	if un.Reason != reason {
+		t.Fatalf("Submit rejected with %q, want %q", un.Reason, reason)
+	}
+	if un.RetryAfter <= 0 {
+		t.Fatalf("Unavailable %q carries no Retry-After hint", reason)
+	}
+}
+
+// TestDegradedAfterTerminalAppendFailure: the job log's fsync dies
+// while a job is in flight. The running job must drain to done with a
+// servable artifact (this process still knows the outcome); everything
+// after must be rejected read-only.
+//
+// Sync schedule on paths containing "jobs.log": #1 is the header commit
+// of the new log, #2 the job's accepted record, #3 its terminal record
+// — where the sticky fault begins.
+func TestDegradedAfterTerminalAppendFailure(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.FS = vfs.NewFaulty(vfs.OS, vfs.Plan{Faults: []vfs.Fault{
+		{Op: vfs.OpSync, Kind: vfs.KindEIO, Path: "jobs.log", Nth: 3, Sticky: true},
+	}})
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := testMeasureSpec("alice", 7)
+	st := mustSubmit(t, m, spec)
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("in-flight job ended %s (%s), want done (drain through degradation)", fin.State, fin.Reason)
+	}
+	got, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatalf("artifact of drained job: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("drained job produced an empty artifact")
+	}
+
+	if m.Ready() {
+		t.Fatal("daemon still ready after job-log sync failure")
+	}
+	if ok, reason := m.ReadyState(); ok || reason != "degraded" {
+		t.Fatalf("ReadyState = %v %q, want false degraded", ok, reason)
+	}
+	submitUnavailable(t, m, testMeasureSpec("bob", 8), "degraded")
+
+	s := m.StatsSnapshot()
+	if !s.IsDegraded || s.Degraded == "" {
+		t.Fatalf("stats not degraded: %+v", s)
+	}
+	if s.RejectedDegraded != 1 {
+		t.Fatalf("RejectedDegraded = %d, want 1", s.RejectedDegraded)
+	}
+	// Read paths stay up: the job is still queryable.
+	if _, ok := m.Status(st.ID); !ok {
+		t.Fatal("status read path down in degraded mode")
+	}
+}
+
+// TestDegradedOnAcceptAppendFailure: when the accepted record itself
+// cannot be journaled, the submission must NOT be acknowledged — the
+// client gets a retryable 503 and the job never exists.
+func TestDegradedOnAcceptAppendFailure(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.FS = vfs.NewFaulty(vfs.OS, vfs.Plan{Faults: []vfs.Fault{
+		{Op: vfs.OpSync, Kind: vfs.KindENOSPC, Path: "jobs.log", Nth: 2, Sticky: true},
+	}})
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	submitUnavailable(t, m, testMeasureSpec("alice", 7), "degraded")
+	if m.Ready() {
+		t.Fatal("daemon still ready after accept append failure")
+	}
+	s := m.StatsSnapshot()
+	if s.Accepted != 0 {
+		t.Fatalf("Accepted = %d after failed accept, want 0", s.Accepted)
+	}
+	if s.Queued != 0 {
+		t.Fatalf("Queued = %d after failed accept, want 0", s.Queued)
+	}
+}
+
+// TestSubmitShedsBelowDiskWatermark: a scripted near-full disk sheds
+// new jobs with "disk-full" before any admission token or log append,
+// and admission resumes the moment space returns — the watermark is
+// load shedding, not degradation.
+func TestSubmitShedsBelowDiskWatermark(t *testing.T) {
+	free := int64(4096)
+	cfg := testConfig(t)
+	cfg.FS = vfs.NewFaulty(vfs.OS, vfs.Plan{FreeBytes: &free})
+	cfg.MinFreeBytes = 1 << 20
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	submitUnavailable(t, m, testMeasureSpec("alice", 7), "disk-full")
+	if !m.Ready() {
+		t.Fatal("watermark shed must not mark the daemon unready")
+	}
+	s := m.StatsSnapshot()
+	if s.ShedDiskFull != 1 {
+		t.Fatalf("ShedDiskFull = %d, want 1", s.ShedDiskFull)
+	}
+	if s.IsDegraded {
+		t.Fatal("watermark shed must not degrade the daemon")
+	}
+
+	// Space returns; the same submission is admitted and completes.
+	free = 1 << 30
+	st := mustSubmit(t, m, testMeasureSpec("alice", 7))
+	if fin := waitTerminal(t, m, st.ID); fin.State != StateDone {
+		t.Fatalf("job after watermark lift ended %s (%s)", fin.State, fin.Reason)
+	}
+}
+
+// claimLease polls the coordinator until a lease is granted.
+func claimLease(t *testing.T, m *Manager, worker string) *Lease {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		lease, _, err := m.ClaimLease(worker)
+		if err != nil {
+			t.Fatalf("ClaimLease: %v", err)
+		}
+		if lease != nil {
+			return lease
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no lease granted")
+	return nil
+}
+
+// workerRow fetches one worker's stats row.
+func workerRow(t *testing.T, m *Manager, name string) WorkerRow {
+	t.Helper()
+	for _, row := range m.StatsSnapshot().WorkerRows {
+		if row.Name == name {
+			return row
+		}
+	}
+	t.Fatalf("no stats row for worker %q", name)
+	return WorkerRow{}
+}
+
+// TestLeaseResultCorruptRecordIsWorkerFault: a record failing its CRC
+// is the worker's (or the transport's) fault — rejected loudly, counted
+// on the worker's row, and the daemon stays healthy.
+func TestLeaseResultCorruptRecordIsWorkerFault(t *testing.T) {
+	m, err := Open(distConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := mustSubmit(t, m, testMeasureSpec("alice", 7))
+	lease := claimLease(t, m, "w1")
+
+	rec := checkpoint.NewRecord(lease.Sweep, lease.Points[0], lease.Spec.Seed, json.RawMessage(`[1,2]`))
+	rec.Sum++ // garble
+	_, rerr := m.LeaseResult(ResultRequest{Worker: "w1", Fingerprint: lease.Fingerprint, Record: rec})
+	if !errors.Is(rerr, checkpoint.ErrCorruptRecord) {
+		t.Fatalf("LeaseResult = %v, want ErrCorruptRecord", rerr)
+	}
+	if !m.Ready() {
+		t.Fatal("a worker's corrupt record must not degrade the daemon")
+	}
+	row := workerRow(t, m, "w1")
+	if row.StreamErrors != 1 || row.PointsCommitted != 0 || row.LeasesHeld != 1 {
+		t.Fatalf("worker row after corrupt record: %+v", row)
+	}
+
+	// The healthy version of the same record merges and is counted.
+	good := checkpoint.NewRecord(lease.Sweep, lease.Points[0], lease.Spec.Seed, json.RawMessage(`[1,2]`))
+	added, rerr := m.LeaseResult(ResultRequest{Worker: "w1", Fingerprint: lease.Fingerprint, Record: good})
+	if rerr != nil || !added {
+		t.Fatalf("valid record: added=%v err=%v", added, rerr)
+	}
+	if row := workerRow(t, m, "w1"); row.PointsCommitted != 1 {
+		t.Fatalf("PointsCommitted = %d, want 1", row.PointsCommitted)
+	}
+	if row.LastSeenMS <= 0 {
+		t.Fatalf("LastSeenMS = %d, want set", row.LastSeenMS)
+	}
+	_ = st
+}
+
+// TestDegradedOnIngestStorageFailure: the job journal's storage dies
+// while a worker streams a valid record. The worker must see a
+// retryable storage error (503 on the wire), the job must fail loudly,
+// and the daemon must flip read-only.
+//
+// Sync schedule on paths containing ".ckpt": #1 is the journal header
+// commit, #2 the first ingested record — where the sticky fault begins.
+func TestDegradedOnIngestStorageFailure(t *testing.T) {
+	cfg := distConfig(t)
+	cfg.FS = vfs.NewFaulty(vfs.OS, vfs.Plan{Faults: []vfs.Fault{
+		{Op: vfs.OpSync, Kind: vfs.KindEIO, Path: ".ckpt", Nth: 2, Sticky: true},
+	}})
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st := mustSubmit(t, m, testMeasureSpec("alice", 7))
+	lease := claimLease(t, m, "w1")
+
+	rec := checkpoint.NewRecord(lease.Sweep, lease.Points[0], lease.Spec.Seed, json.RawMessage(`[1,2]`))
+	_, rerr := m.LeaseResult(ResultRequest{Worker: "w1", Fingerprint: lease.Fingerprint, Record: rec})
+	if !errors.Is(rerr, ErrStorage) {
+		t.Fatalf("LeaseResult = %v, want ErrStorage", rerr)
+	}
+	if row := workerRow(t, m, "w1"); row.StreamErrors != 0 {
+		t.Fatalf("storage failure charged to the worker: %+v", row)
+	}
+
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != StateFailed {
+		t.Fatalf("job ended %s (%s), want failed", fin.State, fin.Reason)
+	}
+	if m.Ready() {
+		t.Fatal("daemon still ready after ingest storage failure")
+	}
+	submitUnavailable(t, m, testMeasureSpec("bob", 8), "degraded")
+	// Teardown returned the worker's lease.
+	if row := workerRow(t, m, "w1"); row.LeasesHeld != 0 {
+		t.Fatalf("LeasesHeld = %d after job teardown, want 0", row.LeasesHeld)
+	}
+}
+
+// TestDegradedHTTPContract pins the wire shape of degraded mode: 503 +
+// Retry-After on POST /v1/jobs, /readyz naming "degraded", /healthz
+// staying 200 (a degraded daemon is not a dead daemon), and /v1/stats
+// still serving with the degraded flag and reason set.
+func TestDegradedHTTPContract(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.FS = vfs.NewFaulty(vfs.OS, vfs.Plan{Faults: []vfs.Fault{
+		{Op: vfs.OpSync, Kind: vfs.KindENOSPC, Path: "jobs.log", Nth: 2, Sticky: true},
+	}})
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewServer(m, 0).Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(testMeasureSpec("alice", 7))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on degraded log: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 without Retry-After header")
+	}
+
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb errorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Reason != "degraded" {
+		t.Fatalf("/readyz = %d reason %q, want 503 degraded", resp.StatusCode, eb.Reason)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d in degraded mode, want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !s.IsDegraded || s.Degraded == "" {
+		t.Fatalf("/v1/stats degraded flags: %+v", s)
+	}
+}

@@ -3,7 +3,6 @@ package service
 import (
 	"encoding/json"
 	"net/http"
-	"os"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -84,7 +83,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		// started, or finished and cleaned up) is an empty set, not an
 		// error — the terminal state below settles the stream.
 		present := map[int]uint64{}
-		if data, err := os.ReadFile(path); err == nil {
+		if data, err := s.m.fs.ReadFile(path); err == nil {
 			if _, records, _, derr := checkpoint.DecodeJournal(data); derr == nil {
 				for _, rec := range records {
 					if rec.Sweep == plan.Sweep && rec.Seed == spec.Seed {

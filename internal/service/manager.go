@@ -6,13 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/experiments"
+	"repro/internal/vfs"
 )
 
 // State is a job's lifecycle position. Transitions are append-only and
@@ -65,7 +66,9 @@ type job struct {
 // carries the client-visible backoff hint (exponential with
 // decorrelated jitter, growing while the tenant keeps being rejected).
 type Unavailable struct {
-	// Reason is "throttled", "queue-full", "draining" or "closed".
+	// Reason is "throttled", "queue-full", "draining", "closed",
+	// "degraded" (storage failure flipped the daemon read-only) or
+	// "disk-full" (free space under the admission watermark).
 	Reason     string
 	RetryAfter time.Duration
 }
@@ -122,6 +125,16 @@ type Config struct {
 	BackoffSeed int64
 	// Clock overrides time.Now, for tests.
 	Clock func() time.Time
+	// FS is the filesystem all durable state goes through; nil selects
+	// the real one (vfs.OS). Fault-injection harnesses substitute a
+	// vfs.Faulty here.
+	FS vfs.FS
+	// MinFreeBytes is the disk-watermark admission floor: while the
+	// filesystem under StateDir reports less free space, new jobs are
+	// shed with 503 "disk-full" before they consume an admission token
+	// or touch the job log. 0 disables the check; so does a filesystem
+	// that cannot report free space.
+	MinFreeBytes int64
 
 	// Distributed switches job execution from the local worker pool to
 	// the lease-based coordinator: jobs are sharded into point leases
@@ -214,12 +227,41 @@ type Stats struct {
 	PointsMerged    int64 `json:"points_merged,omitempty"`
 	PointsDuplicate int64 `json:"points_duplicate,omitempty"`
 
-	Queued     int        `json:"queued"`
-	Running    int        `json:"running"`
-	IsDraining bool       `json:"is_draining"`
-	Tenants    int        `json:"tenants"`
-	Workers    int        `json:"workers,omitempty"`
-	Cache      CacheStats `json:"cache"`
+	// Storage-health counters: submissions rejected because the daemon
+	// is degraded (job-log storage failed) or because free disk space is
+	// under the admission watermark.
+	RejectedDegraded int64 `json:"rejected_degraded,omitempty"`
+	ShedDiskFull     int64 `json:"shed_disk_full,omitempty"`
+
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	IsDraining bool   `json:"is_draining"`
+	IsDegraded bool   `json:"is_degraded,omitempty"`
+	Degraded   string `json:"degraded_reason,omitempty"`
+	Tenants    int    `json:"tenants"`
+	Workers    int    `json:"workers,omitempty"`
+	// WorkerRows breaks the distributed-worker registry down per worker,
+	// sorted by name.
+	WorkerRows []WorkerRow `json:"worker_rows,omitempty"`
+	Cache      CacheStats  `json:"cache"`
+}
+
+// WorkerRow is one distributed worker's row in /v1/stats: everything
+// the coordinator has observed about it.
+type WorkerRow struct {
+	Name string `json:"name"`
+	// PointsCommitted counts results from this worker that were merged
+	// into a job journal (duplicates excluded).
+	PointsCommitted int64 `json:"points_committed"`
+	// LeasesHeld is the number of leases currently granted to the worker.
+	LeasesHeld int `json:"leases_held"`
+	// LastSeenMS is the Unix-millisecond time of the worker's last
+	// sighting (claim, heartbeat, result or done).
+	LastSeenMS int64 `json:"last_seen_unix_ms"`
+	// StreamErrors counts results from this worker the coordinator
+	// rejected (CRC mismatch, plan mismatch) — a nonzero value points at
+	// a worker-side bug or a corrupting transport.
+	StreamErrors int64 `json:"stream_errors,omitempty"`
 }
 
 // Manager owns the daemon's job machinery: admission, the bounded
@@ -227,6 +269,7 @@ type Stats struct {
 // crash-safe job log. One Manager serves many concurrent HTTP requests.
 type Manager struct {
 	cfg     Config
+	fs      vfs.FS
 	log     *checkpoint.JobLog
 	cache   *Cache
 	adm     *Admitter
@@ -248,12 +291,22 @@ type Manager struct {
 	running  int
 	stats    Stats
 
+	// degraded latches when durable state can no longer be trusted —
+	// a job-log append or fsync failed, or a distributed ingest hit a
+	// storage error. A degraded daemon is read-only: status, results
+	// and stats still serve, running jobs drain to completion, but new
+	// submissions are rejected 503 "degraded" and /readyz is false.
+	// Only a process restart (over repaired storage) clears it.
+	degraded       bool
+	degradedReason string
+
 	// Distributed-mode state (nil maps stay empty in local mode).
-	leaseRng    *rand.Rand          // backoff jitter for lease re-dispatch
-	distByFP    map[string]*distJob // fingerprint → coordinating job
-	distOrder   []string            // fingerprints in dispatch order
-	distByLease map[string]*distJob // lease id → coordinating job
-	workers     map[string]time.Time
+	leaseRng     *rand.Rand          // backoff jitter for lease re-dispatch
+	distByFP     map[string]*distJob // fingerprint → coordinating job
+	distOrder    []string            // fingerprints in dispatch order
+	distByLease  map[string]*distJob // lease id → coordinating job
+	workers      map[string]*WorkerRow
+	leaseWorkers map[string]string // lease id → worker name, for row upkeep
 }
 
 // distJob is one job being executed by remote workers: its lease table
@@ -267,6 +320,9 @@ type distJob struct {
 	sweep   string
 	seed    uint64
 	total   int
+	// err latches the first storage failure while merging this job's
+	// results; the coordinator loop fails the job on seeing it.
+	err error
 }
 
 // Open builds the manager, recovers in-flight jobs from the job log and
@@ -287,31 +343,34 @@ func open(cfg Config) (*Manager, error) {
 	if cfg.StateDir == "" {
 		return nil, fmt.Errorf("service: StateDir is required")
 	}
+	fsys := vfs.Default(cfg.FS)
 	for _, dir := range []string{cfg.StateDir, filepath.Join(cfg.StateDir, "jobs"), filepath.Join(cfg.StateDir, "results")} {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := fsys.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
-	log, records, err := checkpoint.OpenJobLog(filepath.Join(cfg.StateDir, "jobs.log"))
+	log, records, err := checkpoint.OpenJobLogFS(fsys, filepath.Join(cfg.StateDir, "jobs.log"))
 	if err != nil {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:         cfg,
-		log:         log,
-		cache:       NewCache(cfg.CacheBytes),
-		adm:         NewAdmitter(cfg.Admission, cfg.Clock),
-		advisor:     NewRetryAdvisor(cfg.Backoff, cfg.BackoffSeed, cfg.Admission.MaxTenants),
-		rootCtx:     ctx,
-		rootCancel:  cancel,
-		jobs:        map[string]*job{},
-		active:      map[string]*job{},
-		doneByFP:    map[string]string{},
-		leaseRng:    rand.New(rand.NewSource(cfg.BackoffSeed + 1)),
-		distByFP:    map[string]*distJob{},
-		distByLease: map[string]*distJob{},
-		workers:     map[string]time.Time{},
+		cfg:          cfg,
+		fs:           fsys,
+		log:          log,
+		cache:        NewCache(cfg.CacheBytes),
+		adm:          NewAdmitter(cfg.Admission, cfg.Clock),
+		advisor:      NewRetryAdvisor(cfg.Backoff, cfg.BackoffSeed, cfg.Admission.MaxTenants),
+		rootCtx:      ctx,
+		rootCancel:   cancel,
+		jobs:         map[string]*job{},
+		active:       map[string]*job{},
+		doneByFP:     map[string]string{},
+		leaseRng:     rand.New(rand.NewSource(cfg.BackoffSeed + 1)),
+		distByFP:     map[string]*distJob{},
+		distByLease:  map[string]*distJob{},
+		workers:      map[string]*WorkerRow{},
+		leaseWorkers: map[string]string{},
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.recover(records)
@@ -378,7 +437,9 @@ func (m *Manager) recover(records []checkpoint.JobRecord) {
 				// close it out rather than wedging recovery forever.
 				j.state = StateFailed
 				j.reason = "recovery: journaled spec no longer decodes"
-				_ = m.log.Append(checkpoint.JobRecord{ID: id, State: checkpoint.JobFailed, Fingerprint: l.fp, Note: j.reason})
+				if err := m.log.Append(checkpoint.JobRecord{ID: id, State: checkpoint.JobFailed, Fingerprint: l.fp, Note: j.reason}); err != nil {
+					m.enterDegradedLocked(fmt.Sprintf("job log append during recovery: %v", err))
+				}
 			} else {
 				j.spec = spec
 				j.state = StateQueued
@@ -441,6 +502,21 @@ func (m *Manager) Submit(spec JobSpec) (JobStatus, error) {
 		m.stats.Draining++
 		return JobStatus{}, &Unavailable{Reason: "draining", RetryAfter: m.advisor.Advise(spec.Tenant)}
 	}
+	if m.degraded {
+		m.stats.RejectedDegraded++
+		return JobStatus{}, &Unavailable{Reason: "degraded", RetryAfter: m.advisor.Advise(spec.Tenant)}
+	}
+	// Disk watermark: a submission that would be accepted onto a nearly
+	// full disk is the one most likely to later fail its journal append
+	// or artifact write. Shed before the admission token is consumed, so
+	// the tenant's budget survives for when space returns. A filesystem
+	// that cannot report free space (-1) leaves the check disabled.
+	if m.cfg.MinFreeBytes > 0 {
+		if free, err := m.fs.Free(m.cfg.StateDir); err == nil && free >= 0 && free < m.cfg.MinFreeBytes {
+			m.stats.ShedDiskFull++
+			return JobStatus{}, &Unavailable{Reason: "disk-full", RetryAfter: m.advisor.Advise(spec.Tenant)}
+		}
+	}
 	ok, wait := m.adm.Admit(spec.Tenant)
 	if !ok {
 		m.stats.Throttled++
@@ -494,7 +570,13 @@ func (m *Manager) acceptLocked(spec JobSpec, fp string) (*job, error) {
 	}
 	id := fmt.Sprintf("j%06d-%s", m.log.NextSeq(), fp[:8])
 	if err := m.log.Append(checkpoint.JobRecord{ID: id, State: checkpoint.JobAccepted, Fingerprint: fp, Spec: raw}); err != nil {
-		return nil, err
+		// The accepted record could not be made durable, so the job must
+		// not be acknowledged — and the log can no longer be trusted for
+		// any job. Flip read-only and reject with a retryable 503; the
+		// client's spec is intact and resubmits cleanly after the
+		// operator restarts the daemon over repaired storage.
+		m.enterDegradedLocked(fmt.Sprintf("job log append failed: %v", err))
+		return nil, &Unavailable{Reason: "degraded", RetryAfter: m.advisor.Advise(spec.Tenant)}
 	}
 	j := &job{
 		id: id, spec: spec, fingerprint: fp,
@@ -512,11 +594,12 @@ func (m *Manager) acceptLocked(spec JobSpec, fp string) (*job, error) {
 // worker: the artifact is persisted under the new job id (so the result
 // endpoint works after a restart) and the terminal record is journaled.
 func (m *Manager) completeCachedLocked(j *job, data []byte) error {
-	if err := checkpoint.WriteFileAtomic(j.resultPath, data, 0o644); err != nil {
+	if err := checkpoint.WriteFileAtomicFS(m.fs, j.resultPath, data, 0o644); err != nil {
 		return err
 	}
 	if err := m.log.Append(checkpoint.JobRecord{ID: j.id, State: checkpoint.JobDone, Fingerprint: j.fingerprint, Note: "cache"}); err != nil {
-		return err
+		m.enterDegradedLocked(fmt.Sprintf("job log append failed: %v", err))
+		return &Unavailable{Reason: "degraded", RetryAfter: m.advisor.Advise(j.spec.Tenant)}
 	}
 	j.cached = true
 	m.transitionLocked(j, StateDone, "served from result cache")
@@ -537,7 +620,7 @@ func (m *Manager) lookupResultLocked(fp string) ([]byte, bool) {
 	if !ok {
 		return nil, false
 	}
-	data, err := os.ReadFile(m.resultPath(id))
+	data, err := m.fs.ReadFile(m.resultPath(id))
 	if err != nil {
 		return nil, false
 	}
@@ -617,7 +700,7 @@ func (m *Manager) Result(id string) ([]byte, error) {
 	if data, ok := m.cache.Get(fp); ok {
 		return data, nil
 	}
-	data, err := os.ReadFile(path)
+	data, err := m.fs.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("service: reading artifact: %w", err)
 	}
@@ -644,10 +727,40 @@ func (m *Manager) JournalPath(fp string) string { return m.journalPath(fp) }
 
 // Ready reports whether the daemon is accepting work (readiness probe).
 func (m *Manager) Ready() bool {
+	ok, _ := m.ReadyState()
+	return ok
+}
+
+// ReadyState is Ready with the rejection reason: "draining", "closed"
+// or "degraded" (with the storage failure that caused it).
+func (m *Manager) ReadyState() (bool, string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return !m.draining && !m.closed
+	switch {
+	case m.closed:
+		return false, "closed"
+	case m.draining:
+		return false, "draining"
+	case m.degraded:
+		return false, "degraded"
+	}
+	return true, ""
 }
+
+// enterDegradedLocked latches read-only mode; callers hold m.mu (or are
+// single-threaded inside open). The first failure wins: its reason is
+// what /v1/stats reports.
+func (m *Manager) enterDegradedLocked(reason string) {
+	if m.degraded {
+		return
+	}
+	m.degraded = true
+	m.degradedReason = reason
+}
+
+// RetryBase exposes the backoff base as the Retry-After hint for
+// rejections that bypass the per-tenant advisor (lease-protocol 503s).
+func (m *Manager) RetryBase() time.Duration { return m.cfg.Backoff.Base }
 
 // StatsSnapshot returns the manager's counters and gauges.
 func (m *Manager) StatsSnapshot() Stats {
@@ -657,8 +770,17 @@ func (m *Manager) StatsSnapshot() Stats {
 	s.Queued = len(m.queue)
 	s.Running = m.running
 	s.IsDraining = m.draining || m.closed
+	s.IsDegraded = m.degraded
+	s.Degraded = m.degradedReason
 	s.Tenants = m.adm.Tenants()
 	s.Workers = len(m.workers)
+	if len(m.workers) > 0 {
+		s.WorkerRows = make([]WorkerRow, 0, len(m.workers))
+		for _, row := range m.workers {
+			s.WorkerRows = append(s.WorkerRows, *row)
+		}
+		sort.Slice(s.WorkerRows, func(i, k int) bool { return s.WorkerRows[i].Name < s.WorkerRows[k].Name })
+	}
 	s.Cache = m.cache.Stats()
 	return s
 }
@@ -712,7 +834,7 @@ func (m *Manager) runJob(j *job) {
 	defer cancel()
 
 	var data []byte
-	jr, err := checkpoint.Open(m.journalPath(j.fingerprint), j.fingerprint)
+	jr, err := checkpoint.OpenFS(m.fs, m.journalPath(j.fingerprint), j.fingerprint)
 	if err == nil {
 		base := experiments.Options{Workers: m.cfg.SweepWorkers, Ctx: ctx, Journal: jr}
 		data, err = j.spec.Run(base)
@@ -723,7 +845,7 @@ func (m *Manager) runJob(j *job) {
 
 	switch {
 	case err == nil:
-		if werr := checkpoint.WriteFileAtomic(j.resultPath, data, 0o644); werr != nil {
+		if werr := checkpoint.WriteFileAtomicFS(m.fs, j.resultPath, data, 0o644); werr != nil {
 			m.finish(j, StateFailed, fmt.Sprintf("persisting artifact: %v", werr), checkpoint.JobFailed)
 			return
 		}
@@ -731,7 +853,7 @@ func (m *Manager) runJob(j *job) {
 		m.finish(j, StateDone, "", checkpoint.JobDone)
 		// The sweep journal of a completed job is dead weight: the
 		// artifact and cache entry carry the result from here on.
-		_ = os.Remove(m.journalPath(j.fingerprint))
+		_ = m.fs.Remove(m.journalPath(j.fingerprint))
 	case m.rootCtx.Err() != nil:
 		// Shutdown, not failure: no terminal record is journaled, so a
 		// restarted daemon re-queues the job and resumes its sweep
@@ -739,7 +861,7 @@ func (m *Manager) runJob(j *job) {
 		// partial artifact (when any points completed) is persisted as
 		// a valid CSV under a distinct name.
 		if len(data) > 0 {
-			_ = checkpoint.WriteFileAtomic(m.partialPath(j.id), data, 0o644)
+			_ = checkpoint.WriteFileAtomicFS(m.fs, m.partialPath(j.id), data, 0o644)
 		}
 		m.finish(j, StateEvicted, "shutdown: checkpointed for restart", "")
 	case ctx.Err() == context.DeadlineExceeded || errors.Is(err, experiments.ErrPointDeadline):
@@ -752,15 +874,25 @@ func (m *Manager) runJob(j *job) {
 // finish records a job's terminal state (journal first, then memory)
 // and releases its fingerprint for future submissions.
 func (m *Manager) finish(j *job, state State, reason string, logState string) {
+	var logErr error
 	if logState != "" {
 		note := reason
 		if state == StateDone {
 			note = ""
 		}
-		_ = m.log.Append(checkpoint.JobRecord{ID: j.id, State: logState, Fingerprint: j.fingerprint, Note: note})
+		logErr = m.log.Append(checkpoint.JobRecord{ID: j.id, State: logState, Fingerprint: j.fingerprint, Note: note})
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if logErr != nil {
+		// The terminal record could not be made durable: the in-memory
+		// outcome (and any artifact) still serves this process's clients,
+		// but a restart will re-run the job from its accepted record —
+		// safe, just wasteful. More importantly, the log is no longer
+		// trustworthy: flip read-only so no further job is acknowledged
+		// against it.
+		m.enterDegradedLocked(fmt.Sprintf("job log append failed: %v", logErr))
+	}
 	switch state {
 	case StateDone:
 		m.transitionLocked(j, StateDone, "artifact written")

@@ -193,6 +193,11 @@ func (s *Server) leaseResult(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrLeaseGone):
 		writeError(w, http.StatusGone, "lease-gone", err.Error(), 0)
+	case errors.Is(err, ErrStorage):
+		// The record was valid; the coordinator's own storage failed to
+		// persist it. 503 + Retry-After: the worker should re-send once
+		// a healthy coordinator is back, not discard its work.
+		writeError(w, http.StatusServiceUnavailable, "degraded", err.Error(), s.m.RetryBase())
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "bad-result", err.Error(), 0)
 	default:
@@ -229,12 +234,13 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // readyz reports readiness: whether new jobs are being admitted. It
-// flips to 503 the moment a drain begins, so load balancers stop
+// flips to 503 the moment a drain begins — or the moment a storage
+// failure degrades the daemon to read-only — so load balancers stop
 // routing submissions while in-flight jobs finish.
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
-	if !s.m.Ready() {
-		writeError(w, http.StatusServiceUnavailable, "draining",
-			"service: not admitting jobs", 0)
+	if ok, reason := s.m.ReadyState(); !ok {
+		writeError(w, http.StatusServiceUnavailable, reason,
+			"service: not admitting jobs ("+reason+")", 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

@@ -1,0 +1,182 @@
+//go:build storagechaos
+
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/vfs"
+)
+
+// Storage-chaos harness (`make storage-chaos`): run the daemon over a
+// fault-injecting filesystem under scripted and randomized failure
+// schedules, then hold it to the recovery contract. Every schedule must
+// end in one of exactly two ways:
+//
+//   1. a LOUD failure (rejected submission, failed job, failed open)
+//      with every previously acknowledged durable record intact and
+//      decodable, or
+//   2. a run whose artifact — directly, or after restarting over the
+//      repaired filesystem and resubmitting — is byte-identical to an
+//      uninterrupted run of the same spec.
+//
+// What must never happen: a silently wrong artifact, an acknowledged
+// record lost, or an undecodable log accepted as healthy.
+
+// chaosSpec is a multi-point figure sweep, so journals carry real
+// progress for faults to land between.
+func chaosSpec() JobSpec {
+	return JobSpec{Kind: KindFigure, Fig: 1, Tenant: "chaos", Events: 300}.Normalized()
+}
+
+// chaosConfig is testConfig over an explicit state dir (the dir must
+// outlive one manager so a second can recover from it).
+func chaosConfig(dir string) Config {
+	return Config{
+		StateDir:     dir,
+		QueueDepth:   8,
+		JobWorkers:   1,
+		SweepWorkers: 1,
+		Admission:    AdmissionPolicy{Rate: 1000, Burst: 1000},
+		BackoffSeed:  1,
+	}
+}
+
+// runFaultedPhase runs one daemon life over the faulty filesystem:
+// open, submit, wait for a terminal state. Every early exit is a loud
+// failure, which the contract allows; what it leaves on disk is checked
+// by the caller.
+func runFaultedPhase(t *testing.T, dir string, plan vfs.Plan, spec JobSpec) {
+	t.Helper()
+	cfg := chaosConfig(dir)
+	fsys := vfs.NewFaulty(vfs.OS, plan)
+	cfg.FS = fsys
+	m, err := Open(cfg)
+	if err != nil {
+		t.Logf("phase 1: open failed loudly: %v", err)
+		return
+	}
+	defer m.Close()
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Logf("phase 1: submit rejected loudly: %v", err)
+		return
+	}
+	fin := waitTerminal(t, m, st.ID)
+	t.Logf("phase 1: job ended %s (%s); injector saw %d ops, fired %d faults",
+		fin.State, fin.Reason, fsys.Ops(), fsys.Fired())
+}
+
+// checkDurableState reads every durable file back through the clean OS
+// — as a restarted process would — and requires it to decode. Torn
+// tails are legal (tolerant decoding salvages the prefix); undecodable
+// files are not.
+func checkDurableState(t *testing.T, dir string) {
+	t.Helper()
+	if data, err := os.ReadFile(filepath.Join(dir, "jobs.log")); err == nil {
+		if _, _, derr := checkpoint.DecodeJobLog(data); derr != nil {
+			t.Fatalf("jobs.log undecodable after faults: %v", derr)
+		}
+	} else if !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(dir, "jobs", "*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ckpts {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, derr := checkpoint.DecodeJournal(data); derr != nil {
+			t.Fatalf("journal %s undecodable after faults: %v", filepath.Base(p), derr)
+		}
+	}
+}
+
+// verifyRecovery restarts over the repaired (real) filesystem and
+// drives the same spec to done: recovered in-flight jobs are coalesced
+// onto, terminal failures resubmit and resume their journal, completed
+// runs serve from the result store. The artifact must match the
+// uninterrupted reference byte for byte.
+func verifyRecovery(t *testing.T, dir string, spec JobSpec, want []byte) {
+	t.Helper()
+	m, err := Open(chaosConfig(dir))
+	if err != nil {
+		t.Fatalf("phase 2: open over repaired storage: %v", err)
+	}
+	defer m.Close()
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("phase 2: submit: %v", err)
+	}
+	fin := waitTerminal(t, m, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("phase 2: job ended %s (%s), want done", fin.State, fin.Reason)
+	}
+	got, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatalf("phase 2: result: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("phase 2: artifact differs from uninterrupted run:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestStorageChaos(t *testing.T) {
+	spec := chaosSpec()
+	want := reference(t, spec)
+
+	ft := func(op vfs.Op, kind vfs.Kind, path string, nth, keep int, sticky bool) vfs.Fault {
+		return vfs.Fault{Op: op, Kind: kind, Path: path, Nth: nth, KeepBytes: keep, Sticky: sticky}
+	}
+	schedules := []struct {
+		name string
+		plan vfs.Plan
+	}{
+		// Job-log faults: admission-side degradation.
+		{"joblog-accept-write-eio", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpWrite, vfs.KindEIO, "jobs.log", 2, 0, true)}}},
+		{"joblog-terminal-sync-eio", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpSync, vfs.KindEIO, "jobs.log", 3, 0, true)}}},
+		{"joblog-accept-torn-enospc", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpWrite, vfs.KindENOSPC, "jobs.log", 2, 11, true)}}},
+		{"joblog-crash-mid-append", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpWrite, vfs.KindCrash, "jobs.log", 2, 7, false)}}},
+		{"joblog-header-close-eio", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpClose, vfs.KindEIO, "jobs.log", 1, 0, false)}}},
+		{"joblog-header-syncdir-eio", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpSyncDir, vfs.KindEIO, "", 1, 0, false)}}},
+		// Sweep-journal faults: mid-job progress loss.
+		{"journal-append-torn-enospc", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpWrite, vfs.KindENOSPC, ".ckpt", 3, 9, false)}}},
+		{"journal-crash-mid-append", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpWrite, vfs.KindCrash, ".ckpt", 4, 13, false)}}},
+		{"journal-sync-poison", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpSync, vfs.KindEIO, ".ckpt", 2, 0, true)}}},
+		{"journal-header-create-enospc", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpCreate, vfs.KindENOSPC, ".ckpt", 1, 0, false)}}},
+		{"journal-torn-then-repair-fails", vfs.Plan{Faults: []vfs.Fault{
+			ft(vfs.OpWrite, vfs.KindShort, ".ckpt", 2, 5, false),
+			ft(vfs.OpTruncate, vfs.KindEIO, ".ckpt", 1, 0, true),
+		}}},
+		// Artifact faults: the final atomic commit.
+		{"artifact-rename-eio", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpRename, vfs.KindEIO, "results", 1, 0, true)}}},
+		{"artifact-sync-enospc", vfs.Plan{Faults: []vfs.Fault{ft(vfs.OpSync, vfs.KindENOSPC, "results", 1, 0, true)}}},
+	}
+	for seed := uint64(100); seed < 116; seed++ {
+		schedules = append(schedules, struct {
+			name string
+			plan vfs.Plan
+		}{fmt.Sprintf("rand-%d", seed), vfs.RandomPlan(seed, 40)})
+	}
+
+	for _, sc := range schedules {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			if err := sc.plan.Validate(); err != nil {
+				t.Fatalf("schedule invalid: %v", err)
+			}
+			dir := t.TempDir()
+			runFaultedPhase(t, dir, sc.plan, spec)
+			checkDurableState(t, dir)
+			verifyRecovery(t, dir, spec, want)
+		})
+	}
+}

@@ -141,14 +141,7 @@ func (w *Worker) claim(ctx context.Context) (*Lease, time.Duration, error) {
 		}
 		return &lease, 0, nil
 	case http.StatusNoContent:
-		var retry time.Duration
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			var secs int64
-			if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
-				retry = time.Duration(secs) * time.Second
-			}
-		}
-		return nil, retry, nil
+		return nil, parseRetryAfter(resp), nil
 	default:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return nil, 0, fmt.Errorf("service: claim: coordinator answered %s", resp.Status)
@@ -289,6 +282,7 @@ func (w *Worker) streamResult(ctx context.Context, lease *Lease, rec checkpoint.
 			continue
 		}
 		code := resp.StatusCode
+		hint := parseRetryAfter(resp)
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 		switch {
@@ -297,13 +291,34 @@ func (w *Worker) streamResult(ctx context.Context, lease *Lease, rec checkpoint.
 		case code == http.StatusGone:
 			return fmt.Errorf("service: result rejected: lease gone")
 		case code >= 500:
+			// A degraded coordinator sends Retry-After with its 503;
+			// honor the hint over our own fixed ladder — the record is
+			// valid and worth re-sending at the coordinator's pace.
 			last = fmt.Errorf("service: result: coordinator answered %d", code)
-			w.sleep(ctx, time.Duration(attempt+1)*100*time.Millisecond)
+			delay := time.Duration(attempt+1) * 100 * time.Millisecond
+			if hint > delay {
+				delay = hint
+			}
+			w.sleep(ctx, delay)
 		default:
 			return fmt.Errorf("service: result rejected with %d", code)
 		}
 	}
 	return last
+}
+
+// parseRetryAfter reads a response's whole-second Retry-After hint; 0
+// means absent or unparseable.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	var secs int64
+	if _, err := fmt.Sscanf(s, "%d", &secs); err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // post sends one JSON body.

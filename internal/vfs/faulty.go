@@ -1,0 +1,252 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected is the root of every error the fault injector produces;
+// errors.Is(err, ErrInjected) distinguishes injected failures from real
+// ones in harness assertions. Kind-specific errors additionally wrap
+// the matching errno (syscall.ENOSPC, syscall.EIO, io.ErrShortWrite),
+// so production code that special-cases those sees injected faults
+// exactly as it would see real ones.
+var ErrInjected = errors.New("vfs: injected storage fault")
+
+// ErrCrashed marks every operation after an injected crash point: the
+// filesystem is dead until the test "reboots" by reopening the same
+// directory through a fresh FS.
+var ErrCrashed = fmt.Errorf("%w: crash point reached, filesystem is down", ErrInjected)
+
+// Faulty wraps an inner FS (normally OS over a scratch directory) and
+// fails operations according to a Plan. All bytes that do land are real
+// bytes on the inner filesystem, so a harness can always "reboot" —
+// drop the Faulty wrapper and reopen the directory through OS — and
+// observe exactly the state a crash at that point would have left.
+// Faulty is safe for concurrent use.
+type Faulty struct {
+	mu      sync.Mutex
+	inner   FS
+	plan    Plan
+	matched []int // per-fault count of matching operations seen
+	crashed bool
+	ops     int64 // operations observed
+	fired   int64 // faults injected
+}
+
+// NewFaulty builds a fault-injecting FS over inner. The plan should be
+// Validate-clean; NewFaulty does not re-check it.
+func NewFaulty(inner FS, plan Plan) *Faulty {
+	return &Faulty{inner: Default(inner), plan: plan, matched: make([]int, len(plan.Faults))}
+}
+
+// Ops reports how many operations the injector has observed.
+func (f *Faulty) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Fired reports how many faults have been injected so far.
+func (f *Faulty) Fired() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// Crashed reports whether a crash-point fault has fired.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// decide consumes one operation: it returns the fault armed for it, or
+// nil. keep is the write-payload byte budget for partial kinds.
+func (f *Faulty) decide(op Op, path string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.crashed {
+		// Represent the dead filesystem as a synthetic crash fault so
+		// every caller takes the same error path.
+		f.fired++
+		return &Fault{Op: op, Kind: KindCrash}
+	}
+	for i := range f.plan.Faults {
+		ft := &f.plan.Faults[i]
+		if ft.Op != op || !strings.Contains(path, ft.Path) {
+			continue
+		}
+		f.matched[i]++
+		if f.matched[i] == ft.nth() || (ft.Sticky && f.matched[i] > ft.nth()) {
+			if ft.Kind == KindCrash {
+				f.crashed = true
+			}
+			f.fired++
+			return ft
+		}
+	}
+	return nil
+}
+
+// fail renders a fault as the error production code sees.
+func (f *Faulty) fail(ft *Fault, op Op, path string) error {
+	switch ft.Kind {
+	case KindENOSPC:
+		return fmt.Errorf("%w: %s %s: %w", ErrInjected, op, path, syscall.ENOSPC)
+	case KindShort:
+		return fmt.Errorf("%w: %s %s: %w", ErrInjected, op, path, io.ErrShortWrite)
+	case KindCrash:
+		return fmt.Errorf("%s %s: %w", op, path, ErrCrashed)
+	default: // KindEIO
+		return fmt.Errorf("%w: %s %s: %w", ErrInjected, op, path, syscall.EIO)
+	}
+}
+
+// check consumes one non-write operation and returns its injected
+// error, if any.
+func (f *Faulty) check(op Op, path string) error {
+	if ft := f.decide(op, path); ft != nil {
+		return f.fail(ft, op, path)
+	}
+	return nil
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner, name: name}, nil
+}
+
+func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.check(OpCreate, dir+"/"+pattern); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner, name: inner.Name()}, nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if err := f.check(OpRead, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if err := f.check(OpRename, oldpath+" -> "+newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if err := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) Truncate(name string, size int64) error {
+	if err := f.check(OpTruncate, name); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *Faulty) SyncDir(dir string) error {
+	if err := f.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// Free reports the plan's scripted free-space reading, or passes
+// through to the inner filesystem.
+func (f *Faulty) Free(dir string) (int64, error) {
+	f.mu.Lock()
+	scripted := f.plan.FreeBytes
+	f.mu.Unlock()
+	if scripted != nil {
+		return *scripted, nil
+	}
+	return f.inner.Free(dir)
+}
+
+var _ FS = (*Faulty)(nil)
+
+// faultyFile threads write/sync/close/truncate faults through an open
+// file.
+type faultyFile struct {
+	fs    *Faulty
+	inner File
+	name  string
+}
+
+func (ff *faultyFile) Name() string { return ff.name }
+
+// Write persists the payload — or, under a partial-write fault
+// (enospc/short/crash), only the fault's KeepBytes prefix of it, which
+// is how torn tails at arbitrary byte offsets are produced.
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ft := ff.fs.decide(OpWrite, ff.name)
+	if ft == nil {
+		return ff.inner.Write(p)
+	}
+	keep := ft.KeepBytes
+	if keep > len(p) {
+		keep = len(p)
+	}
+	n := 0
+	if keep > 0 {
+		n, _ = ff.inner.Write(p[:keep])
+	}
+	return n, ff.fs.fail(ft, OpWrite, ff.name)
+}
+
+func (ff *faultyFile) Sync() error {
+	if err := ff.fs.check(OpSync, ff.name); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Close() error {
+	if err := ff.fs.check(OpClose, ff.name); err != nil {
+		// A failed close still releases the descriptor, as a real one
+		// does: the caller must not retry it.
+		ff.inner.Close()
+		return err
+	}
+	return ff.inner.Close()
+}
+
+func (ff *faultyFile) Chmod(mode os.FileMode) error { return ff.inner.Chmod(mode) }
+
+func (ff *faultyFile) Truncate(size int64) error {
+	if err := ff.fs.check(OpTruncate, ff.name); err != nil {
+		return err
+	}
+	return ff.inner.Truncate(size)
+}

@@ -1,0 +1,198 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func writeAll(t *testing.T, fsys FS, path, content string) error {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte(content))
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func TestFaultyENOSPCOnNthWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	f := NewFaulty(OS, Plan{Faults: []Fault{{Op: OpWrite, Kind: KindENOSPC, Nth: 2}}})
+
+	if err := writeAll(t, f, path, "one"); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	err := writeAll(t, f, path, "two")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second write: %v, want injected ENOSPC", err)
+	}
+	// Non-sticky: the third write heals.
+	if err := writeAll(t, f, path, "three"); err != nil {
+		t.Fatalf("third write: %v", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "onethree" {
+		t.Fatalf("file content %q, want failed payload absent", data)
+	}
+	if f.Fired() != 1 {
+		t.Fatalf("Fired = %d, want 1", f.Fired())
+	}
+}
+
+func TestFaultyStickySyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS, Plan{Faults: []Fault{{Op: OpSync, Kind: KindEIO, Nth: 1, Sticky: true}}})
+	h, err := f.OpenFile(filepath.Join(dir, "log"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for i := 0; i < 3; i++ {
+		if err := h.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync %d: %v, want injected EIO", i, err)
+		}
+	}
+}
+
+func TestFaultyShortWriteKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	f := NewFaulty(OS, Plan{Faults: []Fault{{Op: OpWrite, Kind: KindShort, KeepBytes: 4}}})
+	h, err := f.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := h.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(werr, io.ErrShortWrite) {
+		t.Fatalf("Write = %d, %v; want 4, short write", n, werr)
+	}
+	h.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "abcd" {
+		t.Fatalf("torn tail %q, want %q", data, "abcd")
+	}
+}
+
+// TestFaultyCrashPoint: a crash mid-write persists an arbitrary-offset
+// prefix and kills the filesystem; a "reboot" through a fresh OS view
+// sees exactly the torn state.
+func TestFaultyCrashPoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	f := NewFaulty(OS, Plan{Faults: []Fault{{Op: OpWrite, Kind: KindCrash, Nth: 2, KeepBytes: 3}}})
+
+	if err := writeAll(t, f, path, "first-record\n"); err != nil {
+		t.Fatal(err)
+	}
+	err := writeAll(t, f, path, "second-record\n")
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write: %v", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("filesystem not crashed")
+	}
+	// Everything after the crash point fails, reads included.
+	if _, err := f.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if err := f.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	// Reboot: the inner filesystem holds the pre-crash prefix plus the
+	// torn 3-byte tail.
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(data) != "first-record\nsec" {
+		t.Fatalf("post-reboot content %q", data)
+	}
+}
+
+func TestFaultyPathFilterAndRename(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS, Plan{Faults: []Fault{{Op: OpRename, Kind: KindEIO, Path: "jobs.log"}}})
+	a, b := filepath.Join(dir, "other"), filepath.Join(dir, "other2")
+	if err := writeAll(t, f, a, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(a, b); err != nil {
+		t.Fatalf("unmatched rename: %v", err)
+	}
+	if err := f.Rename(b, filepath.Join(dir, "jobs.log")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matched rename: %v", err)
+	}
+}
+
+func TestFaultyScriptedFree(t *testing.T) {
+	low := int64(512)
+	f := NewFaulty(OS, Plan{FreeBytes: &low})
+	free, err := f.Free(t.TempDir())
+	if err != nil || free != 512 {
+		t.Fatalf("Free = %d, %v; want scripted 512", free, err)
+	}
+}
+
+func TestRandomPlanAlwaysValid(t *testing.T) {
+	for seed := uint64(0); seed < 500; seed++ {
+		p := RandomPlan(seed, 20)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v (%+v)", seed, err, p)
+		}
+		if len(p.Faults) == 0 {
+			t.Fatalf("seed %d: empty plan", seed)
+		}
+	}
+	// Determinism: the same seed scripts the same schedule.
+	a, b := RandomPlan(7, 20), RandomPlan(7, 20)
+	if a.Faults[0] != b.Faults[0] {
+		t.Fatalf("RandomPlan not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPlanValidateRejects(t *testing.T) {
+	bad := []Plan{
+		{Faults: []Fault{{Op: "fsync", Kind: KindEIO}}},                 // unknown op
+		{Faults: []Fault{{Op: OpWrite, Kind: "explode"}}},               // unknown kind
+		{Faults: []Fault{{Op: OpSync, Kind: KindShort}}},                // short off a write
+		{Faults: []Fault{{Op: OpWrite, Kind: KindEIO, Nth: -1}}},        // negative nth
+		{Faults: []Fault{{Op: OpWrite, Kind: KindEIO, KeepBytes: -1}}},  // negative keep
+		{Faults: []Fault{{Op: OpWrite, Kind: KindCrash, Sticky: true}}}, // crash is implicitly sticky
+		{FreeBytes: func() *int64 { v := int64(-1); return &v }()},      // negative free
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated, want error", i)
+		}
+	}
+}
+
+func TestDecodePlanStrict(t *testing.T) {
+	good := `{"faults":[{"op":"write","kind":"enospc","nth":3,"keep_bytes":7}]}`
+	p, err := DecodePlan(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 1 || p.Faults[0].Nth != 3 || p.Faults[0].KeepBytes != 7 {
+		t.Fatalf("decoded %+v", p)
+	}
+	for _, bad := range []string{
+		`{"faults":[{"op":"write","kind":"enospc"}],"unknown":1}`, // unknown field
+		`{"faults":[]} trailing`,                                  // trailing data
+		`{"faults":[{"op":"write","kind":"boom"}]}`,               // invalid kind
+	} {
+		if _, err := DecodePlan(strings.NewReader(bad)); err == nil {
+			t.Errorf("decoded %q, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !linux && !darwin
+
+package vfs
+
+import "errors"
+
+var (
+	errInvalid = errors.New("vfs: invalid operation")
+	errNotSup  = errors.New("vfs: not supported")
+)
+
+// Free is unknowable without statfs; -1 means "cannot tell", which
+// disables watermark checks rather than failing them.
+func (osFS) Free(dir string) (int64, error) { return -1, nil }

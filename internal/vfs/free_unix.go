@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package vfs
+
+import "syscall"
+
+// errInvalid/errNotSup are the errnos SyncDir tolerates: filesystems
+// that cannot fsync a directory report one of these rather than a
+// genuine I/O failure.
+var (
+	errInvalid error = syscall.EINVAL
+	errNotSup  error = syscall.ENOTSUP
+)
+
+// Free reports the filesystem's free bytes at dir via statfs. The
+// available-to-unprivileged figure (Bavail) is used, matching what a
+// daemon's writes can actually consume.
+func (osFS) Free(dir string) (int64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return -1, err
+	}
+	return int64(st.Bavail) * int64(st.Bsize), nil
+}

@@ -1,0 +1,55 @@
+package vfs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlanDecode: DecodePlan must never panic, and any input it
+// accepts must be a valid plan that survives an encode/decode round
+// trip unchanged — the chaos harness feeds plans from files and seeds,
+// and a plan that decodes to something Validate would reject (or that
+// re-encodes differently) would inject a different schedule than the
+// one recorded for replay.
+func FuzzFaultPlanDecode(f *testing.F) {
+	f.Add([]byte(`{"faults":[{"op":"write","kind":"enospc","nth":3,"keep_bytes":7}]}`))
+	f.Add([]byte(`{"faults":[{"op":"sync","kind":"eio","sticky":true,"path":"jobs.log"}]}`))
+	f.Add([]byte(`{"faults":[{"op":"write","kind":"crash","keep_bytes":11}],"free_bytes":4096}`))
+	f.Add([]byte(`{"faults":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"faults":[{"op":"rename","kind":"eio"},{"op":"close","kind":"eio","nth":2}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"faults":[{"op":"write","kind":"short"}]} extra`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePlan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("DecodePlan accepted a plan Validate rejects: %v (%+v)", verr, p)
+		}
+		enc, merr := json.Marshal(p)
+		if merr != nil {
+			t.Fatalf("accepted plan does not re-encode: %v", merr)
+		}
+		p2, derr := DecodePlan(bytes.NewReader(enc))
+		if derr != nil {
+			t.Fatalf("re-encoded plan does not decode: %v (%s)", derr, enc)
+		}
+		if !reflect.DeepEqual(normalizePlan(p), normalizePlan(p2)) {
+			t.Fatalf("round trip changed the plan: %+v vs %+v", p, p2)
+		}
+	})
+}
+
+// normalizePlan erases the nil-vs-empty slice distinction, which JSON
+// cannot represent and which has no behavioral meaning.
+func normalizePlan(p Plan) Plan {
+	if len(p.Faults) == 0 {
+		p.Faults = nil
+	}
+	return p
+}

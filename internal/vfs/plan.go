@@ -1,0 +1,198 @@
+package vfs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/simrand"
+)
+
+// Op names one FS operation class for fault matching. Write faults also
+// govern how many payload bytes land before the failure, which is how
+// torn tails at arbitrary byte offsets — not just record boundaries —
+// are produced.
+type Op string
+
+const (
+	OpOpen     Op = "open"     // FS.OpenFile
+	OpCreate   Op = "create"   // FS.CreateTemp
+	OpRead     Op = "read"     // FS.ReadFile
+	OpWrite    Op = "write"    // File.Write
+	OpSync     Op = "sync"     // File.Sync
+	OpClose    Op = "close"    // File.Close
+	OpRename   Op = "rename"   // FS.Rename
+	OpRemove   Op = "remove"   // FS.Remove
+	OpTruncate Op = "truncate" // FS.Truncate and File.Truncate
+	OpMkdir    Op = "mkdir"    // FS.MkdirAll
+	OpSyncDir  Op = "syncdir"  // FS.SyncDir
+)
+
+// Kind names one failure mode.
+type Kind string
+
+const (
+	// KindENOSPC fails the op with a wrapped syscall.ENOSPC ("disk
+	// full"). On writes, KeepBytes payload bytes land first.
+	KindENOSPC Kind = "enospc"
+	// KindEIO fails the op with a wrapped syscall.EIO (generic I/O
+	// error: a dying disk, a revoked network mount).
+	KindEIO Kind = "eio"
+	// KindShort is a short write: only KeepBytes of the payload land
+	// and the op reports io.ErrShortWrite. Writes only.
+	KindShort Kind = "short"
+	// KindCrash is a crash point: the op stops partway (a write lands
+	// only KeepBytes, a rename never happens) and every subsequent
+	// operation on the filesystem fails with ErrCrashed — the
+	// filesystem is "dead" until the test reopens the directory through
+	// a fresh FS, exactly as a rebooted process would.
+	KindCrash Kind = "crash"
+)
+
+var allOps = []Op{OpOpen, OpCreate, OpRead, OpWrite, OpSync, OpClose, OpRename, OpRemove, OpTruncate, OpMkdir, OpSyncDir}
+var allKinds = []Kind{KindENOSPC, KindEIO, KindShort, KindCrash}
+
+// Fault is one scripted failure: the Nth operation of class Op whose
+// path contains Path (empty matches every path) fails with Kind.
+type Fault struct {
+	// Op selects the operation class the fault arms on.
+	Op Op `json:"op"`
+	// Kind selects the failure mode.
+	Kind Kind `json:"kind"`
+	// Path is a substring filter on the operation's path; empty matches
+	// any path. Renames match on either endpoint.
+	Path string `json:"path,omitempty"`
+	// Nth triggers on the n-th matching operation, 1-based; 0 means 1.
+	Nth int `json:"nth,omitempty"`
+	// KeepBytes bounds how many payload bytes a failing write persists
+	// before reporting the failure — the torn-tail length. It is
+	// clamped to the payload size.
+	KeepBytes int `json:"keep_bytes,omitempty"`
+	// Sticky repeats the fault on every matching operation from the
+	// Nth on, instead of firing once (a disk that stays full, a mount
+	// that stays dead).
+	Sticky bool `json:"sticky,omitempty"`
+}
+
+// Plan is one injection schedule: a set of scripted faults plus an
+// optional scripted free-space reading for disk-watermark tests.
+type Plan struct {
+	Faults []Fault `json:"faults"`
+	// FreeBytes, when non-nil, is what Free reports for every path —
+	// the scripted "disk almost full" reading watermark admission
+	// checks react to.
+	FreeBytes *int64 `json:"free_bytes,omitempty"`
+}
+
+// MaxPlanBytes bounds an encoded plan (the decoder reads no more).
+const MaxPlanBytes = 1 << 20
+
+// DecodePlan reads, validates and returns one fault plan. The decoder
+// is strict: unknown fields, trailing data and malformed faults are
+// errors, so a typo in a chaos schedule fails the harness instead of
+// silently injecting nothing.
+func DecodePlan(r io.Reader) (Plan, error) {
+	lr := &io.LimitedReader{R: r, N: MaxPlanBytes + 1}
+	dec := json.NewDecoder(lr)
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		if lr.N <= 0 {
+			return Plan{}, fmt.Errorf("vfs: fault plan exceeds %d bytes", MaxPlanBytes)
+		}
+		return Plan{}, fmt.Errorf("vfs: decoding fault plan: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Plan{}, fmt.Errorf("vfs: trailing data after fault plan")
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Validate rejects malformed plans: unknown ops or kinds, negative
+// trigger indices or byte counts, and kinds that only make sense on
+// writes armed on other operations.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("vfs: fault %d: %w", i, err)
+		}
+	}
+	if p.FreeBytes != nil && *p.FreeBytes < 0 {
+		return fmt.Errorf("vfs: free_bytes must be non-negative, got %d", *p.FreeBytes)
+	}
+	return nil
+}
+
+func (f Fault) validate() error {
+	validOp := false
+	for _, op := range allOps {
+		if f.Op == op {
+			validOp = true
+			break
+		}
+	}
+	if !validOp {
+		return fmt.Errorf("unknown op %q", f.Op)
+	}
+	validKind := false
+	for _, k := range allKinds {
+		if f.Kind == k {
+			validKind = true
+			break
+		}
+	}
+	if !validKind {
+		return fmt.Errorf("unknown kind %q", f.Kind)
+	}
+	if f.Kind == KindShort && f.Op != OpWrite {
+		return fmt.Errorf("kind %q only applies to op %q, got %q", KindShort, OpWrite, f.Op)
+	}
+	if f.Nth < 0 {
+		return fmt.Errorf("nth must be non-negative, got %d", f.Nth)
+	}
+	if f.KeepBytes < 0 {
+		return fmt.Errorf("keep_bytes must be non-negative, got %d", f.KeepBytes)
+	}
+	if f.Kind == KindCrash && f.Sticky {
+		return fmt.Errorf("kind %q is implicitly sticky", KindCrash)
+	}
+	return nil
+}
+
+// nth normalizes the 1-based trigger index.
+func (f Fault) nth() int {
+	if f.Nth <= 0 {
+		return 1
+	}
+	return f.Nth
+}
+
+// RandomPlan derives one single-fault schedule from a simrand stream:
+// the op class, failure kind, trigger index, torn-tail length and
+// stickiness are all deterministic functions of the seed, so a chaos
+// run that fails is replayed exactly by its seed. maxNth bounds the
+// trigger index (how deep into the I/O sequence the fault can land).
+func RandomPlan(seed uint64, maxNth int) Plan {
+	if maxNth < 1 {
+		maxNth = 1
+	}
+	rng := simrand.New(seed).Split("vfs-fault-plan").Rand()
+	ops := []Op{OpWrite, OpWrite, OpSync, OpClose, OpRename, OpCreate, OpOpen, OpSyncDir, OpTruncate}
+	f := Fault{
+		Op:        ops[rng.Intn(len(ops))],
+		Kind:      allKinds[rng.Intn(len(allKinds))],
+		Nth:       1 + rng.Intn(maxNth),
+		KeepBytes: rng.Intn(64),
+		Sticky:    rng.Intn(4) == 0,
+	}
+	if f.Kind == KindShort && f.Op != OpWrite {
+		f.Kind = KindEIO // short writes only exist on writes
+	}
+	if f.Kind == KindCrash {
+		f.Sticky = false // implicit
+	}
+	return Plan{Faults: []Fault{f}}
+}

@@ -1,0 +1,153 @@
+// Package vfs is the storage seam under every durability guarantee in
+// this repository. internal/checkpoint's journals, job logs and atomic
+// artifact writes — and through them the service daemon's crash-safety
+// story — perform all file I/O through the FS interface instead of the
+// os package, so the same code path can run against the real filesystem
+// (OS, a zero-overhead passthrough) or against a deterministic
+// fault-injecting implementation (Faulty) that scripts ENOSPC, short
+// writes, fsync failures, close failures, rename failures and
+// crash-point truncation at arbitrary byte offsets.
+//
+// The seam exists for the same reason netsim.Medium does on the network
+// side: a durability contract ("an acknowledged append survives any
+// crash"; "readers never observe a torn artifact") is only as good as
+// the failure modes it was tested against, and the real filesystem
+// fails too rarely — and too uncontrollably — to exercise them. With
+// the seam, the storage-chaos harness can prove the byte-identical
+// recovery contract under every fault the taxonomy names, one injected
+// schedule at a time.
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// File is the open-file surface the durability layer needs: streaming
+// writes, durability (Sync), permission stamping, in-place truncation
+// (torn-tail repair) and close. *os.File satisfies it directly.
+type File interface {
+	io.Writer
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Chmod sets the file's permission bits.
+	Chmod(mode os.FileMode) error
+	// Truncate cuts the file to size bytes without moving the write
+	// offset semantics of an append-mode handle: later writes continue
+	// at the new end.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem seam. Every method mirrors its os-package
+// counterpart; implementations may fail any of them.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temporary file with os.CreateTemp
+	// semantics (pattern's last "*" is replaced by a random string).
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate cuts the named file to size bytes and syncs the
+	// truncation to stable storage.
+	Truncate(name string, size int64) error
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so a rename or create inside it
+	// survives a crash. Filesystems that cannot sync directories are
+	// tolerated (nil), only genuine I/O failures are reported.
+	SyncDir(dir string) error
+	// Free reports the filesystem's free bytes at dir, or -1 when the
+	// platform cannot tell (never an error for "unknown").
+	Free(dir string) (int64, error)
+}
+
+// OS is the passthrough implementation: every call lands directly on
+// the os package. It is a zero-size value, so threading it through
+// interfaces costs no allocation, and its File values are bare
+// *os.File — the hot journal-append path (Write + Sync per record) runs
+// the same machine code it would without the seam.
+var OS FS = osFS{}
+
+// Default maps nil (the "no seam requested" zero value of config
+// fields) to OS.
+func Default(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Truncate cuts the file and syncs the truncation, so a salvaged
+// journal's discarded tail cannot reappear after a crash.
+func (osFS) Truncate(name string, size int64) error {
+	f, err := os.OpenFile(name, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	err = f.Truncate(size)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// SyncDir fsyncs the directory. Filesystems that refuse to sync
+// directories (EINVAL/ENOTSUP from some network and FUSE mounts) are
+// tolerated — the rename inside is still atomic, only its durability
+// window widens — but real I/O errors propagate: a failed directory
+// sync after a journal-header commit is a durability gap the caller
+// must hear about.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil && !unsupportedSync(serr) {
+		return serr
+	}
+	return cerr
+}
+
+// unsupportedSync reports whether a directory-fsync error means "this
+// filesystem cannot do that" rather than "it tried and failed".
+func unsupportedSync(err error) bool {
+	return errors.Is(err, errInvalid) || errors.Is(err, errNotSup)
+}
